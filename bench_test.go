@@ -1,0 +1,391 @@
+package opmap
+
+// Benchmarks, one per table/figure of the paper's evaluation plus the
+// ablations called out in DESIGN.md §5. `go test -bench=. -benchmem`
+// runs them at a laptop-friendly scale; cmd/figures runs the same
+// experiments at configurable (up to paper) scale and prints the series.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"opmap/internal/car"
+	"opmap/internal/compare"
+	"opmap/internal/dataset"
+	"opmap/internal/discretize"
+	"opmap/internal/rulecube"
+	"opmap/internal/visual"
+	"opmap/internal/workload"
+)
+
+// benchRecords is the record count behind the benchmark datasets. The
+// paper uses 2M records; benches use a smaller set because cube-backed
+// comparison time is independent of it anyway (that independence is
+// itself benchmarked in BenchmarkAblationCubeVsScan).
+const benchRecords = 50000
+
+var (
+	benchMu    sync.Mutex
+	scaleCache = map[int]*rulecube.Store{}
+	scaleData  = map[int]*dataset.Dataset{}
+)
+
+// scaleStore returns (building once) the cube store for a scale dataset
+// with the given number of attributes.
+func scaleStore(b *testing.B, attrs int) (*rulecube.Store, *dataset.Dataset) {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if s, ok := scaleCache[attrs]; ok {
+		return s, scaleData[attrs]
+	}
+	ds, err := workload.Scale(workload.ScaleConfig{Seed: 1, Records: benchRecords, Attrs: attrs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaleCache[attrs] = store
+	scaleData[attrs] = ds
+	return store, ds
+}
+
+// BenchmarkFig9Comparison measures the comparison computation time as
+// the number of attributes grows (paper Fig. 9: linear, ≤0.8 s at 160
+// attributes on 2008 hardware; interactive).
+func BenchmarkFig9Comparison(b *testing.B) {
+	for _, attrs := range []int{40, 80, 120, 160} {
+		b.Run(fmt.Sprintf("attrs-%d", attrs), func(b *testing.B) {
+			store, _ := scaleStore(b, attrs)
+			cmp := compare.New(store)
+			in := compare.Input{Attr: 0, V1: 0, V2: 1, Class: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cmp.Compare(in, compare.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10CubeGenAttrs measures rule-cube store generation time as
+// the number of attributes grows (paper Fig. 10: superlinear — the store
+// holds all attribute pairs).
+func BenchmarkFig10CubeGenAttrs(b *testing.B) {
+	for _, attrs := range []int{40, 80, 120, 160} {
+		b.Run(fmt.Sprintf("attrs-%d", attrs), func(b *testing.B) {
+			ds, err := workload.Scale(workload.ScaleConfig{Seed: 1, Records: benchRecords / 5, Attrs: attrs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rulecube.BuildStore(ds, rulecube.StoreOptions{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11CubeGenRecords measures cube generation time as records
+// grow by duplication (paper Fig. 11: linear; the paper duplicated a 2M
+// set to 2/4/6/8M records).
+func BenchmarkFig11CubeGenRecords(b *testing.B) {
+	base, err := workload.Scale(workload.ScaleConfig{Seed: 1, Records: benchRecords / 2, Attrs: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for factor := 1; factor <= 4; factor++ {
+		b.Run(fmt.Sprintf("records-%d", base.NumRows()*factor), func(b *testing.B) {
+			ds := base.Duplicate(factor)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rulecube.BuildStore(ds, rulecube.StoreOptions{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelCubeGen contrasts serial cube generation (the
+// paper's offline step) with this implementation's parallel build — an
+// extension ablation (DESIGN.md §5).
+func BenchmarkAblationParallelCubeGen(b *testing.B) {
+	ds, err := workload.Scale(workload.ScaleConfig{Seed: 1, Records: benchRecords / 5, Attrs: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rulecube.BuildStore(ds, rulecube.StoreOptions{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rulecube.BuildStore(ds, rulecube.StoreOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig4Boundaries exercises the measure's boundary computations
+// (Fig. 2/Fig. 4): the pure Eq. 1–3 arithmetic on explicit tables.
+func BenchmarkFig4Boundaries(b *testing.B) {
+	n1 := []int64{10000, 10000, 10000}
+	c1 := []int64{250, 250, 100}
+	n2 := []int64{14400, 14400, 1200}
+	c2 := []int64{0, 0, 1200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := compare.CompareValues("t", nil, n1, c1, n2, c2, compare.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// caseStudyBench holds the Section V.B fixture for the case-study and
+// ablation benchmarks.
+var caseStudyOnce struct {
+	sync.Once
+	store *rulecube.Store
+	ds    *dataset.Dataset
+	in    compare.Input
+	err   error
+}
+
+func caseStudyFixture(b *testing.B) (*rulecube.Store, *dataset.Dataset, compare.Input) {
+	b.Helper()
+	caseStudyOnce.Do(func() {
+		ds, gt, err := workload.CallLog(workload.CaseStudyConfig(7, benchRecords))
+		if err != nil {
+			caseStudyOnce.err = err
+			return
+		}
+		store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{})
+		if err != nil {
+			caseStudyOnce.err = err
+			return
+		}
+		attr := ds.AttrIndex(gt.PhoneAttr)
+		v1, _ := ds.Column(attr).Dict.Lookup(gt.GoodPhone)
+		v2, _ := ds.Column(attr).Dict.Lookup(gt.BadPhone)
+		cls, _ := ds.ClassDict().Lookup(gt.DropClass)
+		caseStudyOnce.store = store
+		caseStudyOnce.ds = ds
+		caseStudyOnce.in = compare.Input{Attr: attr, V1: v1, V2: v2, Class: cls}
+	})
+	if caseStudyOnce.err != nil {
+		b.Fatal(caseStudyOnce.err)
+	}
+	return caseStudyOnce.store, caseStudyOnce.ds, caseStudyOnce.in
+}
+
+// BenchmarkCaseStudyComparison times the Section V.B comparison on the
+// 41-attribute call log.
+func BenchmarkCaseStudyComparison(b *testing.B) {
+	store, _, in := caseStudyFixture(b)
+	cmp := compare.New(store)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmp.Compare(in, compare.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCI isolates the cost of the confidence-interval
+// adjustment (DESIGN.md §5): Eq. 1 with and without interval revision.
+func BenchmarkAblationCI(b *testing.B) {
+	store, _, in := caseStudyFixture(b)
+	cmp := compare.New(store)
+	b.Run("with-ci", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cmp.Compare(in, compare.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without-ci", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cmp.Compare(in, compare.Options{DisableCI: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wilson", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cmp.Compare(in, compare.Options{Method: compare.Wilson}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCubeVsScan contrasts cube-backed comparison with raw
+// re-scanning (DESIGN.md §5): the scan path's cost grows with records,
+// the cube path's does not — the paper's V.C claim.
+func BenchmarkAblationCubeVsScan(b *testing.B) {
+	store, ds, in := caseStudyFixture(b)
+	cmp := compare.New(store)
+	b.Run("cube", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cmp.Compare(in, compare.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := compare.Scan(ds, in, compare.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Scan over 2× the records ≈ 2× the time; cube time unchanged.
+	big := ds.Duplicate(2)
+	b.Run("scan-2x-records", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := compare.Scan(big, in, compare.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRestrictedMining times on-demand restricted mining of longer
+// rules versus reading the materialized two-condition cubes (the
+// deployed system's design choice, Section III.B).
+func BenchmarkRestrictedMining(b *testing.B) {
+	store, ds, in := caseStudyFixture(b)
+	fixed := []car.Condition{{Attr: in.Attr, Value: in.V2}}
+	b.Run("restricted-cube", func(b *testing.B) {
+		attrs := []int{ds.AttrIndex("Time-of-Call"), ds.AttrIndex("Terrain")}
+		for i := 0; i < b.N; i++ {
+			if _, err := store.RestrictedCube(fixed, attrs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("restricted-mine-3cond", func(b *testing.B) {
+		opts := car.Options{MaxConditions: 2, Fixed: fixed, MinSupport: 0.001,
+			Attrs: []int{ds.AttrIndex("Time-of-Call"), ds.AttrIndex("Terrain")}}
+		for i := 0; i < b.N; i++ {
+			if _, err := car.Mine(ds, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCARMining times exhaustive two-condition CAR mining (the
+// offline stage feeding the cubes).
+func BenchmarkCARMining(b *testing.B) {
+	_, ds, _ := caseStudyFixture(b)
+	small, err := dataset.StratifiedSample(ds, 0.2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := car.Mine(small, car.Options{MaxConditions: 2, MinSupport: 0.005}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscretizeMDLP times supervised discretization of the
+// manufacturing log's continuous attributes.
+func BenchmarkDiscretizeMDLP(b *testing.B) {
+	ds, _, err := workload.Manufacturing(workload.ManufacturingConfig{Seed: 1, Records: 20000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := discretize.Apply(ds, discretize.MDLP{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverallRender times the Fig. 5 overall view rendering.
+func BenchmarkOverallRender(b *testing.B) {
+	store, _, _ := caseStudyFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink countingWriter
+		if err := visual.Overall(&sink, store, visual.OverallOptions{Scale: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
+// BenchmarkScreenPairs times the pair-screening extension over the
+// case-study phone attribute.
+func BenchmarkScreenPairs(b *testing.B) {
+	store, ds, in := caseStudyFixture(b)
+	cmp := compare.New(store)
+	attr := ds.AttrIndex("Phone-Model")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmp.ScreenPairs(attr, in.Class, compare.ScreenOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOneVsRest times the one-vs-rest comparison.
+func BenchmarkOneVsRest(b *testing.B) {
+	store, ds, in := caseStudyFixture(b)
+	cmp := compare.New(store)
+	timeAttr := ds.AttrIndex("Time-of-Call")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmp.OneVsRest(compare.OneVsRestInput{Attr: timeAttr, Value: 0, Class: in.Class}, compare.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorePersistence times the offline artifact's write and read.
+func BenchmarkStorePersistence(b *testing.B) {
+	store, _, _ := caseStudyFixture(b)
+	var buf bytes.Buffer
+	if err := rulecube.WriteStore(&buf, store); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.Run("write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w countingWriter
+			if err := rulecube.WriteStore(&w, store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			if _, err := rulecube.ReadStore(bytes.NewReader(blob)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,23 @@
+// Package opmap is a Go implementation of the Opportunity Map system
+// from "Finding Actionable Knowledge via Automated Comparison"
+// (Zhang, Liu, Benkler & Zhou, ICDE 2009): a diagnostic data-mining
+// toolkit built on class association rules, rule cubes with OLAP
+// operations, a general-impressions miner, and — the paper's
+// contribution — an automated comparator that ranks attributes by how
+// well they explain the difference between two sub-populations with
+// respect to a target class.
+//
+// The typical pipeline is:
+//
+//	s, err := opmap.LoadCSVFile("calls.csv", opmap.LoadOptions{Class: "Disposition"})
+//	// handle err
+//	if err := s.Discretize(opmap.DiscretizeOptions{}); err != nil { ... }
+//	if err := s.BuildCubes(); err != nil { ... }
+//	cmp, err := s.Compare("Phone-Model", "ph1", "ph2", "dropped-in-progress", opmap.CompareOptions{})
+//	// cmp.Top(5) now ranks the attributes that best distinguish the two
+//	// phones on the drop rate; cmp.PropertyAttributes() holds the
+//	// attributes set aside per Section IV.C of the paper.
+//
+// All functionality is deterministic given fixed seeds and uses only the
+// Go standard library.
+package opmap

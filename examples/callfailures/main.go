@@ -1,0 +1,150 @@
+// Call failures: the paper's Section V.B case study, end to end. A
+// 41-attribute call log is generated (the paper's case-study width); the
+// user-visible flow is reproduced step by step: the overall view
+// (Fig. 5), the detailed phone-model view (Fig. 6), the automated
+// comparison with the top attribute's CI view (Fig. 7), and the property
+// attribute set aside (Fig. 8). SVG versions of the figures are written
+// next to the binary when -svg is given.
+//
+// Run with:
+//
+//	go run ./examples/callfailures [-svg dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"opmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	svgDir := flag.String("svg", "", "directory to write fig6/fig7 SVG files into")
+	records := flag.Int("records", 80000, "records to generate")
+	flag.Parse()
+
+	session, truth, err := opmap.CaseStudy(2024, *records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := session.Discretize(opmap.DiscretizeOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := session.BuildCubes(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== Case study: %d records, %d attributes (paper Section V.B) ===\n\n",
+		session.NumRows(), len(session.Attributes()))
+
+	// Fig. 5: overall visualization of all 2-D rule cubes.
+	fmt.Println("--- Overall view (Fig. 5) ---")
+	if err := session.RenderOverall(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 6: the user zooms into the phone-model attribute.
+	fmt.Println("\n--- Detailed view of Phone-Model (Fig. 6) ---")
+	if err := session.RenderDetailed(os.Stdout, truth.PhoneAttr); err != nil {
+		log.Fatal(err)
+	}
+
+	// Screening finds the pairs worth comparing — with many phone models
+	// the analyst should not have to eyeball Fig. 6 for gaps.
+	fmt.Println("\n--- Pair screening (which phones differ significantly?) ---")
+	pairs, err := session.ScreenPairs(truth.PhoneAttr, truth.DropClass, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("%-6s vs %-6s  %6.3f%% vs %6.3f%%  z=%.1f p=%.2g\n",
+			p.Value1, p.Value2, 100*p.Cf1, 100*p.Cf2, p.Z, p.PValue)
+	}
+
+	// The user selects two phones with very different drop rates and
+	// asks the comparator to rank all other attributes.
+	fmt.Println("\n--- Automated comparison (Section IV) ---")
+	cmp, err := session.Compare(truth.PhoneAttr, pairs[0].Value1, pairs[0].Value2,
+		truth.DropClass, opmap.CompareOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp.RenderRanking(os.Stdout, 8)
+
+	// Fig. 7: the top-ranked attribute with CI regions.
+	top := cmp.Top(1)[0]
+	fmt.Printf("\n--- Top-ranked attribute %q (Fig. 7) ---\n", top.Name)
+	if err := cmp.RenderAttribute(os.Stdout, top.Name); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 8: a property attribute (one phone never uses the value).
+	fmt.Println("\n--- Property attributes (Fig. 8, Section IV.C) ---")
+	for _, p := range cmp.PropertyAttributes() {
+		if err := cmp.RenderProperty(os.Stdout, p.Name); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Drill down into the isolated context: re-compare within morning
+	// calls to look for second-order causes.
+	fmt.Println("\n--- Drill-down: same comparison within morning calls ---")
+	within, err := session.CompareWhere(truth.PhoneAttr, pairs[0].Value1, pairs[0].Value2,
+		truth.DropClass, map[string]string{top.Name: "morning"}, opmap.CompareOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within morning calls: %s %.2f%% vs %s %.2f%% (overall was %.2f%% vs %.2f%%)\n",
+		within.Label1, 100*within.Cf1, within.Label2, 100*within.Cf2, 100*cmp.Cf1, 100*cmp.Cf2)
+
+	// Hand-off artifact: the Markdown report.
+	reportPath := "callfailures_report.md"
+	rf, err := os.Create(reportPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := session.WriteReport(rf, cmp, opmap.ReportOptions{TopN: 3, IncludeImpressions: true}); err != nil {
+		log.Fatal(err)
+	}
+	if err := rf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote engineer hand-off report to %s\n", reportPath)
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		write := func(name string, f func(*os.File) error) {
+			path := filepath.Join(*svgDir, name)
+			fh, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := f(fh); err != nil {
+				log.Fatal(err)
+			}
+			if err := fh.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		write("fig5_overall.svg", func(f *os.File) error {
+			return session.RenderOverallSVG(f)
+		})
+		write("fig6_phone_model.svg", func(f *os.File) error {
+			return session.RenderDetailedSVG(f, truth.PhoneAttr)
+		})
+		write("fig7_top_attribute.svg", func(f *os.File) error {
+			return cmp.RenderAttributeSVG(f, top.Name)
+		})
+	}
+
+	fmt.Printf("\nverdict: planted %q ranked #1: %v; property %q set aside: %v\n",
+		truth.DistinguishingAttr, top.Name == truth.DistinguishingAttr,
+		truth.PropertyAttr, len(cmp.PropertyAttributes()) > 0)
+}

@@ -1,0 +1,89 @@
+// Explorer: the deployed Opportunity Map is an interactive tool; this
+// example drives a scripted exploration session over a synthetic call
+// log — overview, drill into the suspect attribute, screen pairs,
+// compare, focus on the explanation, then check its statistical
+// significance with a permutation test.
+//
+// Run with:
+//
+//	go run ./examples/explorer            # scripted session
+//	go run ./examples/explorer -i         # interactive REPL on stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"opmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	interactive := flag.Bool("i", false, "interactive REPL instead of the scripted session")
+	flag.Parse()
+
+	session, truth, err := opmap.GenerateCallLog(opmap.CallLogConfig{
+		Seed:       4,
+		Records:    50000,
+		NumPhones:  8,
+		NoiseAttrs: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := session.Discretize(opmap.DiscretizeOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := session.BuildCubes(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *interactive {
+		fmt.Println("interactive session — type 'help' for commands, 'quit' to exit")
+		if err := session.Explore(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	script := strings.Join([]string{
+		"# the investigation, as the analyst would type it",
+		"detail " + truth.PhoneAttr,
+		"pairs " + truth.PhoneAttr + " " + truth.DropClass + " 3",
+		"compare " + truth.PhoneAttr + " " + truth.GoodPhone + " " + truth.BadPhone + " " + truth.DropClass,
+		"focus",
+		"focus " + truth.PropertyAttr,
+		"back",
+		"detail3 " + truth.PhoneAttr + " " + truth.DistinguishingAttr,
+		"quit",
+	}, "\n")
+	if err := session.ExploreScript(script, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Close the loop: is the finding statistically solid?
+	sig, err := session.TestSignificance(truth.PhoneAttr, truth.GoodPhone, truth.BadPhone,
+		truth.DropClass, truth.DistinguishingAttr, 200, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npermutation test of %q: observed M=%.1f, null mean %.1f (q95 %.1f), p=%.4f over %d rounds\n",
+		sig.Attr, sig.Observed, sig.NullMean, sig.NullQ95, sig.PValue, sig.Rounds)
+
+	// And the systemic-vs-specific sweep across all phone pairs.
+	sweep, err := session.Sweep(truth.PhoneAttr, truth.DropClass, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsweep over %d significant phone pairs:\n", sweep.PairsCompared)
+	for i, a := range sweep.Attributes {
+		if i >= 4 {
+			break
+		}
+		fmt.Printf("  %-24s distinguishes %d pair(s); strongest for %s vs %s (M=%.1f)\n",
+			a.Name, a.Pairs, a.BestPair[0], a.BestPair[1], a.BestScore)
+	}
+}

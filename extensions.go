@@ -1,0 +1,449 @@
+package opmap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"opmap/internal/car"
+	"opmap/internal/compare"
+	"opmap/internal/dataset"
+	"opmap/internal/explore"
+	"opmap/internal/gi"
+	"opmap/internal/report"
+	"opmap/internal/rulecube"
+	"opmap/internal/stats"
+)
+
+// This file holds the Session capabilities beyond the paper's core
+// pipeline: pair screening, one-vs-rest comparison, cube persistence,
+// and Markdown report generation. Each is motivated directly by the
+// paper's deployment narrative (see the respective internal packages).
+
+// PairCandidate is a value pair of an attribute whose class confidences
+// differ significantly — a candidate for Compare.
+type PairCandidate struct {
+	Attr           string
+	Value1, Value2 string // oriented: Value1 has the lower confidence
+	Cf1, Cf2       float64
+	N1, N2         int64
+	Ratio          float64
+	Z              float64
+	PValue         float64
+}
+
+// ScreenPairs ranks value pairs of attr by the statistical significance
+// of their confidence gap on the class — automating the "spot two phones
+// with very different drop rates" step that precedes every comparison.
+// maxPairs ≤ 0 returns all significant pairs.
+func (s *Session) ScreenPairs(attr, class string, maxPairs int) ([]PairCandidate, error) {
+	store, err := s.requireStore()
+	if err != nil {
+		return nil, err
+	}
+	a := s.ds.AttrIndex(attr)
+	if a < 0 {
+		return nil, fmt.Errorf("opmap: unknown attribute %q", attr)
+	}
+	cls, ok := s.ds.ClassDict().Lookup(class)
+	if !ok {
+		return nil, fmt.Errorf("opmap: unknown class %q", class)
+	}
+	opts := compare.ScreenOptions{}
+	if maxPairs > 0 {
+		opts.MaxPairs = maxPairs
+	}
+	pairs, err := compare.New(store).ScreenPairs(a, cls, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PairCandidate, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, PairCandidate{
+			Attr:   attr,
+			Value1: p.Label1,
+			Value2: p.Label2,
+			Cf1:    p.Cf1,
+			Cf2:    p.Cf2,
+			N1:     p.N1,
+			N2:     p.N2,
+			Ratio:  p.Ratio,
+			Z:      p.Z,
+			PValue: p.PValue,
+		})
+	}
+	return out, nil
+}
+
+// CompareOneVsRest compares the sub-population attr=value against its
+// complement attr≠value with respect to the class (Section III.C's
+// "morning calls vs the rest" use case). Label2 of the result reads
+// "rest" when the complement is the higher-confidence side.
+func (s *Session) CompareOneVsRest(attr, value, class string, opts CompareOptions) (*Comparison, error) {
+	store, err := s.requireStore()
+	if err != nil {
+		return nil, err
+	}
+	a := s.ds.AttrIndex(attr)
+	if a < 0 {
+		return nil, fmt.Errorf("opmap: unknown attribute %q", attr)
+	}
+	v, ok := s.ds.Column(a).Dict.Lookup(value)
+	if !ok {
+		return nil, fmt.Errorf("opmap: attribute %q has no value %q", attr, value)
+	}
+	cls, ok := s.ds.ClassDict().Lookup(class)
+	if !ok {
+		return nil, fmt.Errorf("opmap: unknown class %q", class)
+	}
+	copts := compare.Options{
+		DisableCI:         opts.DisableCI,
+		PropertyThreshold: opts.PropertyThreshold,
+		MinRuleSupport:    opts.MinRuleSupport,
+	}
+	if opts.ConfidenceLevel != 0 {
+		copts.Level = stats.ConfidenceLevel(opts.ConfidenceLevel)
+	}
+	if opts.WilsonIntervals {
+		copts.Method = compare.Wilson
+	}
+	for _, n := range opts.Attrs {
+		i := s.ds.AttrIndex(n)
+		if i < 0 {
+			return nil, fmt.Errorf("opmap: unknown attribute %q in Attrs", n)
+		}
+		copts.Attrs = append(copts.Attrs, i)
+	}
+	res, err := compare.New(store).OneVsRest(compare.OneVsRestInput{Attr: a, Value: v, Class: cls}, copts)
+	if err != nil {
+		return nil, err
+	}
+	l1, l2 := value, "rest"
+	if res.Swapped { // the named value is the higher-confidence side
+		l1, l2 = "rest", value
+	}
+	return &Comparison{
+		Attr:   attr,
+		Label1: l1,
+		Label2: l2,
+		Cf1:    res.Cf1,
+		Cf2:    res.Cf2,
+		Ratio:  res.Ratio,
+		Class:  class,
+		res:    res,
+	}, nil
+}
+
+// CompareWhere runs the comparison restricted to records matching every
+// condition in where (attribute name → value label): the drill-down
+// step after a first comparison isolates the context of the problem
+// ("compare the two phones again, but only for morning calls"). It
+// scans the raw data, so it needs the dataset, not just cubes.
+func (s *Session) CompareWhere(attr, v1, v2, class string, where map[string]string, opts CompareOptions) (*Comparison, error) {
+	if _, err := s.working(); err != nil {
+		return nil, err
+	}
+	in, copts, err := s.resolve(attr, v1, v2, class, opts)
+	if err != nil {
+		return nil, err
+	}
+	var fixed []car.Condition
+	for name, val := range where {
+		a := s.ds.AttrIndex(name)
+		if a < 0 {
+			return nil, fmt.Errorf("opmap: unknown attribute %q in where clause", name)
+		}
+		code, ok := s.ds.Column(a).Dict.Lookup(val)
+		if !ok {
+			return nil, fmt.Errorf("opmap: attribute %q has no value %q", name, val)
+		}
+		fixed = append(fixed, car.Condition{Attr: a, Value: code})
+	}
+	sort.Slice(fixed, func(i, j int) bool { return fixed[i].Attr < fixed[j].Attr })
+	res, err := compare.ScanWhere(s.ds, fixed, in, copts)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrapComparison(attr, class, in, res), nil
+}
+
+// SaveCubes persists the materialized cube store (the paper's offline
+// generation artifact) to w in a checksummed binary format.
+func (s *Session) SaveCubes(w io.Writer) error {
+	store, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	return rulecube.WriteStore(w, store)
+}
+
+// SaveCubesFile is SaveCubes to a file path.
+func (s *Session) SaveCubesFile(path string) error {
+	store, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	return rulecube.WriteStoreFile(path, store)
+}
+
+// OpenCubes builds a Session directly from a persisted cube store — no
+// raw data needed. Comparisons, screening, impressions and views work;
+// operations needing raw records (MineRules, CompareByScan,
+// Completeness, re-Discretize) return errors.
+func OpenCubes(r io.Reader) (*Session, error) {
+	store, err := rulecube.ReadStore(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{raw: store.Dataset(), ds: store.Dataset(), store: store}, nil
+}
+
+// OpenCubesFile is OpenCubes from a file path.
+func OpenCubesFile(path string) (*Session, error) {
+	store, err := rulecube.ReadStoreFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{raw: store.Dataset(), ds: store.Dataset(), store: store}, nil
+}
+
+// CubeStats summarizes the materialized cube store's size.
+type CubeStats struct {
+	Attributes   int
+	Cubes        int
+	Cells        int   // total cells = rules represented
+	Bytes        int64 // approximate count-array memory
+	MaxCubeCells int
+}
+
+// CubeStats reports the store's size (zero value before BuildCubes).
+func (s *Session) CubeStats() CubeStats {
+	if s.store == nil {
+		return CubeStats{}
+	}
+	st := s.store.Stats()
+	return CubeStats{
+		Attributes:   st.Attributes,
+		Cubes:        st.Cubes,
+		Cells:        st.Cells,
+		Bytes:        st.Bytes,
+		MaxCubeCells: st.MaxCubeCells,
+	}
+}
+
+// SweepAttribute aggregates one attribute's appearances across the
+// comparisons of a sweep.
+type SweepAttribute struct {
+	Name string
+	// Pairs counts the compared pairs that ranked the attribute among
+	// their top distinguishing attributes; a high count indicates a
+	// systemic cause, a count of one a product-specific cause.
+	Pairs      int
+	BestScore  float64
+	BestPair   [2]string
+	TotalScore float64
+}
+
+// SweepResult is the aggregate of Sweep.
+type SweepResult struct {
+	PairsCompared int
+	PairsSkipped  int
+	Attributes    []SweepAttribute
+}
+
+// Sweep screens every value pair of attr on the class and compares each
+// significant pair, aggregating which attributes recur as the
+// explanation — separating systemic causes (many pairs) from
+// product-specific ones (one pair). maxPairs ≤ 0 compares every
+// significant pair.
+func (s *Session) Sweep(attr, class string, maxPairs int) (*SweepResult, error) {
+	store, err := s.requireStore()
+	if err != nil {
+		return nil, err
+	}
+	a := s.ds.AttrIndex(attr)
+	if a < 0 {
+		return nil, fmt.Errorf("opmap: unknown attribute %q", attr)
+	}
+	cls, ok := s.ds.ClassDict().Lookup(class)
+	if !ok {
+		return nil, fmt.Errorf("opmap: unknown class %q", class)
+	}
+	opts := compare.SweepOptions{}
+	if maxPairs > 0 {
+		opts.Screen.MaxPairs = maxPairs
+	}
+	res, err := compare.New(store).Sweep(a, cls, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{PairsCompared: res.PairsCompared, PairsSkipped: res.PairsSkipped}
+	for _, sa := range res.Attributes {
+		out.Attributes = append(out.Attributes, SweepAttribute{
+			Name:       sa.Name,
+			Pairs:      sa.Pairs,
+			BestScore:  sa.BestScore,
+			BestPair:   sa.BestPair,
+			TotalScore: sa.TotalScore,
+		})
+	}
+	return out, nil
+}
+
+// WriteSweepReport renders a Markdown report of a sweep over attr's
+// value pairs on the class: the systemic-vs-specific summary.
+func (s *Session) WriteSweepReport(w io.Writer, attr, class string, maxPairs int, opts ReportOptions) error {
+	store, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	a := s.ds.AttrIndex(attr)
+	if a < 0 {
+		return fmt.Errorf("opmap: unknown attribute %q", attr)
+	}
+	cls, ok := s.ds.ClassDict().Lookup(class)
+	if !ok {
+		return fmt.Errorf("opmap: unknown class %q", class)
+	}
+	sopts := compare.SweepOptions{}
+	if maxPairs > 0 {
+		sopts.Screen.MaxPairs = maxPairs
+	}
+	res, err := compare.New(store).Sweep(a, cls, sopts)
+	if err != nil {
+		return err
+	}
+	return report.Sweep(w, attr, class, res, report.Options{
+		Title:     opts.Title,
+		TopN:      opts.TopN,
+		Generated: opts.Timestamp,
+	})
+}
+
+// SignificanceResult reports a permutation test of one attribute's
+// interestingness score.
+type SignificanceResult struct {
+	Attr     string
+	Observed float64 // M on the real split
+	PValue   float64 // chance of reaching Observed under random splits
+	NullMean float64
+	NullQ95  float64
+	Rounds   int
+}
+
+// TestSignificance runs a permutation test: how often does a random
+// reassignment of records between the two sub-populations reach the
+// candidate attribute's observed M? Use it to decide how deep into a
+// ranking to trust. rounds ≤ 0 means 200. Requires raw data (scans).
+func (s *Session) TestSignificance(attr, v1, v2, class, candidate string, rounds int, seed int64) (SignificanceResult, error) {
+	if _, err := s.working(); err != nil {
+		return SignificanceResult{}, err
+	}
+	in, copts, err := s.resolve(attr, v1, v2, class, CompareOptions{})
+	if err != nil {
+		return SignificanceResult{}, err
+	}
+	cand := s.ds.AttrIndex(candidate)
+	if cand < 0 {
+		return SignificanceResult{}, fmt.Errorf("opmap: unknown attribute %q", candidate)
+	}
+	res, err := compare.PermutationTest(s.ds, in, cand, rounds, seed, copts)
+	if err != nil {
+		return SignificanceResult{}, err
+	}
+	return SignificanceResult{
+		Attr:     res.AttrName,
+		Observed: res.Observed,
+		PValue:   res.PValue,
+		NullMean: res.NullMean,
+		NullQ95:  res.NullQ95,
+		Rounds:   res.Rounds,
+	}, nil
+}
+
+// Explore runs an interactive exploration session (the deployed
+// system's GUI workflow as a line-oriented REPL): overview → detail →
+// pairs → compare → focus, with navigation history. Commands are read
+// from r until EOF or "quit"; see the REPL's "help" for the command
+// language. Rule cubes must be built.
+func (s *Session) Explore(r io.Reader, w io.Writer) error {
+	store, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	return explore.New(store).Run(r, w)
+}
+
+// ExploreScript executes a newline-separated command script against an
+// exploration session, writing the transcript to w (the scriptable
+// variant of Explore).
+func (s *Session) ExploreScript(script string, w io.Writer) error {
+	store, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	return explore.New(store).RunScript(script, w)
+}
+
+// Describe writes a per-attribute profile of the loaded data: domain
+// sizes, top values, missing rates, continuous ranges, and the class
+// skew that motivates unbalanced sampling.
+func (s *Session) Describe(w io.Writer) error {
+	return dataset.Describe(s.raw).Write(w)
+}
+
+// DownsampleMajority keeps only keepFraction of the majority class
+// (everything else in full), the paper's pre-mining rebalancing step for
+// heavily skewed data (Section I). It must run before BuildCubes;
+// existing cubes are invalidated.
+func (s *Session) DownsampleMajority(keepFraction float64, seed int64) error {
+	sampled, err := dataset.UnbalancedSample(s.raw, dataset.SampleOptions{
+		Seed:         seed,
+		KeepFraction: keepFraction,
+	})
+	if err != nil {
+		return err
+	}
+	s.raw = sampled
+	if s.ds != nil && s.raw.AllCategorical() {
+		s.ds = sampled
+	} else {
+		s.ds = nil // re-discretize on the sampled data
+	}
+	s.store = nil
+	return nil
+}
+
+// ReportOptions controls WriteReport.
+type ReportOptions struct {
+	Title string
+	// TopN limits the attributes detailed in full; zero means 5.
+	TopN int
+	// Timestamp stamps the report header when non-zero.
+	Timestamp time.Time
+	// IncludeImpressions appends the GI-miner appendix.
+	IncludeImpressions bool
+}
+
+// WriteReport renders a Markdown report of the comparison, suitable for
+// handing to the engineers who investigate the findings.
+func (s *Session) WriteReport(w io.Writer, cmp *Comparison, opts ReportOptions) error {
+	ropts := report.Options{
+		Title:     opts.Title,
+		TopN:      opts.TopN,
+		Generated: opts.Timestamp,
+	}
+	if opts.IncludeImpressions {
+		store, err := s.requireStore()
+		if err != nil {
+			return err
+		}
+		rep, err := gi.MineAll(store, gi.TrendOptions{}, gi.ExceptionOptions{})
+		if err != nil {
+			return err
+		}
+		ropts.Impressions = rep
+	}
+	return report.Comparison(w, cmp.res, cmp.Attr, cmp.Label1, cmp.Label2, cmp.Class, ropts)
+}

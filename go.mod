@@ -1,0 +1,3 @@
+module opmap
+
+go 1.22

@@ -1,0 +1,178 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"opmap/internal/car"
+	"opmap/internal/dataset"
+)
+
+// CBA-CB: the classifier builder of Liu, Hsu & Ma's CBA (the paper's
+// reference [18] and the lineage of its CAR generator). It orders rules
+// by precedence (confidence, then support, then generality), greedily
+// keeps each rule that correctly classifies at least one still-uncovered
+// training record, and closes with a default class. It rounds out the
+// classification side of the baseline suite: the same exhaustive rule
+// set that powers diagnosis can also predict, but prediction keeps only
+// a sliver of it — the completeness problem seen from the other side.
+
+// CBAOptions configures classifier building.
+type CBAOptions struct {
+	// MinSupport and MinConfidence feed the CAR miner. Zeros mean 1%
+	// support, 50% confidence (CBA's customary defaults).
+	MinSupport    float64
+	MinConfidence float64
+	// MaxConditions caps rule length; zero means 2.
+	MaxConditions int
+}
+
+// CBAClassifier is an ordered rule list with a default class.
+type CBAClassifier struct {
+	Rules        []car.Rule
+	DefaultClass int32
+	// TotalCandidates is the size of the mined rule set the classifier
+	// was distilled from.
+	TotalCandidates int
+}
+
+// BuildCBA mines CARs and distills them into a classifier over ds.
+func BuildCBA(ds *dataset.Dataset, opts CBAOptions) (*CBAClassifier, error) {
+	if !ds.AllCategorical() {
+		return nil, fmt.Errorf("baseline: CBA needs a categorical dataset; discretize first")
+	}
+	minSup := opts.MinSupport
+	if minSup == 0 {
+		minSup = 0.01
+	}
+	minConf := opts.MinConfidence
+	if minConf == 0 {
+		minConf = 0.5
+	}
+	rs, err := car.Mine(ds, car.Options{
+		MinSupport:    minSup,
+		MinConfidence: minConf,
+		MaxConditions: opts.MaxConditions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Precedence order: confidence desc, support desc, fewer conditions,
+	// then a deterministic tiebreak.
+	rules := append([]car.Rule(nil), rs.Rules...)
+	sort.SliceStable(rules, func(i, j int) bool {
+		a, b := rules[i], rules[j]
+		if a.Confidence() != b.Confidence() {
+			return a.Confidence() > b.Confidence()
+		}
+		if a.SupCount != b.SupCount {
+			return a.SupCount > b.SupCount
+		}
+		return len(a.Conditions) < len(b.Conditions)
+	})
+
+	covered := make([]bool, ds.NumRows())
+	remaining := ds.NumRows()
+	var kept []car.Rule
+	for _, r := range rules {
+		if remaining == 0 {
+			break
+		}
+		helps := false
+		var newlyCovered []int
+		for row := 0; row < ds.NumRows(); row++ {
+			if covered[row] || !matches(ds, row, r.Conditions) {
+				continue
+			}
+			newlyCovered = append(newlyCovered, row)
+			if ds.ClassCode(row) == r.Class {
+				helps = true
+			}
+		}
+		if !helps {
+			continue
+		}
+		kept = append(kept, r)
+		for _, row := range newlyCovered {
+			covered[row] = true
+			remaining--
+		}
+	}
+
+	// Default class: majority among uncovered records, falling back to
+	// the global majority.
+	classCounts := make([]int64, ds.NumClasses())
+	for row := 0; row < ds.NumRows(); row++ {
+		if !covered[row] {
+			if c := ds.ClassCode(row); c >= 0 {
+				classCounts[c]++
+			}
+		}
+	}
+	def := int32(0)
+	var best int64 = -1
+	any := false
+	for c, n := range classCounts {
+		if n > 0 {
+			any = true
+		}
+		if n > best {
+			best = n
+			def = int32(c)
+		}
+	}
+	if !any {
+		global := ds.ClassDistribution()
+		best = -1
+		for c, n := range global {
+			if n > best {
+				best = n
+				def = int32(c)
+			}
+		}
+	}
+	return &CBAClassifier{Rules: kept, DefaultClass: def, TotalCandidates: rs.Len()}, nil
+}
+
+func matches(ds *dataset.Dataset, row int, conds []car.Condition) bool {
+	for _, c := range conds {
+		if ds.CatCode(row, c.Attr) != c.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict returns the class of the first matching rule, or the default.
+func (c *CBAClassifier) Predict(ds *dataset.Dataset, row int) int32 {
+	for _, r := range c.Rules {
+		if matches(ds, row, r.Conditions) {
+			return r.Class
+		}
+	}
+	return c.DefaultClass
+}
+
+// Accuracy evaluates the classifier on ds.
+func (c *CBAClassifier) Accuracy(ds *dataset.Dataset) float64 {
+	if ds.NumRows() == 0 {
+		return 0
+	}
+	correct := 0
+	for row := 0; row < ds.NumRows(); row++ {
+		if c.Predict(ds, row) == ds.ClassCode(row) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.NumRows())
+}
+
+// UsageRatio reports what fraction of the mined candidate rules the
+// classifier actually keeps — the prediction-side view of Section
+// III.A's completeness problem.
+func (c *CBAClassifier) UsageRatio() float64 {
+	if c.TotalCandidates == 0 {
+		return 0
+	}
+	return float64(len(c.Rules)) / float64(c.TotalCandidates)
+}

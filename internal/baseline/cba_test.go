@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"testing"
+
+	"opmap/internal/dataset"
+)
+
+func TestCBAOnSeparableData(t *testing.T) {
+	b, _ := dataset.NewBuilder(dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "x", Kind: dataset.Categorical},
+			{Name: "c", Kind: dataset.Categorical},
+		},
+		ClassIndex: 1,
+	})
+	for i := 0; i < 200; i++ {
+		v, c := "a", "neg"
+		if i%2 == 0 {
+			v, c = "b", "pos"
+		}
+		b.AddRow([]string{v, c})
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := BuildCBA(ds, CBAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := cls.Accuracy(ds); acc != 1 {
+		t.Errorf("separable accuracy = %v, want 1", acc)
+	}
+	if len(cls.Rules) == 0 {
+		t.Fatal("no rules kept")
+	}
+	// Both 100%-confidence one-condition rules suffice.
+	if len(cls.Rules) > 2 {
+		t.Errorf("kept %d rules, want ≤ 2", len(cls.Rules))
+	}
+}
+
+func TestCBAOnCallLog(t *testing.T) {
+	ds := callLog(t, 30000)
+	cls, err := BuildCBA(ds, CBAOptions{MinSupport: 0.005, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := cls.Accuracy(ds)
+	// Majority class is ~96%; CBA must not be worse than the default
+	// classifier.
+	dist := ds.ClassDistribution()
+	var max, total int64
+	for _, n := range dist {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	baseline := float64(max) / float64(total)
+	if acc < baseline-1e-9 {
+		t.Errorf("CBA accuracy %.4f below default-class baseline %.4f", acc, baseline)
+	}
+	// Prediction-side completeness: only a small slice of the candidate
+	// rules survives.
+	if cls.TotalCandidates > 0 && cls.UsageRatio() > 0.5 {
+		t.Errorf("CBA kept %.1f%% of candidate rules; expected heavy pruning", 100*cls.UsageRatio())
+	}
+}
+
+func TestCBADefaultClassFallback(t *testing.T) {
+	// Every record covered by rules → default falls back to the global
+	// majority without crashing.
+	b, _ := dataset.NewBuilder(dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "x", Kind: dataset.Categorical},
+			{Name: "c", Kind: dataset.Categorical},
+		},
+		ClassIndex: 1,
+	})
+	for i := 0; i < 50; i++ {
+		b.AddRow([]string{"only", "yes"})
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := BuildCBA(ds, CBAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.ClassDict().Label(cls.DefaultClass); got != "yes" {
+		t.Errorf("default class = %q", got)
+	}
+	if cls.Accuracy(ds) != 1 {
+		t.Error("trivial data should be classified perfectly")
+	}
+}
+
+func TestCBARejectsContinuous(t *testing.T) {
+	b, _ := dataset.NewBuilder(dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "x", Kind: dataset.Continuous},
+			{Name: "c", Kind: dataset.Categorical},
+		},
+		ClassIndex: 1,
+	})
+	b.AddRow([]string{"1", "y"})
+	ds, _ := b.Build()
+	if _, err := BuildCBA(ds, CBAOptions{}); err == nil {
+		t.Error("continuous dataset should be rejected")
+	}
+}
+
+func TestCBARuleOrderIsPrecedence(t *testing.T) {
+	ds := callLog(t, 20000)
+	cls, err := BuildCBA(ds, CBAOptions{MinSupport: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cls.Rules); i++ {
+		a, b := cls.Rules[i-1], cls.Rules[i]
+		if b.Confidence() > a.Confidence()+1e-12 {
+			t.Fatal("rule list violates confidence precedence")
+		}
+	}
+}

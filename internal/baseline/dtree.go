@@ -1,0 +1,311 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"opmap/internal/car"
+	"opmap/internal/dataset"
+	"opmap/internal/stats"
+)
+
+// Decision-tree rule induction, the classification baseline of Section
+// III.A. The paper's point: "A typical classification algorithm only
+// finds a very small subset of the rules that exist in data" — the
+// completeness problem. This learner (ID3-style multiway splits with
+// gain ratio, pre-pruning) extracts its leaf rules so the evaluation can
+// count how few of the data's rules a classifier surfaces compared with
+// exhaustive CAR mining over rule cubes.
+
+// TreeOptions configures tree induction.
+type TreeOptions struct {
+	// MaxDepth bounds tree depth; zero means 8.
+	MaxDepth int
+	// MinLeaf is the minimum records per leaf; zero means 25.
+	MinLeaf int
+	// MinGainRatio is the pre-pruning threshold; zero means 1e-3.
+	MinGainRatio float64
+}
+
+func (o TreeOptions) maxDepth() int {
+	if o.MaxDepth == 0 {
+		return 8
+	}
+	return o.MaxDepth
+}
+
+func (o TreeOptions) minLeaf() int {
+	if o.MinLeaf == 0 {
+		return 25
+	}
+	return o.MinLeaf
+}
+
+func (o TreeOptions) minGainRatio() float64 {
+	if o.MinGainRatio == 0 {
+		return 1e-3
+	}
+	return o.MinGainRatio
+}
+
+// TreeNode is a node of the induced decision tree.
+type TreeNode struct {
+	// Attr is the split attribute, or -1 for a leaf.
+	Attr int
+	// Children maps each value code of Attr to a child (nil children are
+	// empty branches predicting the parent majority).
+	Children []*TreeNode
+	// Class is the majority class at this node.
+	Class int32
+	// Count is the number of training records reaching the node;
+	// ClassCount those of the majority class.
+	Count, ClassCount int64
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *TreeNode) IsLeaf() bool { return n.Attr < 0 }
+
+// Tree is an induced decision tree.
+type Tree struct {
+	Root    *TreeNode
+	ds      *dataset.Dataset
+	nLeaves int
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return t.nLeaves }
+
+// Learn induces a decision tree on ds (fully categorical).
+func Learn(ds *dataset.Dataset, opts TreeOptions) (*Tree, error) {
+	if !ds.AllCategorical() {
+		return nil, fmt.Errorf("baseline: decision tree needs a categorical dataset; discretize first")
+	}
+	rows := make([]int32, ds.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	avail := make([]bool, ds.NumAttrs())
+	for a := range avail {
+		avail[a] = a != ds.ClassIndex()
+	}
+	t := &Tree{ds: ds}
+	t.Root = t.grow(rows, avail, opts, opts.maxDepth())
+	return t, nil
+}
+
+func (t *Tree) grow(rows []int32, avail []bool, opts TreeOptions, depth int) *TreeNode {
+	ds := t.ds
+	classCounts := make([]int64, ds.NumClasses())
+	for _, r := range rows {
+		c := ds.ClassCode(int(r))
+		if c >= 0 {
+			classCounts[c]++
+		}
+	}
+	node := &TreeNode{Attr: -1, Count: int64(len(rows))}
+	var best int64 = -1
+	for c, n := range classCounts {
+		if n > best {
+			best = n
+			node.Class = int32(c)
+		}
+	}
+	node.ClassCount = best
+	baseEnt := stats.Entropy(classCounts)
+	if baseEnt == 0 || depth <= 0 || len(rows) < 2*opts.minLeaf() {
+		t.nLeaves++
+		return node
+	}
+
+	bestAttr, bestRatio := -1, opts.minGainRatio()
+	for a := range avail {
+		if !avail[a] {
+			continue
+		}
+		ratio := gainRatio(ds, rows, a, baseEnt)
+		if ratio > bestRatio {
+			bestRatio = ratio
+			bestAttr = a
+		}
+	}
+	if bestAttr < 0 {
+		t.nLeaves++
+		return node
+	}
+
+	card := ds.Cardinality(bestAttr)
+	parts := make([][]int32, card)
+	for _, r := range rows {
+		v := ds.CatCode(int(r), bestAttr)
+		if v >= 0 {
+			parts[v] = append(parts[v], r)
+		}
+	}
+	node.Attr = bestAttr
+	node.Children = make([]*TreeNode, card)
+	childAvail := append([]bool(nil), avail...)
+	childAvail[bestAttr] = false
+	for v, part := range parts {
+		if len(part) < opts.minLeaf() {
+			continue // empty branch: parent majority applies
+		}
+		node.Children[v] = t.grow(part, childAvail, opts, depth-1)
+	}
+	return node
+}
+
+func gainRatio(ds *dataset.Dataset, rows []int32, attr int, baseEnt float64) float64 {
+	card := ds.Cardinality(attr)
+	nc := ds.NumClasses()
+	counts := make([]int64, card)
+	classCounts := make([][]int64, card)
+	for v := range classCounts {
+		classCounts[v] = make([]int64, nc)
+	}
+	var total int64
+	for _, r := range rows {
+		v := ds.CatCode(int(r), attr)
+		if v < 0 {
+			continue
+		}
+		counts[v]++
+		total++
+		c := ds.ClassCode(int(r))
+		if c >= 0 {
+			classCounts[v][c]++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var condEnt float64
+	for v := 0; v < card; v++ {
+		if counts[v] == 0 {
+			continue
+		}
+		condEnt += float64(counts[v]) / float64(total) * stats.Entropy(classCounts[v])
+	}
+	gain := baseEnt - condEnt
+	splitInfo := stats.Entropy(counts)
+	if splitInfo == 0 {
+		return 0
+	}
+	return gain / splitInfo
+}
+
+// Predict returns the predicted class code for the given row of a
+// dataset sharing the training schema.
+func (t *Tree) Predict(ds *dataset.Dataset, row int) int32 {
+	node := t.Root
+	for !node.IsLeaf() {
+		v := ds.CatCode(row, node.Attr)
+		if v < 0 || int(v) >= len(node.Children) || node.Children[v] == nil {
+			return node.Class
+		}
+		node = node.Children[v]
+	}
+	return node.Class
+}
+
+// Accuracy evaluates the tree on ds.
+func (t *Tree) Accuracy(ds *dataset.Dataset) float64 {
+	if ds.NumRows() == 0 {
+		return 0
+	}
+	correct := 0
+	for r := 0; r < ds.NumRows(); r++ {
+		if t.Predict(ds, r) == ds.ClassCode(r) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.NumRows())
+}
+
+// Rules extracts one rule per leaf (the path conditions -> leaf class),
+// with support counts measured on the training data. Comparing
+// len(tree.Rules()) with the size of an exhaustive CAR rule set
+// quantifies the completeness problem.
+func (t *Tree) Rules() []car.Rule {
+	var out []car.Rule
+	var walk func(n *TreeNode, conds []car.Condition)
+	walk = func(n *TreeNode, conds []car.Condition) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			cp := append([]car.Condition(nil), conds...)
+			sort.Slice(cp, func(i, j int) bool { return cp[i].Attr < cp[j].Attr })
+			out = append(out, car.Rule{
+				Conditions: cp,
+				Class:      n.Class,
+				SupCount:   n.ClassCount,
+				CondCount:  n.Count,
+				Total:      int64(t.ds.NumRows()),
+			})
+			return
+		}
+		for v, child := range n.Children {
+			walk(child, append(conds, car.Condition{Attr: n.Attr, Value: int32(v)}))
+		}
+	}
+	walk(t.Root, nil)
+	return out
+}
+
+// Dump renders the tree as an indented string for inspection.
+func (t *Tree) Dump() string {
+	var sb strings.Builder
+	var walk func(n *TreeNode, prefix string)
+	walk = func(n *TreeNode, prefix string) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			fmt.Fprintf(&sb, "%s=> %s (%d/%d)\n", prefix, t.ds.ClassDict().Label(n.Class), n.ClassCount, n.Count)
+			return
+		}
+		name := t.ds.Attr(n.Attr).Name
+		for v, child := range n.Children {
+			if child == nil {
+				continue
+			}
+			fmt.Fprintf(&sb, "%s%s=%s\n", prefix, name, t.ds.Column(n.Attr).Dict.Label(int32(v)))
+			walk(child, prefix+"  ")
+		}
+	}
+	walk(t.Root, "")
+	return sb.String()
+}
+
+// CompletenessReport contrasts the rule coverage of a decision tree with
+// exhaustive CAR mining, quantifying Section III.A's completeness
+// problem.
+type CompletenessReport struct {
+	TreeRules     int
+	CARRules      int
+	TreeMaxDepth  int
+	CoverageRatio float64 // TreeRules / CARRules
+}
+
+// Completeness learns a tree, mines CARs at the given thresholds with
+// the same maximum rule length, and reports the ratio of rule counts.
+func Completeness(ds *dataset.Dataset, topts TreeOptions, copts car.Options) (CompletenessReport, error) {
+	tree, err := Learn(ds, topts)
+	if err != nil {
+		return CompletenessReport{}, err
+	}
+	rs, err := car.Mine(ds, copts)
+	if err != nil {
+		return CompletenessReport{}, err
+	}
+	rep := CompletenessReport{
+		TreeRules:    len(tree.Rules()),
+		CARRules:     rs.Len(),
+		TreeMaxDepth: topts.maxDepth(),
+	}
+	if rep.CARRules > 0 {
+		rep.CoverageRatio = float64(rep.TreeRules) / float64(rep.CARRules)
+	}
+	return rep, nil
+}

@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"opmap/internal/car"
+	"opmap/internal/dataset"
+)
+
+// Rule querying, the third related-work approach the paper engaged with
+// (Section II: "[7, 22, 34, 35] report several rule query languages to
+// enable the user to specify what rules that he/she needs ... We tried
+// this approach, but our users did not know what to ask"). This small
+// query language over a mined rule set makes that baseline concrete, so
+// the evaluation can demonstrate both what querying can do and why it
+// cannot replace automated comparison: a query retrieves rules the user
+// already suspects; the comparator finds the attribute the user never
+// thought to ask about.
+//
+// Grammar (case-insensitive keywords; clauses joined by AND):
+//
+//	query   := clause { "and" clause }
+//	clause  := "class" "=" value
+//	         | "attr"  "=" name            // rule mentions the attribute
+//	         | name "=" value              // rule contains the condition
+//	         | ("sup"|"conf") op number    // op ∈ {>, >=, <, <=, =}
+//	         | "len" op number             // number of conditions
+//
+// Example: `class=dropped and Phone-Model=ph2 and conf >= 0.05 and len <= 2`.
+
+// RuleQuery is a compiled query.
+type RuleQuery struct {
+	clauses []ruleClause
+	source  string
+}
+
+type ruleClause func(ds *dataset.Dataset, r car.Rule) bool
+
+// ParseRuleQuery compiles a query string against the dataset's schema
+// (attribute and value names are validated eagerly so typos fail fast).
+func ParseRuleQuery(ds *dataset.Dataset, query string) (*RuleQuery, error) {
+	parts := splitAnd(query)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("baseline: empty rule query")
+	}
+	q := &RuleQuery{source: query}
+	for _, part := range parts {
+		clause, err := parseClause(ds, part)
+		if err != nil {
+			return nil, err
+		}
+		q.clauses = append(q.clauses, clause)
+	}
+	return q, nil
+}
+
+// splitAnd splits on the keyword "and" (word boundaries, any case).
+func splitAnd(s string) []string {
+	fields := strings.Fields(s)
+	var parts []string
+	var cur []string
+	for _, f := range fields {
+		if strings.EqualFold(f, "and") {
+			if len(cur) > 0 {
+				parts = append(parts, strings.Join(cur, " "))
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, f)
+	}
+	if len(cur) > 0 {
+		parts = append(parts, strings.Join(cur, " "))
+	}
+	return parts
+}
+
+var queryOps = []string{">=", "<=", "!=", "=", ">", "<"}
+
+func splitOp(s string) (left, op, right string, err error) {
+	for _, candidate := range queryOps {
+		if i := strings.Index(s, candidate); i >= 0 {
+			return strings.TrimSpace(s[:i]), candidate, strings.TrimSpace(s[i+len(candidate):]), nil
+		}
+	}
+	return "", "", "", fmt.Errorf("baseline: clause %q has no operator", s)
+}
+
+func parseClause(ds *dataset.Dataset, clause string) (ruleClause, error) {
+	left, op, right, err := splitOp(clause)
+	if err != nil {
+		return nil, err
+	}
+	if left == "" || right == "" {
+		return nil, fmt.Errorf("baseline: malformed clause %q", clause)
+	}
+	lower := strings.ToLower(left)
+	switch lower {
+	case "sup", "conf", "len":
+		val, err := strconv.ParseFloat(right, 64)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: clause %q: %q is not a number", clause, right)
+		}
+		return numericClause(lower, op, val)
+	case "class":
+		if op != "=" && op != "!=" {
+			return nil, fmt.Errorf("baseline: class supports = and != only")
+		}
+		code, ok := ds.ClassDict().Lookup(right)
+		if !ok {
+			return nil, fmt.Errorf("baseline: unknown class %q", right)
+		}
+		negate := op == "!="
+		return func(_ *dataset.Dataset, r car.Rule) bool {
+			return (r.Class == code) != negate
+		}, nil
+	case "attr":
+		if op != "=" {
+			return nil, fmt.Errorf("baseline: attr supports = only")
+		}
+		idx := ds.AttrIndex(right)
+		if idx < 0 {
+			return nil, fmt.Errorf("baseline: unknown attribute %q", right)
+		}
+		return func(_ *dataset.Dataset, r car.Rule) bool {
+			for _, c := range r.Conditions {
+				if c.Attr == idx {
+					return true
+				}
+			}
+			return false
+		}, nil
+	default:
+		// attribute = value condition clause
+		if op != "=" && op != "!=" {
+			return nil, fmt.Errorf("baseline: condition clauses support = and != only")
+		}
+		idx := ds.AttrIndex(left)
+		if idx < 0 {
+			return nil, fmt.Errorf("baseline: unknown attribute %q", left)
+		}
+		code, ok := ds.Column(idx).Dict.Lookup(right)
+		if !ok {
+			return nil, fmt.Errorf("baseline: attribute %q has no value %q", left, right)
+		}
+		negate := op == "!="
+		return func(_ *dataset.Dataset, r car.Rule) bool {
+			for _, c := range r.Conditions {
+				if c.Attr == idx && c.Value == code {
+					return !negate
+				}
+			}
+			return negate
+		}, nil
+	}
+}
+
+func numericClause(field, op string, val float64) (ruleClause, error) {
+	get := func(r car.Rule) float64 {
+		switch field {
+		case "sup":
+			return r.Support()
+		case "conf":
+			return r.Confidence()
+		default:
+			return float64(len(r.Conditions))
+		}
+	}
+	var cmp func(a, b float64) bool
+	switch op {
+	case ">":
+		cmp = func(a, b float64) bool { return a > b }
+	case ">=":
+		cmp = func(a, b float64) bool { return a >= b }
+	case "<":
+		cmp = func(a, b float64) bool { return a < b }
+	case "<=":
+		cmp = func(a, b float64) bool { return a <= b }
+	case "=":
+		cmp = func(a, b float64) bool { return a == b }
+	case "!=":
+		cmp = func(a, b float64) bool { return a != b }
+	default:
+		return nil, fmt.Errorf("baseline: unsupported operator %q", op)
+	}
+	return func(_ *dataset.Dataset, r car.Rule) bool {
+		return cmp(get(r), val)
+	}, nil
+}
+
+// Apply filters a rule set, returning matches sorted by descending
+// confidence then support.
+func (q *RuleQuery) Apply(ds *dataset.Dataset, rs *car.RuleSet) []car.Rule {
+	var out []car.Rule
+rules:
+	for _, r := range rs.Rules {
+		for _, clause := range q.clauses {
+			if !clause(ds, r) {
+				continue rules
+			}
+		}
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Confidence() != out[j].Confidence() {
+			return out[i].Confidence() > out[j].Confidence()
+		}
+		return out[i].SupCount > out[j].SupCount
+	})
+	return out
+}
+
+// String returns the original query text.
+func (q *RuleQuery) String() string { return q.source }

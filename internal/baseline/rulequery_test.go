@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"opmap/internal/car"
+	"opmap/internal/dataset"
+)
+
+func minedCallLog(t *testing.T) (*car.RuleSet, *dataset.Dataset) {
+	t.Helper()
+	ds := callLog(t, 20000)
+	rs, err := car.Mine(ds, car.Options{MaxConditions: 2, MinSupport: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, ds
+}
+
+func TestRuleQueryFilters(t *testing.T) {
+	rs, ds := minedCallLog(t)
+
+	q, err := ParseRuleQuery(ds, "class=dropped-in-progress and Phone-Model=ph2 and conf >= 0.03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := q.Apply(ds, rs)
+	if len(matches) == 0 {
+		t.Fatal("no matches for the planted bad phone")
+	}
+	dropCode, _ := ds.ClassDict().Lookup("dropped-in-progress")
+	phone := ds.AttrIndex("Phone-Model")
+	ph2, _ := ds.Column(phone).Dict.Lookup("ph2")
+	for _, r := range matches {
+		if r.Class != dropCode {
+			t.Fatalf("rule %s has wrong class", r.Format(ds))
+		}
+		if r.Confidence() < 0.03 {
+			t.Fatalf("rule %s below conf bound", r.Format(ds))
+		}
+		found := false
+		for _, c := range r.Conditions {
+			if c.Attr == phone && c.Value == ph2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("rule %s lacks the condition", r.Format(ds))
+		}
+	}
+	// Sorted by confidence.
+	for i := 1; i < len(matches); i++ {
+		if matches[i].Confidence() > matches[i-1].Confidence()+1e-12 {
+			t.Fatal("matches not sorted")
+		}
+	}
+}
+
+func TestRuleQueryAttrAndLen(t *testing.T) {
+	rs, ds := minedCallLog(t)
+	q, err := ParseRuleQuery(ds, "attr=Time-of-Call and len = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := q.Apply(ds, rs)
+	if len(matches) == 0 {
+		t.Fatal("no one-condition Time-of-Call rules")
+	}
+	timeA := ds.AttrIndex("Time-of-Call")
+	for _, r := range matches {
+		if len(r.Conditions) != 1 || r.Conditions[0].Attr != timeA {
+			t.Fatalf("unexpected rule %s", r.Format(ds))
+		}
+	}
+}
+
+func TestRuleQueryNegation(t *testing.T) {
+	rs, ds := minedCallLog(t)
+	q, err := ParseRuleQuery(ds, "class!=ended-successfully and sup > 0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCode, _ := ds.ClassDict().Lookup("ended-successfully")
+	for _, r := range q.Apply(ds, rs) {
+		if r.Class == okCode {
+			t.Fatal("negated class leaked through")
+		}
+	}
+}
+
+func TestRuleQueryValidation(t *testing.T) {
+	_, ds := minedCallLog(t)
+	bad := []string{
+		"",
+		"and and",
+		"class ~ dropped",
+		"class=nope",
+		"attr=nope",
+		"Nope-Attr=x",
+		"Phone-Model=nope",
+		"conf >= lots",
+		"class > x",
+		"attr != Phone-Model",
+		"= dangling",
+	}
+	for _, qs := range bad {
+		if _, err := ParseRuleQuery(ds, qs); err == nil {
+			t.Errorf("query %q should fail to parse", qs)
+		}
+	}
+	// The error message names the problem.
+	_, err := ParseRuleQuery(ds, "Phone-Model=nope")
+	if err == nil || !strings.Contains(err.Error(), "no value") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestRuleQueryString(t *testing.T) {
+	_, ds := minedCallLog(t)
+	q, err := ParseRuleQuery(ds, "len <= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "len <= 2" {
+		t.Errorf("String() = %q", q.String())
+	}
+}

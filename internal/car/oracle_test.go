@@ -1,0 +1,127 @@
+package car
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"opmap/internal/dataset"
+)
+
+// Differential test: every mined rule's counts against a brute-force
+// recount over random data, and completeness — every condition set with
+// enough support must appear.
+
+func randomCatDataset(t *testing.T, seed int64, rows, attrs, card, classes int) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	schema := dataset.Schema{ClassIndex: attrs}
+	for i := 0; i < attrs; i++ {
+		schema.Attrs = append(schema.Attrs, dataset.Attribute{Name: fmt.Sprintf("a%d", i), Kind: dataset.Categorical})
+	}
+	schema.Attrs = append(schema.Attrs, dataset.Attribute{Name: "class", Kind: dataset.Categorical})
+	b, err := dataset.NewBuilder(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < attrs; i++ {
+		d := dataset.NewDictionary()
+		for v := 0; v < card; v++ {
+			d.Code(fmt.Sprintf("v%d", v))
+		}
+		b.WithDict(i, d)
+	}
+	cd := dataset.NewDictionary()
+	for c := 0; c < classes; c++ {
+		cd.Code(fmt.Sprintf("c%d", c))
+	}
+	b.WithDict(attrs, cd)
+	codes := make([]int32, attrs+1)
+	for r := 0; r < rows; r++ {
+		for i := 0; i < attrs; i++ {
+			codes[i] = int32(rng.Intn(card))
+		}
+		codes[attrs] = int32(rng.Intn(classes))
+		if err := b.AddCodedRow(codes, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func bruteCount(ds *dataset.Dataset, conds []Condition, class int32) (cond, sup int64) {
+rows:
+	for r := 0; r < ds.NumRows(); r++ {
+		for _, c := range conds {
+			if ds.CatCode(r, c.Attr) != c.Value {
+				continue rows
+			}
+		}
+		cond++
+		if ds.ClassCode(r) == class {
+			sup++
+		}
+	}
+	return
+}
+
+func TestMineCountsMatchBruteForce(t *testing.T) {
+	ds := randomCatDataset(t, 3, 2000, 4, 3, 2)
+	rs, err := Mine(ds, Options{MaxConditions: 2, MinSupport: 0.01, MinConfidence: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() == 0 {
+		t.Fatal("nothing mined")
+	}
+	for _, r := range rs.Rules {
+		cond, sup := bruteCount(ds, r.Conditions, r.Class)
+		if cond != r.CondCount || sup != r.SupCount {
+			t.Fatalf("rule %s: mined (%d,%d), brute force (%d,%d)",
+				r.Format(ds), r.CondCount, r.SupCount, cond, sup)
+		}
+	}
+}
+
+func TestMineCompleteness(t *testing.T) {
+	// Every 2-condition set meeting the thresholds must be present.
+	ds := randomCatDataset(t, 5, 1500, 3, 3, 2)
+	minSup := 0.02
+	minConf := 0.3
+	rs, err := Mine(ds, Options{MaxConditions: 2, MinSupport: minSup, MinConfidence: minConf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined := make(map[string]bool, rs.Len())
+	for _, r := range rs.Rules {
+		mined[r.Format(ds)] = true
+	}
+	total := int64(ds.NumRows())
+	minCount := int64(minSup * float64(total))
+	for a := 0; a < 2; a++ {
+		for b := a + 1; b < 3; b++ {
+			for va := int32(0); va < 3; va++ {
+				for vb := int32(0); vb < 3; vb++ {
+					conds := []Condition{{Attr: a, Value: va}, {Attr: b, Value: vb}}
+					for cls := int32(0); cls < 2; cls++ {
+						cond, sup := bruteCount(ds, conds, cls)
+						if sup < minCount || cond == 0 {
+							continue
+						}
+						if float64(sup)/float64(cond) < minConf {
+							continue
+						}
+						r := Rule{Conditions: conds, Class: cls, SupCount: sup, CondCount: cond, Total: total}
+						if !mined[r.Format(ds)] {
+							t.Fatalf("qualifying rule missing from mined set: %s", r.Format(ds))
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,650 @@
+// Package compare implements the paper's contribution: automated
+// comparison of two sub-populations with respect to a target class
+// (Sections III.C and IV). Given two one-condition rules
+//
+//	Rule 1: A1 = v_i -> c_a   (confidence cf1)
+//	Rule 2: A1 = v_j -> c_a   (confidence cf2, cf1 < cf2)
+//
+// the comparator ranks every other attribute by how well it explains the
+// confidence gap between the sub-populations D1 = {A1=v_i} and
+// D2 = {A1=v_j}:
+//
+//	F_k = rcf_2k − rcf_1k · (cf2/cf1)       // per value v_k  (Eq. 1)
+//	W_k = F_k · N_2k  if F_k > 0, else 0    // contribution    (Eq. 2)
+//	M_i = Σ_k W_k                            // interestingness (Eq. 3)
+//
+// where rcf_1k = cf_1k + e_1k and rcf_2k = cf_2k − e_2k are the
+// confidence-interval-revised confidences of Section IV.B. Attributes
+// whose values almost never co-occur in both sub-populations are
+// *property attributes* (Section IV.C) and are ranked separately.
+package compare
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"opmap/internal/car"
+	"opmap/internal/dataset"
+	"opmap/internal/rulecube"
+	"opmap/internal/stats"
+)
+
+// IntervalMethod selects how confidence-interval margins are computed.
+type IntervalMethod uint8
+
+const (
+	// Wald is the normal-approximation interval the paper uses
+	// (e = z·sqrt(cf(1−cf)/N)).
+	Wald IntervalMethod = iota
+	// Wilson is the Wilson score interval, better behaved at extreme
+	// proportions (an extension beyond the paper).
+	Wilson
+)
+
+// String implements fmt.Stringer.
+func (m IntervalMethod) String() string {
+	switch m {
+	case Wald:
+		return "wald"
+	case Wilson:
+		return "wilson"
+	default:
+		return fmt.Sprintf("IntervalMethod(%d)", uint8(m))
+	}
+}
+
+// Options configures a comparison. The zero value reproduces the paper:
+// 0.95 confidence level, Wald intervals, property threshold 0.90.
+type Options struct {
+	// Level is the statistical confidence level (Table I). Zero means 0.95.
+	Level stats.ConfidenceLevel
+	// DisableCI switches off the interval adjustment, using raw
+	// confidences in Eq. 1 (for the ablation the paper motivates in
+	// Section IV.B).
+	DisableCI bool
+	// Method selects the interval formula when CI is enabled.
+	Method IntervalMethod
+	// PropertyThreshold is λ in Section IV.C; an attribute is a property
+	// attribute when P/(P+T) > λ. Zero means 0.90.
+	PropertyThreshold float64
+	// MinRuleSupport optionally rejects input rules whose condition
+	// count is below this (the paper assumes "both supports are large
+	// enough for meaningful analysis (which is decided by the user)").
+	MinRuleSupport int64
+	// Attrs restricts the attributes ranked. Nil means every attribute
+	// other than the comparison attribute and the class.
+	Attrs []int
+}
+
+func (o Options) level() stats.ConfidenceLevel {
+	if o.Level == 0 {
+		return stats.Level95
+	}
+	return o.Level
+}
+
+func (o Options) propertyThreshold() float64 {
+	if o.PropertyThreshold == 0 {
+		return 0.90
+	}
+	return o.PropertyThreshold
+}
+
+// Input identifies the two sub-populations and the class of interest.
+type Input struct {
+	Attr   int   // A1: the attribute whose two values are compared
+	V1, V2 int32 // the two values (e.g. two phone models)
+	Class  int32 // c_a: the class of interest (e.g. "dropped")
+}
+
+// ValueDetail is the per-value breakdown behind an attribute's score —
+// exactly the data Fig. 7 visualizes (side-by-side confidences with CI
+// regions).
+type ValueDetail struct {
+	Value int32  // value code of the candidate attribute
+	Label string // value label
+
+	N1, N2 int64 // records with this value in D1 / D2
+	C1, C2 int64 // of those, records in class c_a
+
+	Cf1, Cf2   float64 // raw confidences cf_1k, cf_2k
+	E1, E2     float64 // CI margins e_1k, e_2k (0 when CI disabled)
+	RCf1, RCf2 float64 // revised confidences used in Eq. 1
+
+	F float64 // excess confidence beyond expectation (Eq. 1)
+	W float64 // contribution W_k (Eq. 2)
+}
+
+// AttrScore is the comparison result for one candidate attribute.
+type AttrScore struct {
+	Attr int    // dataset attribute index
+	Name string // attribute name
+
+	Score float64 // M_i (Eq. 3)
+	// NormScore is Score normalized by cf2·|D2| (the order of magnitude
+	// of the attainable maximum, Section IV.A's boundary discussion), so
+	// scores are comparable across datasets. Extension beyond the paper.
+	NormScore float64
+
+	Property      bool    // Section IV.C property attribute
+	PropertyRatio float64 // P/(P+T); NaN when P+T = 0
+
+	Values []ValueDetail // per-value breakdown, in value-code order
+}
+
+// Result is a full comparison: the oriented input rules and the ranking.
+type Result struct {
+	// Rule1 and Rule2 are the input one-condition rules, oriented so
+	// that Rule1 has the lower confidence (cf1 < cf2). Swapped records
+	// whether the caller's V1/V2 were exchanged to achieve this.
+	Rule1, Rule2 car.Rule
+	Swapped      bool
+
+	Cf1, Cf2 float64 // confidences of the oriented rules
+	Ratio    float64 // cf2/cf1, the expectation multiplier
+
+	// Ranked lists non-property attributes by descending score.
+	Ranked []AttrScore
+	// Property lists property attributes (Section IV.C), kept viewable
+	// but out of the main ranking, by descending score.
+	Property []AttrScore
+
+	Options Options
+}
+
+// Top returns the n highest-ranked non-property attributes.
+func (r *Result) Top(n int) []AttrScore {
+	if n > len(r.Ranked) {
+		n = len(r.Ranked)
+	}
+	return r.Ranked[:n]
+}
+
+// Find returns the score entry (ranked or property) for the named
+// attribute, with its 1-based rank among non-property attributes (0 for
+// property attributes), or ok=false.
+func (r *Result) Find(name string) (score AttrScore, rank int, ok bool) {
+	for i, s := range r.Ranked {
+		if s.Name == name {
+			return s, i + 1, true
+		}
+	}
+	for _, s := range r.Property {
+		if s.Name == name {
+			return s, 0, true
+		}
+	}
+	return AttrScore{}, 0, false
+}
+
+// Comparator evaluates comparisons against a materialized cube store,
+// the deployed configuration: because only cube cells are read, the
+// comparison time is independent of the raw dataset size (Section V.C).
+type Comparator struct {
+	store *rulecube.Store
+	ds    *dataset.Dataset
+}
+
+// New returns a Comparator over the given store.
+func New(store *rulecube.Store) *Comparator {
+	return &Comparator{store: store, ds: store.Dataset()}
+}
+
+// Compare runs the full ranking of Fig. 3's algorithm: for each
+// candidate attribute it computes M_i from the 3-D rule cube
+// (A1 × A_i × class) and ranks the attributes.
+func (c *Comparator) Compare(in Input, opts Options) (*Result, error) {
+	res, attrs, err := prepare(c.ds, in, opts, func(attr int, value, class int32) (condCount, supCount int64, err error) {
+		cube := c.store.Cube1(attr)
+		if cube == nil {
+			return 0, 0, fmt.Errorf("compare: attribute %d not materialized in store", attr)
+		}
+		cond, err := cube.CondCount([]int32{value})
+		if err != nil {
+			return 0, 0, err
+		}
+		sup, err := cube.Count([]int32{value}, class)
+		if err != nil {
+			return 0, 0, err
+		}
+		return cond, sup, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, ai := range attrs {
+		cube := c.store.Cube2(in.Attr, ai)
+		if cube == nil {
+			return nil, fmt.Errorf("compare: pair cube (%d,%d) not materialized; build the store with pairs", in.Attr, ai)
+		}
+		tab, err := pairTable(cube, in.Attr, ai, res.v1, res.v2, in.Class)
+		if err != nil {
+			return nil, err
+		}
+		score, err := scoreAttribute(c.ds, ai, tab, res, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.add(score)
+	}
+	res.finish()
+	return res.result, nil
+}
+
+// pairTable extracts, from the 3-D cube over (min,max) attribute order,
+// the per-value contingency rows for A1=v1 and A1=v2: for each value v_k
+// of candidate attribute ai, the total and class-c_a counts in each
+// sub-population.
+func pairTable(cube *rulecube.Cube, a1, ai int, v1, v2, class int32) (valueTable, error) {
+	idx := cube.AttrIndices()
+	var posA1, posAi int
+	switch {
+	case idx[0] == a1 && idx[1] == ai:
+		posA1, posAi = 0, 1
+	case idx[0] == ai && idx[1] == a1:
+		posA1, posAi = 1, 0
+	default:
+		return valueTable{}, fmt.Errorf("compare: cube dimensions %v do not match attributes (%d,%d)", idx, a1, ai)
+	}
+	card := cube.Dim(posAi)
+	t := newValueTable(card)
+	coords := make([]int32, 2)
+	for _, side := range []struct {
+		v1   int32
+		n, c []int64
+	}{
+		{v1, t.n1, t.c1},
+		{v2, t.n2, t.c2},
+	} {
+		coords[posA1] = side.v1
+		for k := int32(0); int(k) < card; k++ {
+			coords[posAi] = k
+			cond, err := cube.CondCount(coords)
+			if err != nil {
+				return valueTable{}, err
+			}
+			sup, err := cube.Count(coords, class)
+			if err != nil {
+				return valueTable{}, err
+			}
+			side.n[k] = cond
+			side.c[k] = sup
+		}
+	}
+	return t, nil
+}
+
+// valueTable holds the per-value counts of one candidate attribute in
+// both sub-populations.
+type valueTable struct {
+	n1, c1 []int64 // per value: total and class-c_a counts in D1
+	n2, c2 []int64 // per value: total and class-c_a counts in D2
+}
+
+func newValueTable(card int) valueTable {
+	return valueTable{
+		n1: make([]int64, card),
+		c1: make([]int64, card),
+		n2: make([]int64, card),
+		c2: make([]int64, card),
+	}
+}
+
+// computation carries the oriented comparison state while attributes are
+// scored.
+type computation struct {
+	result *Result
+	v1, v2 int32 // oriented value codes (v1 = lower-confidence side)
+}
+
+func (c *computation) add(s AttrScore) {
+	if s.Property {
+		c.result.Property = append(c.result.Property, s)
+		return
+	}
+	c.result.Ranked = append(c.result.Ranked, s)
+}
+
+func (c *computation) finish() {
+	sort.SliceStable(c.result.Ranked, func(i, j int) bool {
+		if c.result.Ranked[i].Score != c.result.Ranked[j].Score {
+			return c.result.Ranked[i].Score > c.result.Ranked[j].Score
+		}
+		return c.result.Ranked[i].Name < c.result.Ranked[j].Name
+	})
+	sort.SliceStable(c.result.Property, func(i, j int) bool {
+		if c.result.Property[i].Score != c.result.Property[j].Score {
+			return c.result.Property[i].Score > c.result.Property[j].Score
+		}
+		return c.result.Property[i].Name < c.result.Property[j].Name
+	})
+}
+
+// ruleCounter abstracts how the two input rules' counts are obtained
+// (cube store vs. raw scan).
+type ruleCounter func(attr int, value, class int32) (condCount, supCount int64, err error)
+
+// prepare validates the input, counts the two input rules, orients them
+// so cf1 < cf2, and resolves the candidate attribute list.
+func prepare(ds *dataset.Dataset, in Input, opts Options, count ruleCounter) (*computation, []int, error) {
+	if in.Attr < 0 || in.Attr >= ds.NumAttrs() || in.Attr == ds.ClassIndex() {
+		return nil, nil, fmt.Errorf("compare: invalid comparison attribute %d", in.Attr)
+	}
+	card := ds.Cardinality(in.Attr)
+	if in.V1 < 0 || int(in.V1) >= card || in.V2 < 0 || int(in.V2) >= card {
+		return nil, nil, fmt.Errorf("compare: values %d,%d out of range [0,%d) for attribute %q", in.V1, in.V2, card, ds.Attr(in.Attr).Name)
+	}
+	if in.V1 == in.V2 {
+		return nil, nil, fmt.Errorf("compare: the two values must differ")
+	}
+	if in.Class < 0 || int(in.Class) >= ds.NumClasses() {
+		return nil, nil, fmt.Errorf("compare: class %d out of range [0,%d)", in.Class, ds.NumClasses())
+	}
+
+	n1, c1, err := count(in.Attr, in.V1, in.Class)
+	if err != nil {
+		return nil, nil, err
+	}
+	n2, c2, err := count(in.Attr, in.V2, in.Class)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.MinRuleSupport > 0 {
+		if n1 < opts.MinRuleSupport || n2 < opts.MinRuleSupport {
+			return nil, nil, fmt.Errorf("compare: sub-population sizes %d and %d below MinRuleSupport %d", n1, n2, opts.MinRuleSupport)
+		}
+	}
+	if n1 == 0 || n2 == 0 {
+		return nil, nil, fmt.Errorf("compare: empty sub-population (|D1|=%d, |D2|=%d)", n1, n2)
+	}
+
+	mk := func(v int32, cond, sup int64) car.Rule {
+		return car.Rule{
+			Conditions: []car.Condition{{Attr: in.Attr, Value: v}},
+			Class:      in.Class,
+			SupCount:   sup,
+			CondCount:  cond,
+			Total:      int64(ds.NumRows()),
+		}
+	}
+	r1, r2 := mk(in.V1, n1, c1), mk(in.V2, n2, c2)
+	swapped := false
+	if r1.Confidence() > r2.Confidence() {
+		r1, r2 = r2, r1
+		in.V1, in.V2 = in.V2, in.V1
+		swapped = true
+	}
+	cf1, cf2 := r1.Confidence(), r2.Confidence()
+	if cf1 == 0 {
+		return nil, nil, fmt.Errorf("compare: rule %s has zero confidence; the expectation ratio cf2/cf1 is undefined", r1.Format(ds))
+	}
+
+	attrs := opts.Attrs
+	if attrs == nil {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			if a != in.Attr && a != ds.ClassIndex() {
+				attrs = append(attrs, a)
+			}
+		}
+	} else {
+		attrs = append([]int(nil), attrs...)
+		for _, a := range attrs {
+			if a < 0 || a >= ds.NumAttrs() {
+				return nil, nil, fmt.Errorf("compare: attribute index %d out of range", a)
+			}
+			if a == in.Attr || a == ds.ClassIndex() {
+				return nil, nil, fmt.Errorf("compare: attribute %q cannot be ranked against itself", ds.Attr(a).Name)
+			}
+		}
+	}
+
+	res := &Result{
+		Rule1:   r1,
+		Rule2:   r2,
+		Swapped: swapped,
+		Cf1:     cf1,
+		Cf2:     cf2,
+		Ratio:   cf2 / cf1,
+		Options: opts,
+	}
+	return &computation{result: res, v1: in.V1, v2: in.V2}, attrs, nil
+}
+
+// scoreAttribute computes M_i (Eq. 1–3) and the property classification
+// for one candidate attribute from its value table.
+func scoreAttribute(ds *dataset.Dataset, attr int, tab valueTable, comp *computation, opts Options) (AttrScore, error) {
+	res := comp.result
+	dict := ds.Column(attr).Dict
+	z := 0.0
+	if !opts.DisableCI {
+		var err error
+		z, err = stats.ZValue(opts.level())
+		if err != nil {
+			return AttrScore{}, err
+		}
+	}
+
+	score := AttrScore{Attr: attr, Name: ds.Attr(attr).Name}
+	var p, t int
+	var m float64
+	for k := range tab.n1 {
+		n1, c1, n2, c2 := tab.n1[k], tab.c1[k], tab.n2[k], tab.c2[k]
+		if n1 == 0 && n2 == 0 {
+			continue // value occurs in neither sub-population: ignore
+		}
+		switch {
+		case n1 > 0 && n2 > 0:
+			t++
+		default:
+			p++
+		}
+		d := ValueDetail{Value: int32(k), Label: dict.Label(int32(k)), N1: n1, N2: n2, C1: c1, C2: c2}
+		if n1 > 0 {
+			d.Cf1 = float64(c1) / float64(n1)
+		}
+		if n2 > 0 {
+			d.Cf2 = float64(c2) / float64(n2)
+		}
+		d.RCf1, d.RCf2 = d.Cf1, d.Cf2
+		if !opts.DisableCI {
+			d.E1 = margin(opts.Method, z, d.Cf1, n1, c1, opts.level())
+			d.E2 = margin(opts.Method, z, d.Cf2, n2, c2, opts.level())
+			d.RCf1 = math.Min(1, d.Cf1+d.E1)
+			d.RCf2 = math.Max(0, d.Cf2-d.E2)
+		}
+		// Eq. 1–2: the expected confidence of cf_2k is cf_1k·(cf2/cf1);
+		// F_k is the excess beyond it, counted only when positive.
+		d.F = d.RCf2 - d.RCf1*res.Ratio
+		if d.F > 0 && n2 > 0 {
+			d.W = d.F * float64(n2)
+		}
+		m += d.W
+		score.Values = append(score.Values, d)
+	}
+	score.Score = m
+	if denom := res.Cf2 * float64(res.Rule2.CondCount); denom > 0 {
+		score.NormScore = m / denom
+	}
+	if p+t > 0 {
+		score.PropertyRatio = float64(p) / float64(p+t)
+		score.Property = score.PropertyRatio > opts.propertyThreshold()
+	} else {
+		score.PropertyRatio = math.NaN()
+	}
+	return score, nil
+}
+
+// margin computes the CI half-width for a confidence value.
+func margin(method IntervalMethod, z, cf float64, n, c int64, level stats.ConfidenceLevel) float64 {
+	if n == 0 {
+		return 0.5
+	}
+	switch method {
+	case Wilson:
+		ci, err := stats.WilsonCI(c, n, level)
+		if err != nil {
+			return 0.5
+		}
+		return ci.Margin
+	default:
+		return z * math.Sqrt(cf*(1-cf)/float64(n))
+	}
+}
+
+// Scan runs the same comparison by scanning the raw dataset instead of
+// reading cubes. It exists for datasets without a materialized store and
+// as the baseline of the cube-vs-scan ablation: its cost grows with the
+// number of records, whereas Comparator.Compare does not.
+func Scan(ds *dataset.Dataset, in Input, opts Options) (*Result, error) {
+	if !ds.AllCategorical() {
+		return nil, fmt.Errorf("compare: dataset has continuous attributes; discretize first")
+	}
+	res, attrs, err := prepare(ds, in, opts, func(attr int, value, class int32) (int64, int64, error) {
+		var cond, sup int64
+		col := ds.Column(attr).Codes
+		cls := ds.Column(ds.ClassIndex()).Codes
+		for r := range col {
+			if col[r] != value {
+				continue
+			}
+			cond++
+			if cls[r] == class {
+				sup++
+			}
+		}
+		return cond, sup, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// One pass per candidate attribute over the two relevant columns.
+	a1Col := ds.Column(in.Attr).Codes
+	clsCol := ds.Column(ds.ClassIndex()).Codes
+	for _, ai := range attrs {
+		card := ds.Cardinality(ai)
+		tab := newValueTable(card)
+		aiCol := ds.Column(ai).Codes
+		for r := range a1Col {
+			v := aiCol[r]
+			if v < 0 {
+				continue
+			}
+			isClass := clsCol[r] == in.Class
+			switch a1Col[r] {
+			case res.v1:
+				tab.n1[v]++
+				if isClass {
+					tab.c1[v]++
+				}
+			case res.v2:
+				tab.n2[v]++
+				if isClass {
+					tab.c2[v]++
+				}
+			}
+		}
+		score, err := scoreAttribute(ds, ai, tab, res, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.add(score)
+	}
+	res.finish()
+	return res.result, nil
+}
+
+// CompareValues scores a single candidate attribute from explicit
+// per-value counts, without a dataset. It is the computational core
+// exposed for tests and for the boundary-condition demonstrations of
+// Fig. 2/Fig. 4: n1/c1 are the per-value total and class counts in D1,
+// n2/c2 in D2. Labels may be nil.
+func CompareValues(name string, labels []string, n1, c1, n2, c2 []int64, opts Options) (AttrScore, Result, error) {
+	card := len(n1)
+	if len(c1) != card || len(n2) != card || len(c2) != card {
+		return AttrScore{}, Result{}, fmt.Errorf("compare: count slices must have equal length")
+	}
+	var t1n, t1c, t2n, t2c int64
+	for k := 0; k < card; k++ {
+		if c1[k] > n1[k] || c2[k] > n2[k] || n1[k] < 0 || n2[k] < 0 || c1[k] < 0 || c2[k] < 0 {
+			return AttrScore{}, Result{}, fmt.Errorf("compare: invalid counts at value %d", k)
+		}
+		t1n += n1[k]
+		t1c += c1[k]
+		t2n += n2[k]
+		t2c += c2[k]
+	}
+	if t1n == 0 || t2n == 0 {
+		return AttrScore{}, Result{}, fmt.Errorf("compare: empty sub-population")
+	}
+	cf1 := float64(t1c) / float64(t1n)
+	cf2 := float64(t2c) / float64(t2n)
+	swapped := false
+	if cf1 > cf2 {
+		n1, n2 = n2, n1
+		c1, c2 = c2, c1
+		t1n, t2n = t2n, t1n
+		t1c, t2c = t2c, t1c
+		cf1, cf2 = cf2, cf1
+		swapped = true
+	}
+	if cf1 == 0 {
+		return AttrScore{}, Result{}, fmt.Errorf("compare: lower-confidence rule has zero confidence")
+	}
+	res := Result{
+		Rule1:   car.Rule{SupCount: t1c, CondCount: t1n, Total: t1n + t2n},
+		Rule2:   car.Rule{SupCount: t2c, CondCount: t2n, Total: t1n + t2n},
+		Swapped: swapped,
+		Cf1:     cf1,
+		Cf2:     cf2,
+		Ratio:   cf2 / cf1,
+		Options: opts,
+	}
+	comp := &computation{result: &res}
+	tab := valueTable{n1: n1, c1: c1, n2: n2, c2: c2}
+	dict := dataset.NewDictionary()
+	for k := 0; k < card; k++ {
+		if labels != nil && k < len(labels) {
+			dict.Code(labels[k])
+		} else {
+			dict.Code(fmt.Sprintf("v%d", k))
+		}
+	}
+	// Build a one-attribute façade dataset so scoreAttribute can resolve
+	// names/labels uniformly.
+	ds := syntheticAttr(name, dict)
+	score, err := scoreAttribute(ds, 0, tab, comp, opts)
+	if err != nil {
+		return AttrScore{}, Result{}, err
+	}
+	comp.add(score)
+	comp.finish()
+	return score, res, nil
+}
+
+// syntheticAttr builds a tiny dataset whose attribute 0 carries the
+// given name and dictionary; only metadata is consulted by
+// scoreAttribute.
+func syntheticAttr(name string, dict *dataset.Dictionary) *dataset.Dataset {
+	if name == "" {
+		name = "attr"
+	}
+	b, err := dataset.NewBuilder(dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: name, Kind: dataset.Categorical},
+			{Name: "__class", Kind: dataset.Categorical},
+		},
+		ClassIndex: 1,
+	})
+	if err != nil {
+		panic(err) // schema is statically valid
+	}
+	b.WithDict(0, dict)
+	ds, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}

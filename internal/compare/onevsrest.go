@@ -1,0 +1,185 @@
+package compare
+
+import (
+	"fmt"
+
+	"opmap/internal/car"
+	"opmap/internal/rulecube"
+)
+
+// One-vs-rest comparison. Section III.C of the paper notes the
+// comparison capability is not only for product pairs: "we may find
+// that in general calls in the morning tend to drop much more
+// frequently than in the afternoon. Then, it is interesting to know
+// what cause this poor performance in the morning." OneVsRest compares
+// the sub-population A=v against the complement A≠v: D1/D2 are oriented
+// so the higher-confidence side is D2 exactly as in the pairwise case,
+// and the same measure (Eq. 1–3) ranks the explaining attributes.
+
+// OneVsRestInput selects a value of an attribute and the class of
+// interest; the second sub-population is everything else.
+type OneVsRestInput struct {
+	Attr  int
+	Value int32
+	Class int32
+}
+
+// OneVsRest runs the comparison of A=v versus A≠v over the cube store.
+// Missing values of A are excluded from both sub-populations (they are
+// not counted in cubes).
+func (c *Comparator) OneVsRest(in OneVsRestInput, opts Options) (*Result, error) {
+	ds := c.ds
+	if in.Attr < 0 || in.Attr >= ds.NumAttrs() || in.Attr == ds.ClassIndex() {
+		return nil, fmt.Errorf("compare: invalid comparison attribute %d", in.Attr)
+	}
+	card := ds.Cardinality(in.Attr)
+	if in.Value < 0 || int(in.Value) >= card {
+		return nil, fmt.Errorf("compare: value %d out of range [0,%d)", in.Value, card)
+	}
+	if in.Class < 0 || int(in.Class) >= ds.NumClasses() {
+		return nil, fmt.Errorf("compare: class %d out of range", in.Class)
+	}
+	cube := c.store.Cube1(in.Attr)
+	if cube == nil {
+		return nil, fmt.Errorf("compare: attribute %d not materialized in store", in.Attr)
+	}
+
+	// Counts of the two sides from the 2-D cube.
+	condV, err := cube.CondCount([]int32{in.Value})
+	if err != nil {
+		return nil, err
+	}
+	supV, err := cube.Count([]int32{in.Value}, in.Class)
+	if err != nil {
+		return nil, err
+	}
+	classTotals := cube.ClassMarginals()
+	total := cube.Total()
+	condRest := total - condV
+	supRest := classTotals[in.Class] - supV
+
+	if condV == 0 || condRest == 0 {
+		return nil, fmt.Errorf("compare: degenerate split (|D_v|=%d, |D_rest|=%d)", condV, condRest)
+	}
+	if opts.MinRuleSupport > 0 && (condV < opts.MinRuleSupport || condRest < opts.MinRuleSupport) {
+		return nil, fmt.Errorf("compare: sub-population below MinRuleSupport %d", opts.MinRuleSupport)
+	}
+	cfV := float64(supV) / float64(condV)
+	cfRest := float64(supRest) / float64(condRest)
+	if cfV == 0 && cfRest == 0 {
+		return nil, fmt.Errorf("compare: class %d absent from both sides", in.Class)
+	}
+
+	// Orient: sub-population 1 is the lower-confidence side.
+	res := &Result{Options: opts}
+	restIsHigh := cfRest >= cfV
+	mkRule := func(cond, sup int64) carRule {
+		return carRule{cond: cond, sup: sup}
+	}
+	lo, hi := mkRule(condV, supV), mkRule(condRest, supRest)
+	if !restIsHigh {
+		lo, hi = hi, lo
+		res.Swapped = true
+	}
+	res.Cf1 = float64(lo.sup) / float64(lo.cond)
+	res.Cf2 = float64(hi.sup) / float64(hi.cond)
+	if res.Cf1 == 0 {
+		return nil, fmt.Errorf("compare: lower-confidence side has zero confidence; ratio undefined")
+	}
+	res.Ratio = res.Cf2 / res.Cf1
+	// car.Rule cannot express the negated "rest" condition; both sides
+	// carry the positive condition for display, and the counts tell the
+	// sides apart (the value side has CondCount == condV).
+	mk := func(r carRule) car.Rule {
+		return car.Rule{
+			Conditions: []car.Condition{{Attr: in.Attr, Value: in.Value}},
+			Class:      in.Class,
+			SupCount:   r.sup,
+			CondCount:  r.cond,
+			Total:      total,
+		}
+	}
+	res.Rule1 = mk(lo)
+	res.Rule2 = mk(hi)
+
+	comp := &computation{result: res}
+	attrs := opts.Attrs
+	if attrs == nil {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			if a != in.Attr && a != ds.ClassIndex() {
+				attrs = append(attrs, a)
+			}
+		}
+	}
+	for _, ai := range attrs {
+		if ai == in.Attr || ai == ds.ClassIndex() {
+			return nil, fmt.Errorf("compare: attribute %d cannot be ranked against itself", ai)
+		}
+		pair := c.store.Cube2(in.Attr, ai)
+		if pair == nil {
+			return nil, fmt.Errorf("compare: pair cube (%d,%d) not materialized", in.Attr, ai)
+		}
+		tab, err := oneVsRestTable(pair, c.store.Cube1(ai), in.Attr, ai, in.Value, in.Class, restIsHigh)
+		if err != nil {
+			return nil, err
+		}
+		score, err := scoreAttribute(ds, ai, tab, comp, opts)
+		if err != nil {
+			return nil, err
+		}
+		comp.add(score)
+	}
+	comp.finish()
+	return res, nil
+}
+
+// carRule is a minimal count pair used during orientation.
+type carRule struct{ cond, sup int64 }
+
+// oneVsRestTable builds the per-value contingency rows of candidate
+// attribute ai for the split A=v vs A≠v: the "value" side comes from the
+// pair cube sliced at v; the "rest" side is the candidate's marginal
+// cube minus the value side.
+func oneVsRestTable(pair, marginal *rulecube.Cube, a1, ai int, v, class int32, restIsHigh bool) (valueTable, error) {
+	idx := pair.AttrIndices()
+	var posA1, posAi int
+	switch {
+	case idx[0] == a1 && idx[1] == ai:
+		posA1, posAi = 0, 1
+	case idx[0] == ai && idx[1] == a1:
+		posA1, posAi = 1, 0
+	default:
+		return valueTable{}, fmt.Errorf("compare: cube dimensions %v do not match (%d,%d)", idx, a1, ai)
+	}
+	card := pair.Dim(posAi)
+	t := newValueTable(card)
+	coords := make([]int32, 2)
+	coords[posA1] = v
+	for k := int32(0); int(k) < card; k++ {
+		coords[posAi] = k
+		condV, err := pair.CondCount(coords)
+		if err != nil {
+			return valueTable{}, err
+		}
+		supV, err := pair.Count(coords, class)
+		if err != nil {
+			return valueTable{}, err
+		}
+		condAll, err := marginal.CondCount([]int32{k})
+		if err != nil {
+			return valueTable{}, err
+		}
+		supAll, err := marginal.Count([]int32{k}, class)
+		if err != nil {
+			return valueTable{}, err
+		}
+		if restIsHigh {
+			t.n1[k], t.c1[k] = condV, supV
+			t.n2[k], t.c2[k] = condAll-condV, supAll-supV
+		} else {
+			t.n1[k], t.c1[k] = condAll-condV, supAll-supV
+			t.n2[k], t.c2[k] = condV, supV
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,232 @@
+package compare
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOneVsRestRecoversPlantedCause(t *testing.T) {
+	// The bad phone's drops concentrate in the morning, so comparing
+	// "morning vs rest" on the drop class should surface Phone-Model as
+	// the best-distinguishing attribute (only the bad phone misbehaves
+	// in the morning) — the Section III.C scenario.
+	store, gt, ds := buildCaseStudy(t, 60000, 5)
+	timeAttr := ds.AttrIndex(gt.DistinguishingAttr)
+	morning, ok := ds.Column(timeAttr).Dict.Lookup(gt.MorningValue)
+	if !ok {
+		t.Fatal("morning value missing")
+	}
+	cls, _ := ds.ClassDict().Lookup(gt.DropClass)
+	res, err := New(store).OneVsRest(OneVsRestInput{Attr: timeAttr, Value: morning, Class: cls}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cf1 >= res.Cf2 {
+		t.Fatalf("orientation broken: cf1=%v cf2=%v", res.Cf1, res.Cf2)
+	}
+	// Morning is the worse side, so the comparison should NOT be swapped
+	// (rest has the lower drop rate).
+	if !res.Swapped {
+		t.Error("morning side has the higher rate; expected Swapped=true orientation bookkeeping")
+	}
+	if len(res.Ranked) == 0 {
+		t.Fatal("no ranked attributes")
+	}
+	first := res.Ranked[0].Name
+	if first != gt.PhoneAttr && first != gt.PropertyAttr {
+		t.Errorf("top attribute = %q, want %q (or its proxy %q)", first, gt.PhoneAttr, gt.PropertyAttr)
+	}
+}
+
+func TestOneVsRestCountsConsistent(t *testing.T) {
+	store, gt, ds := buildCaseStudy(t, 20000, 2)
+	timeAttr := ds.AttrIndex(gt.DistinguishingAttr)
+	cls, _ := ds.ClassDict().Lookup(gt.DropClass)
+	res, err := New(store).OneVsRest(OneVsRestInput{Attr: timeAttr, Value: 0, Class: cls}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two sides partition the cube total.
+	if res.Rule1.CondCount+res.Rule2.CondCount != store.Cube1(timeAttr).Total() {
+		t.Errorf("sides do not partition the data: %d + %d != %d",
+			res.Rule1.CondCount, res.Rule2.CondCount, store.Cube1(timeAttr).Total())
+	}
+	// Per candidate attribute, N1+N2 per value equals the marginal.
+	for _, s := range append(res.Ranked, res.Property...) {
+		marg := store.Cube1(s.Attr)
+		for _, d := range s.Values {
+			all, err := marg.CondCount([]int32{d.Value})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.N1+d.N2 != all {
+				t.Fatalf("%s=%s: %d + %d != marginal %d", s.Name, d.Label, d.N1, d.N2, all)
+			}
+		}
+	}
+}
+
+func TestOneVsRestValidation(t *testing.T) {
+	store, gt, ds := buildCaseStudy(t, 5000, 0)
+	cls, _ := ds.ClassDict().Lookup(gt.DropClass)
+	c := New(store)
+	timeAttr := ds.AttrIndex(gt.DistinguishingAttr)
+	if _, err := c.OneVsRest(OneVsRestInput{Attr: ds.ClassIndex(), Value: 0, Class: cls}, Options{}); err == nil {
+		t.Error("class attribute should fail")
+	}
+	if _, err := c.OneVsRest(OneVsRestInput{Attr: timeAttr, Value: 99, Class: cls}, Options{}); err == nil {
+		t.Error("bad value should fail")
+	}
+	if _, err := c.OneVsRest(OneVsRestInput{Attr: timeAttr, Value: 0, Class: 99}, Options{}); err == nil {
+		t.Error("bad class should fail")
+	}
+	if _, err := c.OneVsRest(OneVsRestInput{Attr: timeAttr, Value: 0, Class: cls}, Options{MinRuleSupport: 1 << 40}); err == nil {
+		t.Error("MinRuleSupport should reject")
+	}
+}
+
+func TestOneVsRestAgreesWithScanOnTwoValueAttr(t *testing.T) {
+	// For a two-valued attribute, one-vs-rest IS the pairwise comparison.
+	store, gt, ds := buildCaseStudy(t, 40000, 2)
+	// Build a two-valued view by comparing hardware version? Phone has 6
+	// values; use Signal-Band (3 values)? Need exactly 2. Construct via
+	// the proportional attr? Simplest: dice isn't available on datasets,
+	// so check internal consistency instead: one-vs-rest on value v of a
+	// 2-valued attribute equals Compare(v, other).
+	// The call log has no 2-valued attribute, so synthesize agreement on
+	// counts: OneVsRest(phone=good) rest-side counts must equal the sum
+	// of all other phones' counts.
+	phone := ds.AttrIndex(gt.PhoneAttr)
+	good, _ := ds.Column(phone).Dict.Lookup(gt.GoodPhone)
+	cls, _ := ds.ClassDict().Lookup(gt.DropClass)
+	res, err := New(store).OneVsRest(OneVsRestInput{Attr: phone, Value: good, Class: cls}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := store.Cube1(phone)
+	var restCond, restSup int64
+	for v := int32(0); int(v) < cube.Dim(0); v++ {
+		if v == good {
+			continue
+		}
+		n, _ := cube.CondCount([]int32{v})
+		s, _ := cube.Count([]int32{v}, cls)
+		restCond += n
+		restSup += s
+	}
+	// The good phone has the lower rate, so Rule2 is the rest side.
+	if res.Rule2.CondCount != restCond || res.Rule2.SupCount != restSup {
+		t.Errorf("rest side counts (%d,%d), want (%d,%d)",
+			res.Rule2.CondCount, res.Rule2.SupCount, restCond, restSup)
+	}
+}
+
+func TestScreenPairsFindsPlantedGap(t *testing.T) {
+	store, gt, ds := buildCaseStudy(t, 60000, 2)
+	phone := ds.AttrIndex(gt.PhoneAttr)
+	cls, _ := ds.ClassDict().Lookup(gt.DropClass)
+	pairs, err := New(store).ScreenPairs(phone, cls, ScreenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no candidate pairs")
+	}
+	top := pairs[0]
+	// The most significant gap must involve the bad phone.
+	if top.Label1 != gt.BadPhone && top.Label2 != gt.BadPhone {
+		t.Errorf("top pair (%s,%s) does not involve the bad phone %q", top.Label1, top.Label2, gt.BadPhone)
+	}
+	if top.Cf1 >= top.Cf2 {
+		t.Error("pair not oriented")
+	}
+	if top.Z < 2 {
+		t.Errorf("top z = %v", top.Z)
+	}
+	if top.PValue > 0.05 {
+		t.Errorf("top p = %v", top.PValue)
+	}
+	// Sorted by descending z among finite-ratio pairs.
+	for i := 1; i < len(pairs); i++ {
+		if math.IsInf(pairs[i-1].Ratio, 1) && !math.IsInf(pairs[i].Ratio, 1) {
+			t.Fatal("infinite-ratio pairs must sort last")
+		}
+		if !math.IsInf(pairs[i-1].Ratio, 1) && !math.IsInf(pairs[i].Ratio, 1) &&
+			pairs[i].Z > pairs[i-1].Z+1e-12 {
+			t.Fatal("pairs not sorted by z")
+		}
+	}
+}
+
+func TestScreenPairsOptions(t *testing.T) {
+	store, gt, ds := buildCaseStudy(t, 20000, 0)
+	phone := ds.AttrIndex(gt.PhoneAttr)
+	cls, _ := ds.ClassDict().Lookup(gt.DropClass)
+	c := New(store)
+	all, err := c.ScreenPairs(phone, cls, ScreenOptions{MinZ: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := c.ScreenPairs(phone, cls, ScreenOptions{MinZ: 0.0001, MaxPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 2 {
+		t.Errorf("MaxPairs not honored: %d", len(capped))
+	}
+	if len(all) < len(capped) {
+		t.Error("cap returned more than uncapped")
+	}
+	// Huge min support filters all values.
+	none, err := c.ScreenPairs(phone, cls, ScreenOptions{MinSupport: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Error("MinSupport not honored")
+	}
+	if _, err := c.ScreenPairs(ds.ClassIndex(), cls, ScreenOptions{}); err == nil {
+		t.Error("class attribute should fail")
+	}
+	if _, err := c.ScreenPairs(phone, 99, ScreenOptions{}); err == nil {
+		t.Error("bad class should fail")
+	}
+}
+
+func TestTwoProportionZ(t *testing.T) {
+	// Identical proportions → z = 0.
+	if z := twoProportionZ(10, 100, 20, 200); z != 0 {
+		t.Errorf("equal proportions z = %v", z)
+	}
+	// Known value: 10/100 vs 20/100, pooled 0.15.
+	z := twoProportionZ(10, 100, 20, 100)
+	want := (0.2 - 0.1) / math.Sqrt(0.15*0.85*(0.02))
+	if math.Abs(z-want) > 1e-12 {
+		t.Errorf("z = %v, want %v", z, want)
+	}
+	if twoProportionZ(0, 0, 5, 10) != 0 {
+		t.Error("zero n should yield 0")
+	}
+	if twoProportionZ(0, 10, 0, 10) != 0 {
+		t.Error("zero pooled should yield 0")
+	}
+}
+
+func TestScreenThenCompareWorkflow(t *testing.T) {
+	// The intended workflow: screen pairs, feed the top pair to Compare.
+	store, gt, ds := buildCaseStudy(t, 60000, 2)
+	phone := ds.AttrIndex(gt.PhoneAttr)
+	cls, _ := ds.ClassDict().Lookup(gt.DropClass)
+	c := New(store)
+	pairs, err := c.ScreenPairs(phone, cls, ScreenOptions{MaxPairs: 1})
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("screening failed: %v", err)
+	}
+	res, err := c.Compare(Input{Attr: phone, V1: pairs[0].V1, V2: pairs[0].V2, Class: cls}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranked[0].Name != gt.DistinguishingAttr {
+		t.Errorf("screen→compare top = %q, want %q", res.Ranked[0].Name, gt.DistinguishingAttr)
+	}
+}

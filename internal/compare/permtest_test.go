@@ -1,0 +1,83 @@
+package compare
+
+import (
+	"testing"
+)
+
+func TestPermutationTestPlantedVsNoise(t *testing.T) {
+	_, gt, ds := buildCaseStudy(t, 40000, 1)
+	in := inputFor(t, ds, gt)
+
+	planted, err := PermutationTest(ds, in, ds.AttrIndex(gt.DistinguishingAttr), 100, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planted.PValue > 0.05 {
+		t.Errorf("planted attribute p = %v, want ≤ 0.05", planted.PValue)
+	}
+	if planted.Observed <= planted.NullQ95 {
+		t.Errorf("observed M %v should exceed the null 95th percentile %v", planted.Observed, planted.NullQ95)
+	}
+
+	noise, err := PermutationTest(ds, in, ds.AttrIndex(gt.NoiseAttrs[0]), 100, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noise.PValue < 0.2 {
+		t.Errorf("noise attribute p = %v, want clearly insignificant", noise.PValue)
+	}
+}
+
+func TestPermutationTestValidation(t *testing.T) {
+	_, gt, ds := buildCaseStudy(t, 5000, 1)
+	in := inputFor(t, ds, gt)
+	if _, err := PermutationTest(ds, in, in.Attr, 10, 1, Options{}); err == nil {
+		t.Error("comparison attribute as candidate should fail")
+	}
+	if _, err := PermutationTest(ds, in, ds.ClassIndex(), 10, 1, Options{}); err == nil {
+		t.Error("class as candidate should fail")
+	}
+	if _, err := PermutationTest(ds, in, 99, 10, 1, Options{}); err == nil {
+		t.Error("out-of-range candidate should fail")
+	}
+}
+
+func TestPermutationTestDeterministic(t *testing.T) {
+	_, gt, ds := buildCaseStudy(t, 10000, 1)
+	in := inputFor(t, ds, gt)
+	attr := ds.AttrIndex(gt.DistinguishingAttr)
+	a, err := PermutationTest(ds, in, attr, 50, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PermutationTest(ds, in, attr, 50, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PValue != b.PValue || a.NullMean != b.NullMean {
+		t.Error("same seed must reproduce the test exactly")
+	}
+	c, err := PermutationTest(ds, in, attr, 50, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NullMean == c.NullMean {
+		t.Log("different seeds gave identical null means (possible but unlikely)")
+	}
+}
+
+func TestPermutationTestDefaultRounds(t *testing.T) {
+	_, gt, ds := buildCaseStudy(t, 5000, 0)
+	in := inputFor(t, ds, gt)
+	res, err := PermutationTest(ds, in, ds.AttrIndex(gt.ProportionalAttr), 0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 150 {
+		t.Errorf("default rounds = %d, want ≈200 (some may be skipped)", res.Rounds)
+	}
+	// PValue is always in (0, 1].
+	if res.PValue <= 0 || res.PValue > 1 {
+		t.Errorf("p = %v", res.PValue)
+	}
+}

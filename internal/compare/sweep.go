@@ -1,0 +1,119 @@
+package compare
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sweep runs the full screen-then-compare loop over an attribute: every
+// significantly different value pair is compared, and the distinguishing
+// attributes are aggregated across pairs. The paper's application cares
+// about exactly this distinction — situations where "all phones or even
+// a particular model of phones are more likely to fail" (Section I). An
+// attribute that tops the ranking for *many* pairs points at a systemic
+// cause (network, environment); one that only distinguishes a single
+// pair points at that product.
+
+// SweepOptions configures a sweep.
+type SweepOptions struct {
+	// Screen tunes the pair-screening stage.
+	Screen ScreenOptions
+	// Compare tunes each comparison.
+	Compare Options
+	// TopK is how many leading attributes of each comparison count as
+	// "distinguishing" for the aggregation. Zero means 3.
+	TopK int
+	// MinScore ignores ranked attributes below this M when aggregating
+	// (defaults to 0: any positive score counts).
+	MinScore float64
+}
+
+func (o SweepOptions) topK() int {
+	if o.TopK == 0 {
+		return 3
+	}
+	return o.TopK
+}
+
+// SweepAttribute aggregates one attribute's appearances across pair
+// comparisons.
+type SweepAttribute struct {
+	Attr int
+	Name string
+	// Pairs is how many compared pairs ranked the attribute within the
+	// sweep's TopK with M > MinScore.
+	Pairs int
+	// BestScore and BestPair identify the strongest single appearance.
+	BestScore float64
+	BestPair  [2]string
+	// TotalScore sums M across qualifying appearances.
+	TotalScore float64
+}
+
+// SweepResult is the aggregate of a sweep.
+type SweepResult struct {
+	// PairsCompared is the number of screened pairs that completed a
+	// comparison (pairs with an undefined ratio are skipped).
+	PairsCompared int
+	PairsSkipped  int
+	// Attributes lists aggregated distinguishing attributes, most
+	// recurrent first (ties by total score).
+	Attributes []SweepAttribute
+	// Comparisons holds each pair's full result for drill-down, keyed in
+	// screening order.
+	Comparisons []*Result
+	PairLabels  [][2]string
+}
+
+// Sweep screens attr's value pairs on the class and compares every
+// significant pair.
+func (c *Comparator) Sweep(attr int, class int32, opts SweepOptions) (*SweepResult, error) {
+	pairs, err := c.ScreenPairs(attr, class, opts.Screen)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{}
+	agg := make(map[int]*SweepAttribute)
+	for _, p := range pairs {
+		if p.Cf1 == 0 {
+			res.PairsSkipped++ // ratio undefined; the comparator cannot take it
+			continue
+		}
+		cmp, err := c.Compare(Input{Attr: attr, V1: p.V1, V2: p.V2, Class: class}, opts.Compare)
+		if err != nil {
+			return nil, fmt.Errorf("compare: sweep pair (%s,%s): %w", p.Label1, p.Label2, err)
+		}
+		res.PairsCompared++
+		res.Comparisons = append(res.Comparisons, cmp)
+		res.PairLabels = append(res.PairLabels, [2]string{p.Label1, p.Label2})
+		for rank, s := range cmp.Ranked {
+			if rank >= opts.topK() || s.Score <= opts.MinScore {
+				break
+			}
+			a := agg[s.Attr]
+			if a == nil {
+				a = &SweepAttribute{Attr: s.Attr, Name: s.Name}
+				agg[s.Attr] = a
+			}
+			a.Pairs++
+			a.TotalScore += s.Score
+			if s.Score > a.BestScore {
+				a.BestScore = s.Score
+				a.BestPair = [2]string{p.Label1, p.Label2}
+			}
+		}
+	}
+	for _, a := range agg {
+		res.Attributes = append(res.Attributes, *a)
+	}
+	sort.SliceStable(res.Attributes, func(i, j int) bool {
+		if res.Attributes[i].Pairs != res.Attributes[j].Pairs {
+			return res.Attributes[i].Pairs > res.Attributes[j].Pairs
+		}
+		if res.Attributes[i].TotalScore != res.Attributes[j].TotalScore {
+			return res.Attributes[i].TotalScore > res.Attributes[j].TotalScore
+		}
+		return res.Attributes[i].Name < res.Attributes[j].Name
+	})
+	return res, nil
+}

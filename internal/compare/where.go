@@ -1,0 +1,71 @@
+package compare
+
+import (
+	"fmt"
+
+	"opmap/internal/car"
+	"opmap/internal/dataset"
+)
+
+// Conditional comparison: run the Section IV comparison *within* a fixed
+// sub-population. After the top-ranked attribute isolates where the
+// problem lives ("the morning calls make ph2 bad"), the natural
+// follow-up is to re-compare the two phones restricted to that context
+// to find second-order causes — the drill-down the paper supports via
+// restricted mining of longer rules (Section III.B).
+
+// ScanWhere runs the comparison on the subset of ds matching every
+// fixed condition. The fixed attributes and the comparison attribute
+// must be distinct; fixed attributes are excluded from the ranking
+// (their value is constant within the subset).
+func ScanWhere(ds *dataset.Dataset, fixed []car.Condition, in Input, opts Options) (*Result, error) {
+	if !ds.AllCategorical() {
+		return nil, fmt.Errorf("compare: dataset has continuous attributes; discretize first")
+	}
+	seen := map[int]bool{}
+	for _, f := range fixed {
+		if f.Attr < 0 || f.Attr >= ds.NumAttrs() {
+			return nil, fmt.Errorf("compare: fixed attribute %d out of range", f.Attr)
+		}
+		if f.Attr == ds.ClassIndex() {
+			return nil, fmt.Errorf("compare: fixed condition on the class attribute")
+		}
+		if f.Attr == in.Attr {
+			return nil, fmt.Errorf("compare: fixed condition on the comparison attribute")
+		}
+		if seen[f.Attr] {
+			return nil, fmt.Errorf("compare: duplicate fixed attribute %d", f.Attr)
+		}
+		if f.Value < 0 || int(f.Value) >= ds.Cardinality(f.Attr) {
+			return nil, fmt.Errorf("compare: fixed value %d out of range for attribute %d", f.Value, f.Attr)
+		}
+		seen[f.Attr] = true
+	}
+	sub := ds.Filter(func(r int) bool {
+		for _, f := range fixed {
+			if ds.CatCode(r, f.Attr) != f.Value {
+				return false
+			}
+		}
+		return true
+	})
+	if sub.NumRows() == 0 {
+		return nil, fmt.Errorf("compare: no records match the fixed conditions")
+	}
+	// Rank only attributes that can vary within the subset.
+	if opts.Attrs == nil {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			if a == in.Attr || a == ds.ClassIndex() || seen[a] {
+				continue
+			}
+			opts.Attrs = append(opts.Attrs, a)
+		}
+	} else {
+		for _, a := range opts.Attrs {
+			if seen[a] {
+				return nil, fmt.Errorf("compare: attribute %d is fixed and cannot be ranked", a)
+			}
+		}
+	}
+	return Scan(sub, in, opts)
+}

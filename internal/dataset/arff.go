@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ARFF support. Weka's Attribute-Relation File Format was the lingua
+// franca of 2000s classification research; a toolkit reproducing a 2009
+// mining system should ingest the datasets of its era directly.
+// Supported: @relation, @attribute with nominal domains or
+// numeric/real/integer types, @data with comma-separated rows, '?'
+// missing values, quoted nominal values, and %-comments. Sparse rows
+// ({i v, ...}) and date/string attributes are rejected explicitly.
+
+// ReadARFF parses an ARFF stream into a Dataset. classAttr names the
+// class attribute; empty means the last declared attribute (Weka's
+// convention).
+func ReadARFF(r io.Reader, classAttr string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	var attrs []Attribute
+	var domains []*Dictionary // nil for continuous attributes
+	inData := false
+	var b *Builder
+	lineNo := 0
+
+	finishHeader := func() error {
+		if len(attrs) == 0 {
+			return fmt.Errorf("dataset: ARFF has no @attribute declarations")
+		}
+		classIdx := len(attrs) - 1
+		if classAttr != "" {
+			classIdx = -1
+			for i, a := range attrs {
+				if strings.EqualFold(a.Name, classAttr) {
+					classIdx = i
+					break
+				}
+			}
+			if classIdx < 0 {
+				return fmt.Errorf("dataset: class attribute %q not declared", classAttr)
+			}
+		}
+		if attrs[classIdx].Kind != Categorical {
+			return fmt.Errorf("dataset: class attribute %q must be nominal", attrs[classIdx].Name)
+		}
+		var err error
+		b, err = NewBuilder(Schema{Attrs: attrs, ClassIndex: classIdx})
+		if err != nil {
+			return err
+		}
+		for i, d := range domains {
+			if d != nil {
+				b.WithDict(i, d)
+			}
+		}
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if !inData {
+			lower := strings.ToLower(line)
+			switch {
+			case strings.HasPrefix(lower, "@relation"):
+				// Name only; ignored.
+			case strings.HasPrefix(lower, "@attribute"):
+				attr, dict, err := parseARFFAttribute(line)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: ARFF line %d: %w", lineNo, err)
+				}
+				attrs = append(attrs, attr)
+				domains = append(domains, dict)
+			case strings.HasPrefix(lower, "@data"):
+				if err := finishHeader(); err != nil {
+					return nil, err
+				}
+				inData = true
+			default:
+				return nil, fmt.Errorf("dataset: ARFF line %d: unexpected header line %q", lineNo, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "{") {
+			return nil, fmt.Errorf("dataset: ARFF line %d: sparse rows are not supported", lineNo)
+		}
+		fields, err := splitARFFRow(line)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: ARFF line %d: %w", lineNo, err)
+		}
+		if len(fields) != len(attrs) {
+			return nil, fmt.Errorf("dataset: ARFF line %d: %d values for %d attributes", lineNo, len(fields), len(attrs))
+		}
+		// Validate nominal values against their declared domains.
+		for i, f := range fields {
+			if f == MissingLabel || domains[i] == nil {
+				continue
+			}
+			if _, ok := domains[i].Lookup(f); !ok {
+				return nil, fmt.Errorf("dataset: ARFF line %d: value %q not in the domain of %q", lineNo, f, attrs[i].Name)
+			}
+		}
+		if err := b.AddRow(fields); err != nil {
+			return nil, fmt.Errorf("dataset: ARFF line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !inData {
+		return nil, fmt.Errorf("dataset: ARFF has no @data section")
+	}
+	return b.Build()
+}
+
+// ReadARFFFile is ReadARFF over a file path.
+func ReadARFFFile(path, classAttr string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadARFF(f, classAttr)
+}
+
+// parseARFFAttribute parses "@attribute name {a,b,c}" or
+// "@attribute name numeric".
+func parseARFFAttribute(line string) (Attribute, *Dictionary, error) {
+	rest := strings.TrimSpace(line[len("@attribute"):])
+	if rest == "" {
+		return Attribute{}, nil, fmt.Errorf("empty @attribute declaration")
+	}
+	var name string
+	if rest[0] == '\'' || rest[0] == '"' {
+		quote := rest[0]
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return Attribute{}, nil, fmt.Errorf("unterminated quoted attribute name")
+		}
+		name = rest[1 : 1+end]
+		rest = strings.TrimSpace(rest[2+end:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return Attribute{}, nil, fmt.Errorf("attribute %q has no type", rest)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if name == "" {
+		return Attribute{}, nil, fmt.Errorf("empty attribute name")
+	}
+	if strings.HasPrefix(rest, "{") {
+		if !strings.HasSuffix(rest, "}") {
+			return Attribute{}, nil, fmt.Errorf("attribute %q: unterminated nominal domain", name)
+		}
+		inner := rest[1 : len(rest)-1]
+		values, err := splitARFFRow(inner)
+		if err != nil {
+			return Attribute{}, nil, fmt.Errorf("attribute %q: %w", name, err)
+		}
+		dict := NewDictionary()
+		for _, v := range values {
+			if v == "" {
+				return Attribute{}, nil, fmt.Errorf("attribute %q: empty nominal value", name)
+			}
+			dict.Code(v)
+		}
+		if dict.Len() == 0 {
+			return Attribute{}, nil, fmt.Errorf("attribute %q: empty nominal domain", name)
+		}
+		return Attribute{Name: name, Kind: Categorical}, dict, nil
+	}
+	switch strings.ToLower(rest) {
+	case "numeric", "real", "integer":
+		return Attribute{Name: name, Kind: Continuous}, nil, nil
+	default:
+		return Attribute{}, nil, fmt.Errorf("attribute %q: unsupported type %q (numeric and nominal only)", name, rest)
+	}
+}
+
+// splitARFFRow splits a comma-separated ARFF row honoring single and
+// double quotes.
+func splitARFFRow(line string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := byte(0)
+	flush := func() {
+		out = append(out, strings.TrimSpace(cur.String()))
+		cur.Reset()
+	}
+	for i := 0; i < len(line); i++ {
+		ch := line[i]
+		switch {
+		case inQuote != 0:
+			if ch == '\\' && i+1 < len(line) {
+				// Weka-style backslash escape inside quotes.
+				i++
+				cur.WriteByte(line[i])
+			} else if ch == inQuote {
+				inQuote = 0
+			} else {
+				cur.WriteByte(ch)
+			}
+		case ch == '\'' || ch == '"':
+			inQuote = ch
+		case ch == ',':
+			flush()
+		default:
+			cur.WriteByte(ch)
+		}
+	}
+	if inQuote != 0 {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	flush()
+	return out, nil
+}

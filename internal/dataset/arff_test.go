@@ -1,0 +1,252 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleARFF = `% The classic toy weather relation.
+@relation weather
+
+@attribute outlook {sunny, overcast, rainy}
+@attribute temperature numeric
+@attribute humidity real
+@attribute windy {TRUE, FALSE}
+@attribute play {yes, no}
+
+@data
+sunny,85,85,FALSE,no
+sunny,80,90,TRUE,no
+overcast,83,86,FALSE,yes
+rainy,70,96,FALSE,yes
+rainy,68,80,FALSE,yes
+rainy,65,70,TRUE,no
+overcast,64,65,TRUE,yes
+sunny,72,95,FALSE,no
+sunny,69,70,FALSE,yes
+rainy,75,80,FALSE,yes
+sunny,75,70,TRUE,yes
+overcast,72,90,TRUE,yes
+overcast,81,75,FALSE,yes
+rainy,71,91,TRUE,no
+`
+
+func TestReadARFFWeather(t *testing.T) {
+	ds, err := ReadARFF(strings.NewReader(sampleARFF), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 14 {
+		t.Fatalf("rows = %d, want 14", ds.NumRows())
+	}
+	if ds.NumAttrs() != 5 {
+		t.Fatalf("attrs = %d", ds.NumAttrs())
+	}
+	if ds.ClassIndex() != 4 {
+		t.Errorf("class index = %d, want last", ds.ClassIndex())
+	}
+	if ds.Attr(1).Kind != Continuous || ds.Attr(2).Kind != Continuous {
+		t.Error("numeric/real attributes should be continuous")
+	}
+	if ds.Attr(0).Kind != Categorical {
+		t.Error("nominal attribute should be categorical")
+	}
+	// Declared domain order is preserved (sunny=0).
+	if ds.Column(0).Dict.Label(0) != "sunny" {
+		t.Errorf("first outlook label = %q", ds.Column(0).Dict.Label(0))
+	}
+	if ds.ContValue(0, 1) != 85 {
+		t.Errorf("temperature[0] = %v", ds.ContValue(0, 1))
+	}
+	dist := ds.ClassDistribution()
+	if dist[0]+dist[1] != 14 {
+		t.Errorf("class distribution = %v", dist)
+	}
+}
+
+func TestReadARFFNamedClass(t *testing.T) {
+	ds, err := ReadARFF(strings.NewReader(sampleARFF), "outlook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ClassIndex() != 0 {
+		t.Errorf("class index = %d", ds.ClassIndex())
+	}
+	if _, err := ReadARFF(strings.NewReader(sampleARFF), "nope"); err == nil {
+		t.Error("unknown class should fail")
+	}
+	// Continuous class rejected.
+	if _, err := ReadARFF(strings.NewReader(sampleARFF), "temperature"); err == nil {
+		t.Error("numeric class should fail")
+	}
+}
+
+func TestReadARFFMissingAndQuotes(t *testing.T) {
+	arff := `@relation t
+@attribute 'my attr' {a b, c}
+@attribute x numeric
+@attribute class {p, n}
+@data
+'a b',1.5,p
+?,?,n
+c,2.5,p
+`
+	ds, err := ReadARFF(strings.NewReader(arff), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Attr(0).Name != "my attr" {
+		t.Errorf("quoted name = %q", ds.Attr(0).Name)
+	}
+	if ds.Label(0, 0) != "a b" {
+		t.Errorf("quoted nominal value = %q", ds.Label(0, 0))
+	}
+	if ds.Label(1, 0) != MissingLabel || ds.Label(1, 1) != MissingLabel {
+		t.Error("missing values lost")
+	}
+}
+
+func TestReadARFFValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		arff string
+	}{
+		{"no data section", "@relation t\n@attribute a {x}\n"},
+		{"no attributes", "@relation t\n@data\nx\n"},
+		{"undeclared nominal value", "@relation t\n@attribute a {x}\n@attribute c {p}\n@data\ny,p\n"},
+		{"width mismatch", "@relation t\n@attribute a {x}\n@attribute c {p}\n@data\nx\n"},
+		{"sparse row", "@relation t\n@attribute a {x}\n@attribute c {p}\n@data\n{0 x}\n"},
+		{"string type", "@relation t\n@attribute a string\n@attribute c {p}\n@data\nfoo,p\n"},
+		{"unterminated domain", "@relation t\n@attribute a {x\n@attribute c {p}\n@data\nx,p\n"},
+		{"unterminated quote", "@relation t\n@attribute a {x}\n@attribute c {p}\n@data\n'x,p\n"},
+		{"garbage header", "@relation t\nbogus\n@data\n"},
+		{"attribute without type", "@relation t\n@attribute lonely\n@data\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadARFF(strings.NewReader(c.arff), ""); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadARFFFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "weather.arff")
+	if err := writeFile(path, sampleARFF); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadARFFFile(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 14 {
+		t.Error("file read broken")
+	}
+	if _, err := ReadARFFFile(filepath.Join(t.TempDir(), "missing.arff"), ""); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSplitARFFRow(t *testing.T) {
+	fields, err := splitARFFRow(`a, 'b, c' ,"d e",f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b, c", "d e", "f"}
+	if len(fields) != len(want) {
+		t.Fatalf("fields = %v", fields)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Errorf("field %d = %q, want %q", i, fields[i], want[i])
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	ds, err := ReadARFF(strings.NewReader(sampleARFF), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteARFF(&buf, ds, "weather"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadARFF(strings.NewReader(buf.String()), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != ds.NumRows() || back.NumAttrs() != ds.NumAttrs() {
+		t.Fatalf("shape changed: %dx%d vs %dx%d", back.NumRows(), back.NumAttrs(), ds.NumRows(), ds.NumAttrs())
+	}
+	for r := 0; r < ds.NumRows(); r++ {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			if ds.Label(r, a) != back.Label(r, a) {
+				t.Fatalf("cell (%d,%d): %q != %q", r, a, ds.Label(r, a), back.Label(r, a))
+			}
+		}
+	}
+}
+
+func TestARFFRoundTripAwkwardLabels(t *testing.T) {
+	b, _ := NewBuilder(Schema{
+		Attrs: []Attribute{
+			{Name: "odd attr, name", Kind: Categorical},
+			{Name: "x", Kind: Continuous},
+			{Name: "class", Kind: Categorical},
+		},
+		ClassIndex: 2,
+	})
+	rows := [][]string{
+		{"has space", "1.5", "it's"},
+		{"comma,value", "?", "plain"},
+		{"?", "2.25", "it's"},
+	}
+	for _, r := range rows {
+		if err := b.AddRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteARFF(&buf, ds, "tricky relation"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadARFF(strings.NewReader(buf.String()), "")
+	if err != nil {
+		t.Fatalf("round trip parse failed:\n%s\n%v", buf.String(), err)
+	}
+	for r := 0; r < ds.NumRows(); r++ {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			if ds.Label(r, a) != back.Label(r, a) {
+				t.Fatalf("cell (%d,%d): %q != %q", r, a, ds.Label(r, a), back.Label(r, a))
+			}
+		}
+	}
+}
+
+func TestWriteARFFFileHelper(t *testing.T) {
+	ds, err := ReadARFF(strings.NewReader(sampleARFF), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.arff")
+	if err := WriteARFFFile(path, ds, ""); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadARFFFile(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 14 {
+		t.Error("file round trip broken")
+	}
+}

@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions controls CSV parsing into a Dataset.
+type CSVOptions struct {
+	// ClassAttr names the class attribute. If empty, the last column is
+	// the class.
+	ClassAttr string
+	// Kinds optionally fixes the kind of each named attribute. Attributes
+	// not listed are sniffed: a column whose non-missing values all parse
+	// as numbers and which has more than MaxSniffCardinality distinct
+	// values is continuous, otherwise categorical.
+	Kinds map[string]Kind
+	// MaxSniffCardinality is the distinct-value threshold for treating a
+	// numeric column as categorical anyway (e.g. small integer codes).
+	// Zero means 32.
+	MaxSniffCardinality int
+	// Comma is the field separator; zero means ','.
+	Comma rune
+}
+
+// ReadCSV parses a header-bearing CSV stream into a Dataset.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	names := make([]string, len(header))
+	for i, h := range header {
+		names[i] = strings.TrimSpace(h)
+	}
+
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row %d: %w", len(rows)+2, err)
+		}
+		row := make([]string, len(rec))
+		for i, v := range rec {
+			row[i] = strings.TrimSpace(v)
+		}
+		if len(row) != len(names) {
+			return nil, fmt.Errorf("dataset: CSV row %d has %d fields, header has %d", len(rows)+2, len(row), len(names))
+		}
+		rows = append(rows, row)
+	}
+
+	classIdx := len(names) - 1
+	if opts.ClassAttr != "" {
+		classIdx = -1
+		for i, n := range names {
+			if n == opts.ClassAttr {
+				classIdx = i
+				break
+			}
+		}
+		if classIdx < 0 {
+			return nil, fmt.Errorf("dataset: class attribute %q not found in CSV header", opts.ClassAttr)
+		}
+	}
+
+	maxCard := opts.MaxSniffCardinality
+	if maxCard == 0 {
+		maxCard = 32
+	}
+	attrs := make([]Attribute, len(names))
+	for i, n := range names {
+		kind := Categorical
+		if k, ok := opts.Kinds[n]; ok {
+			kind = k
+		} else if i != classIdx {
+			kind = sniffKind(rows, i, maxCard)
+		}
+		if i == classIdx {
+			kind = Categorical
+		}
+		attrs[i] = Attribute{Name: n, Kind: kind}
+	}
+
+	b, err := NewBuilder(Schema{Attrs: attrs, ClassIndex: classIdx})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if err := b.AddRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path string, opts CSVOptions) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, opts)
+}
+
+func sniffKind(rows [][]string, col, maxCard int) Kind {
+	distinct := make(map[string]struct{})
+	numeric := true
+	for _, row := range rows {
+		v := row[col]
+		if v == MissingLabel || v == "" {
+			continue
+		}
+		if numeric {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				numeric = false
+			}
+		}
+		if len(distinct) <= maxCard {
+			distinct[v] = struct{}{}
+		}
+		if !numeric && len(distinct) > maxCard {
+			break
+		}
+	}
+	if numeric && len(distinct) > maxCard {
+		return Continuous
+	}
+	return Categorical
+}
+
+// WriteCSV writes the dataset with a header row. Missing values are
+// written as MissingLabel.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, ds.NumAttrs())
+	for i := range header {
+		header[i] = ds.Attr(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for r := 0; r < ds.NumRows(); r++ {
+		if err := cw.Write(ds.Row(r)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV to a file path.
+func WriteCSVFile(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

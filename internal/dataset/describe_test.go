@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	ds := buildSmall(t) // from dataset_test.go: color/size/class with missing values
+	p := Describe(ds)
+	if p.Rows != 5 {
+		t.Errorf("rows = %d", p.Rows)
+	}
+	if p.ClassAttr != "class" {
+		t.Errorf("class attr = %q", p.ClassAttr)
+	}
+	if p.ClassDist["yes"] != 3 || p.ClassDist["no"] != 2 {
+		t.Errorf("class dist = %v", p.ClassDist)
+	}
+	if math.Abs(p.MajorShare-0.6) > 1e-12 {
+		t.Errorf("major share = %v", p.MajorShare)
+	}
+
+	var color, size AttrProfile
+	for _, a := range p.Attrs {
+		switch a.Name {
+		case "color":
+			color = a
+		case "size":
+			size = a
+		}
+	}
+	if color.Kind != Categorical || color.Cardinality != 3 {
+		t.Errorf("color profile = %+v", color)
+	}
+	if color.TopValue != "red" || color.TopCount != 2 {
+		t.Errorf("color top = %s(%d)", color.TopValue, color.TopCount)
+	}
+	if color.Missing != 1 {
+		t.Errorf("color missing = %d", color.Missing)
+	}
+	if size.Kind != Continuous {
+		t.Fatalf("size kind = %v", size.Kind)
+	}
+	if size.Min != 1.5 || size.Max != 4.5 {
+		t.Errorf("size range [%v,%v]", size.Min, size.Max)
+	}
+	if size.Missing != 1 {
+		t.Errorf("size missing = %d", size.Missing)
+	}
+	if math.Abs(size.Mean-3) > 1e-12 {
+		t.Errorf("size mean = %v", size.Mean)
+	}
+}
+
+func TestDescribeAllMissingContinuous(t *testing.T) {
+	b, _ := NewBuilder(Schema{
+		Attrs: []Attribute{
+			{Name: "x", Kind: Continuous},
+			{Name: "c", Kind: Categorical},
+		},
+		ClassIndex: 1,
+	})
+	b.AddRow([]string{"?", "y"})
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Describe(ds)
+	if !math.IsNaN(p.Attrs[0].Min) || !math.IsNaN(p.Attrs[0].Max) {
+		t.Error("all-missing continuous should have NaN range")
+	}
+}
+
+func TestProfileWrite(t *testing.T) {
+	ds := buildSmall(t)
+	var buf bytes.Buffer
+	if err := Describe(ds).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"5 records", "color", "size", "categorical", "continuous", "class yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q", want)
+		}
+	}
+}

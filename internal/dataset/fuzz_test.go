@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the loader: arbitrary text must either parse into
+// a queryable dataset or fail with an error — never panic.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b,class\nx,1.5,yes\ny,2.5,no\n")
+	f.Add("class\nyes\n")
+	f.Add("")
+	f.Add("a,b\n\"unterminated")
+	f.Add("a,b,class\n?,?,?\n")
+	f.Add("a,a,class\nx,y,z\n") // duplicate attribute names
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input), CSVOptions{})
+		if err != nil {
+			return
+		}
+		// Parsed datasets must answer basic queries.
+		_ = ds.ClassDistribution()
+		p := Describe(ds)
+		if p.Rows != ds.NumRows() {
+			t.Fatalf("profile rows %d != dataset rows %d", p.Rows, ds.NumRows())
+		}
+		for r := 0; r < ds.NumRows() && r < 10; r++ {
+			if len(ds.Row(r)) != ds.NumAttrs() {
+				t.Fatal("row width mismatch")
+			}
+		}
+	})
+}
+
+// FuzzReadARFF hardens the ARFF loader the same way.
+func FuzzReadARFF(f *testing.F) {
+	f.Add("@relation t\n@attribute a {x,y}\n@attribute c {p,n}\n@data\nx,p\ny,n\n")
+	f.Add("@relation t\n@attribute a numeric\n@attribute c {p}\n@data\n1.5,p\n")
+	f.Add("@data\n")
+	f.Add("@relation t\n@attribute 'q a' {('}\n@data\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadARFF(strings.NewReader(input), "")
+		if err != nil {
+			return
+		}
+		_ = ds.ClassDistribution()
+		_ = Describe(ds)
+	})
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sampling implements the unbalanced-sampling step the paper applies
+// before mining (Section I): failure classes are rare, so successful
+// records are down-sampled to raise the failure classes' share while
+// keeping every rare-class record.
+
+// SampleOptions configures class-aware sampling.
+type SampleOptions struct {
+	// Seed drives the deterministic PRNG.
+	Seed int64
+	// MajorityClass names the class label to down-sample. Empty means the
+	// most frequent class.
+	MajorityClass string
+	// KeepFraction is the fraction of majority-class records retained,
+	// in (0, 1]. All other classes are kept in full.
+	KeepFraction float64
+}
+
+// UnbalancedSample down-samples the majority class per the options,
+// returning a new dataset. This reproduces the paper's pre-mining
+// rebalancing, "which has been shown to work quite well".
+func UnbalancedSample(ds *Dataset, opts SampleOptions) (*Dataset, error) {
+	if opts.KeepFraction <= 0 || opts.KeepFraction > 1 {
+		return nil, fmt.Errorf("dataset: KeepFraction %v out of (0,1]", opts.KeepFraction)
+	}
+	dict := ds.ClassDict()
+	major := int32(-1)
+	if opts.MajorityClass != "" {
+		c, ok := dict.Lookup(opts.MajorityClass)
+		if !ok {
+			return nil, fmt.Errorf("dataset: class %q not found", opts.MajorityClass)
+		}
+		major = c
+	} else {
+		dist := ds.ClassDistribution()
+		var best int64 = -1
+		for c, n := range dist {
+			if n > best {
+				best = n
+				major = int32(c)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var keep []int
+	for r := 0; r < ds.NumRows(); r++ {
+		if ds.ClassCode(r) != major || rng.Float64() < opts.KeepFraction {
+			keep = append(keep, r)
+		}
+	}
+	return ds.Gather(keep), nil
+}
+
+// StratifiedSample keeps approximately fraction of rows from every
+// class, preserving the class distribution. Used to shrink huge datasets
+// before offline cube generation ("For huge data sets, sampling is
+// applied", Section V.C).
+func StratifiedSample(ds *Dataset, fraction float64, seed int64) (*Dataset, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("dataset: fraction %v out of (0,1]", fraction)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var keep []int
+	for r := 0; r < ds.NumRows(); r++ {
+		if rng.Float64() < fraction {
+			keep = append(keep, r)
+		}
+	}
+	if len(keep) == 0 && ds.NumRows() > 0 {
+		keep = append(keep, rng.Intn(ds.NumRows()))
+	}
+	return ds.Gather(keep), nil
+}
+
+// Shuffle returns a row-permuted copy of the dataset.
+func Shuffle(ds *Dataset, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(ds.NumRows())
+	return ds.Gather(idx)
+}
+
+// Split partitions the dataset into two parts with the first containing
+// approximately fraction of the rows. Deterministic for a given seed.
+func Split(ds *Dataset, fraction float64, seed int64) (*Dataset, *Dataset, error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, nil, fmt.Errorf("dataset: split fraction %v out of [0,1]", fraction)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var a, b []int
+	for r := 0; r < ds.NumRows(); r++ {
+		if rng.Float64() < fraction {
+			a = append(a, r)
+		} else {
+			b = append(b, r)
+		}
+	}
+	return ds.Gather(a), ds.Gather(b), nil
+}

@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+)
+
+// skewed builds a dataset with a 95/5 class imbalance, like the paper's
+// call logs.
+func skewed(t *testing.T, n int) *Dataset {
+	t.Helper()
+	b, err := NewBuilder(Schema{
+		Attrs: []Attribute{
+			{Name: "x", Kind: Categorical},
+			{Name: "class", Kind: Categorical},
+		},
+		ClassIndex: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		class := "ok"
+		if i%20 == 0 {
+			class = "fail"
+		}
+		if err := b.AddRow([]string{fmt.Sprintf("v%d", i%4), class}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestUnbalancedSampleKeepsMinority(t *testing.T) {
+	ds := skewed(t, 2000)
+	out, err := UnbalancedSample(ds, SampleOptions{Seed: 1, KeepFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origDist := ds.ClassDistribution()
+	newDist := out.ClassDistribution()
+	failCode, _ := ds.ClassDict().Lookup("fail")
+	okCode, _ := ds.ClassDict().Lookup("ok")
+	if newDist[failCode] != origDist[failCode] {
+		t.Errorf("minority class changed: %d -> %d", origDist[failCode], newDist[failCode])
+	}
+	kept := float64(newDist[okCode]) / float64(origDist[okCode])
+	if kept < 0.05 || kept > 0.2 {
+		t.Errorf("majority keep fraction %.3f, want ≈0.1", kept)
+	}
+	// The minority share must have increased.
+	before := float64(origDist[failCode]) / float64(ds.NumRows())
+	after := float64(newDist[failCode]) / float64(out.NumRows())
+	if after <= before {
+		t.Errorf("minority share did not increase: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestUnbalancedSampleNamedClass(t *testing.T) {
+	ds := skewed(t, 400)
+	out, err := UnbalancedSample(ds, SampleOptions{Seed: 1, MajorityClass: "fail", KeepFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCode, _ := ds.ClassDict().Lookup("ok")
+	if out.ClassDistribution()[okCode] != ds.ClassDistribution()[okCode] {
+		t.Error("ok class should be untouched when fail is named majority")
+	}
+	if _, err := UnbalancedSample(ds, SampleOptions{Seed: 1, MajorityClass: "nope", KeepFraction: 0.5}); err == nil {
+		t.Error("unknown class should fail")
+	}
+	if _, err := UnbalancedSample(ds, SampleOptions{Seed: 1, KeepFraction: 0}); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	if _, err := UnbalancedSample(ds, SampleOptions{Seed: 1, KeepFraction: 1.5}); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+}
+
+func TestUnbalancedSampleDeterministic(t *testing.T) {
+	ds := skewed(t, 1000)
+	a, err := UnbalancedSample(ds, SampleOptions{Seed: 7, KeepFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnbalancedSample(ds, SampleOptions{Seed: 7, KeepFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != b.NumRows() {
+		t.Error("same seed should give the same sample")
+	}
+}
+
+func TestStratifiedSample(t *testing.T) {
+	ds := skewed(t, 4000)
+	out, err := StratifiedSample(ds, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(out.NumRows()) / float64(ds.NumRows())
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("sample fraction %.3f, want ≈0.25", frac)
+	}
+	if _, err := StratifiedSample(ds, 0, 3); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	// Non-empty dataset never samples to zero rows.
+	tiny := skewed(t, 3)
+	s, err := StratifiedSample(tiny, 0.0001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() == 0 {
+		t.Error("sample collapsed to zero rows")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	ds := skewed(t, 100)
+	sh := Shuffle(ds, 42)
+	if sh.NumRows() != ds.NumRows() {
+		t.Fatal("shuffle changed row count")
+	}
+	// Same multiset of classes.
+	a, b := ds.ClassDistribution(), sh.ClassDistribution()
+	for c := range a {
+		if a[c] != b[c] {
+			t.Errorf("class %d count changed", c)
+		}
+	}
+	// Some row moved (overwhelmingly likely for n=100).
+	moved := false
+	for r := 0; r < ds.NumRows(); r++ {
+		if ds.Label(r, 0) != sh.Label(r, 0) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("shuffle left every row in place")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := skewed(t, 1000)
+	a, b, err := Split(ds, 0.7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows()+b.NumRows() != ds.NumRows() {
+		t.Error("split lost rows")
+	}
+	frac := float64(a.NumRows()) / float64(ds.NumRows())
+	if frac < 0.6 || frac > 0.8 {
+		t.Errorf("split fraction %.3f, want ≈0.7", frac)
+	}
+	if _, _, err := Split(ds, -0.1, 1); err == nil {
+		t.Error("negative fraction should fail")
+	}
+}

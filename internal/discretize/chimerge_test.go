@@ -1,0 +1,246 @@
+package discretize
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestChiMergeSeparatesClasses(t *testing.T) {
+	// Two clean bands: a single cut near the boundary.
+	var values []float64
+	var classes []int32
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		if i%2 == 0 {
+			values = append(values, rng.Float64()*10)
+			classes = append(classes, 0)
+		} else {
+			values = append(values, 12+rng.Float64()*10)
+			classes = append(classes, 1)
+		}
+	}
+	cuts, err := ChiMerge{}.Cuts(values, classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 1 {
+		t.Fatalf("cuts = %v, want exactly 1", cuts)
+	}
+	if cuts[0] < 10 || cuts[0] > 12 {
+		t.Errorf("cut at %v, want within (10,12)", cuts[0])
+	}
+}
+
+func TestChiMergeNoSignalMergesHeavily(t *testing.T) {
+	// Per-pair significance testing at 0.95 keeps a tail of spurious
+	// boundaries on pure noise (ChiMerge's documented behaviour), but
+	// the vast majority of the ~400 distinct values must merge away, and
+	// a stricter threshold must merge strictly more.
+	var values []float64
+	var classes []int32
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 400; i++ {
+		values = append(values, rng.Float64()*100)
+		classes = append(classes, int32(rng.Intn(2)))
+	}
+	cuts95, err := ChiMerge{}.Cuts(values, classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts95) > 80 {
+		t.Errorf("noise kept %d of ~400 boundaries; merging broken", len(cuts95))
+	}
+	cuts999, err := ChiMerge{Threshold: 10.83}.Cuts(values, classes, 2) // 0.999 level
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts999) >= len(cuts95) {
+		t.Errorf("stricter threshold kept %d cuts vs %d at 0.95", len(cuts999), len(cuts95))
+	}
+	// The practical configuration for noisy data: a hard cap.
+	capped, err := ChiMerge{MaxIntervals: 6}.Cuts(values, classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) > 5 {
+		t.Errorf("MaxIntervals=6 kept %d cuts", len(capped))
+	}
+}
+
+func TestChiMergeMaxIntervals(t *testing.T) {
+	// Strong three-band signal, but the cap forces two intervals.
+	var values []float64
+	var classes []int32
+	for i := 0; i < 300; i++ {
+		band := i % 3
+		values = append(values, float64(band*20)+float64(i%10))
+		classes = append(classes, int32(band))
+	}
+	cuts, err := ChiMerge{MaxIntervals: 2}.Cuts(values, classes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) > 1 {
+		t.Errorf("MaxIntervals=2 produced %d cuts", len(cuts))
+	}
+}
+
+func TestChiMergeMinIntervals(t *testing.T) {
+	// MinIntervals keeps boundaries even in pure noise.
+	var values []float64
+	var classes []int32
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		values = append(values, rng.Float64()*50)
+		classes = append(classes, int32(rng.Intn(2)))
+	}
+	cuts, err := ChiMerge{MinIntervals: 4, Threshold: 1e12}.Cuts(values, classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 3 {
+		t.Errorf("MinIntervals=4 yielded %d cuts, want 3", len(cuts))
+	}
+}
+
+func TestChiMergeValidation(t *testing.T) {
+	if _, err := (ChiMerge{}).Cuts([]float64{1}, []int32{0, 1}, 2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := (ChiMerge{}).Cuts([]float64{1}, []int32{0}, 0); err == nil {
+		t.Error("zero classes should fail")
+	}
+	cuts, err := ChiMerge{}.Cuts(nil, nil, 2)
+	if err != nil || cuts != nil {
+		t.Errorf("empty input: cuts=%v err=%v", cuts, err)
+	}
+}
+
+func TestChiMergeSortedStrict(t *testing.T) {
+	var values []float64
+	var classes []int32
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		v := rng.NormFloat64() * 5
+		values = append(values, v)
+		if v > 0 {
+			classes = append(classes, 1)
+		} else {
+			classes = append(classes, 0)
+		}
+	}
+	cuts, err := ChiMerge{}.Cuts(values, classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(cuts) {
+		t.Errorf("cuts not sorted: %v", cuts)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] == cuts[i-1] {
+			t.Errorf("duplicate cut %v", cuts[i])
+		}
+	}
+}
+
+func TestChiMergeManyClassesThreshold(t *testing.T) {
+	// df > 10 exercises the Wilson–Hilferty fallback; just assert it
+	// runs and produces sane cuts.
+	var values []float64
+	var classes []int32
+	for i := 0; i < 600; i++ {
+		band := i % 12
+		values = append(values, float64(band)+0.1*float64(i%7))
+		classes = append(classes, int32(band))
+	}
+	cuts, err := ChiMerge{}.Cuts(values, classes, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) == 0 {
+		t.Error("strong 12-class signal should keep cuts")
+	}
+}
+
+func TestPairChi2(t *testing.T) {
+	// Identical distributions → 0.
+	if chi := pairChi2([]int64{10, 10}, []int64{20, 20}); chi != 0 {
+		t.Errorf("identical distributions chi = %v", chi)
+	}
+	// Disjoint classes → large.
+	if chi := pairChi2([]int64{20, 0}, []int64{0, 20}); chi < 10 {
+		t.Errorf("disjoint distributions chi = %v", chi)
+	}
+	if chi := pairChi2([]int64{0, 0}, []int64{0, 0}); chi != 0 {
+		t.Errorf("empty pair chi = %v", chi)
+	}
+}
+
+func TestChiMergePrebinsHighCardinality(t *testing.T) {
+	// 20k distinct values must complete quickly (the merge loop is
+	// quadratic without pre-binning) and still find the planted boundary.
+	var values []float64
+	var classes []int32
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		v := rng.Float64() * 100
+		values = append(values, v)
+		if v > 50 {
+			classes = append(classes, 1)
+		} else {
+			classes = append(classes, 0)
+		}
+	}
+	start := time.Now()
+	cuts, err := ChiMerge{}.Cuts(values, classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("high-cardinality ChiMerge took %v; pre-binning broken", elapsed)
+	}
+	if len(cuts) == 0 {
+		t.Fatal("no cuts on cleanly separated data")
+	}
+	found := false
+	for _, c := range cuts {
+		if c > 49 && c < 51 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cut near the planted boundary 50: %v", cuts)
+	}
+}
+
+func TestPrebinPreservesTotals(t *testing.T) {
+	ivs := []cmInterval{
+		{lo: 1, hi: 1, counts: []int64{3, 1}},
+		{lo: 2, hi: 2, counts: []int64{2, 2}},
+		{lo: 3, hi: 3, counts: []int64{0, 4}},
+		{lo: 4, hi: 4, counts: []int64{1, 1}},
+		{lo: 5, hi: 5, counts: []int64{5, 0}},
+	}
+	out := prebin(ivs, 2, 2)
+	if len(out) > 3 {
+		t.Errorf("prebin kept %d intervals for target 2", len(out))
+	}
+	var wantA, wantB, gotA, gotB int64
+	for _, iv := range ivs {
+		wantA += iv.counts[0]
+		wantB += iv.counts[1]
+	}
+	for _, iv := range out {
+		gotA += iv.counts[0]
+		gotB += iv.counts[1]
+	}
+	if gotA != wantA || gotB != wantB {
+		t.Errorf("prebin lost counts: (%d,%d) vs (%d,%d)", gotA, gotB, wantA, wantB)
+	}
+	// Ranges nest: first lo and last hi preserved.
+	if out[0].lo != 1 || out[len(out)-1].hi != 5 {
+		t.Error("prebin broke the value range")
+	}
+}

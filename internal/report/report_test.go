@@ -1,0 +1,198 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"opmap/internal/compare"
+	"opmap/internal/gi"
+	"opmap/internal/rulecube"
+	"opmap/internal/workload"
+)
+
+func fixture(t *testing.T) (*compare.Result, *gi.Report, workload.GroundTruth) {
+	t.Helper()
+	ds, gt, err := workload.CallLog(workload.CallLogConfig{Seed: 33, Records: 30000, NoiseAttrs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := ds.AttrIndex(gt.PhoneAttr)
+	v1, _ := ds.Column(attr).Dict.Lookup(gt.GoodPhone)
+	v2, _ := ds.Column(attr).Dict.Lookup(gt.BadPhone)
+	cls, _ := ds.ClassDict().Lookup(gt.DropClass)
+	res, err := compare.New(store).Compare(compare.Input{Attr: attr, V1: v1, V2: v2, Class: cls}, compare.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := gi.MineAll(store, gi.TrendOptions{}, gi.ExceptionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, imp, gt
+}
+
+func TestComparisonReportContent(t *testing.T) {
+	res, imp, gt := fixture(t)
+	var buf bytes.Buffer
+	err := Comparison(&buf, res, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass,
+		Options{Impressions: imp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Comparison report",
+		"## Input rules",
+		"## Attribute ranking",
+		gt.DistinguishingAttr,
+		"## Property attributes",
+		gt.PropertyAttr,
+		"## Evidence for the top",
+		"morning",
+		"## Appendix: general impressions",
+		"Influential attributes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The gap concentrates in the morning — the focus line must say so.
+	if !strings.Contains(out, "concentrates in **morning**") {
+		t.Error("missing focus line for the planted concentration")
+	}
+	// No timestamp by default (deterministic output).
+	if strings.Contains(out, "_Generated") {
+		t.Error("unexpected timestamp without Generated option")
+	}
+}
+
+func TestComparisonReportDeterministic(t *testing.T) {
+	res, imp, gt := fixture(t)
+	render := func() string {
+		var buf bytes.Buffer
+		if err := Comparison(&buf, res, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass,
+			Options{Impressions: imp}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Error("report is not deterministic")
+	}
+}
+
+func TestComparisonReportOptions(t *testing.T) {
+	res, _, gt := fixture(t)
+	var buf bytes.Buffer
+	ts := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	err := Comparison(&buf, res, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass,
+		Options{Title: "Custom Title", TopN: 1, Generated: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Custom Title") {
+		t.Error("custom title missing")
+	}
+	if !strings.Contains(out, "2026-07-05T12:00:00Z") {
+		t.Error("timestamp missing")
+	}
+	if !strings.Contains(out, "top 1 attributes") {
+		t.Error("TopN not reflected")
+	}
+	// Only one detailed section.
+	if strings.Count(out, "### ") != 1 {
+		t.Errorf("expected 1 detailed section, got %d", strings.Count(out, "### "))
+	}
+}
+
+func TestEscapeCell(t *testing.T) {
+	if escapeCell("a|b") != "a\\|b" {
+		t.Error("pipe not escaped")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 100 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestComparisonReportPropagatesWriteError(t *testing.T) {
+	res, _, gt := fixture(t)
+	err := Comparison(&failWriter{}, res, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass, Options{})
+	if err == nil {
+		t.Error("write error swallowed")
+	}
+}
+
+func TestHottestValueSpread(t *testing.T) {
+	// A score with evenly spread contributions has no focus value.
+	s := compare.AttrScore{
+		Score: 10,
+		Values: []compare.ValueDetail{
+			{Label: "a", W: 3},
+			{Label: "b", W: 3},
+			{Label: "c", W: 4},
+		},
+	}
+	if hottestValue(s) != "" {
+		t.Error("spread contributions should yield no focus")
+	}
+	s.Values[2].W = 8
+	s.Score = 14
+	if hottestValue(s) != "c" {
+		t.Error("dominant value not detected")
+	}
+	if hottestValue(compare.AttrScore{}) != "" {
+		t.Error("zero score should yield no focus")
+	}
+}
+
+func TestSweepReport(t *testing.T) {
+	ds, gt, err := workload.CallLog(workload.CallLogConfig{Seed: 44, Records: 40000, NoiseAttrs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone := ds.AttrIndex(gt.PhoneAttr)
+	cls, _ := ds.ClassDict().Lookup(gt.DropClass)
+	sweep, err := compare.New(store).Sweep(phone, cls, compare.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Sweep(&buf, gt.PhoneAttr, gt.DropClass, sweep, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Sweep report",
+		"Recurrent distinguishing attributes",
+		gt.DistinguishingAttr,
+		"Per-pair outcomes",
+		gt.BadPhone,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep report missing %q", want)
+		}
+	}
+	// Write errors propagate.
+	if err := Sweep(&failWriter{}, gt.PhoneAttr, gt.DropClass, sweep, Options{}); err == nil {
+		t.Error("write error swallowed")
+	}
+}

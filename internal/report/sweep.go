@@ -1,0 +1,50 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"opmap/internal/compare"
+)
+
+// Sweep renders a Markdown report of a sweep (screen every significant
+// value pair, compare each, aggregate the explanations): the
+// systemic-vs-specific summary an engineering manager acts on.
+func Sweep(w io.Writer, attrName, classLabel string, res *compare.SweepResult, opts Options) error {
+	bw := &errWriter{w: w}
+	title := opts.Title
+	if title == "" {
+		title = fmt.Sprintf("Sweep report: %s pairs on %q", attrName, classLabel)
+	}
+	fmt.Fprintf(bw, "# %s\n\n", title)
+	if !opts.Generated.IsZero() {
+		fmt.Fprintf(bw, "_Generated %s_\n\n", opts.Generated.Format("2006-01-02T15:04:05Z07:00"))
+	}
+	fmt.Fprintf(bw, "%d significant pairs compared (%d skipped for undefined ratios).\n\n",
+		res.PairsCompared, res.PairsSkipped)
+
+	fmt.Fprintf(bw, "## Recurrent distinguishing attributes\n\n")
+	fmt.Fprintf(bw, "An attribute distinguishing **many** pairs points at a systemic cause; "+
+		"one distinguishing a **single** pair points at that product.\n\n")
+	fmt.Fprintf(bw, "| Attribute | Pairs | Best M | Best pair | Total M |\n|---|---:|---:|---|---:|\n")
+	for _, a := range res.Attributes {
+		fmt.Fprintf(bw, "| %s | %d | %.1f | %s vs %s | %.1f |\n",
+			a.Name, a.Pairs, a.BestScore, escapeCell(a.BestPair[0]), escapeCell(a.BestPair[1]), a.TotalScore)
+	}
+	fmt.Fprintln(bw)
+
+	fmt.Fprintf(bw, "## Per-pair outcomes\n\n")
+	fmt.Fprintf(bw, "| Pair | cf low | cf high | Top attribute | M |\n|---|---:|---:|---|---:|\n")
+	for i, cmp := range res.Comparisons {
+		labels := res.PairLabels[i]
+		topName, topM := "—", 0.0
+		if len(cmp.Ranked) > 0 {
+			topName = cmp.Ranked[0].Name
+			topM = cmp.Ranked[0].Score
+		}
+		fmt.Fprintf(bw, "| %s vs %s | %.3f%% | %.3f%% | %s | %.1f |\n",
+			escapeCell(labels[0]), escapeCell(labels[1]), 100*cmp.Cf1, 100*cmp.Cf2, topName, topM)
+	}
+	fmt.Fprintln(bw)
+	return bw.err
+}

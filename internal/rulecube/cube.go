@@ -1,0 +1,632 @@
+// Package rulecube implements rule cubes (Section III.B of the paper): a
+// rule cube over attributes {A_i1..A_ip} plus the class attribute is a
+// (p+1)-dimensional array whose cell (v1..vp, c) holds the support count
+// of the rule A_i1=v1, .., A_ip=vp -> C=c. Mining with zero minimum
+// support/confidence corresponds to fully counting the array, which
+// removes holes from the knowledge space. OLAP-style slice, dice and
+// roll-up operations navigate cubes; a Store materializes all 2-D and
+// 3-D cubes of a dataset the way the deployed Opportunity Map does.
+package rulecube
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"opmap/internal/car"
+	"opmap/internal/dataset"
+)
+
+// Cube is a rule cube: p condition dimensions plus the class dimension.
+type Cube struct {
+	attrIdx    []int                 // dataset attribute indices of the p condition dims
+	attrNames  []string              // names of the condition dims
+	dicts      []*dataset.Dictionary // value dictionaries of the condition dims
+	classDict  *dataset.Dictionary
+	dims       []int // cardinality of each condition dim
+	numClasses int
+	counts     []int64 // row-major: (((v1*dim2)+v2)...)*numClasses + class
+	total      int64   // total records represented (sum of all cells)
+}
+
+// NumDims returns the number of condition dimensions p (the cube has
+// p+1 dimensions counting the class).
+func (c *Cube) NumDims() int { return len(c.dims) }
+
+// AttrIndices returns the dataset attribute indices of the condition
+// dimensions, in cube order. The caller must not modify the slice.
+func (c *Cube) AttrIndices() []int { return c.attrIdx }
+
+// AttrNames returns the names of the condition dimensions.
+func (c *Cube) AttrNames() []string { return c.attrNames }
+
+// Dim returns the cardinality of condition dimension pos.
+func (c *Cube) Dim(pos int) int { return c.dims[pos] }
+
+// Dict returns the value dictionary of condition dimension pos.
+func (c *Cube) Dict(pos int) *dataset.Dictionary { return c.dicts[pos] }
+
+// ClassDict returns the class dictionary.
+func (c *Cube) ClassDict() *dataset.Dictionary { return c.classDict }
+
+// NumClasses returns the number of class values.
+func (c *Cube) NumClasses() int { return c.numClasses }
+
+// Total returns the total record count in the cube.
+func (c *Cube) Total() int64 { return c.total }
+
+// offset computes the flat index for the given cell coordinates.
+func (c *Cube) offset(values []int32, class int32) (int, error) {
+	if len(values) != len(c.dims) {
+		return 0, fmt.Errorf("rulecube: got %d coordinates for a %d-dimensional cube", len(values), len(c.dims))
+	}
+	idx := 0
+	for i, v := range values {
+		if v < 0 || int(v) >= c.dims[i] {
+			return 0, fmt.Errorf("rulecube: coordinate %d=%d out of range [0,%d)", i, v, c.dims[i])
+		}
+		idx = idx*c.dims[i] + int(v)
+	}
+	if class < 0 || int(class) >= c.numClasses {
+		return 0, fmt.Errorf("rulecube: class %d out of range [0,%d)", class, c.numClasses)
+	}
+	return idx*c.numClasses + int(class), nil
+}
+
+// Count returns the support count of the cell (values..., class): the
+// number of records with those attribute values and that class.
+func (c *Cube) Count(values []int32, class int32) (int64, error) {
+	off, err := c.offset(values, class)
+	if err != nil {
+		return 0, err
+	}
+	return c.counts[off], nil
+}
+
+// CondCount returns sup(values) summed over all classes — the
+// denominator of Eq. (1).
+func (c *Cube) CondCount(values []int32) (int64, error) {
+	off, err := c.offset(values, 0)
+	if err != nil {
+		return 0, err
+	}
+	var s int64
+	for k := 0; k < c.numClasses; k++ {
+		s += c.counts[off+k]
+	}
+	return s, nil
+}
+
+// Support returns the relative support count/total of the cell.
+func (c *Cube) Support(values []int32, class int32) (float64, error) {
+	n, err := c.Count(values, class)
+	if err != nil {
+		return 0, err
+	}
+	if c.total == 0 {
+		return 0, nil
+	}
+	return float64(n) / float64(c.total), nil
+}
+
+// Confidence computes Eq. (1): conf(values -> class) =
+// sup(values, class) / Σ_j sup(values, c_j). Empty denominators yield 0,
+// matching the paper's Fig. 1 discussion (zero-count rules have
+// confidence 0).
+func (c *Cube) Confidence(values []int32, class int32) (float64, error) {
+	num, err := c.Count(values, class)
+	if err != nil {
+		return 0, err
+	}
+	den, err := c.CondCount(values)
+	if err != nil {
+		return 0, err
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return float64(num) / float64(den), nil
+}
+
+// Rule materializes the cell (values..., class) as a car.Rule.
+func (c *Cube) Rule(values []int32, class int32) (car.Rule, error) {
+	sup, err := c.Count(values, class)
+	if err != nil {
+		return car.Rule{}, err
+	}
+	cond, err := c.CondCount(values)
+	if err != nil {
+		return car.Rule{}, err
+	}
+	conds := make([]car.Condition, len(values))
+	for i, v := range values {
+		conds[i] = car.Condition{Attr: c.attrIdx[i], Value: v}
+	}
+	return car.Rule{Conditions: conds, Class: class, SupCount: sup, CondCount: cond, Total: c.total}, nil
+}
+
+// Build counts a rule cube over the given condition attributes of ds.
+// Rows with a missing value in any cube dimension (including the class)
+// are skipped. ds must be fully categorical.
+func Build(ds *dataset.Dataset, attrs []int) (*Cube, error) {
+	if !ds.AllCategorical() {
+		return nil, fmt.Errorf("rulecube: dataset has continuous attributes; discretize first")
+	}
+	classIdx := ds.ClassIndex()
+	seen := make(map[int]bool, len(attrs))
+	for _, a := range attrs {
+		if a < 0 || a >= ds.NumAttrs() {
+			return nil, fmt.Errorf("rulecube: attribute index %d out of range", a)
+		}
+		if a == classIdx {
+			return nil, fmt.Errorf("rulecube: class attribute cannot be a condition dimension")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("rulecube: duplicate attribute %d", a)
+		}
+		seen[a] = true
+	}
+	c := &Cube{
+		attrIdx:    append([]int(nil), attrs...),
+		classDict:  ds.ClassDict(),
+		numClasses: ds.NumClasses(),
+	}
+	size := c.numClasses
+	for _, a := range attrs {
+		card := ds.Cardinality(a)
+		if card == 0 {
+			card = 1 // an attribute with an empty domain still needs a slot
+		}
+		c.dims = append(c.dims, card)
+		c.attrNames = append(c.attrNames, ds.Attr(a).Name)
+		c.dicts = append(c.dicts, ds.Column(a).Dict)
+		size *= card
+	}
+	c.counts = make([]int64, size)
+
+	cols := make([][]int32, len(attrs))
+	for i, a := range attrs {
+		cols[i] = ds.Column(a).Codes
+	}
+	classCol := ds.Column(classIdx).Codes
+
+rows:
+	for r := 0; r < ds.NumRows(); r++ {
+		cl := classCol[r]
+		if cl < 0 {
+			continue
+		}
+		idx := 0
+		for i := range cols {
+			v := cols[i][r]
+			if v < 0 {
+				continue rows
+			}
+			idx = idx*c.dims[i] + int(v)
+		}
+		c.counts[idx*c.numClasses+int(cl)]++
+		c.total++
+	}
+	return c, nil
+}
+
+// Slice fixes condition dimension pos to the given value and returns the
+// resulting cube with one fewer dimension (the OLAP slice of Section
+// III.B; comparing two phones is two slices of a 3-D cube).
+func (c *Cube) Slice(pos int, value int32) (*Cube, error) {
+	if pos < 0 || pos >= len(c.dims) {
+		return nil, fmt.Errorf("rulecube: slice position %d out of range", pos)
+	}
+	if value < 0 || int(value) >= c.dims[pos] {
+		return nil, fmt.Errorf("rulecube: slice value %d out of range [0,%d)", value, c.dims[pos])
+	}
+	out := c.dropDim(pos)
+	c.forEach(func(values []int32, class int32, n int64) {
+		if values[pos] != value || n == 0 {
+			return
+		}
+		rest := dropAt(values, pos)
+		off, _ := out.offset(rest, class)
+		out.counts[off] += n
+		out.total += n
+	})
+	return out, nil
+}
+
+// Dice restricts condition dimension pos to a subset of values,
+// re-encoding that dimension to the chosen values in the given order.
+func (c *Cube) Dice(pos int, values []int32) (*Cube, error) {
+	if pos < 0 || pos >= len(c.dims) {
+		return nil, fmt.Errorf("rulecube: dice position %d out of range", pos)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("rulecube: dice needs at least one value")
+	}
+	remap := make(map[int32]int32, len(values))
+	dict := dataset.NewDictionary()
+	for i, v := range values {
+		if v < 0 || int(v) >= c.dims[pos] {
+			return nil, fmt.Errorf("rulecube: dice value %d out of range [0,%d)", v, c.dims[pos])
+		}
+		if _, dup := remap[v]; dup {
+			return nil, fmt.Errorf("rulecube: duplicate dice value %d", v)
+		}
+		remap[v] = int32(i)
+		dict.Code(c.dicts[pos].Label(v))
+	}
+	out := &Cube{
+		attrIdx:    append([]int(nil), c.attrIdx...),
+		attrNames:  append([]string(nil), c.attrNames...),
+		dicts:      append([]*dataset.Dictionary(nil), c.dicts...),
+		classDict:  c.classDict,
+		numClasses: c.numClasses,
+		dims:       append([]int(nil), c.dims...),
+	}
+	out.dims[pos] = len(values)
+	out.dicts[pos] = dict
+	size := out.numClasses
+	for _, d := range out.dims {
+		size *= d
+	}
+	out.counts = make([]int64, size)
+	c.forEach(func(vals []int32, class int32, n int64) {
+		if n == 0 {
+			return
+		}
+		nv, ok := remap[vals[pos]]
+		if !ok {
+			return
+		}
+		mapped := append([]int32(nil), vals...)
+		mapped[pos] = nv
+		off, _ := out.offset(mapped, class)
+		out.counts[off] += n
+		out.total += n
+	})
+	return out, nil
+}
+
+// Rollup marginalizes condition dimension pos out of the cube (the OLAP
+// roll-up; rule cubes have a single aggregation level, so roll-up simply
+// sums the dimension away).
+func (c *Cube) Rollup(pos int) (*Cube, error) {
+	if pos < 0 || pos >= len(c.dims) {
+		return nil, fmt.Errorf("rulecube: rollup position %d out of range", pos)
+	}
+	out := c.dropDim(pos)
+	c.forEach(func(values []int32, class int32, n int64) {
+		if n == 0 {
+			return
+		}
+		rest := dropAt(values, pos)
+		off, _ := out.offset(rest, class)
+		out.counts[off] += n
+		out.total += n
+	})
+	return out, nil
+}
+
+// dropDim builds an empty cube lacking condition dimension pos.
+func (c *Cube) dropDim(pos int) *Cube {
+	out := &Cube{
+		classDict:  c.classDict,
+		numClasses: c.numClasses,
+	}
+	size := c.numClasses
+	for i := range c.dims {
+		if i == pos {
+			continue
+		}
+		out.attrIdx = append(out.attrIdx, c.attrIdx[i])
+		out.attrNames = append(out.attrNames, c.attrNames[i])
+		out.dicts = append(out.dicts, c.dicts[i])
+		out.dims = append(out.dims, c.dims[i])
+		size *= c.dims[i]
+	}
+	out.counts = make([]int64, size)
+	return out
+}
+
+func dropAt(values []int32, pos int) []int32 {
+	out := make([]int32, 0, len(values)-1)
+	out = append(out, values[:pos]...)
+	return append(out, values[pos+1:]...)
+}
+
+// forEach visits every cell of the cube.
+func (c *Cube) forEach(f func(values []int32, class int32, count int64)) {
+	values := make([]int32, len(c.dims))
+	var rec func(dim, base int)
+	rec = func(dim, base int) {
+		if dim == len(c.dims) {
+			for k := 0; k < c.numClasses; k++ {
+				f(values, int32(k), c.counts[base*c.numClasses+k])
+			}
+			return
+		}
+		for v := 0; v < c.dims[dim]; v++ {
+			values[dim] = int32(v)
+			rec(dim+1, base*c.dims[dim]+v)
+		}
+	}
+	rec(0, 0)
+}
+
+// ForEach exposes cube cell iteration to other packages. The values
+// slice is reused between calls; callers must copy it to retain it.
+func (c *Cube) ForEach(f func(values []int32, class int32, count int64)) { c.forEach(f) }
+
+// ClassMarginals returns the per-class record totals of the cube.
+func (c *Cube) ClassMarginals() []int64 {
+	out := make([]int64, c.numClasses)
+	for i, n := range c.counts {
+		out[i%c.numClasses] += n
+	}
+	return out
+}
+
+// ValueMarginals returns the per-value record totals of condition
+// dimension pos (summed over all other dimensions and classes).
+func (c *Cube) ValueMarginals(pos int) ([]int64, error) {
+	if pos < 0 || pos >= len(c.dims) {
+		return nil, fmt.Errorf("rulecube: position %d out of range", pos)
+	}
+	out := make([]int64, c.dims[pos])
+	c.forEach(func(values []int32, _ int32, n int64) {
+		out[values[pos]] += n
+	})
+	return out, nil
+}
+
+// ScaleFactors returns per-class visual scaling factors that equalize
+// class prominence (Section V.B: "The system supports automatic scaling
+// among classes to address the class imbalance issue"). The factor for
+// class k is maxCount/count_k; empty classes get factor 0.
+func (c *Cube) ScaleFactors() []float64 {
+	marg := c.ClassMarginals()
+	var max int64
+	for _, m := range marg {
+		if m > max {
+			max = m
+		}
+	}
+	out := make([]float64, len(marg))
+	if max == 0 {
+		return out
+	}
+	for k, m := range marg {
+		if m > 0 {
+			out[k] = float64(max) / float64(m)
+		}
+	}
+	return out
+}
+
+// RuleCount returns the number of rules the cube represents: the number
+// of cells (Fig. 1 represents 3×4×2 = 24 rules).
+func (c *Cube) RuleCount() int {
+	n := c.numClasses
+	for _, d := range c.dims {
+		n *= d
+	}
+	return n
+}
+
+// Rules materializes every cell as a car.Rule, in cell order. Intended
+// for small cubes (display, tests); large cubes should use ForEach.
+func (c *Cube) Rules() []car.Rule {
+	out := make([]car.Rule, 0, c.RuleCount())
+	c.forEach(func(values []int32, class int32, _ int64) {
+		r, err := c.Rule(values, class)
+		if err == nil {
+			out = append(out, r)
+		}
+	})
+	return out
+}
+
+// pairKey normalizes an attribute pair for Store lookup.
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// StoreOptions configures Store materialization.
+type StoreOptions struct {
+	// Attrs restricts the attributes materialized (class excluded
+	// automatically). Nil means all non-class attributes.
+	Attrs []int
+	// SkipPairs disables materializing 3-D cubes, leaving only the 2-D
+	// (attribute × class) cubes.
+	SkipPairs bool
+	// Parallelism is the number of goroutines counting pair cubes.
+	// Zero means GOMAXPROCS; 1 forces the serial path. Cube generation
+	// is the paper's offline step (Fig. 10/11) and parallelizes
+	// embarrassingly across attribute pairs.
+	Parallelism int
+}
+
+// Store holds the materialized rule cubes of a dataset: one 2-D cube per
+// attribute (attribute × class) and one 3-D cube per attribute pair
+// (A × B × class), mirroring the deployed system ("In our current
+// implementation, we store all 3-dimensional rule cubes").
+type Store struct {
+	ds    *dataset.Dataset
+	attrs []int
+	oneD  map[int]*Cube
+	twoD  map[[2]int]*Cube
+}
+
+// BuildStore materializes the cube store for ds.
+func BuildStore(ds *dataset.Dataset, opts StoreOptions) (*Store, error) {
+	if !ds.AllCategorical() {
+		return nil, fmt.Errorf("rulecube: dataset has continuous attributes; discretize first")
+	}
+	attrs := opts.Attrs
+	if attrs == nil {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			if a != ds.ClassIndex() {
+				attrs = append(attrs, a)
+			}
+		}
+	} else {
+		attrs = append([]int(nil), attrs...)
+		for _, a := range attrs {
+			if a == ds.ClassIndex() {
+				return nil, fmt.Errorf("rulecube: class attribute in store attribute list")
+			}
+		}
+	}
+	sort.Ints(attrs)
+	s := &Store{
+		ds:    ds,
+		attrs: attrs,
+		oneD:  make(map[int]*Cube, len(attrs)),
+		twoD:  make(map[[2]int]*Cube),
+	}
+	for _, a := range attrs {
+		cube, err := Build(ds, []int{a})
+		if err != nil {
+			return nil, err
+		}
+		s.oneD[a] = cube
+	}
+	if !opts.SkipPairs {
+		var pairs [][2]int
+		for i, a := range attrs {
+			for _, b := range attrs[i+1:] {
+				pairs = append(pairs, [2]int{a, b})
+			}
+		}
+		workers := opts.Parallelism
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(pairs) {
+			workers = len(pairs)
+		}
+		if workers <= 1 {
+			for _, p := range pairs {
+				cube, err := Build(ds, []int{p[0], p[1]})
+				if err != nil {
+					return nil, err
+				}
+				s.twoD[p] = cube
+			}
+			return s, nil
+		}
+		type result struct {
+			pair [2]int
+			cube *Cube
+			err  error
+		}
+		jobs := make(chan [2]int)
+		results := make(chan result)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for p := range jobs {
+					cube, err := Build(ds, []int{p[0], p[1]})
+					results <- result{pair: p, cube: cube, err: err}
+				}
+			}()
+		}
+		go func() {
+			for _, p := range pairs {
+				jobs <- p
+			}
+			close(jobs)
+			wg.Wait()
+			close(results)
+		}()
+		var firstErr error
+		for r := range results {
+			if r.err != nil {
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				continue
+			}
+			s.twoD[r.pair] = r.cube
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	return s, nil
+}
+
+// Dataset returns the dataset the store was built from.
+func (s *Store) Dataset() *dataset.Dataset { return s.ds }
+
+// Attrs returns the materialized attribute indices in ascending order.
+func (s *Store) Attrs() []int { return s.attrs }
+
+// Cube1 returns the 2-D cube (attr × class), or nil if not materialized.
+func (s *Store) Cube1(attr int) *Cube { return s.oneD[attr] }
+
+// Cube2 returns the 3-D cube over the attribute pair, or nil. The cube's
+// first dimension is min(a,b) and second is max(a,b).
+func (s *Store) Cube2(a, b int) *Cube { return s.twoD[pairKey(a, b)] }
+
+// CubeCount returns the number of materialized cubes.
+func (s *Store) CubeCount() int { return len(s.oneD) + len(s.twoD) }
+
+// StoreStats summarizes a store's size — the quantified form of the
+// paper's combinatorial-explosion concern (Section III.B: storing all
+// rules "will result in a huge number of rules"; the two-condition cap
+// keeps it tractable).
+type StoreStats struct {
+	Attributes int
+	Cubes      int
+	// Cells is the total cell count across all cubes = the number of
+	// rules the store represents.
+	Cells int
+	// Bytes approximates count-array memory (8 bytes per cell).
+	Bytes int64
+	// MaxCubeCells is the largest single cube.
+	MaxCubeCells int
+}
+
+// Stats computes the store's size summary.
+func (s *Store) Stats() StoreStats {
+	st := StoreStats{Attributes: len(s.attrs)}
+	add := func(c *Cube) {
+		st.Cubes++
+		n := c.RuleCount()
+		st.Cells += n
+		st.Bytes += int64(n) * 8
+		if n > st.MaxCubeCells {
+			st.MaxCubeCells = n
+		}
+	}
+	for _, c := range s.oneD {
+		add(c)
+	}
+	for _, c := range s.twoD {
+		add(c)
+	}
+	return st
+}
+
+// RestrictedCube mines a higher-dimensional cube on demand by fixing
+// conditions and cubing the remaining attributes over the matching
+// sub-population ("a restricted mining can be carried out",
+// Section III.B). The fixed conditions select rows; the returned cube is
+// over attrs within that sub-population.
+func (s *Store) RestrictedCube(fixed []car.Condition, attrs []int) (*Cube, error) {
+	sub := s.ds.Filter(func(r int) bool {
+		for _, f := range fixed {
+			if s.ds.CatCode(r, f.Attr) != f.Value {
+				return false
+			}
+		}
+		return true
+	})
+	return Build(sub, attrs)
+}

@@ -1,0 +1,49 @@
+package rulecube_test
+
+import (
+	"bytes"
+	"testing"
+
+	"opmap/internal/rulecube"
+)
+
+// FuzzReadStore hardens the persistence reader against arbitrary bytes:
+// whatever the input, ReadStore must return an error or a usable store —
+// never panic, never allocate absurdly.
+func FuzzReadStore(f *testing.F) {
+	// Seed with a valid store and a few mutations of it.
+	ds := fig1Dataset(f)
+	store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rulecube.WriteStore(&buf, store); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("OMAPCUBE"))
+	f.Add([]byte{})
+	mutated := append([]byte{}, valid...)
+	mutated[len(mutated)/3] ^= 0x40
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := rulecube.ReadStore(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed store must answer basic queries without
+		// panicking.
+		for _, a := range s.Attrs() {
+			c := s.Cube1(a)
+			if c == nil {
+				continue
+			}
+			_ = c.ClassMarginals()
+			_ = c.RuleCount()
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package visual
+
+import (
+	"fmt"
+	"io"
+
+	"opmap/internal/rulecube"
+)
+
+// Detailed3D renders a 3-D rule cube (two condition attributes × class)
+// as a matrix of grids: one row per value of the first attribute, one
+// column block per class, each cell holding the confidence bar of the
+// second attribute's values — the "3-dimensional rule cube" detailed
+// view of Section V.B. Slicing the first dimension to two values and
+// reading one class column is exactly the comparison layout of Fig. 7.
+func Detailed3D(w io.Writer, cube *rulecube.Cube) error {
+	if cube.NumDims() != 2 {
+		return fmt.Errorf("visual: Detailed3D needs a 3-D rule cube, got %d condition dims", cube.NumDims())
+	}
+	names := cube.AttrNames()
+	fmt.Fprintf(w, "Detailed view — %s × %s × class (%d records)\n", names[0], names[1], cube.Total())
+
+	d0, d1 := cube.Dim(0), cube.Dim(1)
+	classDict := cube.ClassDict()
+	dict0, dict1 := cube.Dict(0), cube.Dict(1)
+
+	// Per-class maximum confidence for scaling, so minority classes
+	// remain visible (the paper's class scaling).
+	maxConf := make([]float64, cube.NumClasses())
+	for v0 := 0; v0 < d0; v0++ {
+		for v1 := 0; v1 < d1; v1++ {
+			for k := 0; k < cube.NumClasses(); k++ {
+				cf, err := cube.Confidence([]int32{int32(v0), int32(v1)}, int32(k))
+				if err != nil {
+					return err
+				}
+				if cf > maxConf[k] {
+					maxConf[k] = cf
+				}
+			}
+		}
+	}
+
+	for v0 := 0; v0 < d0; v0++ {
+		var rowTotal int64
+		for v1 := 0; v1 < d1; v1++ {
+			n, err := cube.CondCount([]int32{int32(v0), int32(v1)})
+			if err != nil {
+				return err
+			}
+			rowTotal += n
+		}
+		fmt.Fprintf(w, "%s=%s (n=%d)\n", names[0], dict0.Label(int32(v0)), rowTotal)
+		for k := int32(0); int(k) < cube.NumClasses(); k++ {
+			confs := make([]float64, d1)
+			for v1 := 0; v1 < d1; v1++ {
+				cf, err := cube.Confidence([]int32{int32(v0), int32(v1)}, k)
+				if err != nil {
+					return err
+				}
+				confs[v1] = cf
+			}
+			scale := maxConf[k]
+			if scale == 0 {
+				scale = 1
+			}
+			fmt.Fprintf(w, "  %-24s %s", classDict.Label(k), sparkline(confs, scale))
+			// Annotate the per-value confidences for narrow cubes.
+			if d1 <= 8 {
+				fmt.Fprint(w, "  [")
+				for v1 := 0; v1 < d1; v1++ {
+					if v1 > 0 {
+						fmt.Fprint(w, " ")
+					}
+					fmt.Fprintf(w, "%s=%.2f%%", dict1.Label(int32(v1)), 100*confs[v1])
+				}
+				fmt.Fprint(w, "]")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"opmap/internal/dataset"
+)
+
+// ScaleConfig parameterizes the scale-up workloads behind the paper's
+// performance figures (Fig. 9–11): a dataset with a controllable number
+// of attributes, per-attribute cardinality, and records. Attribute 0 is
+// a product-like attribute whose first two values differ in failure
+// rate, with the gap planted in attribute 1, so comparisons over the
+// scale-up data remain meaningful, not just busywork.
+type ScaleConfig struct {
+	Seed        int64
+	Records     int
+	Attrs       int // number of non-class attributes (the paper sweeps 40–160)
+	Cardinality int // values per attribute; zero means 8
+	Classes     int // number of classes; zero means 3
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.Records == 0 {
+		c.Records = 100000
+	}
+	if c.Attrs == 0 {
+		c.Attrs = 40
+	}
+	if c.Cardinality == 0 {
+		c.Cardinality = 8
+	}
+	if c.Classes == 0 {
+		c.Classes = 3
+	}
+	return c
+}
+
+// Scale generates the scale-up dataset. Class 1 is the rare "failure"
+// class: value 1 of attribute 0 fails at 4% vs 2% for value 0, with the
+// excess concentrated in value 0 of attribute 1.
+func Scale(cfg ScaleConfig) (*dataset.Dataset, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Attrs < 2 {
+		return nil, fmt.Errorf("workload: scale config needs at least 2 attributes, got %d", cfg.Attrs)
+	}
+	if cfg.Cardinality < 2 {
+		return nil, fmt.Errorf("workload: scale config needs cardinality at least 2, got %d", cfg.Cardinality)
+	}
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("workload: scale config needs at least 2 classes, got %d", cfg.Classes)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	attrs := make([]dataset.Attribute, cfg.Attrs+1)
+	for i := 0; i < cfg.Attrs; i++ {
+		attrs[i] = dataset.Attribute{Name: fmt.Sprintf("A%03d", i), Kind: dataset.Categorical}
+	}
+	classIdx := cfg.Attrs
+	attrs[classIdx] = dataset.Attribute{Name: "class", Kind: dataset.Categorical}
+
+	b, err := dataset.NewBuilder(dataset.Schema{Attrs: attrs, ClassIndex: classIdx})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Attrs; i++ {
+		d := dataset.NewDictionary()
+		for v := 0; v < cfg.Cardinality; v++ {
+			d.Code(fmt.Sprintf("v%d", v))
+		}
+		b.WithDict(i, d)
+	}
+	classDict := dataset.NewDictionary()
+	classDict.Code("ok")
+	classDict.Code("fail")
+	for k := 2; k < cfg.Classes; k++ {
+		classDict.Code(fmt.Sprintf("c%d", k))
+	}
+	b.WithDict(classIdx, classDict)
+
+	codes := make([]int32, cfg.Attrs+1)
+	for r := 0; r < cfg.Records; r++ {
+		for i := 0; i < cfg.Attrs; i++ {
+			codes[i] = int32(rng.Intn(cfg.Cardinality))
+		}
+		// Planted failure structure on attributes 0 and 1.
+		p := 0.02
+		if codes[0] == 1 {
+			if codes[1] == 0 {
+				p = 0.02 * float64(2*cfg.Cardinality-1) // excess concentrated here
+			} else {
+				p = 0.02
+			}
+		}
+		if p > 0.9 {
+			p = 0.9
+		}
+		u := rng.Float64()
+		switch {
+		case u < p:
+			codes[classIdx] = 1
+		case cfg.Classes > 2 && u < p+0.01:
+			codes[classIdx] = 2
+		default:
+			codes[classIdx] = 0
+		}
+		if err := b.AddCodedRow(codes, nil); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,291 @@
+// Package workload generates synthetic diagnostic-mining datasets with
+// planted, verifiable structure. The paper's Motorola call logs are
+// confidential; these generators plant the same conditional-probability
+// patterns the paper describes — a "bad" product value whose extra
+// failures concentrate in specific values of a distinguishing attribute
+// (Fig. 2(B)), proportional attributes that change nothing (Fig. 2(A)),
+// and property attributes (Section IV.C) — so the comparator's output
+// can be checked against known ground truth.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"opmap/internal/dataset"
+)
+
+// Classes used by the call-log generator, mirroring the paper's
+// "ended successfully", "dropped while in progress", "failed during
+// setup" dispositions.
+const (
+	ClassOK          = "ended-successfully"
+	ClassDropped     = "dropped-in-progress"
+	ClassSetupFailed = "failed-during-setup"
+)
+
+// CallLogConfig parameterizes the synthetic cellular call log.
+type CallLogConfig struct {
+	Seed    int64
+	Records int
+
+	// NumPhones is the number of phone models (≥ 2). Phone 0 is the
+	// "good" phone, phone 1 the "bad" phone of the case study.
+	NumPhones int
+
+	// GoodDropRate is the base drop rate of phone 0 (paper example: 2%).
+	GoodDropRate float64
+	// BadDropRate is the overall drop rate of phone 1 (paper example:
+	// 4%); its excess over GoodDropRate is concentrated in the morning
+	// values of Time-of-Call, reproducing Fig. 2(B).
+	BadDropRate float64
+
+	// SetupFailRate is the class-independent setup-failure rate.
+	SetupFailRate float64
+
+	// NoiseAttrs is the number of attributes unrelated to the class.
+	NoiseAttrs int
+	// NoiseCardinality is the domain size of each noise attribute.
+	// Zero means 6.
+	NoiseCardinality int
+	// MissingRate makes each noise-attribute cell missing with this
+	// probability (real logs are gappy; the pipeline must survive
+	// missing values end to end).
+	MissingRate float64
+}
+
+func (c CallLogConfig) withDefaults() CallLogConfig {
+	if c.Records == 0 {
+		c.Records = 50000
+	}
+	if c.NumPhones < 2 {
+		c.NumPhones = 6
+	}
+	if c.GoodDropRate == 0 {
+		c.GoodDropRate = 0.02
+	}
+	if c.BadDropRate == 0 {
+		c.BadDropRate = 0.04
+	}
+	if c.SetupFailRate == 0 {
+		c.SetupFailRate = 0.01
+	}
+	if c.NoiseCardinality == 0 {
+		c.NoiseCardinality = 6
+	}
+	return c
+}
+
+// GroundTruth records what was planted, so tests and examples can verify
+// the comparator recovers it.
+type GroundTruth struct {
+	PhoneAttr string // comparison attribute (Phone-Model)
+	GoodPhone string // value with the lower drop rate
+	BadPhone  string // value with the higher drop rate
+	DropClass string // class of interest
+	OKClass   string
+
+	// DistinguishingAttr is the planted attribute that explains the
+	// drop-rate gap (Time-of-Call; the gap lives in MorningValue).
+	DistinguishingAttr string
+	MorningValue       string
+
+	// SecondaryAttr carries a weaker planted effect; it should rank
+	// above noise but below the distinguishing attribute.
+	SecondaryAttr string
+
+	// ProportionalAttr modulates drop rates of both phones identically
+	// (Fig. 2(A)): interesting-looking but M should be ≈ 0 relative to
+	// the distinguishing attribute.
+	ProportionalAttr string
+
+	// PropertyAttr takes values determined by the phone model
+	// (Phone-Hardware-Version, Section IV.C): the comparator must set it
+	// aside as a property attribute.
+	PropertyAttr string
+
+	NoiseAttrs []string
+}
+
+// timeOfCall domain, in natural order so trends are visible.
+var timeValues = []string{"morning", "afternoon", "evening"}
+
+// CallLog generates the synthetic call log. The returned dataset is
+// fully categorical and ready for cube construction.
+//
+// Drop-probability model per record:
+//
+//	p = base(phone) · propMult(prop value) · timeMult(phone, time) · secMult(phone, sec value)
+//
+// where base(phone 0) = GoodDropRate and the bad phone's time
+// multipliers are calibrated so its marginal drop rate ≈ BadDropRate
+// with the entire excess in the morning (Fig. 2(B)). Other phones get
+// intermediate uniform rates.
+func CallLog(cfg CallLogConfig) (*dataset.Dataset, GroundTruth, error) {
+	cfg = cfg.withDefaults()
+	if cfg.GoodDropRate <= 0 || cfg.BadDropRate <= cfg.GoodDropRate {
+		return nil, GroundTruth{}, fmt.Errorf("workload: need 0 < GoodDropRate < BadDropRate, got %v and %v", cfg.GoodDropRate, cfg.BadDropRate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	phoneDict := dataset.NewDictionary()
+	for i := 0; i < cfg.NumPhones; i++ {
+		phoneDict.Code(fmt.Sprintf("ph%d", i+1))
+	}
+	timeDict := dataset.DictionaryOf(timeValues...)
+	propDict := dataset.DictionaryOf("band-low", "band-mid", "band-high")
+	secDict := dataset.DictionaryOf("urban", "suburban", "rural", "highway")
+	hwDict := dataset.NewDictionary()
+	for i := 0; i < cfg.NumPhones; i++ {
+		hwDict.Code(fmt.Sprintf("hw-rev-%d", i+1))
+	}
+	classDict := dataset.DictionaryOf(ClassOK, ClassDropped, ClassSetupFailed)
+
+	attrs := []dataset.Attribute{
+		{Name: "Phone-Model", Kind: dataset.Categorical},
+		{Name: "Time-of-Call", Kind: dataset.Categorical},
+		{Name: "Signal-Band", Kind: dataset.Categorical},
+		{Name: "Terrain", Kind: dataset.Categorical},
+		{Name: "Phone-Hardware-Version", Kind: dataset.Categorical},
+	}
+	gt := GroundTruth{
+		PhoneAttr:          "Phone-Model",
+		GoodPhone:          "ph1",
+		BadPhone:           "ph2",
+		DropClass:          ClassDropped,
+		OKClass:            ClassOK,
+		DistinguishingAttr: "Time-of-Call",
+		MorningValue:       "morning",
+		SecondaryAttr:      "Terrain",
+		ProportionalAttr:   "Signal-Band",
+		PropertyAttr:       "Phone-Hardware-Version",
+	}
+	for i := 0; i < cfg.NoiseAttrs; i++ {
+		name := fmt.Sprintf("Param-%02d", i+1)
+		attrs = append(attrs, dataset.Attribute{Name: name, Kind: dataset.Categorical})
+		gt.NoiseAttrs = append(gt.NoiseAttrs, name)
+	}
+	attrs = append(attrs, dataset.Attribute{Name: "Disposition", Kind: dataset.Categorical})
+	classIdx := len(attrs) - 1
+
+	b, err := dataset.NewBuilder(dataset.Schema{Attrs: attrs, ClassIndex: classIdx})
+	if err != nil {
+		return nil, GroundTruth{}, err
+	}
+	b.WithDict(0, phoneDict)
+	b.WithDict(1, timeDict)
+	b.WithDict(2, propDict)
+	b.WithDict(3, secDict)
+	b.WithDict(4, hwDict)
+	noiseDicts := make([]*dataset.Dictionary, cfg.NoiseAttrs)
+	for i := 0; i < cfg.NoiseAttrs; i++ {
+		d := dataset.NewDictionary()
+		for v := 0; v < cfg.NoiseCardinality; v++ {
+			d.Code(fmt.Sprintf("v%d", v+1))
+		}
+		noiseDicts[i] = d
+		b.WithDict(5+i, d)
+	}
+	b.WithDict(classIdx, classDict)
+
+	// Per-phone base drop rates: phone 0 good, phone 1 bad, the rest in
+	// between (so the case study has realistic "other" products).
+	base := make([]float64, cfg.NumPhones)
+	base[0] = cfg.GoodDropRate
+	base[1] = cfg.BadDropRate
+	for i := 2; i < cfg.NumPhones; i++ {
+		frac := float64(i-1) / float64(cfg.NumPhones)
+		base[i] = cfg.GoodDropRate + frac*(cfg.BadDropRate-cfg.GoodDropRate)
+	}
+
+	// Time multipliers: the bad phone's entire excess is in the morning.
+	// With uniform time-of-call, marginal rate = base·mean(mult). For the
+	// bad phone we want mean = BadDropRate/GoodDropRate with afternoon
+	// and evening at the good phone's level (mult 1 on GoodDropRate):
+	// morning mult m solves Good·(m+1+1)/3 = Bad ⇒ m = 3·Bad/Good − 2.
+	badMorning := 3*cfg.BadDropRate/cfg.GoodDropRate - 2
+	timeMult := func(phone int, timeVal int) float64 {
+		if phone != 1 {
+			return 1
+		}
+		// Bad phone's base is set to GoodDropRate for the time model.
+		if timeVal == 0 {
+			return badMorning
+		}
+		return 1
+	}
+
+	// Proportional attribute: multiplies every phone's rate identically
+	// (Fig. 2(A)) — expected, therefore uninteresting.
+	propMult := []float64{0.6, 1.0, 1.4}
+
+	// Secondary effect: the bad phone is mildly worse on "highway".
+	secMult := func(phone int, sec int) float64 {
+		if phone == 1 && sec == 3 {
+			return 1.5
+		}
+		return 1
+	}
+
+	codes := make([]int32, len(attrs))
+	for r := 0; r < cfg.Records; r++ {
+		phone := rng.Intn(cfg.NumPhones)
+		timeVal := rng.Intn(len(timeValues))
+		prop := rng.Intn(3)
+		sec := rng.Intn(4)
+
+		effBase := base[phone]
+		if phone == 1 {
+			effBase = cfg.GoodDropRate // time model carries the excess
+		}
+		p := effBase * propMult[prop] * timeMult(phone, timeVal) * secMult(phone, sec)
+		if p > 0.95 {
+			p = 0.95
+		}
+
+		var class int32
+		u := rng.Float64()
+		switch {
+		case u < p:
+			class = 1 // dropped
+		case u < p+cfg.SetupFailRate:
+			class = 2 // setup failed
+		default:
+			class = 0 // ok
+		}
+
+		codes[0] = int32(phone)
+		codes[1] = int32(timeVal)
+		codes[2] = int32(prop)
+		codes[3] = int32(sec)
+		codes[4] = int32(phone) // hardware version tied to phone: property attribute
+		for i := 0; i < cfg.NoiseAttrs; i++ {
+			if cfg.MissingRate > 0 && rng.Float64() < cfg.MissingRate {
+				codes[5+i] = dataset.Missing
+				continue
+			}
+			codes[5+i] = int32(rng.Intn(cfg.NoiseCardinality))
+		}
+		codes[classIdx] = class
+		if err := b.AddCodedRow(codes, nil); err != nil {
+			return nil, GroundTruth{}, err
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, GroundTruth{}, err
+	}
+	return ds, gt, nil
+}
+
+// CaseStudyConfig reproduces the Section V.B case study: a 41-attribute
+// call log (one class attribute + 40 others, of which the planted five
+// plus 35 noise parameters).
+func CaseStudyConfig(seed int64, records int) CallLogConfig {
+	return CallLogConfig{
+		Seed:       seed,
+		Records:    records,
+		NumPhones:  8,
+		NoiseAttrs: 35,
+	}
+}

@@ -1,0 +1,414 @@
+package opmap
+
+import (
+	"fmt"
+	"io"
+
+	"opmap/internal/dataset"
+	"opmap/internal/discretize"
+	"opmap/internal/rulecube"
+	"opmap/internal/workload"
+)
+
+// Session is the top-level handle of the Opportunity Map pipeline: it
+// owns a dataset, the discretized working copy, and the materialized
+// rule-cube store. A Session is not safe for concurrent mutation;
+// read-only queries (Compare, views, rule access) may run concurrently
+// once BuildCubes has returned.
+type Session struct {
+	raw   *dataset.Dataset // as loaded; may contain continuous attributes
+	ds    *dataset.Dataset // fully categorical working dataset
+	cuts  map[string][]float64
+	store *rulecube.Store
+}
+
+// LoadOptions configures CSV loading.
+type LoadOptions struct {
+	// Class names the class attribute; empty means the last column.
+	Class string
+	// Continuous lists attributes to force-parse as continuous; others
+	// are sniffed (numeric and high-cardinality ⇒ continuous).
+	Continuous []string
+	// Categorical lists attributes to force as categorical.
+	Categorical []string
+	// Comma is the field separator; zero means ','.
+	Comma rune
+}
+
+func (o LoadOptions) csvOptions() dataset.CSVOptions {
+	kinds := make(map[string]dataset.Kind)
+	for _, n := range o.Continuous {
+		kinds[n] = dataset.Continuous
+	}
+	for _, n := range o.Categorical {
+		kinds[n] = dataset.Categorical
+	}
+	return dataset.CSVOptions{ClassAttr: o.Class, Kinds: kinds, Comma: o.Comma}
+}
+
+// LoadCSV builds a session from a header-bearing CSV stream.
+func LoadCSV(r io.Reader, opts LoadOptions) (*Session, error) {
+	ds, err := dataset.ReadCSV(r, opts.csvOptions())
+	if err != nil {
+		return nil, err
+	}
+	return newSession(ds), nil
+}
+
+// LoadCSVFile builds a session from a CSV file.
+func LoadCSVFile(path string, opts LoadOptions) (*Session, error) {
+	ds, err := dataset.ReadCSVFile(path, opts.csvOptions())
+	if err != nil {
+		return nil, err
+	}
+	return newSession(ds), nil
+}
+
+// LoadARFF builds a session from a Weka ARFF stream (nominal and
+// numeric attributes; the class defaults to the last attribute).
+func LoadARFF(r io.Reader, classAttr string) (*Session, error) {
+	ds, err := dataset.ReadARFF(r, classAttr)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(ds), nil
+}
+
+// LoadARFFFile builds a session from an ARFF file.
+func LoadARFFFile(path, classAttr string) (*Session, error) {
+	ds, err := dataset.ReadARFFFile(path, classAttr)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(ds), nil
+}
+
+func newSession(ds *dataset.Dataset) *Session {
+	s := &Session{raw: ds}
+	if ds.AllCategorical() {
+		s.ds = ds
+	}
+	return s
+}
+
+// CallLogConfig parameterizes the synthetic cellular call log (the
+// stand-in for the paper's confidential Motorola data; see DESIGN.md).
+type CallLogConfig struct {
+	Seed         int64
+	Records      int
+	NumPhones    int
+	GoodDropRate float64 // drop rate of the good phone (paper: 2%)
+	BadDropRate  float64 // overall drop rate of the bad phone (paper: 4%)
+	NoiseAttrs   int     // class-independent attributes
+}
+
+// CallLogTruth describes the planted structure of a generated call log,
+// so callers can verify what the comparator should find.
+type CallLogTruth struct {
+	PhoneAttr          string
+	GoodPhone          string
+	BadPhone           string
+	DropClass          string
+	DistinguishingAttr string // must rank #1 in the comparison
+	SecondaryAttr      string // weaker planted effect
+	ProportionalAttr   string // Fig. 2(A): expected, uninteresting
+	PropertyAttr       string // Section IV.C: set aside
+	NoiseAttrs         []string
+}
+
+// GenerateCallLog builds a session over a synthetic call log with
+// planted ground truth.
+func GenerateCallLog(cfg CallLogConfig) (*Session, CallLogTruth, error) {
+	ds, gt, err := workload.CallLog(workload.CallLogConfig{
+		Seed:         cfg.Seed,
+		Records:      cfg.Records,
+		NumPhones:    cfg.NumPhones,
+		GoodDropRate: cfg.GoodDropRate,
+		BadDropRate:  cfg.BadDropRate,
+		NoiseAttrs:   cfg.NoiseAttrs,
+	})
+	if err != nil {
+		return nil, CallLogTruth{}, err
+	}
+	truth := CallLogTruth{
+		PhoneAttr:          gt.PhoneAttr,
+		GoodPhone:          gt.GoodPhone,
+		BadPhone:           gt.BadPhone,
+		DropClass:          gt.DropClass,
+		DistinguishingAttr: gt.DistinguishingAttr,
+		SecondaryAttr:      gt.SecondaryAttr,
+		ProportionalAttr:   gt.ProportionalAttr,
+		PropertyAttr:       gt.PropertyAttr,
+		NoiseAttrs:         gt.NoiseAttrs,
+	}
+	return newSession(ds), truth, nil
+}
+
+// CaseStudy builds the Section V.B case-study session: a 41-attribute
+// call log (40 condition attributes + class).
+func CaseStudy(seed int64, records int) (*Session, CallLogTruth, error) {
+	return GenerateCallLog(CallLogConfig{Seed: seed, Records: records, NumPhones: 8, NoiseAttrs: 35})
+}
+
+// ManufacturingTruth describes the planted structure of the synthetic
+// production log.
+type ManufacturingTruth struct {
+	MachineAttr        string
+	GoodMachine        string
+	BadMachine         string
+	DefectClass        string
+	DistinguishingAttr string
+	BadSupplier        string
+	PropertyAttr       string
+	ContinuousAttrs    []string
+}
+
+// GenerateManufacturing builds a session over a synthetic production
+// log with two continuous attributes (exercising the discretizer).
+func GenerateManufacturing(seed int64, records int) (*Session, ManufacturingTruth, error) {
+	ds, gt, err := workload.Manufacturing(workload.ManufacturingConfig{Seed: seed, Records: records})
+	if err != nil {
+		return nil, ManufacturingTruth{}, err
+	}
+	truth := ManufacturingTruth{
+		MachineAttr:        gt.MachineAttr,
+		GoodMachine:        gt.GoodMachine,
+		BadMachine:         gt.BadMachine,
+		DefectClass:        gt.DefectClass,
+		DistinguishingAttr: gt.DistinguishingAttr,
+		BadSupplier:        gt.BadSupplier,
+		PropertyAttr:       gt.PropertyAttr,
+		ContinuousAttrs:    gt.ContinuousAttrs,
+	}
+	return newSession(ds), truth, nil
+}
+
+// DiscretizeMethod selects a discretization strategy.
+type DiscretizeMethod uint8
+
+// Supported discretization strategies (Section V.A's discretizer).
+const (
+	// EntropyMDLP is the supervised Fayyad–Irani method (default).
+	EntropyMDLP DiscretizeMethod = iota
+	// EqualWidth bins the value range uniformly.
+	EqualWidth
+	// EqualFrequency bins by quantiles.
+	EqualFrequency
+	// ChiMerge merges adjacent intervals bottom-up until their class
+	// distributions differ significantly (Kerber 1992).
+	ChiMerge
+)
+
+// DiscretizeOptions configures Discretize. The zero value uses
+// entropy-MDLP.
+type DiscretizeOptions struct {
+	Method DiscretizeMethod
+	// Bins applies to EqualWidth/EqualFrequency; zero means 10.
+	Bins int
+	// Manual supplies explicit cut points per attribute name; attributes
+	// listed here bypass Method (the paper's manual option).
+	Manual map[string][]float64
+}
+
+// Discretize converts every continuous attribute to categorical
+// intervals. It is a no-op when the dataset is already categorical.
+func (s *Session) Discretize(opts DiscretizeOptions) error {
+	if s.raw.AllCategorical() {
+		s.ds = s.raw
+		return nil
+	}
+	var d discretize.Discretizer
+	switch opts.Method {
+	case EqualWidth:
+		bins := opts.Bins
+		if bins == 0 {
+			bins = 10
+		}
+		d = discretize.EqualWidth{Bins: bins}
+	case EqualFrequency:
+		bins := opts.Bins
+		if bins == 0 {
+			bins = 10
+		}
+		d = discretize.EqualFrequency{Bins: bins}
+	case ChiMerge:
+		d = discretize.ChiMerge{MaxIntervals: opts.Bins}
+	default:
+		d = discretize.MDLP{}
+	}
+	if len(opts.Manual) > 0 {
+		d = &manualOverride{fallback: d, manual: opts.Manual, schemaAttr: s.raw}
+	}
+	ds, cuts, err := discretize.Apply(s.raw, d)
+	if err != nil {
+		return err
+	}
+	s.ds = ds
+	s.cuts = cuts
+	s.store = nil // cubes built over the old dataset are invalid
+	return nil
+}
+
+// manualOverride routes named attributes to manual cut points and the
+// rest to the fallback discretizer. discretize.Apply calls Cuts once per
+// continuous attribute; we recover which attribute via a cursor over the
+// schema, mirroring Apply's iteration order.
+type manualOverride struct {
+	fallback   discretize.Discretizer
+	manual     map[string][]float64
+	schemaAttr *dataset.Dataset
+	cursor     int
+}
+
+// Name implements discretize.Discretizer.
+func (m *manualOverride) Name() string { return "manual+" + m.fallback.Name() }
+
+// Cuts implements discretize.Discretizer.
+func (m *manualOverride) Cuts(values []float64, classes []int32, numClasses int) ([]float64, error) {
+	// Advance to the next continuous attribute in schema order.
+	name := ""
+	for ; m.cursor < m.schemaAttr.NumAttrs(); m.cursor++ {
+		if m.schemaAttr.Attr(m.cursor).Kind == dataset.Continuous {
+			name = m.schemaAttr.Attr(m.cursor).Name
+			m.cursor++
+			break
+		}
+	}
+	if pts, ok := m.manual[name]; ok {
+		return discretize.Manual{Points: pts}.Cuts(values, classes, numClasses)
+	}
+	return m.fallback.Cuts(values, classes, numClasses)
+}
+
+// Cuts returns the cut points chosen for each discretized attribute
+// (empty until Discretize has run on a dataset with continuous
+// attributes).
+func (s *Session) Cuts() map[string][]float64 { return s.cuts }
+
+// BuildCubes materializes all 2-D and 3-D rule cubes over the working
+// dataset (the deployed system's offline step, Section V.C).
+func (s *Session) BuildCubes() error {
+	return s.BuildCubesFor(nil)
+}
+
+// BuildCubesFor materializes cubes restricted to the named attributes
+// (nil means all). Restricting mirrors the paper's domain-expert
+// selection of the ~200 performance-related attributes out of 600.
+func (s *Session) BuildCubesFor(attrNames []string) error {
+	ds, err := s.working()
+	if err != nil {
+		return err
+	}
+	var attrs []int
+	if attrNames != nil {
+		for _, n := range attrNames {
+			i := ds.AttrIndex(n)
+			if i < 0 {
+				return fmt.Errorf("opmap: unknown attribute %q", n)
+			}
+			attrs = append(attrs, i)
+		}
+	}
+	store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{Attrs: attrs})
+	if err != nil {
+		return err
+	}
+	s.store = store
+	return nil
+}
+
+// working returns the categorical working dataset, erroring with
+// guidance if Discretize is still needed.
+func (s *Session) working() (*dataset.Dataset, error) {
+	if s.ds == nil {
+		return nil, fmt.Errorf("opmap: dataset has continuous attributes; call Discretize first")
+	}
+	return s.ds, nil
+}
+
+// requireStore returns the cube store, erroring if BuildCubes has not
+// run.
+func (s *Session) requireStore() (*rulecube.Store, error) {
+	if s.store == nil {
+		return nil, fmt.Errorf("opmap: rule cubes not built; call BuildCubes first")
+	}
+	return s.store, nil
+}
+
+// NumRows returns the number of records.
+func (s *Session) NumRows() int { return s.raw.NumRows() }
+
+// Attributes returns all attribute names including the class, in schema
+// order.
+func (s *Session) Attributes() []string {
+	out := make([]string, s.raw.NumAttrs())
+	for i := range out {
+		out[i] = s.raw.Attr(i).Name
+	}
+	return out
+}
+
+// ClassAttribute returns the name of the class attribute.
+func (s *Session) ClassAttribute() string {
+	return s.raw.Attr(s.raw.ClassIndex()).Name
+}
+
+// Classes returns the class labels in code order.
+func (s *Session) Classes() []string { return s.raw.ClassDict().Labels() }
+
+// Values returns the value labels of a categorical attribute of the
+// working dataset (discretized intervals for originally continuous
+// attributes), in code order.
+func (s *Session) Values(attr string) ([]string, error) {
+	ds, err := s.working()
+	if err != nil {
+		return nil, err
+	}
+	i := ds.AttrIndex(attr)
+	if i < 0 {
+		return nil, fmt.Errorf("opmap: unknown attribute %q", attr)
+	}
+	return ds.Column(i).Dict.Labels(), nil
+}
+
+// ClassDistribution returns label → record count for the class
+// attribute.
+func (s *Session) ClassDistribution() map[string]int64 {
+	dist := s.raw.ClassDistribution()
+	out := make(map[string]int64, len(dist))
+	for c, n := range dist {
+		out[s.raw.ClassDict().Label(int32(c))] = n
+	}
+	return out
+}
+
+// CubeCount returns the number of materialized rule cubes (0 before
+// BuildCubes).
+func (s *Session) CubeCount() int {
+	if s.store == nil {
+		return 0
+	}
+	return s.store.CubeCount()
+}
+
+// RuleSpaceSize returns the total number of rules represented by the
+// materialized cubes (the count of cube cells, as in Fig. 1's "24
+// rules").
+func (s *Session) RuleSpaceSize() int {
+	if s.store == nil {
+		return 0
+	}
+	total := 0
+	for _, a := range s.store.Attrs() {
+		total += s.store.Cube1(a).RuleCount()
+	}
+	attrs := s.store.Attrs()
+	for i, a := range attrs {
+		for _, b := range attrs[i+1:] {
+			if c := s.store.Cube2(a, b); c != nil {
+				total += c.RuleCount()
+			}
+		}
+	}
+	return total
+}
