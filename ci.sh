@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's full correctness gate. Run locally before pushing;
+# .github/workflows/ci.yml runs exactly this script, so green here
+# means green in CI. Zero external dependencies: everything below is
+# the Go toolchain operating on this module.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== opmaplint (internal/lint analyzers) =="
+go run ./cmd/opmaplint ./...
+
+echo "== fuzz smoke (10s per target) =="
+go test -run '^$' -fuzz '^FuzzReadStore$' -fuzztime 10s ./internal/rulecube
+go test -run '^$' -fuzz '^FuzzComparator$' -fuzztime 10s ./internal/compare
+
+echo "CI PASSED"

@@ -140,7 +140,7 @@ func (s *Session) resolve(attr, v1, v2, class string, opts CompareOptions) (comp
 		PropertyThreshold: opts.PropertyThreshold,
 		MinRuleSupport:    opts.MinRuleSupport,
 	}
-	if opts.ConfidenceLevel != 0 {
+	if !stats.IsZero(opts.ConfidenceLevel) {
 		copts.Level = stats.ConfidenceLevel(opts.ConfidenceLevel)
 	}
 	if opts.WilsonIntervals {

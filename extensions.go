@@ -102,7 +102,7 @@ func (s *Session) CompareOneVsRest(attr, value, class string, opts CompareOption
 		PropertyThreshold: opts.PropertyThreshold,
 		MinRuleSupport:    opts.MinRuleSupport,
 	}
-	if opts.ConfidenceLevel != 0 {
+	if !stats.IsZero(opts.ConfidenceLevel) {
 		copts.Level = stats.ConfidenceLevel(opts.ConfidenceLevel)
 	}
 	if opts.WilsonIntervals {

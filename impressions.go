@@ -228,8 +228,11 @@ func sortCubeExceptions(out []CubeException) {
 		if bb < 0 {
 			bb = -bb
 		}
-		if aa != bb {
-			return aa > bb
+		switch {
+		case aa > bb:
+			return true
+		case bb > aa:
+			return false
 		}
 		if a.Attr1 != b.Attr1 {
 			return a.Attr1 < b.Attr1

@@ -6,6 +6,7 @@ import (
 
 	"opmap/internal/car"
 	"opmap/internal/dataset"
+	"opmap/internal/stats"
 )
 
 // CBA-CB: the classifier builder of Liu, Hsu & Ma's CBA (the paper's
@@ -42,11 +43,11 @@ func BuildCBA(ds *dataset.Dataset, opts CBAOptions) (*CBAClassifier, error) {
 		return nil, fmt.Errorf("baseline: CBA needs a categorical dataset; discretize first")
 	}
 	minSup := opts.MinSupport
-	if minSup == 0 {
+	if stats.IsZero(minSup) {
 		minSup = 0.01
 	}
 	minConf := opts.MinConfidence
-	if minConf == 0 {
+	if stats.IsZero(minConf) {
 		minConf = 0.5
 	}
 	rs, err := car.Mine(ds, car.Options{
@@ -62,8 +63,11 @@ func BuildCBA(ds *dataset.Dataset, opts CBAOptions) (*CBAClassifier, error) {
 	rules := append([]car.Rule(nil), rs.Rules...)
 	sort.SliceStable(rules, func(i, j int) bool {
 		a, b := rules[i], rules[j]
-		if a.Confidence() != b.Confidence() {
-			return a.Confidence() > b.Confidence()
+		switch {
+		case a.Confidence() > b.Confidence():
+			return true
+		case b.Confidence() > a.Confidence():
+			return false
 		}
 		if a.SupCount != b.SupCount {
 			return a.SupCount > b.SupCount

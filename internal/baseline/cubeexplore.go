@@ -45,7 +45,7 @@ type ExplorerOptions struct {
 }
 
 func (o ExplorerOptions) minSelfExp() float64 {
-	if o.MinSelfExp == 0 {
+	if stats.IsZero(o.MinSelfExp) {
 		return 2.5
 	}
 	return o.MinSelfExp
@@ -151,7 +151,7 @@ func ExploreCube(cube *rulecube.Cube, opts ExplorerOptions) ([]CellException, er
 			}
 		}
 		sd := stats.StdDev(residuals)
-		if sd == 0 {
+		if stats.IsZero(sd) {
 			continue
 		}
 		for _, c := range cells {

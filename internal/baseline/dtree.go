@@ -43,7 +43,7 @@ func (o TreeOptions) minLeaf() int {
 }
 
 func (o TreeOptions) minGainRatio() float64 {
-	if o.MinGainRatio == 0 {
+	if stats.IsZero(o.MinGainRatio) {
 		return 1e-3
 	}
 	return o.MinGainRatio
@@ -113,7 +113,7 @@ func (t *Tree) grow(rows []int32, avail []bool, opts TreeOptions, depth int) *Tr
 	}
 	node.ClassCount = best
 	baseEnt := stats.Entropy(classCounts)
-	if baseEnt == 0 || depth <= 0 || len(rows) < 2*opts.minLeaf() {
+	if stats.IsZero(baseEnt) || depth <= 0 || len(rows) < 2*opts.minLeaf() {
 		t.nLeaves++
 		return node
 	}
@@ -188,7 +188,7 @@ func gainRatio(ds *dataset.Dataset, rows []int32, attr int, baseEnt float64) flo
 	}
 	gain := baseEnt - condEnt
 	splitInfo := stats.Entropy(counts)
-	if splitInfo == 0 {
+	if stats.IsZero(splitInfo) {
 		return 0
 	}
 	return gain / splitInfo

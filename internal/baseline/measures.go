@@ -14,6 +14,7 @@ import (
 
 	"opmap/internal/car"
 	"opmap/internal/dataset"
+	"opmap/internal/stats"
 )
 
 // Measure identifies a classical objective interestingness measure for a
@@ -95,14 +96,14 @@ func Evaluate(m Measure, r car.Rule, classCount int64) (float64, error) {
 	case Support:
 		return pxy, nil
 	case Lift:
-		if px == 0 || py == 0 {
+		if stats.IsZero(px) || stats.IsZero(py) {
 			return 0, nil
 		}
 		return pxy / (px * py), nil
 	case Leverage:
 		return pxy - px*py, nil
 	case Conviction:
-		if 1-conf == 0 {
+		if stats.IsZero(1 - conf) {
 			return math.Inf(1), nil
 		}
 		return (1 - py) / (1 - conf), nil
@@ -117,7 +118,7 @@ func Evaluate(m Measure, r car.Rule, classCount int64) (float64, error) {
 		}
 		var chi2 float64
 		for _, c := range cells {
-			if c[1] == 0 {
+			if stats.IsZero(c[1]) {
 				continue
 			}
 			d := c[0] - c[1]
@@ -127,18 +128,18 @@ func Evaluate(m Measure, r car.Rule, classCount int64) (float64, error) {
 	case Laplace:
 		return (nxy + 1) / (nx + 2), nil
 	case Cosine:
-		if nx == 0 || ny == 0 {
+		if stats.IsZero(nx) || stats.IsZero(ny) {
 			return 0, nil
 		}
 		return nxy / math.Sqrt(nx*ny), nil
 	case Jaccard:
 		den := nx + ny - nxy
-		if den == 0 {
+		if stats.IsZero(den) {
 			return 0, nil
 		}
 		return nxy / den, nil
 	case Certainty:
-		if py == 1 {
+		if stats.IsZero(1 - py) {
 			return 0, nil
 		}
 		return (conf - py) / (1 - py), nil

@@ -8,6 +8,7 @@ import (
 
 	"opmap/internal/car"
 	"opmap/internal/dataset"
+	"opmap/internal/stats"
 )
 
 // Rule querying, the third related-work approach the paper engaged with
@@ -180,9 +181,9 @@ func numericClause(field, op string, val float64) (ruleClause, error) {
 	case "<=":
 		cmp = func(a, b float64) bool { return a <= b }
 	case "=":
-		cmp = func(a, b float64) bool { return a == b }
+		cmp = stats.SameValue
 	case "!=":
-		cmp = func(a, b float64) bool { return a != b }
+		cmp = func(a, b float64) bool { return !stats.SameValue(a, b) }
 	default:
 		return nil, fmt.Errorf("baseline: unsupported operator %q", op)
 	}
@@ -205,8 +206,11 @@ rules:
 		out = append(out, r)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Confidence() != out[j].Confidence() {
-			return out[i].Confidence() > out[j].Confidence()
+		switch {
+		case out[i].Confidence() > out[j].Confidence():
+			return true
+		case out[j].Confidence() > out[i].Confidence():
+			return false
 		}
 		return out[i].SupCount > out[j].SupCount
 	})

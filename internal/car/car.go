@@ -109,8 +109,11 @@ func (rs *RuleSet) Len() int { return len(rs.Rules) }
 func (rs *RuleSet) SortByConfidence() {
 	sort.SliceStable(rs.Rules, func(i, j int) bool {
 		a, b := rs.Rules[i], rs.Rules[j]
-		if a.Confidence() != b.Confidence() {
-			return a.Confidence() > b.Confidence()
+		switch {
+		case a.Confidence() > b.Confidence():
+			return true
+		case b.Confidence() > a.Confidence():
+			return false
 		}
 		if a.SupCount != b.SupCount {
 			return a.SupCount > b.SupCount

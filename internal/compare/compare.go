@@ -78,14 +78,14 @@ type Options struct {
 }
 
 func (o Options) level() stats.ConfidenceLevel {
-	if o.Level == 0 {
+	if stats.IsZero(float64(o.Level)) {
 		return stats.Level95
 	}
 	return o.Level
 }
 
 func (o Options) propertyThreshold() float64 {
-	if o.PropertyThreshold == 0 {
+	if stats.IsZero(o.PropertyThreshold) {
 		return 0.90
 	}
 	return o.PropertyThreshold
@@ -308,18 +308,19 @@ func (c *computation) add(s AttrScore) {
 }
 
 func (c *computation) finish() {
-	sort.SliceStable(c.result.Ranked, func(i, j int) bool {
-		if c.result.Ranked[i].Score != c.result.Ranked[j].Score {
-			return c.result.Ranked[i].Score > c.result.Ranked[j].Score
+	byScore := func(s []AttrScore) func(i, j int) bool {
+		return func(i, j int) bool {
+			switch {
+			case s[i].Score > s[j].Score:
+				return true
+			case s[j].Score > s[i].Score:
+				return false
+			}
+			return s[i].Name < s[j].Name
 		}
-		return c.result.Ranked[i].Name < c.result.Ranked[j].Name
-	})
-	sort.SliceStable(c.result.Property, func(i, j int) bool {
-		if c.result.Property[i].Score != c.result.Property[j].Score {
-			return c.result.Property[i].Score > c.result.Property[j].Score
-		}
-		return c.result.Property[i].Name < c.result.Property[j].Name
-	})
+	}
+	sort.SliceStable(c.result.Ranked, byScore(c.result.Ranked))
+	sort.SliceStable(c.result.Property, byScore(c.result.Property))
 }
 
 // ruleCounter abstracts how the two input rules' counts are obtained
@@ -377,7 +378,7 @@ func prepare(ds *dataset.Dataset, in Input, opts Options, count ruleCounter) (*c
 		swapped = true
 	}
 	cf1, cf2 := r1.Confidence(), r2.Confidence()
-	if cf1 == 0 {
+	if r1.SupCount == 0 {
 		return nil, nil, fmt.Errorf("compare: rule %s has zero confidence; the expectation ratio cf2/cf1 is undefined", r1.Format(ds))
 	}
 
@@ -590,7 +591,7 @@ func CompareValues(name string, labels []string, n1, c1, n2, c2 []int64, opts Op
 		cf1, cf2 = cf2, cf1
 		swapped = true
 	}
-	if cf1 == 0 {
+	if t1c == 0 {
 		return AttrScore{}, Result{}, fmt.Errorf("compare: lower-confidence rule has zero confidence")
 	}
 	res := Result{
@@ -614,7 +615,10 @@ func CompareValues(name string, labels []string, n1, c1, n2, c2 []int64, opts Op
 	}
 	// Build a one-attribute façade dataset so scoreAttribute can resolve
 	// names/labels uniformly.
-	ds := syntheticAttr(name, dict)
+	ds, err := syntheticAttr(name, dict)
+	if err != nil {
+		return AttrScore{}, Result{}, err
+	}
 	score, err := scoreAttribute(ds, 0, tab, comp, opts)
 	if err != nil {
 		return AttrScore{}, Result{}, err
@@ -626,8 +630,9 @@ func CompareValues(name string, labels []string, n1, c1, n2, c2 []int64, opts Op
 
 // syntheticAttr builds a tiny dataset whose attribute 0 carries the
 // given name and dictionary; only metadata is consulted by
-// scoreAttribute.
-func syntheticAttr(name string, dict *dataset.Dictionary) *dataset.Dataset {
+// scoreAttribute. The schema is statically valid, so errors indicate a
+// builder regression and are propagated rather than panicking.
+func syntheticAttr(name string, dict *dataset.Dictionary) (*dataset.Dataset, error) {
 	if name == "" {
 		name = "attr"
 	}
@@ -639,12 +644,12 @@ func syntheticAttr(name string, dict *dataset.Dictionary) *dataset.Dataset {
 		ClassIndex: 1,
 	})
 	if err != nil {
-		panic(err) // schema is statically valid
+		return nil, fmt.Errorf("compare: building synthetic attribute: %w", err)
 	}
 	b.WithDict(0, dict)
 	ds, err := b.Build()
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("compare: building synthetic attribute: %w", err)
 	}
-	return ds
+	return ds, nil
 }

@@ -66,7 +66,7 @@ func (c *Comparator) OneVsRest(in OneVsRestInput, opts Options) (*Result, error)
 	}
 	cfV := float64(supV) / float64(condV)
 	cfRest := float64(supRest) / float64(condRest)
-	if cfV == 0 && cfRest == 0 {
+	if supV == 0 && supRest == 0 {
 		return nil, fmt.Errorf("compare: class %d absent from both sides", in.Class)
 	}
 
@@ -83,7 +83,7 @@ func (c *Comparator) OneVsRest(in OneVsRestInput, opts Options) (*Result, error)
 	}
 	res.Cf1 = float64(lo.sup) / float64(lo.cond)
 	res.Cf2 = float64(hi.sup) / float64(hi.cond)
-	if res.Cf1 == 0 {
+	if lo.sup == 0 {
 		return nil, fmt.Errorf("compare: lower-confidence side has zero confidence; ratio undefined")
 	}
 	res.Ratio = res.Cf2 / res.Cf1

@@ -156,12 +156,15 @@ func permScore(tab valueTable, t1n, t1c, t2n, t2c int64, opts Options) (float64,
 		tab.c1, tab.c2 = tab.c2, tab.c1
 		cf1, cf2 = cf2, cf1
 	}
-	if cf1 == 0 {
+	if t1c == 0 || t2c == 0 {
 		return 0, false
 	}
 	res := &Result{Cf1: cf1, Cf2: cf2, Ratio: cf2 / cf1, Options: opts}
 	comp := &computation{result: res}
-	ds := syntheticAttr("perm", permDict(len(tab.n1)))
+	ds, err := syntheticAttr("perm", permDict(len(tab.n1)))
+	if err != nil {
+		return 0, false
+	}
 	score, err := scoreAttribute(ds, 0, tab, comp, opts)
 	if err != nil {
 		return 0, false

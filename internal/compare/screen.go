@@ -58,7 +58,7 @@ func (o ScreenOptions) minSupport() int64 {
 }
 
 func (o ScreenOptions) minZ() float64 {
-	if o.MinZ == 0 {
+	if stats.IsZero(o.MinZ) {
 		return 2
 	}
 	return o.MinZ
@@ -146,8 +146,11 @@ func (c *Comparator) ScreenPairs(attr int, class int32, opts ScreenOptions) ([]P
 		if fi != fj {
 			return !fi
 		}
-		if out[i].Z != out[j].Z {
-			return out[i].Z > out[j].Z
+		switch {
+		case out[i].Z > out[j].Z:
+			return true
+		case out[j].Z > out[i].Z:
+			return false
 		}
 		return out[i].Label1+out[i].Label2 < out[j].Label1+out[j].Label2
 	})
@@ -167,7 +170,7 @@ func twoProportionZ(s1, n1, s2, n2 int64) float64 {
 	p2 := float64(s2) / float64(n2)
 	pooled := float64(s1+s2) / float64(n1+n2)
 	se := math.Sqrt(pooled * (1 - pooled) * (1/float64(n1) + 1/float64(n2)))
-	if se == 0 {
+	if stats.IsZero(se) {
 		return 0
 	}
 	return (p2 - p1) / se

@@ -3,6 +3,8 @@ package compare
 import (
 	"fmt"
 	"sort"
+
+	"opmap/internal/stats"
 )
 
 // Sweep runs the full screen-then-compare loop over an attribute: every
@@ -75,7 +77,7 @@ func (c *Comparator) Sweep(attr int, class int32, opts SweepOptions) (*SweepResu
 	res := &SweepResult{}
 	agg := make(map[int]*SweepAttribute)
 	for _, p := range pairs {
-		if p.Cf1 == 0 {
+		if stats.IsZero(p.Cf1) {
 			res.PairsSkipped++ // ratio undefined; the comparator cannot take it
 			continue
 		}
@@ -110,8 +112,11 @@ func (c *Comparator) Sweep(attr int, class int32, opts SweepOptions) (*SweepResu
 		if res.Attributes[i].Pairs != res.Attributes[j].Pairs {
 			return res.Attributes[i].Pairs > res.Attributes[j].Pairs
 		}
-		if res.Attributes[i].TotalScore != res.Attributes[j].TotalScore {
-			return res.Attributes[i].TotalScore > res.Attributes[j].TotalScore
+		switch {
+		case res.Attributes[i].TotalScore > res.Attributes[j].TotalScore:
+			return true
+		case res.Attributes[j].TotalScore > res.Attributes[i].TotalScore:
+			return false
 		}
 		return res.Attributes[i].Name < res.Attributes[j].Name
 	})

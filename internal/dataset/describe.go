@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"sort"
+
+	"opmap/internal/stats"
 )
 
 // Profiling: a per-attribute summary of the loaded data, the first thing
@@ -93,7 +95,7 @@ func Describe(ds *Dataset) Profile {
 				sum += v
 				n++
 			}
-			if n == 0 {
+			if stats.IsZero(n) {
 				ap.Min, ap.Max = math.NaN(), math.NaN()
 			} else {
 				ap.Mean = sum / n

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"opmap/internal/stats"
 )
 
 // ChiMerge is Kerber's (1992) bottom-up supervised discretizer: start
@@ -60,7 +62,7 @@ func (c ChiMerge) Cuts(values []float64, classes []int32, numClasses int) ([]flo
 		minIv = 1
 	}
 	threshold := c.Threshold
-	if threshold == 0 {
+	if stats.IsZero(threshold) {
 		df := numClasses - 1
 		if df < 1 {
 			df = 1
@@ -93,7 +95,7 @@ func (c ChiMerge) Cuts(values []float64, classes []int32, numClasses int) ([]flo
 
 	var ivs []cmInterval
 	for _, p := range pts {
-		if len(ivs) > 0 && ivs[len(ivs)-1].hi == p.v {
+		if len(ivs) > 0 && stats.SameValue(ivs[len(ivs)-1].hi, p.v) {
 			ivs[len(ivs)-1].counts[p.c]++
 			continue
 		}

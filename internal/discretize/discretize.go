@@ -17,6 +17,7 @@ import (
 	"strconv"
 
 	"opmap/internal/dataset"
+	"opmap/internal/stats"
 )
 
 // Discretizer computes cut points for one continuous attribute.
@@ -56,7 +57,7 @@ func (e EqualWidth) Cuts(values []float64, _ []int32, _ int) ([]float64, error) 
 	if lo > hi { // no non-missing values
 		return nil, nil
 	}
-	if lo == hi || e.Bins == 1 {
+	if stats.SameValue(lo, hi) || e.Bins == 1 {
 		return nil, nil
 	}
 	width := (hi - lo) / float64(e.Bins)
@@ -132,7 +133,7 @@ func (m Manual) Cuts(_ []float64, _ []int32, _ int) ([]float64, error) {
 		if math.IsNaN(c) {
 			return nil, fmt.Errorf("discretize: manual cut point is NaN")
 		}
-		if i == 0 || c != cuts[i-1] {
+		if i == 0 || !stats.SameValue(c, cuts[i-1]) {
 			out = append(out, c)
 		}
 	}
@@ -204,7 +205,7 @@ func (m MDLP) split(pairs []labeledValue, numClasses, depth, minSize int, cuts *
 	}
 	total := classCounts(pairs, numClasses)
 	baseEnt := entropyOf(total)
-	if baseEnt == 0 {
+	if stats.IsZero(baseEnt) {
 		return // pure node
 	}
 	n := float64(len(pairs))
@@ -218,7 +219,7 @@ func (m MDLP) split(pairs []labeledValue, numClasses, depth, minSize int, cuts *
 		left[c]++
 		right[c]--
 		// Candidate boundaries lie between distinct adjacent values only.
-		if pairs[i].v == pairs[i+1].v {
+		if stats.SameValue(pairs[i].v, pairs[i+1].v) {
 			continue
 		}
 		nl := float64(i + 1)
@@ -280,7 +281,7 @@ func entropyOf(counts []int64) float64 {
 	for _, c := range counts {
 		total += float64(c)
 	}
-	if total == 0 {
+	if stats.IsZero(total) {
 		return 0
 	}
 	var h float64

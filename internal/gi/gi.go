@@ -75,14 +75,14 @@ type TrendOptions struct {
 }
 
 func (o TrendOptions) tolerance() float64 {
-	if o.Tolerance == 0 {
+	if stats.IsZero(o.Tolerance) {
 		return 0.005
 	}
 	return o.Tolerance
 }
 
 func (o TrendOptions) minStrength() float64 {
-	if o.MinStrength == 0 {
+	if stats.IsZero(o.MinStrength) {
 		return 0.8
 	}
 	return o.MinStrength
@@ -239,7 +239,7 @@ type ExceptionOptions struct {
 }
 
 func (o ExceptionOptions) minZ() float64 {
-	if o.MinZ == 0 {
+	if stats.IsZero(o.MinZ) {
 		return 2
 	}
 	return o.MinZ
@@ -289,7 +289,7 @@ func Exceptions(cube *rulecube.Cube, opts ExceptionOptions) ([]Exception, error)
 		}
 		mean := stats.Mean(confs)
 		sd := stats.StdDev(confs)
-		if sd == 0 {
+		if stats.IsZero(sd) {
 			continue
 		}
 		for _, c := range cells {
@@ -347,8 +347,11 @@ func InfluentialAttributes(store *rulecube.Store) ([]Influence, error) {
 		out = append(out, inf)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].ChiSquare != out[j].ChiSquare {
-			return out[i].ChiSquare > out[j].ChiSquare
+		switch {
+		case out[i].ChiSquare > out[j].ChiSquare:
+			return true
+		case out[j].ChiSquare > out[i].ChiSquare:
+			return false
 		}
 		return out[i].MutualInformation > out[j].MutualInformation
 	})
@@ -401,7 +404,7 @@ func mutualInformation(table [][]int64) float64 {
 			total += float64(n)
 		}
 	}
-	if total == 0 {
+	if stats.IsZero(total) {
 		return 0
 	}
 	var mi float64

@@ -1,0 +1,57 @@
+package lint
+
+// Allow suppresses one analyzer for one top-level declaration. Policy:
+// an entry is a last resort, never a convenience — it must name the
+// exact symbol, and Reason must say why the flagged pattern is correct
+// there (e.g. a documented Must* panic, or the one blessed exact-float
+// fast path inside the tolerance helper itself). Entries are reviewed
+// like code: if the symbol is deleted or renamed, delete the entry.
+type Allow struct {
+	Analyzer string // analyzer name, e.g. "floatcmp"
+	Package  string // import path, e.g. "opmap/internal/stats"
+	Symbol   string // enclosing top-level decl: "Func", "Type.Method", or first name of a group
+	Reason   string // required justification, kept next to the entry
+}
+
+// Allowlist is the project's set of accepted findings. Every entry
+// documents a deliberate exception; cmd/opmaplint applies it, and the
+// analyzer golden tests run with a nil allowlist so the analyzers
+// themselves stay honest.
+var Allowlist = []Allow{
+	{
+		Analyzer: "floatcmp",
+		Package:  "opmap/internal/stats",
+		Symbol:   "ApproxEqualTol",
+		Reason:   "the tolerance helper's fast path needs exact equality so infinities compare equal",
+	},
+	{
+		Analyzer: "floatcmp",
+		Package:  "opmap/internal/stats",
+		Symbol:   "IsZero",
+		Reason:   "the blessed exact-zero helper: zero-value option sentinels and integer-derived accumulators are exact by construction",
+	},
+	{
+		Analyzer: "floatcmp",
+		Package:  "opmap/internal/stats",
+		Symbol:   "SameValue",
+		Reason:   "the blessed exact-identity helper for deduplicating values drawn from the same data column",
+	},
+	{
+		Analyzer: "panicfree",
+		Package:  "opmap/internal/stats",
+		Symbol:   "MustZValue",
+		Reason:   "documented Must* helper for the statically-known Table I levels; the error-returning ZValue is the library path",
+	},
+	{
+		Analyzer: "panicfree",
+		Package:  "opmap/internal/dataset",
+		Symbol:   "Dataset.CatCode",
+		Reason:   "hot-path accessor documented to panic on kind misuse; every caller sits behind an AllCategorical() guard and an error return would put a branch in the cube-count inner loop",
+	},
+	{
+		Analyzer: "panicfree",
+		Package:  "opmap/internal/dataset",
+		Symbol:   "Dataset.ContValue",
+		Reason:   "hot-path accessor documented to panic on kind misuse, symmetric with CatCode",
+	},
+}

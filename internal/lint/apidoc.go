@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// APIDoc requires doc comments on every exported identifier of the
+// public API surface. It skips internal/, cmd/ and examples/ packages:
+// only the root opmap package is imported by users, and an undocumented
+// exported symbol there is an API the paper reproduction cannot explain.
+// A declaration group's comment covers all names it declares, matching
+// the usual Go convention for const/var blocks.
+var APIDoc = &Analyzer{
+	Name: "apidoc",
+	Doc:  "requires doc comments on exported identifiers of the public (non-internal) packages",
+	Skip: func(pkgPath string) bool {
+		for _, seg := range strings.Split(pkgPath, "/") {
+			switch seg {
+			case "internal", "cmd", "examples", "main":
+				return true
+			}
+		}
+		return false
+	},
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc.Text() != "" {
+						continue
+					}
+					if d.Recv != nil && len(d.Recv.List) > 0 {
+						recv := receiverTypeName(d.Recv.List[0].Type)
+						if !ast.IsExported(recv) {
+							continue // method on unexported type is not API
+						}
+						p.Reportf(d.Name.Pos(), "exported method %s.%s is missing a doc comment", recv, d.Name.Name)
+						continue
+					}
+					p.Reportf(d.Name.Pos(), "exported function %s is missing a doc comment", d.Name.Name)
+				case *ast.GenDecl:
+					groupDoc := d.Doc.Text() != ""
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && !groupDoc && s.Doc.Text() == "" {
+								p.Reportf(s.Name.Pos(), "exported type %s is missing a doc comment", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if groupDoc || s.Doc.Text() != "" {
+								continue
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									p.Reportf(name.Pos(), "exported %s %s is missing a doc comment", kindWord(d), name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	},
+}
+
+func kindWord(d *ast.GenDecl) string {
+	switch d.Tok.String() {
+	case "const":
+		return "const"
+	case "var":
+		return "var"
+	}
+	return "identifier"
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands. The
+// comparator's F/W/M scores and the CI-revised confidences (Eq. 1–3,
+// Section IV.B) are floats; exact equality on them is almost always a
+// latent bug that shifts a ranking without failing a test. Code that
+// genuinely needs exact comparison (tolerance helpers themselves,
+// zero-value sentinel checks on option fields) carries an allowlist
+// entry in allow.go; everything else should use
+// stats.ApproxEqual/stats.ApproxEqualTol or restructure to compare the
+// underlying integer counts.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags == and != between floating-point operands; use tolerance helpers from internal/stats",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(p, be.X) && isFloat(p, be.Y) {
+					p.Reportf(be.OpPos, "floating-point %s comparison; use stats.ApproxEqual or compare the integer counts", be.Op)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// isFloat reports whether the expression's type is a floating-point
+// type (after any untyped-constant conversion recorded by the type
+// checker).
+func isFloat(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,214 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"opmap/internal/lint"
+)
+
+// The golden tests run each analyzer over a pair of testdata packages:
+// testdata/src/<analyzer>/bad must produce exactly the diagnostics
+// declared by `// want` comments (same file, same line, message
+// matching the backquoted regexp), and testdata/src/<analyzer>/good
+// must produce none. The allowlist is deliberately nil here so the
+// analyzers are tested raw.
+
+var goldenCases = []struct {
+	name     string
+	analyzer *lint.Analyzer
+}{
+	{"floatcmp", lint.FloatCmp},
+	{"seededrand", lint.SeededRand},
+	{"panicfree", lint.PanicFree},
+	{"locksafe", lint.LockSafe},
+	{"apidoc", lint.APIDoc},
+}
+
+// wantRe extracts the expectation regexp from a `// want` comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+`([^`]+)`")
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	used bool
+	raw  string
+}
+
+// collectWants scans the package's comments for `// want` markers.
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				wants = append(wants, &expectation{
+					file: filepath.Base(pos.Filename),
+					line: pos.Line,
+					re:   re,
+					raw:  m[1],
+				})
+			}
+		}
+	}
+	return wants
+}
+
+func TestAnalyzersGolden(t *testing.T) {
+	loader := lint.NewLoader()
+	for _, tc := range goldenCases {
+		for _, kind := range []string{"bad", "good"} {
+			t.Run(tc.name+"/"+kind, func(t *testing.T) {
+				dir := filepath.Join("testdata", "src", tc.name, kind)
+				pkg, err := loader.Load(tc.name+"/"+kind, dir, nil)
+				if err != nil {
+					t.Fatalf("loading %s: %v", dir, err)
+				}
+				if tc.analyzer.Skip != nil && tc.analyzer.Skip(pkg.Path) {
+					t.Fatalf("analyzer %s skips its own testdata package %q", tc.analyzer.Name, pkg.Path)
+				}
+				diags := lint.Run(pkg, []*lint.Analyzer{tc.analyzer}, nil)
+				wants := collectWants(t, pkg)
+
+				if kind == "good" {
+					if len(wants) != 0 {
+						t.Fatalf("good package must not contain want comments, found %d", len(wants))
+					}
+					for _, d := range diags {
+						t.Errorf("unexpected diagnostic on good package: %s", d)
+					}
+					return
+				}
+
+				if len(wants) == 0 {
+					t.Fatal("bad package has no want comments; the golden test would be vacuous")
+				}
+			diag:
+				for _, d := range diags {
+					base := filepath.Base(d.Pos.Filename)
+					for _, w := range wants {
+						if !w.used && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+							w.used = true
+							continue diag
+						}
+					}
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+				for _, w := range wants {
+					if !w.used {
+						t.Errorf("expected diagnostic not reported: %s:%d: %s", w.file, w.line, w.raw)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAnalyzerMetadata keeps the registry coherent: every analyzer is
+// registered in All with a unique name and a doc string.
+func TestAnalyzerMetadata(t *testing.T) {
+	if len(lint.All) != len(goldenCases) {
+		t.Fatalf("lint.All has %d analyzers, golden tests cover %d", len(lint.All), len(goldenCases))
+	}
+	seen := map[string]bool{}
+	for _, a := range lint.All {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v is missing Name or Doc", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, tc := range goldenCases {
+		if !seen[tc.name] {
+			t.Errorf("golden case %q does not match a registered analyzer", tc.name)
+		}
+	}
+}
+
+// TestAPIDocSkip pins the package-path policy: only the public root
+// package is subject to apidoc; internal, cmd and examples trees are
+// not part of the importable API surface.
+func TestAPIDocSkip(t *testing.T) {
+	cases := []struct {
+		path string
+		skip bool
+	}{
+		{"opmap", false},
+		{"opmap/internal/stats", true},
+		{"opmap/cmd/opmap", true},
+		{"opmap/examples/casestudy", true},
+		{"apidoc/bad", false},
+	}
+	for _, c := range cases {
+		if got := lint.APIDoc.Skip(c.path); got != c.skip {
+			t.Errorf("APIDoc.Skip(%q) = %v, want %v", c.path, got, c.skip)
+		}
+	}
+}
+
+// TestAllowlistEntries enforces the allowlist policy: every entry
+// names a real analyzer and carries a written justification.
+func TestAllowlistEntries(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range lint.All {
+		names[a.Name] = true
+	}
+	for i, e := range lint.Allowlist {
+		if !names[e.Analyzer] {
+			t.Errorf("Allowlist[%d] references unknown analyzer %q", i, e.Analyzer)
+		}
+		if e.Package == "" || e.Symbol == "" {
+			t.Errorf("Allowlist[%d] (%s) must name a package and symbol", i, e.Analyzer)
+		}
+		if e.Reason == "" {
+			t.Errorf("Allowlist[%d] (%s %s.%s) has no Reason; suppressions must be justified", i, e.Analyzer, e.Package, e.Symbol)
+		}
+	}
+}
+
+// TestAllowlistSuppresses proves the allow mechanism works end to end:
+// the panicfree bad package goes quiet when its findings are allowed.
+func TestAllowlistSuppresses(t *testing.T) {
+	loader := lint.NewLoader()
+	pkg, err := loader.Load("panicfree/bad", filepath.Join("testdata", "src", "panicfree", "bad"), nil)
+	if err != nil {
+		t.Fatalf("loading panicfree/bad: %v", err)
+	}
+	allow := []lint.Allow{
+		{Analyzer: "panicfree", Package: "panicfree/bad", Symbol: "Parse", Reason: "test"},
+		{Analyzer: "panicfree", Package: "panicfree/bad", Symbol: "At", Reason: "test"},
+	}
+	if diags := lint.Run(pkg, []*lint.Analyzer{lint.PanicFree}, allow); len(diags) != 0 {
+		t.Errorf("allowlisted package still reports %d diagnostics: %v", len(diags), diags)
+	}
+	// A wrong symbol must not suppress anything.
+	partial := []lint.Allow{{Analyzer: "panicfree", Package: "panicfree/bad", Symbol: "Other", Reason: "test"}}
+	if diags := lint.Run(pkg, []*lint.Analyzer{lint.PanicFree}, partial); len(diags) != 2 {
+		t.Errorf("mismatched allow entry suppressed diagnostics: got %d, want 2", len(diags))
+	}
+}
+
+// TestDiagnosticString pins the compiler-style rendering editors rely
+// on for jump-to-position.
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{Analyzer: "floatcmp", Message: "msg"}
+	d.Pos.Filename = "x.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "x.go:3:7: floatcmp: msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

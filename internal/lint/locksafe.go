@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSafe flags by-value copies of structs that contain a sync.Mutex
+// or sync.RWMutex. The rulecube parallel store builder and the session
+// layer guard shared state with mutexes; copying such a struct forks
+// the lock while sharing the data, which is exactly the kind of race
+// `go vet` catches only partially and the race detector only when the
+// copy is exercised. Flagged sites: by-value receivers, parameters and
+// results; assignments and variable initializers that copy an existing
+// value; call arguments; range clauses; and return statements.
+// Composite literals are creations, not copies, and are fine.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flags by-value copies of structs containing sync.Mutex or sync.RWMutex",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLockFields(p, n.Recv, "receiver")
+				if n.Type.Params != nil {
+					checkLockFields(p, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkLockFields(p, n.Type.Results, "result")
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkLockCopy(p, rhs, "assignment copies")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkLockCopy(p, v, "variable initializer copies")
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					checkLockCopy(p, arg, "call passes")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkLockCopy(p, r, "return copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				t := p.Info.TypeOf(n.Value)
+				if name := lockName(t); name != "" {
+					p.Reportf(n.Value.Pos(), "range clause copies a value containing %s by value; range over indices or pointers instead", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLockFields reports fields of a receiver/param/result list whose
+// declared (non-pointer) type contains a lock.
+func checkLockFields(p *Pass, fields *ast.FieldList, role string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, ptr := t.Underlying().(*types.Pointer); ptr {
+			continue
+		}
+		if name := lockName(t); name != "" {
+			p.Reportf(field.Type.Pos(), "%s passes a value containing %s by value; use a pointer", role, name)
+		}
+	}
+}
+
+// checkLockCopy reports expressions that read an existing
+// lock-containing value (identifiers, field selections, indexing,
+// dereferences). Composite literals and function calls construct new
+// values and are not copies of a live lock.
+func checkLockCopy(p *Pass, e ast.Expr, what string) {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	case *ast.ParenExpr:
+		checkLockCopy(p, e.(*ast.ParenExpr).X, what)
+		return
+	default:
+		return
+	}
+	t := p.Info.TypeOf(e)
+	if name := lockName(t); name != "" {
+		p.Reportf(e.Pos(), "%s a value containing %s; use a pointer", what, name)
+	}
+}
+
+// lockName returns the name of the sync lock type contained in t (by
+// value, possibly nested in structs or arrays), or "" if none.
+func lockName(t types.Type) string {
+	return lockNameRec(t, make(map[types.Type]bool))
+}
+
+func lockNameRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockNameRec(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockNameRec(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockNameRec(u.Elem(), seen)
+	}
+	return ""
+}

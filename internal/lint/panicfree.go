@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicFree flags panic(...) calls in library code. The root opmap
+// package and the internal packages it composes are a library: callers
+// must get errors, not process aborts, and a panic reachable from an
+// exported API turns a malformed dataset into a crashed analysis
+// session. The few deliberate panics — documented Must* helpers and
+// hot-path accessors whose contract is "caller has already validated"
+// — carry allowlist entries in allow.go with their justification.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "flags panic in library code; return errors instead, or allowlist with justification",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, ok := p.Info.Uses[id].(*types.Builtin); !ok {
+					return true // a local function shadowing the builtin
+				}
+				p.Reportf(call.Pos(), "panic in library code; return an error instead (or add a justified entry to internal/lint/allow.go)")
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the global top-level functions of math/rand (and
+// math/rand/v2) in library code. The paper's figures and the sweep
+// experiments must be bit-for-bit reproducible, so every random source
+// has to be an explicit rand.New(rand.NewSource(seed)) whose seed is
+// recorded in the workload config — a stray rand.Intn silently ties a
+// figure to process-global state. Constructors (New, NewSource) and
+// methods on an explicit *rand.Rand are fine; test files are not
+// loaded by the engine at all.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbids global math/rand functions; use rand.New(rand.NewSource(seed)) for reproducibility",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				path := fn.Pkg().Path()
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods on an explicit source are fine
+				}
+				switch fn.Name() {
+				case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+					return true // constructors build explicit sources
+				}
+				p.Reportf(call.Pos(), "call to global %s.%s; use an explicit seeded source (rand.New(rand.NewSource(seed))) so results are reproducible", path, fn.Name())
+				return true
+			})
+		}
+	},
+}

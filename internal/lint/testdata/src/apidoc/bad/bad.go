@@ -1,0 +1,14 @@
+// Package bad has undocumented exported API that the apidoc analyzer
+// must flag. The trailing want comments are expectations, not docs:
+// only a comment preceding the declaration documents it.
+package bad
+
+type Exported struct{} // want `exported type Exported is missing a doc comment`
+
+func Run() {} // want `exported function Run is missing a doc comment`
+
+func (Exported) Do() {} // want `exported method Exported.Do is missing a doc comment`
+
+var Threshold = 0.5 // want `exported var Threshold is missing a doc comment`
+
+const Limit = 10 // want `exported const Limit is missing a doc comment`

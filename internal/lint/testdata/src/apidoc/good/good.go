@@ -1,0 +1,23 @@
+// Package good documents every exported identifier; the apidoc
+// analyzer must stay silent, including on unexported names and on
+// group declarations covered by a single group comment.
+package good
+
+// Exported is a documented type.
+type Exported struct{}
+
+// Do performs the documented action.
+func (Exported) Do() {}
+
+// Run runs the documented entry point.
+func Run() {}
+
+// Tunables shared by Run; the group comment covers both names.
+var (
+	Threshold = 0.5
+	Limit     = 10
+)
+
+type hidden struct{}
+
+func helper(hidden) {}

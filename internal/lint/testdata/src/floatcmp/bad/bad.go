@@ -1,0 +1,26 @@
+// Package bad exercises the floatcmp analyzer: every float equality
+// here must be flagged.
+package bad
+
+// Confidences compares raw confidences directly, the pattern the
+// analyzer exists to forbid.
+func Confidences(cf1, cf2 float64) bool {
+	if cf1 == cf2 { // want `floating-point == comparison`
+		return true
+	}
+	return cf1 != cf2 // want `floating-point != comparison`
+}
+
+// Mixed compares a float32 against an untyped constant; the constant
+// side is also float-typed, so this is still a float comparison.
+func Mixed(x float32) bool {
+	return x == 0 // want `floating-point == comparison`
+}
+
+// Score is a named float type; the underlying type is what matters.
+type Score float64
+
+// SameScore compares two named-float values.
+func SameScore(a, b Score) bool {
+	return a == b // want `floating-point == comparison`
+}

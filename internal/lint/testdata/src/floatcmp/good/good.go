@@ -1,0 +1,25 @@
+// Package good holds float handling the floatcmp analyzer must accept.
+package good
+
+// Threshold uses an ordering comparison, which is fine.
+func Threshold(a, b float64) bool {
+	return a > b
+}
+
+// Counts compares integers; equality on integer counts is the
+// recommended replacement for comparing derived ratios.
+func Counts(a, b int64) bool {
+	return a == b
+}
+
+// Tristate orders floats for sorting with a three-way switch instead
+// of an equality test.
+func Tristate(a, b float64) int {
+	switch {
+	case a > b:
+		return 1
+	case b > a:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,71 @@
+// Package bad exercises the locksafe analyzer: every construct here
+// copies a struct that contains a sync lock.
+package bad
+
+import "sync"
+
+// Counter guards its count with a mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Registry embeds an RWMutex protecting m.
+type Registry struct {
+	sync.RWMutex
+	m map[string]int
+}
+
+// Value reads the count through a by-value receiver, copying the lock.
+func (c Counter) Value() int { // want `receiver passes a value containing sync.Mutex`
+	return c.n
+}
+
+// Observe takes the counter by value.
+func Observe(c Counter) int { // want `parameter passes a value containing sync.Mutex`
+	return c.n
+}
+
+// Export returns the counter by value.
+func Export(c *Counter) Counter { // want `result passes a value containing sync.Mutex`
+	return *c // want `return copies a value containing sync.Mutex`
+}
+
+// Snapshot copies a live counter into a local through an assignment.
+func Snapshot(c *Counter) int {
+	cp := *c // want `assignment copies a value containing sync.Mutex`
+	return cp.n
+}
+
+// Clone copies a live counter through a variable initializer.
+func Clone(c *Counter) int {
+	var cp Counter = *c // want `variable initializer copies a value containing sync.Mutex`
+	return cp.n
+}
+
+// Publish hands the counter to an observer by value.
+func Publish(c *Counter) {
+	observe(*c) // want `call passes a value containing sync.Mutex`
+}
+
+func observe(c Counter) int { // want `parameter passes a value containing sync.Mutex`
+	return c.n
+}
+
+// Drain sums counters, copying each one through the range variable.
+func Drain(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want `range clause copies a value containing sync.Mutex`
+		total += c.n
+	}
+	return total
+}
+
+// Dup copies a registry, which embeds its lock.
+func Dup(r *Registry) {
+	var sink Registry
+	sink = *r // want `assignment copies a value containing sync.RWMutex`
+	use(&sink)
+}
+
+func use(*Registry) {}

@@ -1,0 +1,39 @@
+// Package good uses lock-containing structs only through pointers and
+// in-place construction; the locksafe analyzer must stay silent.
+package good
+
+import "sync"
+
+// Counter guards its count with a mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc locks through a pointer receiver.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// NewCounter constructs a fresh value; a composite literal is a
+// creation, not a copy of a live lock.
+func NewCounter() *Counter {
+	c := Counter{}
+	return &c
+}
+
+// Drain iterates by index, never copying an element.
+func Drain(cs []*Counter) int {
+	total := 0
+	for i := range cs {
+		total += cs[i].n
+	}
+	return total
+}
+
+// Observe takes the counter by pointer.
+func Observe(c *Counter) int {
+	return c.n
+}

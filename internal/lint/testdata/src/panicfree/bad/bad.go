@@ -1,0 +1,19 @@
+// Package bad exercises the panicfree analyzer: library code must
+// return errors, not abort the process.
+package bad
+
+// Parse aborts on bad input instead of returning an error.
+func Parse(s string) int {
+	if s == "" {
+		panic("empty input") // want `panic in library code`
+	}
+	return len(s)
+}
+
+// At indexes with a handwritten bounds check that panics.
+func At(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		panic("index out of range") // want `panic in library code`
+	}
+	return xs[i]
+}

@@ -1,0 +1,21 @@
+// Package good handles failures with errors; the panicfree analyzer
+// must stay silent, including on identifiers that merely shadow the
+// panic builtin.
+package good
+
+import "errors"
+
+// Parse returns an error for bad input.
+func Parse(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty input")
+	}
+	return len(s), nil
+}
+
+// Shadowed calls a local function named panic; that is not the
+// builtin, so the analyzer must not flag it.
+func Shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,20 @@
+// Package bad exercises the seededrand analyzer: draws from the
+// process-global math/rand source make runs irreproducible.
+package bad
+
+import "math/rand"
+
+// Jitter draws from the global source.
+func Jitter() float64 {
+	return rand.Float64() // want `call to global math/rand.Float64`
+}
+
+// Pick selects an index using the global source.
+func Pick(n int) int {
+	return rand.Intn(n) // want `call to global math/rand.Intn`
+}
+
+// Shuffle permutes indices using the global source.
+func Shuffle(n int, swap func(i, j int)) {
+	rand.Shuffle(n, swap) // want `call to global math/rand.Shuffle`
+}

@@ -1,0 +1,18 @@
+// Package good draws random numbers only from explicitly seeded
+// sources, which the seededrand analyzer must accept.
+package good
+
+import "math/rand"
+
+// Draw uses an explicit seeded source; the constructors and the
+// methods on the returned *rand.Rand are all allowed.
+func Draw(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Indices builds a deterministic permutation from a seeded source.
+func Indices(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Perm(n)
+}

@@ -1,0 +1,63 @@
+package stats
+
+import "math"
+
+// This file holds the project's blessed floating-point comparison
+// helpers. The floatcmp analyzer (internal/lint) rejects raw == / !=
+// between floats everywhere in the module; the three legitimate needs
+// funnel through here so each exact comparison is named, documented
+// and grep-able:
+//
+//   - ApproxEqual / ApproxEqualTol: tolerance comparison for computed
+//     quantities (confidences, F/W/M scores, entropies).
+//   - IsZero: exact zero test for unset-option sentinels and for
+//     accumulators derived from integer counts, where zero is exact.
+//   - SameValue: exact identity for deduplicating values drawn from
+//     the same data column (cut points, sorted keys), where a
+//     tolerance would silently merge distinct observations.
+
+// DefaultTol is the tolerance ApproxEqual uses: comfortably above
+// accumulated rounding error in the comparator's sums over millions of
+// records, far below any meaningful confidence difference.
+const DefaultTol = 1e-9
+
+// ApproxEqual reports whether a and b are equal within DefaultTol,
+// combining absolute tolerance (for values near zero) with relative
+// tolerance (for large magnitudes).
+func ApproxEqual(a, b float64) bool {
+	return ApproxEqualTol(a, b, DefaultTol)
+}
+
+// ApproxEqualTol is ApproxEqual with an explicit tolerance. NaN equals
+// nothing; equal infinities are equal, unequal ones never are (without
+// the explicit check, |Inf−(−Inf)| ≤ tol·Inf would hold).
+func ApproxEqualTol(a, b, tol float64) bool {
+	if a == b { // fast path; also the only way infinities compare equal
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// IsZero reports whether x is exactly zero. Use it for zero-value
+// option sentinels ("0 means default") and for float accumulators
+// built from integer counts, where exact zero is well-defined; use
+// ApproxEqual for computed quantities.
+func IsZero(x float64) bool {
+	return x == 0
+}
+
+// SameValue reports whether a and b are exactly the same value (with
+// -0 equal to +0 and NaN equal to nothing, i.e. plain float equality).
+// Use it to deduplicate or match values that originate from the same
+// data column; a tolerance there would merge genuinely distinct
+// observations.
+func SameValue(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},             // within absolute tolerance
+		{1e12, 1e12 * (1 + 1e-12), true}, // within relative tolerance
+		{1, 1 + 1e-6, false},             // outside both tolerances
+		{1e12, 1e12 * (1 + 1e-6), false}, // relative difference too large
+		{0, 1e-12, true},                 // near zero: absolute tolerance
+		{0, 1e-6, false},                 //
+		{math.Inf(1), math.Inf(1), true}, // fast path handles infinities
+		{math.Inf(1), math.Inf(-1), false},
+		{math.NaN(), math.NaN(), false}, // NaN never approximately equals
+		{math.NaN(), 1, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := ApproxEqual(c.b, c.a); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v) = %v, want %v (not symmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualTol(t *testing.T) {
+	if !ApproxEqualTol(100, 101, 0.02) {
+		t.Error("ApproxEqualTol(100, 101, 0.02) = false; relative tolerance should admit 1%")
+	}
+	if ApproxEqualTol(100, 103, 0.02) {
+		t.Error("ApproxEqualTol(100, 103, 0.02) = true; 3% exceeds tolerance")
+	}
+	if !ApproxEqualTol(5, 5, 0) {
+		t.Error("ApproxEqualTol(5, 5, 0) = false; identical values must pass at zero tolerance")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) {
+		t.Error("IsZero(0) = false")
+	}
+	if !IsZero(math.Copysign(0, -1)) {
+		t.Error("IsZero(-0) = false; negative zero is zero")
+	}
+	if IsZero(1e-300) {
+		t.Error("IsZero(1e-300) = true; IsZero is exact, not approximate")
+	}
+	if IsZero(math.NaN()) {
+		t.Error("IsZero(NaN) = true")
+	}
+}
+
+func TestSameValue(t *testing.T) {
+	if !SameValue(1.5, 1.5) {
+		t.Error("SameValue(1.5, 1.5) = false")
+	}
+	if SameValue(1.5, 1.5+1e-12) {
+		t.Error("SameValue admits approximately equal values; it must be exact identity")
+	}
+	if SameValue(math.NaN(), math.NaN()) {
+		t.Error("SameValue(NaN, NaN) = true; IEEE semantics apply")
+	}
+}

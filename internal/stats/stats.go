@@ -189,7 +189,7 @@ func ChiSquare(observed [][]int64) (statistic float64, df int, err error) {
 			grand += float64(v)
 		}
 	}
-	if grand == 0 {
+	if IsZero(grand) {
 		return 0, 0, fmt.Errorf("stats: contingency table has zero total")
 	}
 	liveRows, liveCols := 0, 0
@@ -205,11 +205,11 @@ func ChiSquare(observed [][]int64) (statistic float64, df int, err error) {
 	}
 	var chi2 float64
 	for i := 0; i < r; i++ {
-		if rowTot[i] == 0 {
+		if IsZero(rowTot[i]) {
 			continue
 		}
 		for j := 0; j < c; j++ {
-			if colTot[j] == 0 {
+			if IsZero(colTot[j]) {
 				continue
 			}
 			expected := rowTot[i] * colTot[j] / grand
@@ -248,7 +248,7 @@ func Entropy(counts []int64) float64 {
 	for _, c := range counts {
 		total += float64(c)
 	}
-	if total == 0 {
+	if IsZero(total) {
 		return 0
 	}
 	var h float64
@@ -268,7 +268,7 @@ func EntropyFloat(weights []float64) float64 {
 	for _, w := range weights {
 		total += w
 	}
-	if total == 0 {
+	if IsZero(total) {
 		return 0
 	}
 	var h float64

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"opmap/internal/rulecube"
+	"opmap/internal/stats"
 )
 
 // Detailed3D renders a 3-D rule cube (two condition attributes × class)
@@ -61,7 +62,7 @@ func Detailed3D(w io.Writer, cube *rulecube.Cube) error {
 				confs[v1] = cf
 			}
 			scale := maxConf[k]
-			if scale == 0 {
+			if stats.IsZero(scale) {
 				scale = 1
 			}
 			fmt.Fprintf(w, "  %-24s %s", classDict.Label(k), sparkline(confs, scale))

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"opmap/internal/rulecube"
+	"opmap/internal/stats"
 )
 
 // OverallSVG renders the Fig. 5 overall visualization as an SVG
@@ -90,7 +91,7 @@ func OverallSVG(w io.Writer, store *rulecube.Store, opts OverallOptions) error {
 					maxConf = confs[v]
 				}
 			}
-			if maxConf == 0 {
+			if stats.IsZero(maxConf) {
 				maxConf = 1
 			}
 			barW := float64(gridW)/float64(shown) - barPad

@@ -7,6 +7,7 @@ import (
 
 	"opmap/internal/compare"
 	"opmap/internal/rulecube"
+	"opmap/internal/stats"
 )
 
 // SVG rendering of the comparison and detailed views, so the figures can
@@ -64,7 +65,7 @@ func ComparisonSVG(w io.Writer, res *compare.Result, score compare.AttrScore, la
 			maxCf = v
 		}
 	}
-	if maxCf == 0 {
+	if stats.IsZero(maxCf) {
 		maxCf = 1
 	}
 	maxCf *= 1.1
@@ -149,7 +150,7 @@ func DetailedSVG(w io.Writer, cube *rulecube.Cube) error {
 			}
 		}
 	}
-	if maxCf == 0 {
+	if stats.IsZero(maxCf) {
 		maxCf = 1
 	}
 	maxCf *= 1.1

@@ -15,6 +15,7 @@ import (
 	"opmap/internal/compare"
 	"opmap/internal/gi"
 	"opmap/internal/rulecube"
+	"opmap/internal/stats"
 )
 
 // barGlyphs are eighth-block glyphs for sub-character bar resolution.
@@ -160,7 +161,7 @@ func Overall(w io.Writer, store *rulecube.Store, opts OverallOptions) error {
 					maxConf = confs[v]
 				}
 			}
-			if maxConf == 0 {
+			if stats.IsZero(maxConf) {
 				maxConf = 1
 			}
 			fmt.Fprintf(w, "  %s %-22s %s\n", trendFor(a, k), classDict.Label(k), sparkline(confs, maxConf))
@@ -224,7 +225,7 @@ func Comparison(w io.Writer, res *compare.Result, score compare.AttrScore, label
 			maxCf = hi
 		}
 	}
-	if maxCf == 0 {
+	if stats.IsZero(maxCf) {
 		maxCf = 1
 	}
 	const width = 28
@@ -274,7 +275,7 @@ func Ranking(w io.Writer, res *compare.Result, topN int) {
 	if len(res.Ranked) > 0 {
 		maxScore = res.Ranked[0].Score
 	}
-	if maxScore == 0 {
+	if stats.IsZero(maxScore) {
 		maxScore = 1
 	}
 	for i, s := range res.Ranked {

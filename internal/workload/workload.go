@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"opmap/internal/dataset"
+	"opmap/internal/stats"
 )
 
 // Classes used by the call-log generator, mirroring the paper's
@@ -61,13 +62,13 @@ func (c CallLogConfig) withDefaults() CallLogConfig {
 	if c.NumPhones < 2 {
 		c.NumPhones = 6
 	}
-	if c.GoodDropRate == 0 {
+	if stats.IsZero(c.GoodDropRate) {
 		c.GoodDropRate = 0.02
 	}
-	if c.BadDropRate == 0 {
+	if stats.IsZero(c.BadDropRate) {
 		c.BadDropRate = 0.04
 	}
-	if c.SetupFailRate == 0 {
+	if stats.IsZero(c.SetupFailRate) {
 		c.SetupFailRate = 0.01
 	}
 	if c.NoiseCardinality == 0 {
