@@ -29,6 +29,34 @@ go test -race ./...
 echo "== opmaplint (internal/lint analyzers) =="
 go run ./cmd/opmaplint ./...
 
+echo "== opmapd smoke (serve, probe, drain) =="
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/opmapd" ./cmd/opmapd
+"$smokedir/opmapd" -demo -records 4000 -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr" >"$smokedir/opmapd.log" 2>&1 &
+opmapd_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr" ]; then
+    echo "opmapd never became ready:" >&2
+    cat "$smokedir/opmapd.log" >&2
+    exit 1
+fi
+addr=$(cat "$smokedir/addr")
+"$smokedir/opmapd" -probe "$addr/readyz" >/dev/null
+"$smokedir/opmapd" -probe "$addr/api/sweep?attr=Phone-Model&class=dropped-in-progress&max_pairs=3" \
+    | grep -q '"pairs_compared"'
+kill -TERM "$opmapd_pid"
+if ! wait "$opmapd_pid"; then
+    echo "opmapd did not drain cleanly on SIGTERM:" >&2
+    cat "$smokedir/opmapd.log" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$smokedir/opmapd.log"
+
 echo "== fuzz smoke (10s per target) =="
 go test -run '^$' -fuzz '^FuzzReadStore$' -fuzztime 10s ./internal/rulecube
 go test -run '^$' -fuzz '^FuzzComparator$' -fuzztime 10s ./internal/compare

@@ -1,0 +1,179 @@
+// Command opmapd serves the Opportunity Map analyses over HTTP: JSON
+// endpoints for overview, attribute detail, pairwise / one-vs-rest
+// comparison, and sweeps, over a session preloaded at startup (the
+// deployed system's online serving step, Section V.C).
+//
+// Usage:
+//
+//	opmapd -data calls.csv -class Disposition -addr :8080
+//	opmapd -cubes store.bin -addr :8080
+//	opmapd -demo -records 20000 -addr 127.0.0.1:0 -ready-file addr.txt
+//
+// Endpoints:
+//
+//	GET /healthz                              liveness
+//	GET /readyz                               readiness (503 while draining)
+//	GET /api/overview?top=10                  dataset + GI-miner summary
+//	GET /api/detail?attr=A&class=C            values + screened pairs
+//	GET /api/compare?attr=A&v1=x&v2=y&class=C pairwise comparison
+//	GET /api/compare?attr=A&value=x&class=C   one-vs-rest (degradable)
+//	GET /api/sweep?attr=A&class=C&max_pairs=N degradable sweep
+//
+// The daemon sheds load with 429 when too many requests are in flight,
+// bounds each request with -timeout, recovers handler panics into
+// 500s, and drains cleanly on SIGTERM/SIGINT.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"opmap"
+	"opmap/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opmapd: ")
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		data         = flag.String("data", "", "CSV file to analyze")
+		cubes        = flag.String("cubes", "", "persisted cube store to serve from")
+		class        = flag.String("class", "", "class attribute name (default: last column)")
+		demo         = flag.Bool("demo", false, "serve the synthetic call-log case study instead of a file")
+		records      = flag.Int("records", 20000, "demo records")
+		seed         = flag.Int64("seed", 1, "demo generator seed")
+		timeout      = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget")
+		maxInflight  = flag.Int("max-inflight", 16, "max concurrently served API requests (excess gets 429)")
+		maxRows      = flag.Int("max-rows", 5_000_000, "max CSV data rows accepted (0 = unlimited)")
+		maxCols      = flag.Int("max-cols", 4096, "max CSV columns accepted (0 = unlimited)")
+		maxRecBytes  = flag.Int("max-record-bytes", 1<<20, "max bytes in one CSV record (0 = unlimited)")
+		readyFile    = flag.String("ready-file", "", "write the bound address to this file once serving (for scripts)")
+		probe        = flag.String("probe", "", "client mode: GET this URL, print the body, exit 0 on 2xx")
+	)
+	flag.Parse()
+
+	if *probe != "" {
+		os.Exit(runProbe(*probe))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	sess, err := loadSession(ctx, *data, *cubes, *class, *demo, *records, *seed, *maxRows, *maxCols, *maxRecBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{
+		Session:        sess,
+		RequestTimeout: *timeout,
+		MaxInFlight:    *maxInflight,
+		DrainTimeout:   *drainTimeout,
+		Logger:         log.Default(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s", ln.Addr())
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}
+
+// loadSession builds the serving session from exactly one of the data
+// sources and materializes its cubes under ctx, so startup aborts
+// promptly on SIGTERM.
+func loadSession(ctx context.Context, data, cubes, class string, demo bool, records int, seed int64, maxRows, maxCols, maxRecBytes int) (*opmap.Session, error) {
+	sources := 0
+	for _, set := range []bool{data != "", cubes != "", demo} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("specify exactly one of -data, -cubes, -demo")
+	}
+	switch {
+	case cubes != "":
+		// Persisted stores carry their cubes; nothing to build.
+		return opmap.OpenCubesFile(cubes)
+	case demo:
+		sess, _, err := opmap.CaseStudy(seed, records)
+		if err != nil {
+			return nil, err
+		}
+		return sess, buildCubes(ctx, sess)
+	default:
+		sess, err := opmap.LoadCSVFile(data, opmap.LoadOptions{
+			Class:          class,
+			MaxRows:        maxRows,
+			MaxColumns:     maxCols,
+			MaxRecordBytes: maxRecBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sess.Discretize(opmap.DiscretizeOptions{}); err != nil {
+			return nil, err
+		}
+		return sess, buildCubes(ctx, sess)
+	}
+}
+
+func buildCubes(ctx context.Context, sess *opmap.Session) error {
+	start := time.Now()
+	if err := sess.BuildCubesContext(ctx); err != nil {
+		return fmt.Errorf("building cubes: %w", err)
+	}
+	log.Printf("built %d cubes in %v", sess.CubeCount(), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runProbe is a minimal HTTP client so scripts (ci.sh's smoke step)
+// need no external tools: GET the URL, echo the body, exit 0 iff 2xx.
+func runProbe(url string) int {
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Printf("probe: %v", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		log.Printf("probe: reading body: %v", err)
+		return 1
+	}
+	os.Stdout.Write(body)
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		log.Printf("probe: %s returned %s", url, resp.Status)
+		return 1
+	}
+	return 0
+}

@@ -1,6 +1,7 @@
 package opmap
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,6 +29,18 @@ type CompareOptions struct {
 	MinRuleSupport int64
 	// Attrs restricts the ranked attributes by name; nil means all.
 	Attrs []string
+	// PartialOnDeadline lets CompareOneVsRestContext return the
+	// attributes ranked so far — with the rest listed in
+	// Comparison.Unscored — when the context expires mid-ranking,
+	// instead of failing the call.
+	PartialOnDeadline bool
+}
+
+// ItemError annotates one item (attribute or value pair) a degraded
+// call could not complete, with the reason.
+type ItemError struct {
+	Item string `json:"item"`
+	Err  string `json:"err"`
 }
 
 // AttributeScore is one entry of a comparison ranking.
@@ -74,6 +87,12 @@ type Comparison struct {
 	// Class is the class of interest.
 	Class string
 
+	// Partial is set when the ranking is incomplete because a context
+	// expired and degradation was allowed; Unscored lists the
+	// attributes that were not ranked.
+	Partial  bool
+	Unscored []ItemError
+
 	res *compare.Result
 }
 
@@ -81,6 +100,13 @@ type Comparison struct {
 // attribute by how well it distinguishes the sub-populations attr=v1
 // and attr=v2 with respect to the class. Rule cubes must be built.
 func (s *Session) Compare(attr, v1, v2, class string, opts CompareOptions) (*Comparison, error) {
+	return s.CompareContext(context.Background(), attr, v1, v2, class, opts)
+}
+
+// CompareContext is Compare under a context: cancellation mid-ranking
+// returns ctx.Err() promptly. It is strict; for degradable fan-out use
+// SweepPartial or CompareOneVsRestContext with PartialOnDeadline.
+func (s *Session) CompareContext(ctx context.Context, attr, v1, v2, class string, opts CompareOptions) (*Comparison, error) {
 	store, err := s.requireStore()
 	if err != nil {
 		return nil, err
@@ -89,7 +115,7 @@ func (s *Session) Compare(attr, v1, v2, class string, opts CompareOptions) (*Com
 	if err != nil {
 		return nil, err
 	}
-	res, err := compare.New(store).Compare(in, copts)
+	res, err := compare.New(store).CompareContext(ctx, in, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -134,11 +160,22 @@ func (s *Session) resolve(attr, v1, v2, class string, opts CompareOptions) (comp
 	if !ok {
 		return compare.Input{}, compare.Options{}, fmt.Errorf("opmap: unknown class %q", class)
 	}
+	copts, err := s.compareOptions(opts)
+	if err != nil {
+		return compare.Input{}, compare.Options{}, err
+	}
+	return compare.Input{Attr: ai, V1: c1, V2: c2, Class: cc}, copts, nil
+}
 
+// compareOptions converts the public options to the internal form,
+// resolving attribute names. Shared by the pairwise, one-vs-rest and
+// sweep entry points.
+func (s *Session) compareOptions(opts CompareOptions) (compare.Options, error) {
 	copts := compare.Options{
 		DisableCI:         opts.DisableCI,
 		PropertyThreshold: opts.PropertyThreshold,
 		MinRuleSupport:    opts.MinRuleSupport,
+		PartialOnDeadline: opts.PartialOnDeadline,
 	}
 	if !stats.IsZero(opts.ConfidenceLevel) {
 		copts.Level = stats.ConfidenceLevel(opts.ConfidenceLevel)
@@ -146,16 +183,14 @@ func (s *Session) resolve(attr, v1, v2, class string, opts CompareOptions) (comp
 	if opts.WilsonIntervals {
 		copts.Method = compare.Wilson
 	}
-	if opts.Attrs != nil {
-		for _, n := range opts.Attrs {
-			i := ds.AttrIndex(n)
-			if i < 0 {
-				return compare.Input{}, compare.Options{}, fmt.Errorf("opmap: unknown attribute %q in Attrs", n)
-			}
-			copts.Attrs = append(copts.Attrs, i)
+	for _, n := range opts.Attrs {
+		i := s.ds.AttrIndex(n)
+		if i < 0 {
+			return compare.Options{}, fmt.Errorf("opmap: unknown attribute %q in Attrs", n)
 		}
+		copts.Attrs = append(copts.Attrs, i)
 	}
-	return compare.Input{Attr: ai, V1: c1, V2: c2, Class: cc}, copts, nil
+	return copts, nil
 }
 
 func (s *Session) wrapComparison(attr, class string, in compare.Input, res *compare.Result) *Comparison {
@@ -163,15 +198,25 @@ func (s *Session) wrapComparison(attr, class string, in compare.Input, res *comp
 	l1 := dict.Label(res.Rule1.Conditions[0].Value)
 	l2 := dict.Label(res.Rule2.Conditions[0].Value)
 	return &Comparison{
-		Attr:   attr,
-		Label1: l1,
-		Label2: l2,
-		Cf1:    res.Cf1,
-		Cf2:    res.Cf2,
-		Ratio:  res.Ratio,
-		Class:  class,
-		res:    res,
+		Attr:     attr,
+		Label1:   l1,
+		Label2:   l2,
+		Cf1:      res.Cf1,
+		Cf2:      res.Cf2,
+		Ratio:    res.Ratio,
+		Class:    class,
+		Partial:  res.Partial,
+		Unscored: toItemErrors(res.Unscored),
+		res:      res,
 	}
+}
+
+func toItemErrors(in []compare.ItemError) []ItemError {
+	var out []ItemError
+	for _, e := range in {
+		out = append(out, ItemError{Item: e.Item, Err: e.Err})
+	}
+	return out
 }
 
 func toScore(s compare.AttrScore) AttributeScore {

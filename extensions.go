@@ -1,6 +1,7 @@
 package opmap
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -13,7 +14,6 @@ import (
 	"opmap/internal/gi"
 	"opmap/internal/report"
 	"opmap/internal/rulecube"
-	"opmap/internal/stats"
 )
 
 // This file holds the Session capabilities beyond the paper's core
@@ -81,6 +81,15 @@ func (s *Session) ScreenPairs(attr, class string, maxPairs int) ([]PairCandidate
 // "morning calls vs the rest" use case). Label2 of the result reads
 // "rest" when the complement is the higher-confidence side.
 func (s *Session) CompareOneVsRest(attr, value, class string, opts CompareOptions) (*Comparison, error) {
+	return s.CompareOneVsRestContext(context.Background(), attr, value, class, opts)
+}
+
+// CompareOneVsRestContext is CompareOneVsRest under a context. With
+// opts.PartialOnDeadline set, a context that expires mid-ranking
+// yields the attributes scored so far with Comparison.Partial set and
+// the rest annotated in Comparison.Unscored; otherwise the call fails
+// with ctx.Err().
+func (s *Session) CompareOneVsRestContext(ctx context.Context, attr, value, class string, opts CompareOptions) (*Comparison, error) {
 	store, err := s.requireStore()
 	if err != nil {
 		return nil, err
@@ -97,25 +106,11 @@ func (s *Session) CompareOneVsRest(attr, value, class string, opts CompareOption
 	if !ok {
 		return nil, fmt.Errorf("opmap: unknown class %q", class)
 	}
-	copts := compare.Options{
-		DisableCI:         opts.DisableCI,
-		PropertyThreshold: opts.PropertyThreshold,
-		MinRuleSupport:    opts.MinRuleSupport,
+	copts, err := s.compareOptions(opts)
+	if err != nil {
+		return nil, err
 	}
-	if !stats.IsZero(opts.ConfidenceLevel) {
-		copts.Level = stats.ConfidenceLevel(opts.ConfidenceLevel)
-	}
-	if opts.WilsonIntervals {
-		copts.Method = compare.Wilson
-	}
-	for _, n := range opts.Attrs {
-		i := s.ds.AttrIndex(n)
-		if i < 0 {
-			return nil, fmt.Errorf("opmap: unknown attribute %q in Attrs", n)
-		}
-		copts.Attrs = append(copts.Attrs, i)
-	}
-	res, err := compare.New(store).OneVsRest(compare.OneVsRestInput{Attr: a, Value: v, Class: cls}, copts)
+	res, err := compare.New(store).OneVsRestContext(ctx, compare.OneVsRestInput{Attr: a, Value: v, Class: cls}, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -124,14 +119,16 @@ func (s *Session) CompareOneVsRest(attr, value, class string, opts CompareOption
 		l1, l2 = "rest", value
 	}
 	return &Comparison{
-		Attr:   attr,
-		Label1: l1,
-		Label2: l2,
-		Cf1:    res.Cf1,
-		Cf2:    res.Cf2,
-		Ratio:  res.Ratio,
-		Class:  class,
-		res:    res,
+		Attr:     attr,
+		Label1:   l1,
+		Label2:   l2,
+		Cf1:      res.Cf1,
+		Cf2:      res.Cf2,
+		Ratio:    res.Ratio,
+		Class:    class,
+		Partial:  res.Partial,
+		Unscored: toItemErrors(res.Unscored),
+		res:      res,
 	}, nil
 }
 
@@ -250,6 +247,11 @@ type SweepResult struct {
 	PairsCompared int
 	PairsSkipped  int
 	Attributes    []SweepAttribute
+	// Partial is set when the sweep stopped early because the context
+	// expired (SweepPartial only); the pairs not compared are annotated
+	// in Errors.
+	Partial bool
+	Errors  []ItemError
 }
 
 // Sweep screens every value pair of attr on the class and compares each
@@ -258,6 +260,25 @@ type SweepResult struct {
 // product-specific ones (one pair). maxPairs ≤ 0 compares every
 // significant pair.
 func (s *Session) Sweep(attr, class string, maxPairs int) (*SweepResult, error) {
+	return s.SweepContext(context.Background(), attr, class, maxPairs)
+}
+
+// SweepContext is Sweep under a context. It is strict: cancellation
+// mid-sweep fails with ctx.Err(). Use SweepPartial to degrade to a
+// partial aggregate instead.
+func (s *Session) SweepContext(ctx context.Context, attr, class string, maxPairs int) (*SweepResult, error) {
+	return s.sweep(ctx, attr, class, maxPairs, false)
+}
+
+// SweepPartial is SweepContext with graceful degradation: when the
+// context expires mid-sweep the pairs compared so far are aggregated
+// and returned with SweepResult.Partial set and the skipped pairs
+// annotated in SweepResult.Errors.
+func (s *Session) SweepPartial(ctx context.Context, attr, class string, maxPairs int) (*SweepResult, error) {
+	return s.sweep(ctx, attr, class, maxPairs, true)
+}
+
+func (s *Session) sweep(ctx context.Context, attr, class string, maxPairs int, partial bool) (*SweepResult, error) {
 	store, err := s.requireStore()
 	if err != nil {
 		return nil, err
@@ -270,15 +291,20 @@ func (s *Session) Sweep(attr, class string, maxPairs int) (*SweepResult, error) 
 	if !ok {
 		return nil, fmt.Errorf("opmap: unknown class %q", class)
 	}
-	opts := compare.SweepOptions{}
+	opts := compare.SweepOptions{Partial: partial}
 	if maxPairs > 0 {
 		opts.Screen.MaxPairs = maxPairs
 	}
-	res, err := compare.New(store).Sweep(a, cls, opts)
+	res, err := compare.New(store).SweepContext(ctx, a, cls, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := &SweepResult{PairsCompared: res.PairsCompared, PairsSkipped: res.PairsSkipped}
+	out := &SweepResult{
+		PairsCompared: res.PairsCompared,
+		PairsSkipped:  res.PairsSkipped,
+		Partial:       res.Partial,
+		Errors:        toItemErrors(res.Errors),
+	}
 	for _, sa := range res.Attributes {
 		out.Attributes = append(out.Attributes, SweepAttribute{
 			Name:       sa.Name,
@@ -337,6 +363,12 @@ type SignificanceResult struct {
 // candidate attribute's observed M? Use it to decide how deep into a
 // ranking to trust. rounds ≤ 0 means 200. Requires raw data (scans).
 func (s *Session) TestSignificance(attr, v1, v2, class, candidate string, rounds int, seed int64) (SignificanceResult, error) {
+	return s.TestSignificanceContext(context.Background(), attr, v1, v2, class, candidate, rounds, seed)
+}
+
+// TestSignificanceContext is TestSignificance under a context, checked
+// once per permutation round; cancellation returns ctx.Err().
+func (s *Session) TestSignificanceContext(ctx context.Context, attr, v1, v2, class, candidate string, rounds int, seed int64) (SignificanceResult, error) {
 	if _, err := s.working(); err != nil {
 		return SignificanceResult{}, err
 	}
@@ -348,7 +380,7 @@ func (s *Session) TestSignificance(attr, v1, v2, class, candidate string, rounds
 	if cand < 0 {
 		return SignificanceResult{}, fmt.Errorf("opmap: unknown attribute %q", candidate)
 	}
-	res, err := compare.PermutationTest(s.ds, in, cand, rounds, seed, copts)
+	res, err := compare.PermutationTestContext(ctx, s.ds, in, cand, rounds, seed, copts)
 	if err != nil {
 		return SignificanceResult{}, err
 	}

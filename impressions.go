@@ -1,6 +1,7 @@
 package opmap
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -59,11 +60,17 @@ type ImpressionOptions struct {
 
 // Impressions mines general impressions over all materialized cubes.
 func (s *Session) Impressions(opts ImpressionOptions) (*Impressions, error) {
+	return s.ImpressionsContext(context.Background(), opts)
+}
+
+// ImpressionsContext is Impressions under a context, checked once per
+// attribute the GI miner processes; cancellation returns ctx.Err().
+func (s *Session) ImpressionsContext(ctx context.Context, opts ImpressionOptions) (*Impressions, error) {
 	store, err := s.requireStore()
 	if err != nil {
 		return nil, err
 	}
-	rep, err := gi.MineAll(store,
+	rep, err := gi.MineAllContext(ctx, store,
 		gi.TrendOptions{Tolerance: opts.TrendTolerance, MinStrength: opts.TrendMinStrength},
 		gi.ExceptionOptions{MinZ: opts.ExceptionMinZ, MinSupport: opts.ExceptionMinSupport})
 	if err != nil {

@@ -20,12 +20,14 @@
 package compare
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"opmap/internal/car"
 	"opmap/internal/dataset"
+	"opmap/internal/faultinject"
 	"opmap/internal/rulecube"
 	"opmap/internal/stats"
 )
@@ -75,6 +77,12 @@ type Options struct {
 	// Attrs restricts the attributes ranked. Nil means every attribute
 	// other than the comparison attribute and the class.
 	Attrs []int
+	// PartialOnDeadline makes OneVsRestContext return the attributes
+	// scored so far — with the rest annotated in Result.Unscored — when
+	// the context expires mid-ranking, instead of failing the whole
+	// call. Pairwise CompareContext is always strict so that sweeps can
+	// attribute a deadline to a specific pair.
+	PartialOnDeadline bool
 }
 
 func (o Options) level() stats.ConfidenceLevel {
@@ -150,7 +158,21 @@ type Result struct {
 	// but out of the main ranking, by descending score.
 	Property []AttrScore
 
+	// Partial is set when the ranking is incomplete because the context
+	// expired and Options.PartialOnDeadline allowed degradation; the
+	// attributes that were not scored are listed in Unscored.
+	Partial  bool
+	Unscored []ItemError
+
 	Options Options
+}
+
+// ItemError annotates one item (an attribute, a value pair) that a
+// degraded call could not complete, with the reason. Err is a plain
+// string so results marshal cleanly to JSON.
+type ItemError struct {
+	Item string `json:"item"`
+	Err  string `json:"err"`
 }
 
 // Top returns the n highest-ranked non-property attributes.
@@ -195,6 +217,24 @@ func New(store *rulecube.Store) *Comparator {
 // candidate attribute it computes M_i from the 3-D rule cube
 // (A1 × A_i × class) and ranks the attributes.
 func (c *Comparator) Compare(in Input, opts Options) (*Result, error) {
+	return c.CompareContext(context.Background(), in, opts)
+}
+
+// ctxOrFault is the per-item check inserted into the pipeline loops:
+// it returns the context's error as soon as it is done, and otherwise
+// passes through the named fault point.
+func ctxOrFault(ctx context.Context, site string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return faultinject.HitContext(ctx, site)
+}
+
+// CompareContext is Compare under a context, checked once per
+// candidate attribute. It is always strict: on cancellation it returns
+// ctx.Err() rather than a partial ranking (degradation belongs to the
+// fan-out callers, SweepContext and OneVsRestContext).
+func (c *Comparator) CompareContext(ctx context.Context, in Input, opts Options) (*Result, error) {
 	res, attrs, err := prepare(c.ds, in, opts, func(attr int, value, class int32) (condCount, supCount int64, err error) {
 		cube := c.store.Cube1(attr)
 		if cube == nil {
@@ -215,6 +255,9 @@ func (c *Comparator) Compare(in Input, opts Options) (*Result, error) {
 	}
 
 	for _, ai := range attrs {
+		if err := ctxOrFault(ctx, faultinject.SiteCompareAttr); err != nil {
+			return nil, err
+		}
 		cube := c.store.Cube2(in.Attr, ai)
 		if cube == nil {
 			return nil, fmt.Errorf("compare: pair cube (%d,%d) not materialized; build the store with pairs", in.Attr, ai)

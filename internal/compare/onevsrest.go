@@ -1,9 +1,11 @@
 package compare
 
 import (
+	"context"
 	"fmt"
 
 	"opmap/internal/car"
+	"opmap/internal/faultinject"
 	"opmap/internal/rulecube"
 )
 
@@ -28,6 +30,15 @@ type OneVsRestInput struct {
 // Missing values of A are excluded from both sub-populations (they are
 // not counted in cubes).
 func (c *Comparator) OneVsRest(in OneVsRestInput, opts Options) (*Result, error) {
+	return c.OneVsRestContext(context.Background(), in, opts)
+}
+
+// OneVsRestContext is OneVsRest under a context, checked once per
+// candidate attribute. With opts.PartialOnDeadline set, a context that
+// expires mid-ranking yields the attributes scored so far with
+// Result.Partial set and the rest annotated in Result.Unscored;
+// otherwise the call fails with the context's error.
+func (c *Comparator) OneVsRestContext(ctx context.Context, in OneVsRestInput, opts Options) (*Result, error) {
 	ds := c.ds
 	if in.Attr < 0 || in.Attr >= ds.NumAttrs() || in.Attr == ds.ClassIndex() {
 		return nil, fmt.Errorf("compare: invalid comparison attribute %d", in.Attr)
@@ -111,9 +122,22 @@ func (c *Comparator) OneVsRest(in OneVsRestInput, opts Options) (*Result, error)
 			}
 		}
 	}
-	for _, ai := range attrs {
+	for i, ai := range attrs {
 		if ai == in.Attr || ai == ds.ClassIndex() {
 			return nil, fmt.Errorf("compare: attribute %d cannot be ranked against itself", ai)
+		}
+		if err := ctxOrFault(ctx, faultinject.SiteCompareAttr); err != nil {
+			if !opts.PartialOnDeadline || ctx.Err() == nil {
+				return nil, err
+			}
+			res.Partial = true
+			for _, rest := range attrs[i:] {
+				res.Unscored = append(res.Unscored, ItemError{
+					Item: ds.Attr(rest).Name,
+					Err:  err.Error(),
+				})
+			}
+			break
 		}
 		pair := c.store.Cube2(in.Attr, ai)
 		if pair == nil {

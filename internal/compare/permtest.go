@@ -1,11 +1,13 @@
 package compare
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"opmap/internal/dataset"
+	"opmap/internal/faultinject"
 )
 
 // Permutation test for the interestingness measure. The paper justifies
@@ -38,6 +40,14 @@ type PermutationResult struct {
 // when ≤ 0. The test scans the data (cube cells cannot be permuted), so
 // its cost scales with |D1|+|D2| per round.
 func PermutationTest(ds *dataset.Dataset, in Input, attr int, rounds int, seed int64, opts Options) (PermutationResult, error) {
+	return PermutationTestContext(context.Background(), ds, in, attr, rounds, seed, opts)
+}
+
+// PermutationTestContext is PermutationTest under a context, checked
+// once per permutation round. It is strict: cancellation mid-test
+// returns ctx.Err() (a truncated null distribution would bias the
+// p-value, so there is no partial mode).
+func PermutationTestContext(ctx context.Context, ds *dataset.Dataset, in Input, attr int, rounds int, seed int64, opts Options) (PermutationResult, error) {
 	if !ds.AllCategorical() {
 		return PermutationResult{}, fmt.Errorf("compare: dataset has continuous attributes; discretize first")
 	}
@@ -92,6 +102,9 @@ func PermutationTest(ds *dataset.Dataset, in Input, attr int, rounds int, seed i
 	var null []float64
 	exceed := 0
 	for round := 0; round < rounds; round++ {
+		if err := ctxOrFault(ctx, faultinject.SitePermRound); err != nil {
+			return PermutationResult{}, err
+		}
 		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 		tab := newValueTable(card)
 		var t1n, t1c, t2n, t2c int64

@@ -1,9 +1,11 @@
 package compare
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"opmap/internal/faultinject"
 	"opmap/internal/stats"
 )
 
@@ -28,6 +30,10 @@ type SweepOptions struct {
 	// MinScore ignores ranked attributes below this M when aggregating
 	// (defaults to 0: any positive score counts).
 	MinScore float64
+	// Partial makes SweepContext return the pairs compared so far when
+	// the context expires mid-sweep, annotating the skipped pairs in
+	// SweepResult.Errors, instead of failing the whole sweep.
+	Partial bool
 }
 
 func (o SweepOptions) topK() int {
@@ -65,46 +71,98 @@ type SweepResult struct {
 	// screening order.
 	Comparisons []*Result
 	PairLabels  [][2]string
+	// Partial is set when the sweep stopped early because the context
+	// expired and SweepOptions.Partial allowed degradation; the pairs
+	// that were not compared are annotated in Errors.
+	Partial bool
+	Errors  []ItemError
 }
 
 // Sweep screens attr's value pairs on the class and compares every
 // significant pair.
 func (c *Comparator) Sweep(attr int, class int32, opts SweepOptions) (*SweepResult, error) {
+	return c.SweepContext(context.Background(), attr, class, opts)
+}
+
+// SweepContext is Sweep under a context, checked once per screened
+// pair. When opts.Partial is set and the context expires mid-sweep the
+// pairs compared so far are aggregated and returned with Partial set
+// and the remaining pairs annotated in Errors; otherwise the first
+// context or comparison error fails the sweep.
+func (c *Comparator) SweepContext(ctx context.Context, attr int, class int32, opts SweepOptions) (*SweepResult, error) {
 	pairs, err := c.ScreenPairs(attr, class, opts.Screen)
 	if err != nil {
 		return nil, err
 	}
 	res := &SweepResult{}
 	agg := make(map[int]*SweepAttribute)
-	for _, p := range pairs {
+	for i, p := range pairs {
 		if stats.IsZero(p.Cf1) {
 			res.PairsSkipped++ // ratio undefined; the comparator cannot take it
 			continue
 		}
-		cmp, err := c.Compare(Input{Attr: attr, V1: p.V1, V2: p.V2, Class: class}, opts.Compare)
-		if err != nil {
+		err := ctxOrFault(ctx, faultinject.SiteSweepPair)
+		if err == nil {
+			var cmp *Result
+			cmp, err = c.CompareContext(ctx, Input{Attr: attr, V1: p.V1, V2: p.V2, Class: class}, opts.Compare)
+			if err == nil {
+				res.PairsCompared++
+				aggregatePair(res, agg, cmp, p.Label1, p.Label2, opts)
+				continue
+			}
+		}
+		if !opts.Partial {
 			return nil, fmt.Errorf("compare: sweep pair (%s,%s): %w", p.Label1, p.Label2, err)
 		}
-		res.PairsCompared++
-		res.Comparisons = append(res.Comparisons, cmp)
-		res.PairLabels = append(res.PairLabels, [2]string{p.Label1, p.Label2})
-		for rank, s := range cmp.Ranked {
-			if rank >= opts.topK() || s.Score <= opts.MinScore {
-				break
+		res.Partial = true
+		res.Errors = append(res.Errors, ItemError{
+			Item: p.Label1 + " vs " + p.Label2,
+			Err:  err.Error(),
+		})
+		if ctx.Err() != nil {
+			// The context is gone: annotate the rest without attempting them.
+			for _, q := range pairs[i+1:] {
+				if stats.IsZero(q.Cf1) {
+					res.PairsSkipped++
+					continue
+				}
+				res.Errors = append(res.Errors, ItemError{
+					Item: q.Label1 + " vs " + q.Label2,
+					Err:  ctx.Err().Error(),
+				})
 			}
-			a := agg[s.Attr]
-			if a == nil {
-				a = &SweepAttribute{Attr: s.Attr, Name: s.Name}
-				agg[s.Attr] = a
-			}
-			a.Pairs++
-			a.TotalScore += s.Score
-			if s.Score > a.BestScore {
-				a.BestScore = s.Score
-				a.BestPair = [2]string{p.Label1, p.Label2}
-			}
+			break
 		}
 	}
+	finishSweep(res, agg)
+	return res, nil
+}
+
+// aggregatePair folds one pair's comparison into the sweep aggregate.
+func aggregatePair(res *SweepResult, agg map[int]*SweepAttribute, cmp *Result, label1, label2 string, opts SweepOptions) {
+	res.Comparisons = append(res.Comparisons, cmp)
+	res.PairLabels = append(res.PairLabels, [2]string{label1, label2})
+	for rank, s := range cmp.Ranked {
+		if rank >= opts.topK() || s.Score <= opts.MinScore {
+			break
+		}
+		a := agg[s.Attr]
+		if a == nil {
+			a = &SweepAttribute{Attr: s.Attr, Name: s.Name}
+			agg[s.Attr] = a
+		}
+		a.Pairs++
+		a.TotalScore += s.Score
+		if s.Score > a.BestScore {
+			a.BestScore = s.Score
+			a.BestPair = [2]string{label1, label2}
+		}
+	}
+}
+
+// finishSweep flattens and orders the aggregate; it runs on both the
+// complete and the partial path so degraded results stay sorted.
+func finishSweep(res *SweepResult, agg map[int]*SweepAttribute) {
 	for _, a := range agg {
 		res.Attributes = append(res.Attributes, *a)
 	}
@@ -120,5 +178,4 @@ func (c *Comparator) Sweep(attr int, class int32, opts SweepOptions) (*SweepResu
 		}
 		return res.Attributes[i].Name < res.Attributes[j].Name
 	})
-	return res, nil
 }

@@ -25,6 +25,16 @@ type CSVOptions struct {
 	MaxSniffCardinality int
 	// Comma is the field separator; zero means ','.
 	Comma rune
+	// MaxRows caps the number of data rows (excluding the header);
+	// exceeding it fails the load instead of growing memory without
+	// bound. Zero means unlimited (trusted local files).
+	MaxRows int
+	// MaxColumns caps the number of header columns. Zero means
+	// unlimited.
+	MaxColumns int
+	// MaxRecordBytes caps the byte size of any single record (sum of
+	// field lengths, header included). Zero means unlimited.
+	MaxRecordBytes int
 }
 
 // ReadCSV parses a header-bearing CSV stream into a Dataset.
@@ -37,6 +47,12 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if opts.MaxColumns > 0 && len(header) > opts.MaxColumns {
+		return nil, fmt.Errorf("dataset: CSV header has %d columns, limit is %d", len(header), opts.MaxColumns)
+	}
+	if err := checkRecordBytes(header, 1, opts.MaxRecordBytes); err != nil {
+		return nil, err
 	}
 	names := make([]string, len(header))
 	for i, h := range header {
@@ -51,6 +67,12 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
 		}
 		if err != nil {
 			return nil, fmt.Errorf("dataset: reading CSV row %d: %w", len(rows)+2, err)
+		}
+		if opts.MaxRows > 0 && len(rows) >= opts.MaxRows {
+			return nil, fmt.Errorf("dataset: CSV exceeds %d data rows", opts.MaxRows)
+		}
+		if err := checkRecordBytes(rec, len(rows)+2, opts.MaxRecordBytes); err != nil {
+			return nil, err
 		}
 		row := make([]string, len(rec))
 		for i, v := range rec {
@@ -104,6 +126,22 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
 		}
 	}
 	return b.Build()
+}
+
+// checkRecordBytes enforces MaxRecordBytes on one record; line is the
+// 1-based CSV line for the error message.
+func checkRecordBytes(rec []string, line, limit int) error {
+	if limit <= 0 {
+		return nil
+	}
+	n := 0
+	for _, f := range rec {
+		n += len(f)
+		if n > limit {
+			return fmt.Errorf("dataset: CSV record at line %d exceeds %d bytes", line, limit)
+		}
+	}
+	return nil
 }
 
 // ReadCSVFile is ReadCSV over a file path.

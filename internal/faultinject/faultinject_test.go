@@ -1,0 +1,166 @@
+package faultinject_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"opmap/internal/faultinject"
+)
+
+func TestDisabledFastPath(t *testing.T) {
+	faultinject.Reset()
+	if faultinject.Enabled() {
+		t.Fatal("no faults armed, Enabled() = true")
+	}
+	if err := faultinject.Hit("some.site"); err != nil {
+		t.Fatalf("disabled Hit returned %v", err)
+	}
+	if n := faultinject.HitCount("some.site"); n != 0 {
+		t.Fatalf("disabled hits counted: %d", n)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	defer faultinject.Reset()
+	disarm, err := faultinject.Arm(faultinject.Fault{Site: "s", Kind: faultinject.Error})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = faultinject.Hit("s")
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+	if err := faultinject.Hit("other"); err != nil {
+		t.Fatalf("unarmed site returned %v", err)
+	}
+	disarm()
+	disarm() // idempotent
+	if err := faultinject.Hit("s"); err != nil {
+		t.Fatalf("after disarm, Hit = %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	defer faultinject.Reset()
+	sentinel := errors.New("boom")
+	if _, err := faultinject.Arm(faultinject.Fault{Site: "s", Kind: faultinject.Error, Err: sentinel}); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Hit("s"); !errors.Is(err, sentinel) {
+		t.Fatalf("Hit = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	defer faultinject.Reset()
+	_, err := faultinject.Arm(faultinject.Fault{Site: "s", Kind: faultinject.Error, After: 2, Times: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, faultinject.Hit("s") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (sequence %v)", i, got[i], want[i], got)
+		}
+	}
+	if n := faultinject.HitCount("s"); n != 6 {
+		t.Fatalf("HitCount = %d, want 6", n)
+	}
+}
+
+// TestProbDeterminism: the same (Prob, Seed) must reproduce the same
+// firing sequence across arms.
+func TestProbDeterminism(t *testing.T) {
+	sequence := func() []bool {
+		defer faultinject.Reset()
+		if _, err := faultinject.Arm(faultinject.Fault{Site: "s", Kind: faultinject.Error, Prob: 0.5, Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, faultinject.Hit("s") != nil)
+		}
+		return out
+	}
+	a, b := sequence(), sequence()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identical seeds", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Prob=0.5 fired %d/%d times; want a mix", fired, len(a))
+	}
+}
+
+func TestDelayInterruptedByContext(t *testing.T) {
+	defer faultinject.Reset()
+	if _, err := faultinject.Arm(faultinject.Fault{Site: "s", Kind: faultinject.Delay, Delay: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := faultinject.HitContext(ctx, "s")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("HitContext = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("delay ignored context: took %v", elapsed)
+	}
+}
+
+func TestDelayCompletes(t *testing.T) {
+	defer faultinject.Reset()
+	if _, err := faultinject.Arm(faultinject.Fault{Site: "s", Kind: faultinject.Delay, Delay: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := faultinject.Hit("s"); err != nil {
+		t.Fatalf("Hit = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("delay too short: %v", elapsed)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer faultinject.Reset()
+	if _, err := faultinject.Arm(faultinject.Fault{Site: "s", Kind: faultinject.Panic}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Panic fault did not panic")
+		}
+	}()
+	_ = faultinject.Hit("s")
+}
+
+func TestArmValidation(t *testing.T) {
+	defer faultinject.Reset()
+	cases := []faultinject.Fault{
+		{Site: "", Kind: faultinject.Error},
+		{Site: "s"},
+		{Site: "s", Kind: faultinject.Error, Prob: 1.5},
+		{Site: "s", Kind: faultinject.Error, Prob: -0.1},
+	}
+	for _, f := range cases {
+		if _, err := faultinject.Arm(f); err == nil {
+			t.Errorf("Arm(%+v) accepted invalid fault", f)
+		}
+	}
+	if faultinject.Enabled() {
+		t.Error("rejected faults left the registry enabled")
+	}
+}

@@ -1,0 +1,66 @@
+package gi
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"opmap/internal/faultinject"
+	"opmap/internal/rulecube"
+)
+
+func ctxStore(t *testing.T) *rulecube.Store {
+	t.Helper()
+	store, err := rulecube.BuildStore(trendDataset(t), rulecube.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func TestMineAllContextPreCanceled(t *testing.T) {
+	store := ctxStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MineAllContext(ctx, store, TrendOptions{}, ExceptionOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MineAllContext err = %v, want context.Canceled", err)
+	}
+	if _, err := InfluentialAttributesContext(ctx, store); !errors.Is(err, context.Canceled) {
+		t.Fatalf("InfluentialAttributesContext err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMineAllContextFaultError(t *testing.T) {
+	defer faultinject.Reset()
+	store := ctxStore(t)
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site: faultinject.SiteGIAttr,
+		Kind: faultinject.Error,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	if _, err := MineAllContext(context.Background(), store, TrendOptions{}, ExceptionOptions{}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+// TestMineAllContextUnchanged pins that the wrapper is behaviorally
+// identical to the pre-context API.
+func TestMineAllContextUnchanged(t *testing.T) {
+	store := ctxStore(t)
+	plain, err := MineAll(store, TrendOptions{}, ExceptionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := MineAllContext(context.Background(), store, TrendOptions{}, ExceptionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Trends) != len(ctxed.Trends) || len(plain.Exceptions) != len(ctxed.Exceptions) || len(plain.Influential) != len(ctxed.Influential) {
+		t.Errorf("reports differ: %d/%d/%d vs %d/%d/%d trends/exceptions/influences",
+			len(plain.Trends), len(plain.Exceptions), len(plain.Influential),
+			len(ctxed.Trends), len(ctxed.Exceptions), len(ctxed.Influential))
+	}
+}

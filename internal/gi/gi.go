@@ -8,10 +8,12 @@
 package gi
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"opmap/internal/faultinject"
 	"opmap/internal/rulecube"
 	"opmap/internal/stats"
 )
@@ -337,8 +339,20 @@ type Influence struct {
 // information). This realizes the "important attributes" part of the GI
 // miner.
 func InfluentialAttributes(store *rulecube.Store) ([]Influence, error) {
+	return InfluentialAttributesContext(context.Background(), store)
+}
+
+// InfluentialAttributesContext is InfluentialAttributes under a
+// context, checked once per attribute.
+func InfluentialAttributesContext(ctx context.Context, store *rulecube.Store) ([]Influence, error) {
 	var out []Influence
 	for _, a := range store.Attrs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.HitContext(ctx, faultinject.SiteGIAttr); err != nil {
+			return nil, err
+		}
 		cube := store.Cube1(a)
 		inf, err := influenceOf(cube)
 		if err != nil {
@@ -435,8 +449,21 @@ type Report struct {
 // MineAll runs trends, exceptions and influence over every materialized
 // 2-D cube in the store.
 func MineAll(store *rulecube.Store, topts TrendOptions, eopts ExceptionOptions) (*Report, error) {
+	return MineAllContext(context.Background(), store, topts, eopts)
+}
+
+// MineAllContext is MineAll under a context, checked once per
+// attribute. It is strict: a partial impressions report would silently
+// miss trends, so cancellation returns ctx.Err().
+func MineAllContext(ctx context.Context, store *rulecube.Store, topts TrendOptions, eopts ExceptionOptions) (*Report, error) {
 	rep := &Report{}
 	for _, a := range store.Attrs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.HitContext(ctx, faultinject.SiteGIAttr); err != nil {
+			return nil, err
+		}
 		cube := store.Cube1(a)
 		tr, err := Trends(cube, topts)
 		if err != nil {
@@ -449,7 +476,7 @@ func MineAll(store *rulecube.Store, topts TrendOptions, eopts ExceptionOptions) 
 		}
 		rep.Exceptions = append(rep.Exceptions, ex...)
 	}
-	inf, err := InfluentialAttributes(store)
+	inf, err := InfluentialAttributesContext(ctx, store)
 	if err != nil {
 		return nil, err
 	}

@@ -54,4 +54,10 @@ var Allowlist = []Allow{
 		Symbol:   "Dataset.ContValue",
 		Reason:   "hot-path accessor documented to panic on kind misuse, symmetric with CatCode",
 	},
+	{
+		Analyzer: "panicfree",
+		Package:  "opmap/internal/faultinject",
+		Symbol:   "HitContext",
+		Reason:   "the Panic fault kind exists to exercise recovery paths; panicking here is the documented, test-armed behaviour, never reachable with no fault armed",
+	},
 }

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxRule enforces the project's context conventions on the ctx-aware
+// pipeline APIs: a context.Context is always the first parameter of a
+// function (so cancellation plumbing is visible at every call site and
+// never an afterthought appended to a signature), and it is never
+// stored in a struct field (a stored context outlives the call it was
+// scoped to, silently decoupling cancellation from the work it was
+// meant to bound). Both rules mirror the standard library's own
+// guidance in the context package documentation.
+var CtxRule = &Analyzer{
+	Name: "ctxrule",
+	Doc:  "context.Context must be the first parameter and must not be stored in a struct field",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.FuncType:
+					// Covers declared functions, methods, function
+					// literals, interface methods and func-typed
+					// declarations alike.
+					checkCtxParams(p, node)
+				case *ast.StructType:
+					checkCtxFields(p, node)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkCtxParams flags context.Context parameters that are not in the
+// first position.
+func checkCtxParams(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		if pos > 0 && isContextType(p, field.Type) {
+			p.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		if n := len(field.Names); n > 0 {
+			pos += n
+		} else {
+			pos++
+		}
+	}
+}
+
+// checkCtxFields flags struct fields of type context.Context.
+func checkCtxFields(p *Pass, st *ast.StructType) {
+	if st.Fields == nil {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if isContextType(p, field.Type) {
+			p.Reportf(field.Pos(), "context.Context stored in a struct field; pass it as the first parameter instead")
+		}
+	}
+}
+
+// isContextType reports whether expr denotes exactly context.Context.
+func isContextType(p *Pass, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -24,6 +24,7 @@ var goldenCases = []struct {
 	{"panicfree", lint.PanicFree},
 	{"locksafe", lint.LockSafe},
 	{"apidoc", lint.APIDoc},
+	{"ctxrule", lint.CtxRule},
 }
 
 // wantRe extracts the expectation regexp from a `// want` comment.

@@ -1,0 +1,42 @@
+// Package bad exercises every ctxrule violation: a context stored in
+// a struct field, and context parameters that are not first, in plain
+// functions, methods, function literals, interface methods and
+// func-typed declarations.
+package bad
+
+import "context"
+
+// Job stores a context across calls.
+type Job struct {
+	ctx  context.Context // want `context\.Context stored in a struct field`
+	name string
+}
+
+// Run consumes the fields so the struct compiles without vet noise.
+func (j Job) Run() (string, error) { return j.name, j.ctx.Err() }
+
+// Second takes its context after another parameter.
+func Second(name string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	_ = name
+	return ctx.Err()
+}
+
+// Method has the same flaw on a method.
+func (j Job) Method(n int, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	_ = n
+	return ctx.Err()
+}
+
+// literal is a function literal with a trailing context.
+var literal = func(n int, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	_ = n
+	return ctx.Err()
+}
+
+// Runner declares an interface method with a trailing context.
+type Runner interface {
+	Run(name string, ctx context.Context) error // want `context\.Context must be the first parameter`
+}
+
+// Callback is a func type with a trailing context.
+type Callback func(n int, ctx context.Context) error // want `context\.Context must be the first parameter`

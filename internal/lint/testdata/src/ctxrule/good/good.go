@@ -1,0 +1,44 @@
+// Package good holds context usage the ctxrule analyzer must accept:
+// context first (or absent), passed down call chains rather than
+// stored.
+package good
+
+import "context"
+
+// First takes the context in the conventional position.
+func First(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Only takes nothing but a context.
+func Only(ctx context.Context) error { return ctx.Err() }
+
+// NoContext takes no context at all.
+func NoContext(a, b int) int { return a + b }
+
+// Runner declares interface methods with the context first.
+type Runner interface {
+	Run(ctx context.Context, name string) error
+}
+
+// Callback is a func type with the context first.
+type Callback func(ctx context.Context, n int) error
+
+// literal is a function literal with the context first.
+var literal = func(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// Config is a struct that carries plain data, not a context.
+type Config struct {
+	Name  string
+	Count int
+}
+
+// Apply threads the context through instead of storing it.
+func (c Config) Apply(ctx context.Context) error {
+	_ = c.Name
+	return ctx.Err()
+}

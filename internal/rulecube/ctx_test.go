@@ -1,0 +1,212 @@
+package rulecube
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"opmap/internal/dataset"
+	"opmap/internal/faultinject"
+	"opmap/internal/testutil"
+)
+
+// wideDataset builds a small dataset with nAttrs binary attributes plus
+// a class, so the store has nAttrs·(nAttrs−1)/2 pair cubes — enough
+// work for cancellation to land mid-build.
+func wideDataset(t *testing.T, nAttrs int) *dataset.Dataset {
+	t.Helper()
+	attrs := make([]dataset.Attribute, nAttrs+1)
+	for i := 0; i < nAttrs; i++ {
+		attrs[i] = dataset.Attribute{Name: fmt.Sprintf("a%d", i), Kind: dataset.Categorical}
+	}
+	attrs[nAttrs] = dataset.Attribute{Name: "class", Kind: dataset.Categorical}
+	b, err := dataset.NewBuilder(dataset.Schema{Attrs: attrs, ClassIndex: nAttrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= nAttrs; i++ {
+		b.WithDict(i, dataset.DictionaryOf("u", "v"))
+	}
+	row := make([]string, nAttrs+1)
+	for j := 0; j < 64; j++ {
+		for i := 0; i <= nAttrs; i++ {
+			if (j>>(uint(i)%6))&1 == 0 {
+				row[i] = "u"
+			} else {
+				row[i] = "v"
+			}
+		}
+		if err := b.AddRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildStoreContextPreCanceled(t *testing.T) {
+	ds := wideDataset(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", workers), func(t *testing.T) {
+			defer testutil.VerifyNoLeak(t)()
+			store, err := BuildStoreContext(ctx, ds, StoreOptions{Parallelism: workers})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if store != nil {
+				t.Error("canceled build must not return a store")
+			}
+		})
+	}
+}
+
+// TestBuildStoreContextCancelMidBuild is the acceptance check: cancel
+// while pair cubes are being counted, and the build must return
+// ctx.Err() within 100ms without leaking worker goroutines or
+// dispatching the remaining pairs.
+func TestBuildStoreContextCancelMidBuild(t *testing.T) {
+	defer testutil.VerifyNoLeak(t)()
+	defer faultinject.Reset()
+	ds := wideDataset(t, 8) // 28 pairs
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site:  faultinject.SiteCubeBuildPair,
+		Kind:  faultinject.Delay,
+		Delay: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := BuildStoreContext(ctx, ds, StoreOptions{Parallelism: 4})
+		done <- err
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let some pairs start
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-done:
+		if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+			t.Errorf("build returned %v after cancel, want <= 100ms", elapsed)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("build did not return within 2s of cancel")
+	}
+	// The dispatcher must have stopped handing out pairs: with 28 pairs
+	// at 50ms each on 4 workers the full build takes ~350ms, so a
+	// cancel at 20ms must leave most pairs undispatched.
+	if hits := faultinject.HitCount(faultinject.SiteCubeBuildPair); hits >= 28 {
+		t.Errorf("all %d pairs were dispatched despite cancellation", hits)
+	}
+}
+
+func TestBuildStoreContextSerialCancel(t *testing.T) {
+	defer testutil.VerifyNoLeak(t)()
+	defer faultinject.Reset()
+	ds := wideDataset(t, 6)
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site:  faultinject.SiteCubeBuildPair,
+		Kind:  faultinject.Delay,
+		Delay: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := BuildStoreContext(ctx, ds, StoreOptions{Parallelism: 1})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("serial build did not return within 2s of cancel")
+	}
+}
+
+// TestBuildStoreContextFaultError proves an injected pair-build error
+// fails the store build and still drains the worker pool cleanly.
+func TestBuildStoreContextFaultError(t *testing.T) {
+	defer testutil.VerifyNoLeak(t)()
+	defer faultinject.Reset()
+	ds := wideDataset(t, 8)
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site:  faultinject.SiteCubeBuildPair,
+		Kind:  faultinject.Error,
+		Times: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	store, err := BuildStoreContext(context.Background(), ds, StoreOptions{Parallelism: 4})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if store != nil {
+		t.Error("failed build must not return a store")
+	}
+}
+
+func TestBuildStoreContextFaultOneD(t *testing.T) {
+	defer testutil.VerifyNoLeak(t)()
+	defer faultinject.Reset()
+	ds := wideDataset(t, 4)
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site: faultinject.SiteCubeBuildOne,
+		Kind: faultinject.Error,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	if _, err := BuildStoreContext(context.Background(), ds, StoreOptions{}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+// TestBuildStoreContextUnchanged pins backward compatibility: a build
+// under a background context equals the context-free build.
+func TestBuildStoreContextUnchanged(t *testing.T) {
+	ds := wideDataset(t, 5)
+	plain, err := BuildStore(ds, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := BuildStoreContext(context.Background(), ds, StoreOptions{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CubeCount() != ctxed.CubeCount() {
+		t.Errorf("cube counts differ: %d vs %d", plain.CubeCount(), ctxed.CubeCount())
+	}
+	if ps, cs := plain.Stats(), ctxed.Stats(); ps != cs {
+		t.Errorf("store stats differ: %+v vs %+v", ps, cs)
+	}
+}

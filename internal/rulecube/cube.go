@@ -9,6 +9,7 @@
 package rulecube
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -16,6 +17,7 @@ import (
 
 	"opmap/internal/car"
 	"opmap/internal/dataset"
+	"opmap/internal/faultinject"
 )
 
 // Cube is a rule cube: p condition dimensions plus the class dimension.
@@ -462,6 +464,15 @@ type Store struct {
 
 // BuildStore materializes the cube store for ds.
 func BuildStore(ds *dataset.Dataset, opts StoreOptions) (*Store, error) {
+	return BuildStoreContext(context.Background(), ds, opts)
+}
+
+// BuildStoreContext is BuildStore under a context: cancellation is
+// observed between cube builds (each individual cube is one pass over
+// the rows, so the response to a cancel is bounded by a single build),
+// the parallel pair loop stops dispatching work as soon as any build
+// fails or ctx is done, and no goroutine outlives the call.
+func BuildStoreContext(ctx context.Context, ds *dataset.Dataset, opts StoreOptions) (*Store, error) {
 	if !ds.AllCategorical() {
 		return nil, fmt.Errorf("rulecube: dataset has continuous attributes; discretize first")
 	}
@@ -488,77 +499,137 @@ func BuildStore(ds *dataset.Dataset, opts StoreOptions) (*Store, error) {
 		twoD:  make(map[[2]int]*Cube),
 	}
 	for _, a := range attrs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.HitContext(ctx, faultinject.SiteCubeBuildOne); err != nil {
+			return nil, err
+		}
 		cube, err := Build(ds, []int{a})
 		if err != nil {
 			return nil, err
 		}
 		s.oneD[a] = cube
 	}
-	if !opts.SkipPairs {
-		var pairs [][2]int
-		for i, a := range attrs {
-			for _, b := range attrs[i+1:] {
-				pairs = append(pairs, [2]int{a, b})
-			}
-		}
-		workers := opts.Parallelism
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		if workers > len(pairs) {
-			workers = len(pairs)
-		}
-		if workers <= 1 {
-			for _, p := range pairs {
-				cube, err := Build(ds, []int{p[0], p[1]})
-				if err != nil {
-					return nil, err
-				}
-				s.twoD[p] = cube
-			}
-			return s, nil
-		}
-		type result struct {
-			pair [2]int
-			cube *Cube
-			err  error
-		}
-		jobs := make(chan [2]int)
-		results := make(chan result)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for p := range jobs {
-					cube, err := Build(ds, []int{p[0], p[1]})
-					results <- result{pair: p, cube: cube, err: err}
-				}
-			}()
-		}
-		go func() {
-			for _, p := range pairs {
-				jobs <- p
-			}
-			close(jobs)
-			wg.Wait()
-			close(results)
-		}()
-		var firstErr error
-		for r := range results {
-			if r.err != nil {
-				if firstErr == nil {
-					firstErr = r.err
-				}
-				continue
-			}
-			s.twoD[r.pair] = r.cube
-		}
-		if firstErr != nil {
-			return nil, firstErr
+	if opts.SkipPairs {
+		return s, nil
+	}
+	var pairs [][2]int
+	for i, a := range attrs {
+		for _, b := range attrs[i+1:] {
+			pairs = append(pairs, [2]int{a, b})
 		}
 	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		for _, p := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := faultinject.HitContext(ctx, faultinject.SiteCubeBuildPair); err != nil {
+				return nil, err
+			}
+			cube, err := Build(ds, []int{p[0], p[1]})
+			if err != nil {
+				return nil, err
+			}
+			s.twoD[p] = cube
+		}
+		return s, nil
+	}
+	if err := s.buildPairsParallel(ctx, pairs, workers); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// buildPairsParallel counts the pair cubes with a worker pool. The
+// results channel is buffered to len(pairs) so a worker can never
+// block on it; the dispatcher stops feeding jobs as soon as any
+// worker reports an error or ctx is done (at most the in-flight
+// builds complete after that), and every worker has exited by the
+// time the function returns.
+func (s *Store) buildPairsParallel(ctx context.Context, pairs [][2]int, workers int) error {
+	type result struct {
+		pair [2]int
+		cube *Cube
+		err  error
+	}
+	jobs := make(chan [2]int)
+	results := make(chan result, len(pairs))
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	fail := func() { abortOnce.Do(func() { close(abort) }) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				if ctx.Err() != nil {
+					fail()
+					return
+				}
+				if err := faultinject.HitContext(ctx, faultinject.SiteCubeBuildPair); err != nil {
+					results <- result{pair: p, err: err}
+					fail()
+					continue
+				}
+				cube, err := Build(s.ds, []int{p[0], p[1]})
+				if err != nil {
+					fail()
+				}
+				results <- result{pair: p, cube: cube, err: err}
+			}
+		}()
+	}
+	go func() {
+	dispatch:
+		for _, p := range pairs {
+			// Poll the stop conditions first so a closed abort wins the
+			// race against a ready worker.
+			select {
+			case <-abort:
+				break dispatch
+			case <-ctx.Done():
+				break dispatch
+			default:
+			}
+			select {
+			case jobs <- p:
+			case <-abort:
+				break dispatch
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		s.twoD[r.pair] = r.cube
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return firstErr
 }
 
 // Dataset returns the dataset the store was built from.

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"opmap"
+)
+
+// The endpoint handlers translate query parameters into Session calls
+// under the request context and return JSON-ready values. Response
+// shapes are DTOs local to this package so the wire format is explicit
+// and stable regardless of the library types behind it.
+
+type overviewResponse struct {
+	Rows        int                `json:"rows"`
+	Class       string             `json:"class"`
+	Classes     []string           `json:"classes"`
+	Attributes  []string           `json:"attributes"`
+	CubeCount   int                `json:"cube_count"`
+	RuleSpace   int                `json:"rule_space"`
+	Influential []influentialEntry `json:"influential"`
+	Trends      []trendEntry       `json:"trends"`
+}
+
+type influentialEntry struct {
+	Attr              string  `json:"attr"`
+	ChiSquare         float64 `json:"chi_square"`
+	PValue            float64 `json:"p_value"`
+	MutualInformation float64 `json:"mutual_information"`
+}
+
+type trendEntry struct {
+	Attr     string  `json:"attr"`
+	Class    string  `json:"class"`
+	Kind     string  `json:"kind"`
+	Strength float64 `json:"strength"`
+}
+
+func (s *Server) handleOverview(r *http.Request) (any, error) {
+	imp, err := s.sess.ImpressionsContext(r.Context(), opmap.ImpressionOptions{})
+	if err != nil {
+		return nil, err
+	}
+	resp := &overviewResponse{
+		Rows:       s.sess.NumRows(),
+		Class:      s.sess.ClassAttribute(),
+		Classes:    s.sess.Classes(),
+		Attributes: s.sess.Attributes(),
+		CubeCount:  s.sess.CubeCount(),
+		RuleSpace:  s.sess.RuleSpaceSize(),
+	}
+	limit := intParam(r, "top", 10)
+	for i, inf := range imp.Influential {
+		if i >= limit {
+			break
+		}
+		resp.Influential = append(resp.Influential, influentialEntry{
+			Attr:              inf.Attr,
+			ChiSquare:         inf.ChiSquare,
+			PValue:            inf.PValue,
+			MutualInformation: inf.MutualInformation,
+		})
+	}
+	for _, t := range imp.Trends {
+		resp.Trends = append(resp.Trends, trendEntry{
+			Attr:     t.Attr,
+			Class:    t.Class,
+			Kind:     t.Kind,
+			Strength: t.Strength,
+		})
+	}
+	return resp, nil
+}
+
+type detailResponse struct {
+	Attr   string      `json:"attr"`
+	Values []string    `json:"values"`
+	Pairs  []pairEntry `json:"pairs"`
+}
+
+type pairEntry struct {
+	Value1 string  `json:"value1"`
+	Value2 string  `json:"value2"`
+	Cf1    float64 `json:"cf1"`
+	Cf2    float64 `json:"cf2"`
+	Ratio  float64 `json:"ratio"`
+	Z      float64 `json:"z"`
+	PValue float64 `json:"p_value"`
+}
+
+func (s *Server) handleDetail(r *http.Request) (any, error) {
+	attr := r.URL.Query().Get("attr")
+	class := r.URL.Query().Get("class")
+	if attr == "" || class == "" {
+		return nil, badRequest("detail requires attr and class query parameters")
+	}
+	values, err := s.sess.Values(attr)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := s.sess.ScreenPairs(attr, class, intParam(r, "max_pairs", 0))
+	if err != nil {
+		return nil, err
+	}
+	resp := &detailResponse{Attr: attr, Values: values}
+	for _, p := range pairs {
+		resp.Pairs = append(resp.Pairs, pairEntry{
+			Value1: p.Value1,
+			Value2: p.Value2,
+			Cf1:    p.Cf1,
+			Cf2:    p.Cf2,
+			Ratio:  p.Ratio,
+			Z:      p.Z,
+			PValue: p.PValue,
+		})
+	}
+	return resp, nil
+}
+
+type compareResponse struct {
+	Attr     string            `json:"attr"`
+	Label1   string            `json:"label1"`
+	Label2   string            `json:"label2"`
+	Cf1      float64           `json:"cf1"`
+	Cf2      float64           `json:"cf2"`
+	Ratio    float64           `json:"ratio"`
+	Class    string            `json:"class"`
+	Partial  bool              `json:"partial"`
+	Unscored []opmap.ItemError `json:"unscored,omitempty"`
+	Ranked   []scoreEntry      `json:"ranked"`
+	Property []scoreEntry      `json:"property,omitempty"`
+}
+
+type scoreEntry struct {
+	Name          string  `json:"name"`
+	Score         float64 `json:"score"`
+	NormScore     float64 `json:"norm_score"`
+	PropertyRatio float64 `json:"property_ratio,omitempty"`
+}
+
+// handleCompare serves both comparison forms: attr+v1+v2 compares the
+// two values pairwise; attr+value compares value against the rest
+// (degrading to a partial ranking on deadline expiry).
+func (s *Server) handleCompare(r *http.Request) (any, error) {
+	q := r.URL.Query()
+	attr, class := q.Get("attr"), q.Get("class")
+	if attr == "" || class == "" {
+		return nil, badRequest("compare requires attr and class query parameters")
+	}
+	var (
+		cmp *opmap.Comparison
+		err error
+	)
+	switch {
+	case q.Get("value") != "":
+		opts := opmap.CompareOptions{PartialOnDeadline: true}
+		cmp, err = s.sess.CompareOneVsRestContext(r.Context(), attr, q.Get("value"), class, opts)
+	case q.Get("v1") != "" && q.Get("v2") != "":
+		cmp, err = s.sess.CompareContext(r.Context(), attr, q.Get("v1"), q.Get("v2"), class, opmap.CompareOptions{})
+	default:
+		return nil, badRequest("compare requires either v1 and v2, or value (one-vs-rest)")
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := &compareResponse{
+		Attr:     cmp.Attr,
+		Label1:   cmp.Label1,
+		Label2:   cmp.Label2,
+		Cf1:      cmp.Cf1,
+		Cf2:      cmp.Cf2,
+		Ratio:    cmp.Ratio,
+		Class:    cmp.Class,
+		Partial:  cmp.Partial,
+		Unscored: cmp.Unscored,
+	}
+	top := intParam(r, "top", 10)
+	for i, sc := range cmp.Ranked() {
+		if i >= top {
+			break
+		}
+		resp.Ranked = append(resp.Ranked, toScoreEntry(sc))
+	}
+	for i, sc := range cmp.PropertyAttributes() {
+		if i >= top {
+			break
+		}
+		resp.Property = append(resp.Property, toScoreEntry(sc))
+	}
+	return resp, nil
+}
+
+func toScoreEntry(sc opmap.AttributeScore) scoreEntry {
+	return scoreEntry{
+		Name:          sc.Name,
+		Score:         sc.Score,
+		NormScore:     sc.NormScore,
+		PropertyRatio: sc.PropertyRatio,
+	}
+}
+
+type sweepResponse struct {
+	PairsCompared int               `json:"pairs_compared"`
+	PairsSkipped  int               `json:"pairs_skipped"`
+	Partial       bool              `json:"partial"`
+	Errors        []opmap.ItemError `json:"errors,omitempty"`
+	Attributes    []sweepEntry      `json:"attributes"`
+}
+
+type sweepEntry struct {
+	Name       string    `json:"name"`
+	Pairs      int       `json:"pairs"`
+	BestScore  float64   `json:"best_score"`
+	BestPair   [2]string `json:"best_pair"`
+	TotalScore float64   `json:"total_score"`
+}
+
+// handleSweep runs a degradable sweep: if the request deadline expires
+// mid-fan-out the pairs compared so far are returned with partial=true
+// and the skipped pairs annotated in errors.
+func (s *Server) handleSweep(r *http.Request) (any, error) {
+	q := r.URL.Query()
+	attr, class := q.Get("attr"), q.Get("class")
+	if attr == "" || class == "" {
+		return nil, badRequest("sweep requires attr and class query parameters")
+	}
+	res, err := s.sess.SweepPartial(r.Context(), attr, class, intParam(r, "max_pairs", 0))
+	if err != nil {
+		return nil, err
+	}
+	resp := &sweepResponse{
+		PairsCompared: res.PairsCompared,
+		PairsSkipped:  res.PairsSkipped,
+		Partial:       res.Partial,
+		Errors:        res.Errors,
+	}
+	for _, a := range res.Attributes {
+		resp.Attributes = append(resp.Attributes, sweepEntry{
+			Name:       a.Name,
+			Pairs:      a.Pairs,
+			BestScore:  a.BestScore,
+			BestPair:   a.BestPair,
+			TotalScore: a.TotalScore,
+		})
+	}
+	return resp, nil
+}
+
+// intParam parses an integer query parameter, falling back to def when
+// absent or malformed (malformed limits are a client nuisance, not
+// worth failing an otherwise valid request).
+func intParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}

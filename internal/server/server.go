@@ -1,0 +1,243 @@
+// Package server implements the opmapd HTTP daemon: JSON endpoints for
+// overview, attribute detail, pairwise comparison and sweeps over a
+// preloaded Session. The serving layer is hardened the way the paper's
+// deployed system had to be (analysts querying pre-materialized cubes
+// online, Section V.C): every request runs under a timeout, panics are
+// converted to 500s without taking the process down, in-flight work is
+// bounded with 429 load-shedding, and SIGTERM drains cleanly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"opmap"
+	"opmap/internal/faultinject"
+)
+
+// Config parameterizes a Server. Session is required; zero values for
+// the rest use the documented defaults.
+type Config struct {
+	// Session is the preloaded analysis session (cubes built).
+	Session *opmap.Session
+	// RequestTimeout bounds each request's context. Zero means 10s.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently served requests; excess requests
+	// are shed with 429. Zero means 16.
+	MaxInFlight int
+	// DrainTimeout bounds the graceful shutdown after the serve context
+	// is canceled. Zero means 10s.
+	DrainTimeout time.Duration
+	// Logger receives request-level errors and panics. Nil discards.
+	Logger *log.Logger
+}
+
+// Server is the hardened HTTP front end over one Session.
+type Server struct {
+	sess           *opmap.Session
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+	sem            chan struct{}
+	logger         *log.Logger
+	mux            *http.ServeMux
+
+	ready    atomic.Bool
+	draining atomic.Bool
+}
+
+// New builds a Server over the given config.
+func New(cfg Config) (*Server, error) {
+	if cfg.Session == nil {
+		return nil, fmt.Errorf("server: Config.Session is required")
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 16
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(discard{}, "", 0)
+	}
+	s := &Server{
+		sess:           cfg.Session,
+		requestTimeout: cfg.RequestTimeout,
+		drainTimeout:   cfg.DrainTimeout,
+		sem:            make(chan struct{}, cfg.MaxInFlight),
+		logger:         cfg.Logger,
+		mux:            http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.Handle("/api/overview", s.wrap(s.handleOverview))
+	s.mux.Handle("/api/detail", s.wrap(s.handleDetail))
+	s.mux.Handle("/api/compare", s.wrap(s.handleCompare))
+	s.mux.Handle("/api/sweep", s.wrap(s.handleSweep))
+	s.ready.Store(true)
+	return s, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Handler returns the server's root handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetReady flips readiness (readyz), e.g. while cubes are rebuilt.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Serve accepts connections on ln until ctx is canceled, then drains:
+// readyz starts failing (load balancers stop sending traffic), open
+// requests get up to DrainTimeout to finish, and Serve returns nil on
+// a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler: s.mux,
+		// Bound header reads so idle half-open connections cannot pin
+		// the listener; request bodies are bounded per-handler by the
+		// request timeout.
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	drainErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		s.draining.Store(true)
+		shCtx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
+		defer cancel()
+		drainErr <- srv.Shutdown(shCtx)
+	}()
+	err := srv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-drainErr
+}
+
+// handlerFunc is an endpoint: it returns the response value to encode
+// as JSON, or an error that the middleware maps to a status code.
+type handlerFunc func(r *http.Request) (any, error)
+
+// httpError carries an explicit status code out of a handler.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// badRequest builds a 400 with a client-facing message.
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// wrap applies the hardening middleware to an endpoint: concurrency
+// bounding with 429 shedding, the per-request timeout, the
+// server.handle fault point, panic recovery, and status mapping. The
+// handler returns a value rather than writing the response itself, so
+// a panic mid-handler can still be converted into a clean 500.
+func (s *Server) wrap(h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server overloaded; retry later"})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		defer cancel()
+
+		var (
+			out      any
+			err      error
+			panicked bool
+		)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked = true
+					s.logger.Printf("panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+				}
+			}()
+			if err = faultinject.HitContext(ctx, faultinject.SiteServerHandle); err != nil {
+				return
+			}
+			out, err = h(r.WithContext(ctx))
+		}()
+		switch {
+		case panicked:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: "internal server error"})
+		case err != nil:
+			status := statusOf(err)
+			if status >= http.StatusInternalServerError {
+				s.logger.Printf("error serving %s: %v", r.URL.Path, err)
+			}
+			writeJSON(w, status, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusOK, out)
+		}
+	})
+}
+
+// statusOf maps a handler error to an HTTP status: explicit httpErrors
+// keep their code, deadline expiry is 504, client cancellation 499-ish
+// (503, the closest standard code), injected faults and other internal
+// failures 500, and anything else — almost always a name-resolution
+// problem in query parameters — 400.
+func statusOf(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, faultinject.ErrInjected):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is already written; an encode error here can only
+	// be logged by the caller's middleware, not reported to the client.
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}

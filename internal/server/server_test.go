@@ -1,0 +1,304 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"opmap"
+	"opmap/internal/faultinject"
+	"opmap/internal/testutil"
+)
+
+// testServer builds a server over a small demo session. The session is
+// built once; servers over it are cheap.
+var (
+	sessOnce  sync.Once
+	testSess  *opmap.Session
+	testTruth opmap.CallLogTruth
+	sessErr   error
+)
+
+func demoSession(t *testing.T) (*opmap.Session, opmap.CallLogTruth) {
+	t.Helper()
+	sessOnce.Do(func() {
+		testSess, testTruth, sessErr = opmap.CaseStudy(1, 2000)
+		if sessErr == nil {
+			sessErr = testSess.BuildCubes()
+		}
+	})
+	if sessErr != nil {
+		t.Fatal(sessErr)
+	}
+	return testSess, testTruth
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Session == nil {
+		cfg.Session, _ = demoSession(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	s.SetReady(true)
+	return s, ts
+}
+
+func get(t *testing.T, base, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func sweepQuery(gt opmap.CallLogTruth) string {
+	v := url.Values{}
+	v.Set("attr", gt.PhoneAttr)
+	v.Set("class", gt.DropClass)
+	return "/api/sweep?" + v.Encode()
+}
+
+func TestHealthAndReady(t *testing.T) {
+	sess, _ := demoSession(t)
+	s, err := New(Config{Session: sess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts.URL, "/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", code)
+	}
+	// New marks the server ready: the session is preloaded before
+	// construction, so there is nothing left to wait for.
+	if code, _ := get(t, ts.URL, "/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz on a fresh server = %d, want 200", code)
+	}
+	s.SetReady(false)
+	if code, _ := get(t, ts.URL, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after SetReady(false) = %d, want 503", code)
+	}
+	s.SetReady(true)
+	if code, _ := get(t, ts.URL, "/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after SetReady(true) = %d, want 200", code)
+	}
+}
+
+func TestOverviewAndDetail(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, gt := demoSession(t)
+
+	code, body := get(t, ts.URL, "/api/overview")
+	if code != http.StatusOK {
+		t.Fatalf("/api/overview = %d: %s", code, body)
+	}
+	var ov struct {
+		Rows      int `json:"rows"`
+		CubeCount int `json:"cube_count"`
+	}
+	if err := json.Unmarshal(body, &ov); err != nil {
+		t.Fatalf("overview is not JSON: %v", err)
+	}
+	if ov.Rows != 2000 || ov.CubeCount == 0 {
+		t.Errorf("overview rows=%d cubes=%d, want 2000 rows and cubes > 0", ov.Rows, ov.CubeCount)
+	}
+
+	v := url.Values{}
+	v.Set("attr", gt.PhoneAttr)
+	v.Set("class", gt.DropClass)
+	if code, body := get(t, ts.URL, "/api/detail?"+v.Encode()); code != http.StatusOK {
+		t.Errorf("/api/detail = %d: %s", code, body)
+	}
+	// A missing parameter is a client error, not a 500.
+	if code, _ := get(t, ts.URL, "/api/detail"); code != http.StatusBadRequest {
+		t.Errorf("/api/detail without params = %d, want 400", code)
+	}
+}
+
+// TestPanicFaultRecovered is the headline robustness check: a panic
+// injected into the handler path yields a 500 and the server keeps
+// serving.
+func TestPanicFaultRecovered(t *testing.T) {
+	defer faultinject.Reset()
+	_, ts := newTestServer(t, Config{})
+
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site:  faultinject.SiteServerHandle,
+		Kind:  faultinject.Panic,
+		Times: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	code, body := get(t, ts.URL, "/api/overview")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("request during panic fault = %d (%s), want 500", code, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("500 body %q is not an error JSON", body)
+	}
+	// The process survived: the very next request succeeds.
+	if code, body := get(t, ts.URL, "/api/overview"); code != http.StatusOK {
+		t.Errorf("request after recovered panic = %d (%s), want 200", code, body)
+	}
+}
+
+func TestErrorFaultMapsTo500(t *testing.T) {
+	defer faultinject.Reset()
+	_, ts := newTestServer(t, Config{})
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site:  faultinject.SiteServerHandle,
+		Kind:  faultinject.Error,
+		Times: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	if code, _ := get(t, ts.URL, "/api/overview"); code != http.StatusInternalServerError {
+		t.Errorf("injected error = %d, want 500", code)
+	}
+	if code, _ := get(t, ts.URL, "/api/overview"); code != http.StatusOK {
+		t.Errorf("request after injected error = %d, want 200", code)
+	}
+}
+
+// TestConcurrencyShed pins load shedding: with one in-flight slot
+// occupied by a stalled request, the next request gets 429 instead of
+// queueing.
+func TestConcurrencyShed(t *testing.T) {
+	defer faultinject.Reset()
+	_, ts := newTestServer(t, Config{MaxInFlight: 1})
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site:  faultinject.SiteServerHandle,
+		Kind:  faultinject.Delay,
+		Delay: 400 * time.Millisecond,
+		Times: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	first := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/api/overview")
+		if err != nil {
+			first <- -1
+			return
+		}
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	time.Sleep(100 * time.Millisecond) // let the first request occupy the slot
+	if code, _ := get(t, ts.URL, "/api/overview"); code != http.StatusTooManyRequests {
+		t.Errorf("second concurrent request = %d, want 429", code)
+	}
+	select {
+	case code := <-first:
+		if code != http.StatusOK {
+			t.Errorf("stalled first request = %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never completed")
+	}
+}
+
+// TestSweepPartialUnderTimeout: a sweep that cannot finish inside the
+// request timeout returns 200 with partial results and per-pair error
+// annotations, not a 5xx.
+func TestSweepPartialUnderTimeout(t *testing.T) {
+	defer faultinject.Reset()
+	_, gt := demoSession(t)
+	_, ts := newTestServer(t, Config{RequestTimeout: 150 * time.Millisecond})
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site:  faultinject.SiteSweepPair,
+		Kind:  faultinject.Delay,
+		Delay: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	code, body := get(t, ts.URL, sweepQuery(gt))
+	if code != http.StatusOK {
+		t.Fatalf("degraded sweep = %d (%s), want 200", code, body)
+	}
+	var res struct {
+		Partial bool `json:"partial"`
+		Errors  []struct {
+			Item string `json:"item"`
+			Err  string `json:"err"`
+		} `json:"errors"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("sweep body is not JSON: %v", err)
+	}
+	if !res.Partial {
+		t.Error("sweep under deadline did not mark the result partial")
+	}
+	if len(res.Errors) == 0 {
+		t.Error("no skipped pairs annotated")
+	}
+}
+
+// TestServeDrains pins graceful shutdown: canceling the serve context
+// stops accepting, drains, and Serve returns nil.
+func TestServeDrains(t *testing.T) {
+	defer testutil.VerifyNoLeak(t)()
+	sess, _ := demoSession(t)
+	s, err := New(Config{Session: sess, DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	s.SetReady(true)
+
+	base := "http://" + ln.Addr().String()
+	if code, _ := get(t, base, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz on live server = %d, want 200", code)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve returned %v after drain, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain within 5s")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}

@@ -1,0 +1,38 @@
+// Package testutil holds shared test helpers. It is imported only from
+// _test files; keeping the helpers in a real package lets every test
+// package reuse them without duplication.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeak snapshots the goroutine count and returns a check to
+// defer: the check fails the test if the count has not settled back to
+// the snapshot within two seconds (cancellation paths are allowed a
+// brief drain window, genuine leaks never settle). Use as
+//
+//	defer testutil.VerifyNoLeak(t)()
+//
+// Tests using this helper must not run in parallel with tests that
+// spawn goroutines, since the count is process-wide.
+func VerifyNoLeak(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		n := runtime.NumGoroutine()
+		for n > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n > before {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d before, %d after; stacks:\n%s", before, n, buf)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package opmap
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,6 +34,12 @@ type LoadOptions struct {
 	Categorical []string
 	// Comma is the field separator; zero means ','.
 	Comma rune
+	// MaxRows, MaxColumns and MaxRecordBytes bound untrusted input:
+	// loading fails with a clear error when the stream exceeds any of
+	// them. Zero means unlimited (trusted local files).
+	MaxRows        int
+	MaxColumns     int
+	MaxRecordBytes int
 }
 
 func (o LoadOptions) csvOptions() dataset.CSVOptions {
@@ -43,7 +50,14 @@ func (o LoadOptions) csvOptions() dataset.CSVOptions {
 	for _, n := range o.Categorical {
 		kinds[n] = dataset.Categorical
 	}
-	return dataset.CSVOptions{ClassAttr: o.Class, Kinds: kinds, Comma: o.Comma}
+	return dataset.CSVOptions{
+		ClassAttr:      o.Class,
+		Kinds:          kinds,
+		Comma:          o.Comma,
+		MaxRows:        o.MaxRows,
+		MaxColumns:     o.MaxColumns,
+		MaxRecordBytes: o.MaxRecordBytes,
+	}
 }
 
 // LoadCSV builds a session from a header-bearing CSV stream.
@@ -288,13 +302,26 @@ func (s *Session) Cuts() map[string][]float64 { return s.cuts }
 // BuildCubes materializes all 2-D and 3-D rule cubes over the working
 // dataset (the deployed system's offline step, Section V.C).
 func (s *Session) BuildCubes() error {
-	return s.BuildCubesFor(nil)
+	return s.BuildCubesForContext(context.Background(), nil)
+}
+
+// BuildCubesContext is BuildCubes under a context: cancellation stops
+// the cube counting promptly (between individual cube builds) and
+// returns ctx.Err() without leaking the parallel pair-counting
+// workers.
+func (s *Session) BuildCubesContext(ctx context.Context) error {
+	return s.BuildCubesForContext(ctx, nil)
 }
 
 // BuildCubesFor materializes cubes restricted to the named attributes
 // (nil means all). Restricting mirrors the paper's domain-expert
 // selection of the ~200 performance-related attributes out of 600.
 func (s *Session) BuildCubesFor(attrNames []string) error {
+	return s.BuildCubesForContext(context.Background(), attrNames)
+}
+
+// BuildCubesForContext is BuildCubesFor under a context.
+func (s *Session) BuildCubesForContext(ctx context.Context, attrNames []string) error {
 	ds, err := s.working()
 	if err != nil {
 		return err
@@ -309,7 +336,7 @@ func (s *Session) BuildCubesFor(attrNames []string) error {
 			attrs = append(attrs, i)
 		}
 	}
-	store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{Attrs: attrs})
+	store, err := rulecube.BuildStoreContext(ctx, ds, rulecube.StoreOptions{Attrs: attrs})
 	if err != nil {
 		return err
 	}
