@@ -49,6 +49,34 @@ addr=$(cat "$smokedir/addr")
 "$smokedir/opmapd" -probe "$addr/readyz" >/dev/null
 "$smokedir/opmapd" -probe "$addr/api/sweep?attr=Phone-Model&class=dropped-in-progress&max_pairs=3" \
     | grep -q '"pairs_compared"'
+"$smokedir/opmapd" -probe "$addr/api/compare?attr=Phone-Model&v1=ph1&v2=ph2&class=dropped-in-progress" \
+    | grep -q '"ranked"'
+# Malformed query parameters are a 400, not a silent default.
+if "$smokedir/opmapd" -probe "$addr/api/sweep?attr=Phone-Model&class=dropped-in-progress&max_pairs=abc" >/dev/null 2>&1; then
+    echo "malformed max_pairs was not rejected" >&2
+    exit 1
+fi
+# The /metrics scrape must show the traffic just driven: request
+# counters advanced for both API paths, the outcome counters present,
+# and the pipeline stage histograms populated by the sweep + compare.
+"$smokedir/opmapd" -probe "$addr/metrics" >"$smokedir/metrics"
+for want in \
+    'opmapd_requests_total{path="/api/sweep",status="200"} 1' \
+    'opmapd_requests_total{path="/api/compare",status="200"} 1' \
+    'opmapd_sheds_total 0' \
+    'opmapd_timeouts_total 0' \
+    'opmapd_panics_total 0' \
+    'opmapd_partials_total 0' \
+    'opmap_stage_duration_seconds_count{stage="sweep"} 1' \
+    'opmap_stage_duration_seconds_count{stage="compare"}' \
+    'opmap_stage_duration_seconds_count{stage="build_cubes"} 1' \
+    'opmap_cubes_built_total'; do
+    if ! grep -qF "$want" "$smokedir/metrics"; then
+        echo "metrics scrape missing: $want" >&2
+        cat "$smokedir/metrics" >&2
+        exit 1
+    fi
+done
 kill -TERM "$opmapd_pid"
 if ! wait "$opmapd_pid"; then
     echo "opmapd did not drain cleanly on SIGTERM:" >&2
@@ -60,5 +88,9 @@ grep -q "drained cleanly" "$smokedir/opmapd.log"
 echo "== fuzz smoke (10s per target) =="
 go test -run '^$' -fuzz '^FuzzReadStore$' -fuzztime 10s ./internal/rulecube
 go test -run '^$' -fuzz '^FuzzComparator$' -fuzztime 10s ./internal/compare
+
+echo "== bench (stage timings) =="
+go run ./cmd/opmapbench -records 20000 -rounds 50 -out BENCH_pr3.json
+grep -q '"build_cubes"' BENCH_pr3.json
 
 echo "CI PASSED"

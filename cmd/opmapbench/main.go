@@ -1,0 +1,125 @@
+// Command opmapbench exercises every instrumented pipeline stage over
+// the synthetic call-log case study and writes the recorded stage
+// timings as JSON — the benchmark artifact (BENCH_*.json) tracking how
+// long the paper's steps take as the codebase grows. Hot-path
+// instrumentation is armed, so the per-cube-build and per-attribute
+// compare histograms are populated too.
+//
+// Usage:
+//
+//	opmapbench -records 20000 -seed 1 -rounds 50 -out BENCH.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"opmap"
+	"opmap/internal/obsv"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opmapbench: ")
+	var (
+		records = flag.Int("records", 20000, "synthetic call-log records")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		rounds  = flag.Int("rounds", 50, "permutation test rounds")
+		out     = flag.String("out", "BENCH.json", "output file (- for stdout)")
+	)
+	flag.Parse()
+	if err := run(*records, *seed, *rounds, *out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// benchDoc is the written artifact: per-stage durations plus the
+// hot-path histograms, all taken from the process metrics registry so
+// the bench measures exactly what /metrics would report.
+type benchDoc struct {
+	Records int                   `json:"records"`
+	Seed    int64                 `json:"seed"`
+	Rounds  int                   `json:"perm_rounds"`
+	Stages  map[string]stageStats `json:"stages"`
+	Hot     map[string]stageStats `json:"hot"`
+}
+
+type stageStats struct {
+	Count     int64   `json:"count"`
+	SumSec    float64 `json:"sum_seconds"`
+	MeanMs    float64 `json:"mean_ms"`
+	TotalMsec float64 `json:"total_ms"`
+}
+
+func run(records int, seed int64, rounds int, out string) error {
+	obsv.ArmHot(true)
+	ctx := context.Background()
+
+	sess, gt, err := opmap.CaseStudy(seed, records)
+	if err != nil {
+		return err
+	}
+	if err := sess.BuildCubesContext(ctx); err != nil {
+		return err
+	}
+	if _, err := sess.CompareContext(ctx, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass, opmap.CompareOptions{}); err != nil {
+		return err
+	}
+	if _, err := sess.CompareOneVsRestContext(ctx, gt.PhoneAttr, gt.BadPhone, gt.DropClass, opmap.CompareOptions{}); err != nil {
+		return err
+	}
+	if _, err := sess.SweepContext(ctx, gt.PhoneAttr, gt.DropClass, 6); err != nil {
+		return err
+	}
+	if _, err := sess.TestSignificanceContext(ctx, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass, gt.DistinguishingAttr, rounds, seed); err != nil {
+		return err
+	}
+	if _, err := sess.ImpressionsContext(ctx, opmap.ImpressionOptions{}); err != nil {
+		return err
+	}
+
+	doc := benchDoc{
+		Records: records,
+		Seed:    seed,
+		Rounds:  rounds,
+		Stages:  map[string]stageStats{},
+		Hot:     map[string]stageStats{},
+	}
+	reg := obsv.Default()
+	for _, stage := range obsv.PipelineStages {
+		doc.Stages[stage] = toStats(reg.Histogram(obsv.StageHistogramName, nil, "stage", stage))
+	}
+	for _, name := range []string{obsv.CubeBuildHistogramName, obsv.CompareAttrHistogramName} {
+		doc.Hot[name] = toStats(reg.Histogram(name, nil))
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d stages)\n", out, len(doc.Stages))
+	return nil
+}
+
+func toStats(h *obsv.Histogram) stageStats {
+	snap := h.Snapshot()
+	st := stageStats{Count: snap.Count, SumSec: snap.Sum}
+	st.TotalMsec = snap.Sum * float64(time.Second/time.Millisecond)
+	if snap.Count > 0 {
+		st.MeanMs = st.TotalMsec / float64(snap.Count)
+	}
+	return st
+}

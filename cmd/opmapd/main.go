@@ -18,10 +18,15 @@
 //	GET /api/compare?attr=A&v1=x&v2=y&class=C pairwise comparison
 //	GET /api/compare?attr=A&value=x&class=C   one-vs-rest (degradable)
 //	GET /api/sweep?attr=A&class=C&max_pairs=N degradable sweep
+//	GET /metrics[?format=json]                counters + stage histograms
+//	GET /debug/pprof/                         profiling (with -pprof)
 //
 // The daemon sheds load with 429 when too many requests are in flight,
 // bounds each request with -timeout, recovers handler panics into
-// 500s, and drains cleanly on SIGTERM/SIGINT.
+// 500s, and drains cleanly on SIGTERM/SIGINT. Every request emits one
+// structured log line (see -log-level) and advances the counters and
+// latency histograms served at /metrics; -hot-metrics additionally
+// arms the per-cube and per-attribute timing histograms.
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 	"time"
 
 	"opmap"
+	"opmap/internal/obsv"
 	"opmap/internal/server"
 )
 
@@ -61,12 +67,22 @@ func main() {
 		maxRecBytes  = flag.Int("max-record-bytes", 1<<20, "max bytes in one CSV record (0 = unlimited)")
 		readyFile    = flag.String("ready-file", "", "write the bound address to this file once serving (for scripts)")
 		probe        = flag.String("probe", "", "client mode: GET this URL, print the body, exit 0 on 2xx")
+		logLevel     = flag.String("log-level", "info", "request log level: debug, info, warn or error")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		hotMetrics   = flag.Bool("hot-metrics", false, "arm per-cube and per-attribute hot-path timing histograms")
 	)
 	flag.Parse()
 
 	if *probe != "" {
 		os.Exit(runProbe(*probe))
 	}
+
+	level, err := obsv.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := obsv.NewLogger(os.Stderr, level)
+	obsv.ArmHot(*hotMetrics)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -81,10 +97,14 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxInFlight:    *maxInflight,
 		DrainTimeout:   *drainTimeout,
-		Logger:         log.Default(),
+		Logger:         logger,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *pprofOn {
+		srv.EnablePprof()
+		log.Print("pprof enabled at /debug/pprof/")
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"opmap/internal/compare"
+	"opmap/internal/obsv"
 	"opmap/internal/stats"
 	"opmap/internal/visual"
 )
@@ -107,6 +108,7 @@ func (s *Session) Compare(attr, v1, v2, class string, opts CompareOptions) (*Com
 // returns ctx.Err() promptly. It is strict; for degradable fan-out use
 // SweepPartial or CompareOneVsRestContext with PartialOnDeadline.
 func (s *Session) CompareContext(ctx context.Context, attr, v1, v2, class string, opts CompareOptions) (*Comparison, error) {
+	defer obsv.Stage(obsv.StageCompare)()
 	store, err := s.requireStore()
 	if err != nil {
 		return nil, err

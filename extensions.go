@@ -12,6 +12,7 @@ import (
 	"opmap/internal/dataset"
 	"opmap/internal/explore"
 	"opmap/internal/gi"
+	"opmap/internal/obsv"
 	"opmap/internal/report"
 	"opmap/internal/rulecube"
 )
@@ -90,6 +91,7 @@ func (s *Session) CompareOneVsRest(attr, value, class string, opts CompareOption
 // the rest annotated in Comparison.Unscored; otherwise the call fails
 // with ctx.Err().
 func (s *Session) CompareOneVsRestContext(ctx context.Context, attr, value, class string, opts CompareOptions) (*Comparison, error) {
+	defer obsv.Stage(obsv.StageCompareOneVsRest)()
 	store, err := s.requireStore()
 	if err != nil {
 		return nil, err
@@ -279,6 +281,7 @@ func (s *Session) SweepPartial(ctx context.Context, attr, class string, maxPairs
 }
 
 func (s *Session) sweep(ctx context.Context, attr, class string, maxPairs int, partial bool) (*SweepResult, error) {
+	defer obsv.Stage(obsv.StageSweep)()
 	store, err := s.requireStore()
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"opmap/internal/baseline"
 	"opmap/internal/gi"
+	"opmap/internal/obsv"
 	"opmap/internal/visual"
 )
 
@@ -66,6 +67,7 @@ func (s *Session) Impressions(opts ImpressionOptions) (*Impressions, error) {
 // ImpressionsContext is Impressions under a context, checked once per
 // attribute the GI miner processes; cancellation returns ctx.Err().
 func (s *Session) ImpressionsContext(ctx context.Context, opts ImpressionOptions) (*Impressions, error) {
+	defer obsv.Stage(obsv.StageImpressions)()
 	store, err := s.requireStore()
 	if err != nil {
 		return nil, err

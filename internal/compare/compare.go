@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"opmap/internal/car"
 	"opmap/internal/dataset"
 	"opmap/internal/faultinject"
+	"opmap/internal/obsv"
 	"opmap/internal/rulecube"
 	"opmap/internal/stats"
 )
@@ -254,9 +256,20 @@ func (c *Comparator) CompareContext(ctx context.Context, in Input, opts Options)
 		return nil, err
 	}
 
+	// Hot-path timing: disarmed (the default) this loop pays one atomic
+	// load up front and nothing per attribute; armed, each candidate's
+	// scoring is observed individually.
+	var attrTimes *obsv.Histogram
+	if obsv.HotArmed() {
+		attrTimes = obsv.Default().Histogram(obsv.CompareAttrHistogramName, nil)
+	}
 	for _, ai := range attrs {
 		if err := ctxOrFault(ctx, faultinject.SiteCompareAttr); err != nil {
 			return nil, err
+		}
+		var attrStart time.Time
+		if attrTimes != nil {
+			attrStart = time.Now()
 		}
 		cube := c.store.Cube2(in.Attr, ai)
 		if cube == nil {
@@ -271,6 +284,9 @@ func (c *Comparator) CompareContext(ctx context.Context, in Input, opts Options)
 			return nil, err
 		}
 		res.add(score)
+		if attrTimes != nil {
+			attrTimes.ObserveSince(attrStart)
+		}
 	}
 	res.finish()
 	return res.result, nil

@@ -8,6 +8,7 @@ import (
 
 	"opmap/internal/dataset"
 	"opmap/internal/faultinject"
+	"opmap/internal/obsv"
 )
 
 // Permutation test for the interestingness measure. The paper justifies
@@ -48,6 +49,7 @@ func PermutationTest(ds *dataset.Dataset, in Input, attr int, rounds int, seed i
 // returns ctx.Err() (a truncated null distribution would bias the
 // p-value, so there is no partial mode).
 func PermutationTestContext(ctx context.Context, ds *dataset.Dataset, in Input, attr int, rounds int, seed int64, opts Options) (PermutationResult, error) {
+	defer obsv.Stage(obsv.StagePermutationTest)()
 	if !ds.AllCategorical() {
 		return PermutationResult{}, fmt.Errorf("compare: dataset has continuous attributes; discretize first")
 	}

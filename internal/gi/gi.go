@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"opmap/internal/faultinject"
+	"opmap/internal/obsv"
 	"opmap/internal/rulecube"
 	"opmap/internal/stats"
 )
@@ -456,6 +457,7 @@ func MineAll(store *rulecube.Store, topts TrendOptions, eopts ExceptionOptions) 
 // attribute. It is strict: a partial impressions report would silently
 // miss trends, so cancellation returns ctx.Err().
 func MineAllContext(ctx context.Context, store *rulecube.Store, topts TrendOptions, eopts ExceptionOptions) (*Report, error) {
+	defer obsv.Stage(obsv.StageGIMine)()
 	rep := &Report{}
 	for _, a := range store.Attrs() {
 		if err := ctx.Err(); err != nil {

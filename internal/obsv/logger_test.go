@@ -1,0 +1,144 @@
+package obsv
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testLogger(level Level) (*Logger, *strings.Builder) {
+	var b syncBuilder
+	l := NewLogger(&b, level)
+	l.now = func() time.Time { return time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC) }
+	return l, &b.b
+}
+
+// syncBuilder serializes writes so the test can read the buffer after
+// concurrent logging without a race.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func TestLoggerFormat(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	ctx := WithRequestID(context.Background(), "abc-001")
+	l.Info(ctx, "request served", "method", "GET", "path", "/api/compare", "status", 200, "dur", 1500*time.Microsecond)
+	want := `ts=2026-08-05T10:00:00Z level=info msg="request served" request_id=abc-001 method=GET path=/api/compare status=200 dur=1.5ms` + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("log line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.Info(context.Background(), "msg", "err", errors.New(`boom: x="1"`), "empty", "")
+	out := b.String()
+	if !strings.Contains(out, `err="boom: x=\"1\""`) {
+		t.Errorf("error value not quoted: %q", out)
+	}
+	if !strings.Contains(out, `empty=""`) {
+		t.Errorf("empty value not quoted: %q", out)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	l, b := testLogger(LevelWarn)
+	ctx := context.Background()
+	l.Debug(ctx, "dropped")
+	l.Info(ctx, "dropped")
+	l.Warn(ctx, "kept-warn")
+	l.Error(ctx, "kept-error")
+	out := b.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("below-level records emitted: %q", out)
+	}
+	if !strings.Contains(out, "kept-warn") || !strings.Contains(out, "kept-error") {
+		t.Errorf("at/above-level records missing: %q", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug(ctx, "now-kept")
+	if !strings.Contains(b.String(), "now-kept") {
+		t.Error("SetLevel(debug) did not take effect")
+	}
+}
+
+func TestLoggerOddKVAndNonStringKey(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.Info(context.Background(), "m", "lonely")
+	if !strings.Contains(b.String(), "lonely=(missing)") {
+		t.Errorf("odd kv pair not annotated: %q", b.String())
+	}
+}
+
+func TestNopLoggerDropsEverything(t *testing.T) {
+	// Must not panic and must stay silent; also covers the nil receiver.
+	Nop().Error(context.Background(), "into the void")
+	var l *Logger
+	l.Info(context.Background(), "nil receiver")
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var sb syncBuilder
+	l := NewLogger(&sb, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info(context.Background(), "line", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	sb.mu.Lock()
+	lines := strings.Split(strings.TrimSuffix(sb.b.String(), "\n"), "\n")
+	sb.mu.Unlock()
+	if len(lines) != 8*50 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*50)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=line") {
+			t.Fatalf("interleaved/corrupt line: %q", line)
+		}
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	if got := RequestID(context.Background()); got != "" {
+		t.Errorf("RequestID on bare context = %q, want empty", got)
+	}
+	ctx := WithRequestID(context.Background(), "req-42")
+	if got := RequestID(ctx); got != "req-42" {
+		t.Errorf("RequestID = %q, want req-42", got)
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || a == "" {
+		t.Errorf("NewRequestID not unique: %q vs %q", a, b)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) did not fail")
+	}
+}

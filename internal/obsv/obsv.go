@@ -1,0 +1,407 @@
+// Package obsv is the project's zero-dependency observability layer:
+// an atomic metrics registry (counters, gauges, histograms) with
+// Prometheus-text and JSON exposition, a leveled key=value structured
+// logger with request-id propagation through contexts, and cheap
+// stage-timing spans recorded by every pipeline entry point. The
+// paper's Opportunity Map was a deployed diagnostic system; a serving
+// reproduction needs the same property the deployment had — when a
+// request times out or sheds, the operator can see it after the fact.
+// Everything here is stdlib-only and lock-free on the hot paths: a
+// counter increment is one atomic add, a histogram observe is two, and
+// hot-path instrumentation that is disarmed (the default) costs a
+// single atomic load.
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is not
+// usable; obtain counters from a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter. Negative n is ignored: counters only go
+// up (use a Gauge for values that go down).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (e.g. in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (possibly negative) to the gauge.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets is the default histogram bucketing: latency-oriented
+// upper bounds in seconds from 100µs to 10s, roughly log-spaced the
+// way Prometheus client libraries do it.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram accumulates observations into fixed buckets. Observations
+// are in seconds (the unit every duration metric in this project
+// uses). All methods are safe for concurrent use; Observe is two
+// atomic adds plus a CAS loop for the sum.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b))}
+}
+
+// Observe records one observation (in seconds).
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values in seconds.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramSnapshot is a consistent-enough point-in-time view of a
+// histogram for exposition (buckets are read one by one, so a
+// concurrent observe may straddle the read; exposition tolerates
+// that the way Prometheus scrapes do).
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    string `json:"le"` // upper bound; "+Inf" for the overflow bucket
+	Count int64  `json:"count"`
+}
+
+// Snapshot captures the histogram's current buckets, count and sum.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{Count: h.count.Load(), Sum: h.Sum()}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		snap.Buckets = append(snap.Buckets, BucketSnapshot{LE: formatFloat(b), Count: cum})
+	}
+	snap.Buckets = append(snap.Buckets, BucketSnapshot{LE: "+Inf", Count: snap.Count})
+	return snap
+}
+
+// Registry is a named collection of metrics. Lookup is guarded by a
+// read-write mutex; the metrics themselves are lock-free, so the
+// steady-state cost of an instrumented site is one map read under
+// RLock plus the atomic operation.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry used by the pipeline's
+// stage spans and the serving daemon. The known pipeline stage
+// histograms are pre-registered so exposition shows every stage —
+// including the ones that have not run yet — at count 0.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		defaultReg = NewRegistry()
+		for _, s := range PipelineStages {
+			defaultReg.Histogram(StageHistogramName, nil, "stage", s)
+		}
+		defaultReg.Histogram(CubeBuildHistogramName, nil)
+		defaultReg.Histogram(CompareAttrHistogramName, nil)
+	})
+	return defaultReg
+}
+
+// key builds the registry key from a metric name and label pairs
+// (k1, v1, k2, v2, ...). Labels are rendered in the given order, so
+// call sites must use a consistent order for the same metric. A
+// dangling key without a value is paired with "".
+func key(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	b.WriteString(formatLabels(labels))
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatLabels(labels []string) string {
+	var b strings.Builder
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i+1 < len(labels) {
+			v = labels[i+1]
+		}
+		b.WriteString(labels[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(v))
+	}
+	return b.String()
+}
+
+// Counter returns the named counter, creating it on first use. The
+// variadic labels are key/value pairs ("path", "/api/compare").
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	k := key(name, labels)
+	r.mu.RLock()
+	c := r.counters[k]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[k]; c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	k := key(name, labels)
+	r.mu.RLock()
+	g := r.gauges[k]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[k]; g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (nil means DefBuckets) on first use. Buckets of
+// an already-registered histogram are not changed.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	k := key(name, labels)
+	r.mu.RLock()
+	h := r.hists[k]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[k]; h == nil {
+		h = newHistogram(buckets)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// baseName strips the label block from a registry key.
+func baseName(k string) string {
+	if i := strings.IndexByte(k, '{'); i >= 0 {
+		return k[:i]
+	}
+	return k
+}
+
+// labelBlock returns the label block of a registry key without the
+// braces, or "".
+func labelBlock(k string) string {
+	if i := strings.IndexByte(k, '{'); i >= 0 {
+		return strings.TrimSuffix(k[i+1:], "}")
+	}
+	return ""
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// sortedKeys returns the map's keys grouped by base metric name (a
+// TYPE line is emitted once per base), then lexically.
+func sortedKeys[M any](m map[string]M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := baseName(out[i]), baseName(out[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// WritePrometheus writes every metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name so output is
+// deterministic for a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	writeSimple := func(keys []string, typ string, value func(k string) string) {
+		lastBase := ""
+		for _, k := range keys {
+			if base := baseName(k); base != lastBase {
+				fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+				lastBase = base
+			}
+			fmt.Fprintf(&b, "%s %s\n", k, value(k))
+		}
+	}
+	writeSimple(sortedKeys(counters), "counter", func(k string) string {
+		return strconv.FormatInt(counters[k].Value(), 10)
+	})
+	writeSimple(sortedKeys(gauges), "gauge", func(k string) string {
+		return strconv.FormatInt(gauges[k].Value(), 10)
+	})
+
+	lastBase := ""
+	for _, k := range sortedKeys(hists) {
+		base, labels := baseName(k), labelBlock(k)
+		if base != lastBase {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+			lastBase = base
+		}
+		snap := hists[k].Snapshot()
+		for _, bk := range snap.Buckets {
+			if labels == "" {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", base, bk.LE, bk.Count)
+			} else {
+				fmt.Fprintf(&b, "%s_bucket{%s,le=%q} %d\n", base, labels, bk.LE, bk.Count)
+			}
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", base, suffix, formatFloat(snap.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, suffix, snap.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON writes every metric as one JSON document: counters and
+// gauges as name → value, histograms as name → snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	doc := struct {
+		Counters   map[string]int64             `json:"counters"`
+		Gauges     map[string]int64             `json:"gauges"`
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+	}{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, c := range r.counters {
+		doc.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		doc.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.RUnlock()
+	for k, h := range hists {
+		doc.Histograms[k] = h.Snapshot()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,223 @@
+package obsv
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMetrics hammers one counter, one gauge and one
+// histogram from many goroutines under -race: the registry lookups
+// and the atomic metric operations must both be data-race-free, and
+// no increment may be lost.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 16
+		perG       = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("test_ops_total", "worker", "w").Inc()
+				r.Gauge("test_inflight").Add(1)
+				r.Gauge("test_inflight").Add(-1)
+				r.Histogram("test_latency_seconds", nil).Observe(0.003)
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(goroutines * perG)
+	if got := r.Counter("test_ops_total", "worker", "w").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("test_inflight").Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	h := r.Histogram("test_latency_seconds", nil)
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	wantSum := 0.003 * float64(want)
+	if got := h.Sum(); got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Errorf("histogram sum = %v, want ≈%v", got, wantSum)
+	}
+	snap := h.Snapshot()
+	if last := snap.Buckets[len(snap.Buckets)-1]; last.LE != "+Inf" || last.Count != want {
+		t.Errorf("+Inf bucket = %+v, want count %d", last, want)
+	}
+}
+
+// TestConcurrentRegistryCreation races get-or-create on distinct and
+// identical names: every goroutine must end up with the same metric
+// instance for the same key.
+func TestConcurrentRegistryCreation(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	counters := make([]*Counter, 8)
+	for g := range counters {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			counters[g] = r.Counter("shared_total", "path", "/x")
+			counters[g].Inc()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(counters); g++ {
+		if counters[g] != counters[0] {
+			t.Fatalf("goroutine %d got a different counter instance", g)
+		}
+	}
+	if got := counters[0].Value(); got != int64(len(counters)) {
+		t.Errorf("shared counter = %d, want %d", got, len(counters))
+	}
+}
+
+// TestPrometheusExpositionGolden pins the exact text exposition
+// format: TYPE lines per metric family, sorted series, cumulative
+// histogram buckets with the +Inf overflow, and _sum/_count lines.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("opmapd_requests_total", "path", "/api/sweep", "status", "200").Add(3)
+	r.Counter("opmapd_requests_total", "path", "/api/compare", "status", "200").Inc()
+	r.Counter("opmapd_sheds_total")
+	r.Gauge("opmapd_inflight").Set(2)
+	h := r.Histogram("opmap_stage_duration_seconds", []float64{0.01, 0.1, 1}, "stage", "compare")
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.25)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic order: counters, gauges, histograms; within each
+	// kind, series sorted by family then labels.
+	want := `# TYPE opmapd_requests_total counter
+opmapd_requests_total{path="/api/compare",status="200"} 1
+opmapd_requests_total{path="/api/sweep",status="200"} 3
+# TYPE opmapd_sheds_total counter
+opmapd_sheds_total 0
+# TYPE opmapd_inflight gauge
+opmapd_inflight 2
+# TYPE opmap_stage_duration_seconds histogram
+opmap_stage_duration_seconds_bucket{stage="compare",le="0.01"} 1
+opmap_stage_duration_seconds_bucket{stage="compare",le="0.1"} 2
+opmap_stage_duration_seconds_bucket{stage="compare",le="1"} 3
+opmap_stage_duration_seconds_bucket{stage="compare",le="+Inf"} 3
+opmap_stage_duration_seconds_sum{stage="compare"} 0.305
+opmap_stage_duration_seconds_count{stage="compare"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestJSONExposition checks the JSON form round-trips through
+// encoding/json and carries the same values as the metrics.
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total").Add(7)
+	r.Gauge("inflight").Set(1)
+	r.Histogram("lat_seconds", []float64{0.1, 1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64   `json:"count"`
+			Sum     float64 `json:"sum"`
+			Buckets []struct {
+				LE    string `json:"le"`
+				Count int64  `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("exposition is not JSON: %v\n%s", err, b.String())
+	}
+	if doc.Counters["reqs_total"] != 7 {
+		t.Errorf("counters[reqs_total] = %d, want 7", doc.Counters["reqs_total"])
+	}
+	if doc.Gauges["inflight"] != 1 {
+		t.Errorf("gauges[inflight] = %d, want 1", doc.Gauges["inflight"])
+	}
+	hist := doc.Histograms["lat_seconds"]
+	if hist.Count != 1 || len(hist.Buckets) != 3 {
+		t.Errorf("histograms[lat_seconds] = %+v, want count 1 with 3 buckets", hist)
+	}
+	// 0.5 falls into the le=1 bucket but not le=0.1.
+	if hist.Buckets[0].Count != 0 || hist.Buckets[1].Count != 1 {
+		t.Errorf("bucket counts = %+v, want [0 1 1]", hist.Buckets)
+	}
+}
+
+// TestCounterIgnoresNegative pins the counter contract: counters are
+// monotone, negative adds are dropped.
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total")
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter after Add(-3) = %d, want 5", got)
+	}
+}
+
+// TestDefaultPreregistersStages: the process registry exposes every
+// pipeline stage histogram before any stage has run, so a /metrics
+// scrape right after startup already shows the full stage set.
+func TestDefaultPreregistersStages(t *testing.T) {
+	var b strings.Builder
+	if err := Default().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, s := range PipelineStages {
+		if !strings.Contains(out, `opmap_stage_duration_seconds_count{stage="`+s+`"}`) {
+			t.Errorf("default exposition is missing stage %q", s)
+		}
+	}
+	for _, name := range []string{CubeBuildHistogramName, CompareAttrHistogramName} {
+		if !strings.Contains(out, name+"_count") {
+			t.Errorf("default exposition is missing hot histogram %q", name)
+		}
+	}
+}
+
+// TestStageSpanRecords: a span observes exactly one duration into the
+// stage's histogram in the default registry.
+func TestStageSpanRecords(t *testing.T) {
+	h := Default().Histogram(StageHistogramName, nil, "stage", "test_stage_span")
+	before := h.Count()
+	done := Stage("test_stage_span")
+	done()
+	if got := h.Count() - before; got != 1 {
+		t.Errorf("span recorded %d observations, want 1", got)
+	}
+}
+
+// TestHotArming pins the default: hot-path instrumentation is off
+// until armed, and disarming restores the cheap path.
+func TestHotArming(t *testing.T) {
+	if HotArmed() {
+		t.Fatal("hot instrumentation armed by default")
+	}
+	ArmHot(true)
+	if !HotArmed() {
+		t.Fatal("ArmHot(true) did not arm")
+	}
+	ArmHot(false)
+	if HotArmed() {
+		t.Fatal("ArmHot(false) did not disarm")
+	}
+}

@@ -14,10 +14,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"opmap/internal/car"
 	"opmap/internal/dataset"
 	"opmap/internal/faultinject"
+	"opmap/internal/obsv"
 )
 
 // Cube is a rule cube: p condition dimensions plus the class dimension.
@@ -66,7 +68,9 @@ func (c *Cube) offset(values []int32, class int32) (int, error) {
 	idx := 0
 	for i, v := range values {
 		if v < 0 || int(v) >= c.dims[i] {
-			return 0, fmt.Errorf("rulecube: coordinate %d=%d out of range [0,%d)", i, v, c.dims[i])
+			// Name the offending attribute: "coordinate 1" means nothing
+			// to a caller holding a store of hundreds of cubes.
+			return 0, fmt.Errorf("rulecube: coordinate %d (attribute %q) = %d out of range [0,%d)", i, c.attrNames[i], v, c.dims[i])
 		}
 		idx = idx*c.dims[i] + int(v)
 	}
@@ -462,6 +466,37 @@ type Store struct {
 	twoD  map[[2]int]*Cube
 }
 
+// CubesBuiltCounterName is the counter advanced once per cube counted
+// during a store build, so a /metrics scrape shows offline-build
+// progress and totals.
+const CubesBuiltCounterName = "opmap_cubes_built_total"
+
+// buildCounted is Build plus the store-build instrumentation: the
+// cubes-built counter always advances on success, and when hot
+// instrumentation is armed (obsv.ArmHot) the individual count's
+// duration is observed too. Disarmed, the extra cost per cube is one
+// atomic load and one counter increment — noise next to the full data
+// pass each build performs.
+func buildCounted(ds *dataset.Dataset, attrs []int) (*Cube, error) {
+	var (
+		h     *obsv.Histogram
+		start time.Time
+	)
+	if obsv.HotArmed() {
+		h = obsv.Default().Histogram(obsv.CubeBuildHistogramName, nil)
+		start = time.Now()
+	}
+	cube, err := Build(ds, attrs)
+	if err != nil {
+		return nil, err
+	}
+	if h != nil {
+		h.ObserveSince(start)
+	}
+	obsv.Default().Counter(CubesBuiltCounterName).Inc()
+	return cube, nil
+}
+
 // BuildStore materializes the cube store for ds.
 func BuildStore(ds *dataset.Dataset, opts StoreOptions) (*Store, error) {
 	return BuildStoreContext(context.Background(), ds, opts)
@@ -505,7 +540,7 @@ func BuildStoreContext(ctx context.Context, ds *dataset.Dataset, opts StoreOptio
 		if err := faultinject.HitContext(ctx, faultinject.SiteCubeBuildOne); err != nil {
 			return nil, err
 		}
-		cube, err := Build(ds, []int{a})
+		cube, err := buildCounted(ds, []int{a})
 		if err != nil {
 			return nil, err
 		}
@@ -535,7 +570,7 @@ func BuildStoreContext(ctx context.Context, ds *dataset.Dataset, opts StoreOptio
 			if err := faultinject.HitContext(ctx, faultinject.SiteCubeBuildPair); err != nil {
 				return nil, err
 			}
-			cube, err := Build(ds, []int{p[0], p[1]})
+			cube, err := buildCounted(ds, []int{p[0], p[1]})
 			if err != nil {
 				return nil, err
 			}
@@ -582,7 +617,7 @@ func (s *Store) buildPairsParallel(ctx context.Context, pairs [][2]int, workers 
 					fail()
 					continue
 				}
-				cube, err := Build(s.ds, []int{p[0], p[1]})
+				cube, err := buildCounted(s.ds, []int{p[0], p[1]})
 				if err != nil {
 					fail()
 				}

@@ -2,6 +2,7 @@ package rulecube
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -120,6 +121,15 @@ func TestCubeCoordinateValidation(t *testing.T) {
 	}
 	if _, err := cube.Count([]int32{9, 0}, 0); err == nil {
 		t.Error("out-of-range value should fail")
+	} else if !strings.Contains(err.Error(), `"A1"`) {
+		// The message must name the offending attribute, not just its
+		// positional index.
+		t.Errorf("out-of-range error %q does not name attribute A1", err)
+	}
+	if _, err := cube.Count([]int32{0, 9}, 0); err == nil {
+		t.Error("out-of-range value in dim 2 should fail")
+	} else if !strings.Contains(err.Error(), `"A2"`) {
+		t.Errorf("out-of-range error %q does not name attribute A2", err)
 	}
 	if _, err := cube.Count([]int32{0, 0}, 9); err == nil {
 		t.Error("out-of-range class should fail")

@@ -38,6 +38,10 @@ type trendEntry struct {
 }
 
 func (s *Server) handleOverview(r *http.Request) (any, error) {
+	limit, err := intParam(r, "top", 10)
+	if err != nil {
+		return nil, err
+	}
 	imp, err := s.sess.ImpressionsContext(r.Context(), opmap.ImpressionOptions{})
 	if err != nil {
 		return nil, err
@@ -50,7 +54,6 @@ func (s *Server) handleOverview(r *http.Request) (any, error) {
 		CubeCount:  s.sess.CubeCount(),
 		RuleSpace:  s.sess.RuleSpaceSize(),
 	}
-	limit := intParam(r, "top", 10)
 	for i, inf := range imp.Influential {
 		if i >= limit {
 			break
@@ -95,11 +98,15 @@ func (s *Server) handleDetail(r *http.Request) (any, error) {
 	if attr == "" || class == "" {
 		return nil, badRequest("detail requires attr and class query parameters")
 	}
+	maxPairs, err := intParam(r, "max_pairs", 0)
+	if err != nil {
+		return nil, err
+	}
 	values, err := s.sess.Values(attr)
 	if err != nil {
 		return nil, err
 	}
-	pairs, err := s.sess.ScreenPairs(attr, class, intParam(r, "max_pairs", 0))
+	pairs, err := s.sess.ScreenPairs(attr, class, maxPairs)
 	if err != nil {
 		return nil, err
 	}
@@ -118,19 +125,41 @@ func (s *Server) handleDetail(r *http.Request) (any, error) {
 	return resp, nil
 }
 
-type compareResponse struct {
-	Attr     string            `json:"attr"`
-	Label1   string            `json:"label1"`
-	Label2   string            `json:"label2"`
-	Cf1      float64           `json:"cf1"`
-	Cf2      float64           `json:"cf2"`
-	Ratio    float64           `json:"ratio"`
-	Class    string            `json:"class"`
-	Partial  bool              `json:"partial"`
-	Unscored []opmap.ItemError `json:"unscored,omitempty"`
-	Ranked   []scoreEntry      `json:"ranked"`
-	Property []scoreEntry      `json:"property,omitempty"`
+// itemError is the wire form of a per-item failure annotation. The
+// library type (opmap.ItemError) marshals its message under "err";
+// clients were promised "error", so the DTO renames the field instead
+// of leaking the internal tag onto the wire.
+type itemError struct {
+	Item  string `json:"item"`
+	Error string `json:"error"`
 }
+
+func toItemErrors(in []opmap.ItemError) []itemError {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]itemError, len(in))
+	for i, ie := range in {
+		out[i] = itemError{Item: ie.Item, Error: ie.Err}
+	}
+	return out
+}
+
+type compareResponse struct {
+	Attr     string       `json:"attr"`
+	Label1   string       `json:"label1"`
+	Label2   string       `json:"label2"`
+	Cf1      float64      `json:"cf1"`
+	Cf2      float64      `json:"cf2"`
+	Ratio    float64      `json:"ratio"`
+	Class    string       `json:"class"`
+	Partial  bool         `json:"partial"`
+	Unscored []itemError  `json:"unscored,omitempty"`
+	Ranked   []scoreEntry `json:"ranked"`
+	Property []scoreEntry `json:"property,omitempty"`
+}
+
+func (c *compareResponse) partialResult() bool { return c.Partial }
 
 type scoreEntry struct {
 	Name          string  `json:"name"`
@@ -148,10 +177,11 @@ func (s *Server) handleCompare(r *http.Request) (any, error) {
 	if attr == "" || class == "" {
 		return nil, badRequest("compare requires attr and class query parameters")
 	}
-	var (
-		cmp *opmap.Comparison
-		err error
-	)
+	top, err := intParam(r, "top", 10)
+	if err != nil {
+		return nil, err
+	}
+	var cmp *opmap.Comparison
 	switch {
 	case q.Get("value") != "":
 		opts := opmap.CompareOptions{PartialOnDeadline: true}
@@ -173,9 +203,8 @@ func (s *Server) handleCompare(r *http.Request) (any, error) {
 		Ratio:    cmp.Ratio,
 		Class:    cmp.Class,
 		Partial:  cmp.Partial,
-		Unscored: cmp.Unscored,
+		Unscored: toItemErrors(cmp.Unscored),
 	}
-	top := intParam(r, "top", 10)
 	for i, sc := range cmp.Ranked() {
 		if i >= top {
 			break
@@ -201,12 +230,14 @@ func toScoreEntry(sc opmap.AttributeScore) scoreEntry {
 }
 
 type sweepResponse struct {
-	PairsCompared int               `json:"pairs_compared"`
-	PairsSkipped  int               `json:"pairs_skipped"`
-	Partial       bool              `json:"partial"`
-	Errors        []opmap.ItemError `json:"errors,omitempty"`
-	Attributes    []sweepEntry      `json:"attributes"`
+	PairsCompared int          `json:"pairs_compared"`
+	PairsSkipped  int          `json:"pairs_skipped"`
+	Partial       bool         `json:"partial"`
+	Errors        []itemError  `json:"errors,omitempty"`
+	Attributes    []sweepEntry `json:"attributes"`
 }
+
+func (s *sweepResponse) partialResult() bool { return s.Partial }
 
 type sweepEntry struct {
 	Name       string    `json:"name"`
@@ -225,7 +256,11 @@ func (s *Server) handleSweep(r *http.Request) (any, error) {
 	if attr == "" || class == "" {
 		return nil, badRequest("sweep requires attr and class query parameters")
 	}
-	res, err := s.sess.SweepPartial(r.Context(), attr, class, intParam(r, "max_pairs", 0))
+	maxPairs, err := intParam(r, "max_pairs", 0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.sess.SweepPartial(r.Context(), attr, class, maxPairs)
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +268,7 @@ func (s *Server) handleSweep(r *http.Request) (any, error) {
 		PairsCompared: res.PairsCompared,
 		PairsSkipped:  res.PairsSkipped,
 		Partial:       res.Partial,
-		Errors:        res.Errors,
+		Errors:        toItemErrors(res.Errors),
 	}
 	for _, a := range res.Attributes {
 		resp.Attributes = append(resp.Attributes, sweepEntry{
@@ -247,17 +282,22 @@ func (s *Server) handleSweep(r *http.Request) (any, error) {
 	return resp, nil
 }
 
-// intParam parses an integer query parameter, falling back to def when
-// absent or malformed (malformed limits are a client nuisance, not
-// worth failing an otherwise valid request).
-func intParam(r *http.Request, name string, def int) int {
+// intParam parses a non-negative integer query parameter, falling back
+// to def only when the parameter is absent. A malformed or negative
+// value is a client error and fails the request with 400 — silently
+// substituting the default here used to mask typos like ?top=abc and
+// made ?top=-3 behave as an unbounded limit.
+func intParam(r *http.Request, name string, def int) (int, error) {
 	v := r.URL.Query().Get(name)
 	if v == "" {
-		return def
+		return def, nil
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return def
+		return 0, badRequest("query parameter %s=%q is not an integer", name, v)
 	}
-	return n
+	if n < 0 {
+		return 0, badRequest("query parameter %s=%d must be non-negative", name, n)
+	}
+	return n, nil
 }

@@ -4,7 +4,11 @@
 // deployed system had to be (analysts querying pre-materialized cubes
 // online, Section V.C): every request runs under a timeout, panics are
 // converted to 500s without taking the process down, in-flight work is
-// bounded with 429 load-shedding, and SIGTERM drains cleanly.
+// bounded with 429 load-shedding, and SIGTERM drains cleanly. Every
+// request is also observable after the fact: the middleware counts
+// requests, sheds, timeouts, panics and partial-result degradations
+// into an obsv.Registry exposed at /metrics, and emits one structured
+// log line per request carrying a propagated request id.
 package server
 
 import (
@@ -12,15 +16,28 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"opmap"
 	"opmap/internal/faultinject"
+	"opmap/internal/obsv"
+)
+
+// Metric families recorded by the request middleware.
+const (
+	metricRequests = "opmapd_requests_total"           // counter{path,status}
+	metricDuration = "opmapd_request_duration_seconds" // histogram{path}
+	metricSheds    = "opmapd_sheds_total"              // counter
+	metricTimeouts = "opmapd_timeouts_total"           // counter
+	metricPanics   = "opmapd_panics_total"             // counter
+	metricPartials = "opmapd_partials_total"           // counter
+	metricInflight = "opmapd_inflight"                 // gauge
 )
 
 // Config parameterizes a Server. Session is required; zero values for
@@ -36,8 +53,14 @@ type Config struct {
 	// DrainTimeout bounds the graceful shutdown after the serve context
 	// is canceled. Zero means 10s.
 	DrainTimeout time.Duration
-	// Logger receives request-level errors and panics. Nil discards.
-	Logger *log.Logger
+	// Logger receives one structured record per request plus handler
+	// errors and panics. Nil discards.
+	Logger *obsv.Logger
+	// Metrics receives the request counters and latency histograms and
+	// backs the /metrics endpoint. Nil means obsv.Default(), which also
+	// carries the pipeline stage timings — so one scrape shows the
+	// serving layer and the analysis stages together.
+	Metrics *obsv.Registry
 }
 
 // Server is the hardened HTTP front end over one Session.
@@ -46,7 +69,8 @@ type Server struct {
 	requestTimeout time.Duration
 	drainTimeout   time.Duration
 	sem            chan struct{}
-	logger         *log.Logger
+	logger         *obsv.Logger
+	metrics        *obsv.Registry
 	mux            *http.ServeMux
 
 	ready    atomic.Bool
@@ -68,7 +92,10 @@ func New(cfg Config) (*Server, error) {
 		cfg.DrainTimeout = 10 * time.Second
 	}
 	if cfg.Logger == nil {
-		cfg.Logger = log.New(discard{}, "", 0)
+		cfg.Logger = obsv.Nop()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obsv.Default()
 	}
 	s := &Server{
 		sess:           cfg.Session,
@@ -76,24 +103,49 @@ func New(cfg Config) (*Server, error) {
 		drainTimeout:   cfg.DrainTimeout,
 		sem:            make(chan struct{}, cfg.MaxInFlight),
 		logger:         cfg.Logger,
+		metrics:        cfg.Metrics,
 		mux:            http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.Handle("/api/overview", s.wrap(s.handleOverview))
-	s.mux.Handle("/api/detail", s.wrap(s.handleDetail))
-	s.mux.Handle("/api/compare", s.wrap(s.handleCompare))
-	s.mux.Handle("/api/sweep", s.wrap(s.handleSweep))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	for path, h := range map[string]handlerFunc{
+		"/api/overview": s.handleOverview,
+		"/api/detail":   s.handleDetail,
+		"/api/compare":  s.handleCompare,
+		"/api/sweep":    s.handleSweep,
+	} {
+		s.mux.Handle(path, s.wrap(path, h))
+		// Pre-register the happy-path series so a scrape right after
+		// startup already lists every endpoint at 0.
+		s.metrics.Counter(metricRequests, "path", path, "status", "200")
+		s.metrics.Histogram(metricDuration, nil, "path", path)
+	}
+	// Outcome counters exist from the first scrape, not the first
+	// incident.
+	s.metrics.Counter(metricSheds)
+	s.metrics.Counter(metricTimeouts)
+	s.metrics.Counter(metricPanics)
+	s.metrics.Counter(metricPartials)
+	s.metrics.Gauge(metricInflight)
 	s.ready.Store(true)
 	return s, nil
 }
 
-type discard struct{}
-
-func (discard) Write(p []byte) (int, error) { return len(p), nil }
-
 // Handler returns the server's root handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// EnablePprof registers the net/http/pprof handlers under
+// /debug/pprof/ on the server's mux. Off by default: profiling
+// endpoints expose internals and cost CPU, so opmapd gates this
+// behind its -pprof flag.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // SetReady flips readiness (readyz), e.g. while cubes are rebuilt.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
@@ -129,6 +181,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // as JSON, or an error that the middleware maps to a status code.
 type handlerFunc func(r *http.Request) (any, error)
 
+// partialer marks response DTOs that can represent a degraded
+// (partial) result, so the middleware can count and log degradations
+// without inspecting concrete types.
+type partialer interface{ partialResult() bool }
+
 // httpError carries an explicit status code out of a handler.
 type httpError struct {
 	status int
@@ -147,21 +204,57 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// wrap applies the hardening middleware to an endpoint: concurrency
-// bounding with 429 shedding, the per-request timeout, the
-// server.handle fault point, panic recovery, and status mapping. The
-// handler returns a value rather than writing the response itself, so
-// a panic mid-handler can still be converted into a clean 500.
-func (s *Server) wrap(h handlerFunc) http.Handler {
+// wrap applies the hardening and observability middleware to an
+// endpoint: request-id propagation, concurrency bounding with 429
+// shedding, the per-request timeout, the server.handle fault point,
+// panic recovery, status mapping, metrics and the request log line.
+// The handler returns a value rather than writing the response
+// itself, so a panic mid-handler can still be converted into a clean
+// 500.
+func (s *Server) wrap(path string, h handlerFunc) http.Handler {
+	durations := s.metrics.Histogram(metricDuration, nil, "path", path)
+	inflight := s.metrics.Gauge(metricInflight)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obsv.NewRequestID()
+		}
+		ctx := obsv.WithRequestID(r.Context(), reqID)
+		w.Header().Set("X-Request-Id", reqID)
+
+		finish := func(status int, outcome string, err error) {
+			s.metrics.Counter(metricRequests, "path", path, "status", strconv.Itoa(status)).Inc()
+			durations.ObserveSince(start)
+			kv := []any{
+				"method", r.Method,
+				"path", path,
+				"status", status,
+				"dur", time.Since(start).Round(time.Microsecond),
+				"outcome", outcome,
+			}
+			if err != nil {
+				kv = append(kv, "err", err)
+			}
+			if status >= http.StatusInternalServerError {
+				s.logger.Error(ctx, "request", kv...)
+				return
+			}
+			s.logger.Info(ctx, "request", kv...)
+		}
+
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
+			s.metrics.Counter(metricSheds).Inc()
+			finish(http.StatusTooManyRequests, "shed", nil)
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server overloaded; retry later"})
 			return
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		ctx, cancel := context.WithTimeout(ctx, s.requestTimeout)
 		defer cancel()
 
 		var (
@@ -173,7 +266,7 @@ func (s *Server) wrap(h handlerFunc) http.Handler {
 			defer func() {
 				if p := recover(); p != nil {
 					panicked = true
-					s.logger.Printf("panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+					s.logger.Error(ctx, "panic recovered", "path", path, "panic", fmt.Sprintf("%v", p), "stack", string(debug.Stack()))
 				}
 			}()
 			if err = faultinject.HitContext(ctx, faultinject.SiteServerHandle); err != nil {
@@ -183,14 +276,28 @@ func (s *Server) wrap(h handlerFunc) http.Handler {
 		}()
 		switch {
 		case panicked:
+			s.metrics.Counter(metricPanics).Inc()
+			finish(http.StatusInternalServerError, "panic", nil)
 			writeJSON(w, http.StatusInternalServerError, errorBody{Error: "internal server error"})
 		case err != nil:
 			status := statusOf(err)
-			if status >= http.StatusInternalServerError {
-				s.logger.Printf("error serving %s: %v", r.URL.Path, err)
+			outcome := "error"
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.metrics.Counter(metricTimeouts).Inc()
+				outcome = "timeout"
 			}
+			finish(status, outcome, err)
 			writeJSON(w, status, errorBody{Error: err.Error()})
 		default:
+			outcome := "ok"
+			if p, ok := out.(partialer); ok && p.partialResult() {
+				// A degraded-but-served request: the client got a 200
+				// with partial data, which capacity planning needs to
+				// see separately from clean successes.
+				s.metrics.Counter(metricPartials).Inc()
+				outcome = "partial"
+			}
+			finish(http.StatusOK, outcome, nil)
 			writeJSON(w, http.StatusOK, out)
 		}
 	})
@@ -239,5 +346,23 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// handleMetrics exposes the registry: Prometheus text by default,
+// JSON with ?format=json. It bypasses the request middleware — a
+// scrape must work even when the API is shedding load, and scrapes
+// should not count as traffic.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.metrics.WriteJSON(w); err != nil {
+			s.logger.Error(r.Context(), "metrics exposition", "err", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.WritePrometheus(w); err != nil {
+		s.logger.Error(r.Context(), "metrics exposition", "err", err)
 	}
 }

@@ -8,12 +8,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"opmap"
 	"opmap/internal/faultinject"
+	"opmap/internal/obsv"
 	"opmap/internal/testutil"
 )
 
@@ -252,8 +254,8 @@ func TestSweepPartialUnderTimeout(t *testing.T) {
 	var res struct {
 		Partial bool `json:"partial"`
 		Errors  []struct {
-			Item string `json:"item"`
-			Err  string `json:"err"`
+			Item  string `json:"item"`
+			Error string `json:"error"`
 		} `json:"errors"`
 	}
 	if err := json.Unmarshal(body, &res); err != nil {
@@ -263,8 +265,179 @@ func TestSweepPartialUnderTimeout(t *testing.T) {
 		t.Error("sweep under deadline did not mark the result partial")
 	}
 	if len(res.Errors) == 0 {
-		t.Error("no skipped pairs annotated")
+		t.Fatal("no skipped pairs annotated")
 	}
+	// The wire contract is item + error; an annotation whose error text
+	// was lost in encoding would leave analysts guessing why a pair is
+	// missing from a partial sweep.
+	for _, ie := range res.Errors {
+		if ie.Item == "" || ie.Error == "" {
+			t.Fatalf("per-item annotation incomplete on the wire: %+v", ie)
+		}
+	}
+}
+
+// TestIntParamRejected pins satellite fix #1: malformed or negative
+// integer query parameters are a 400 with a descriptive message, not a
+// silent fallback to the default.
+func TestIntParamRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, gt := demoSession(t)
+	for _, tc := range []struct {
+		name, path string
+	}{
+		{"malformed top", "/api/overview?top=abc"},
+		{"negative top", "/api/overview?top=-3"},
+		{"malformed max_pairs", sweepQuery(gt) + "&max_pairs=lots"},
+		{"negative max_pairs", sweepQuery(gt) + "&max_pairs=-1"},
+	} {
+		code, body := get(t, ts.URL, tc.path)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d (%s), want 400", tc.name, code, body)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: body %q is not a descriptive error JSON", tc.name, body)
+		}
+	}
+	// An absent parameter still uses the default.
+	if code, body := get(t, ts.URL, "/api/overview"); code != http.StatusOK {
+		t.Errorf("/api/overview without top = %d (%s), want 200", code, body)
+	}
+}
+
+// TestMetricsEndpoint drives one compare and one sweep through the
+// server and asserts the /metrics scrape reflects them: request
+// counters per path/status, the outcome counters, and the pipeline
+// stage histograms (present because the server shares the process
+// registry with the analysis stages).
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obsv.NewRegistry()
+	_, ts := newTestServer(t, Config{Metrics: reg})
+	_, gt := demoSession(t)
+
+	v := url.Values{}
+	v.Set("attr", gt.PhoneAttr)
+	v.Set("v1", gt.GoodPhone)
+	v.Set("v2", gt.BadPhone)
+	v.Set("class", gt.DropClass)
+	if code, body := get(t, ts.URL, "/api/compare?"+v.Encode()); code != http.StatusOK {
+		t.Fatalf("/api/compare = %d: %s", code, body)
+	}
+	if code, body := get(t, ts.URL, sweepQuery(gt)); code != http.StatusOK {
+		t.Fatalf("/api/sweep = %d: %s", code, body)
+	}
+
+	code, body := get(t, ts.URL, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`opmapd_requests_total{path="/api/compare",status="200"} 1`,
+		`opmapd_requests_total{path="/api/sweep",status="200"} 1`,
+		"opmapd_sheds_total 0",
+		"opmapd_timeouts_total 0",
+		"opmapd_panics_total 0",
+		"opmapd_partials_total 0",
+		`opmapd_request_duration_seconds_count{path="/api/compare"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q\n%s", want, out)
+		}
+	}
+
+	// JSON exposition is the same registry in a different coat.
+	code, body = get(t, ts.URL, "/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json = %d", code)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("JSON exposition invalid: %v", err)
+	}
+	if doc.Counters[`opmapd_requests_total{path="/api/sweep",status="200"}`] != 1 {
+		t.Errorf("JSON exposition sweep counter = %v, want 1", doc.Counters)
+	}
+}
+
+// TestRequestIDHeader: the middleware assigns a request id when absent
+// and echoes a caller-provided one, so client and server logs can be
+// joined on it.
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/api/overview")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("no X-Request-Id assigned on response")
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/overview", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "caller-supplied-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-supplied-7" {
+		t.Errorf("X-Request-Id = %q, want the caller-supplied id echoed", got)
+	}
+}
+
+// TestRequestLogLine: one served request produces one structured log
+// record carrying method, path, status, duration and the request id.
+func TestRequestLogLine(t *testing.T) {
+	var sb syncBuffer
+	logger := obsv.NewLogger(&sb, obsv.LevelInfo)
+	_, ts := newTestServer(t, Config{Logger: logger})
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/overview", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "log-test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	out := sb.String()
+	for _, want := range []string{
+		"msg=request", "request_id=log-test-1", "method=GET",
+		"path=/api/overview", "status=200", "dur=", "outcome=ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("request log missing %q: %q", want, out)
+		}
+	}
+}
+
+// syncBuffer is a strings.Builder safe for concurrent writers.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 // TestServeDrains pins graceful shutdown: canceling the serve context

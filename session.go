@@ -7,6 +7,7 @@ import (
 
 	"opmap/internal/dataset"
 	"opmap/internal/discretize"
+	"opmap/internal/obsv"
 	"opmap/internal/rulecube"
 	"opmap/internal/workload"
 )
@@ -322,6 +323,7 @@ func (s *Session) BuildCubesFor(attrNames []string) error {
 
 // BuildCubesForContext is BuildCubesFor under a context.
 func (s *Session) BuildCubesForContext(ctx context.Context, attrNames []string) error {
+	defer obsv.Stage(obsv.StageBuildCubes)()
 	ds, err := s.working()
 	if err != nil {
 		return err
