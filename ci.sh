@@ -85,12 +85,75 @@ if ! wait "$opmapd_pid"; then
 fi
 grep -q "drained cleanly" "$smokedir/opmapd.log"
 
+echo "== opmapd smoke (two lazy datasets) =="
+go build -o "$smokedir/genlog" ./cmd/genlog
+"$smokedir/genlog" -records 3000 -seed 11 -noise 6 -o "$smokedir/east.csv" 2>/dev/null
+"$smokedir/genlog" -records 2000 -seed 12 -noise 6 -o "$smokedir/west.csv" 2>/dev/null
+"$smokedir/opmapd" -lazy -data "east=$smokedir/east.csv" -data "west=$smokedir/west.csv" \
+    -addr 127.0.0.1:0 -ready-file "$smokedir/addr2" >"$smokedir/opmapd2.log" 2>&1 &
+opmapd2_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr2" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr2" ]; then
+    echo "lazy opmapd never became ready:" >&2
+    cat "$smokedir/opmapd2.log" >&2
+    exit 1
+fi
+addr2=$(cat "$smokedir/addr2")
+# A lazy startup materializes nothing: before any API traffic the cube
+# cache counters exist (pre-registered) and sit at zero.
+"$smokedir/opmapd" -probe "$addr2/metrics" >"$smokedir/metrics2"
+for want in \
+    'opmap_cube_cache_misses_total 0' \
+    'opmap_cube_cache_hits_total 0' \
+    'opmap_result_cache_misses_total 0'; do
+    if ! grep -qF "$want" "$smokedir/metrics2"; then
+        echo "lazy startup metrics missing: $want" >&2
+        cat "$smokedir/metrics2" >&2
+        exit 1
+    fi
+done
+# Both datasets answer; the default (first -data) needs no parameter.
+"$smokedir/opmapd" -probe "$addr2/api/datasets" | grep -q '"west"'
+"$smokedir/opmapd" -probe "$addr2/api/overview" | grep -q '"rows": 3000'
+"$smokedir/opmapd" -probe "$addr2/api/overview?dataset=east" | grep -q '"rows": 3000'
+"$smokedir/opmapd" -probe "$addr2/api/overview?dataset=west" | grep -q '"rows": 2000'
+if "$smokedir/opmapd" -probe "$addr2/api/overview?dataset=nowhere" >/dev/null 2>&1; then
+    echo "unknown dataset name was not rejected" >&2
+    exit 1
+fi
+# The same compare twice: the first materializes pair cubes on demand,
+# the second is served from the versioned result cache.
+compare2="$addr2/api/compare?attr=Phone-Model&v1=ph1&v2=ph2&class=dropped-in-progress&dataset=west"
+"$smokedir/opmapd" -probe "$compare2" | grep -q '"ranked"'
+"$smokedir/opmapd" -probe "$compare2" | grep -q '"ranked"'
+"$smokedir/opmapd" -probe "$addr2/metrics" >"$smokedir/metrics2"
+if grep -qF 'opmap_cube_cache_misses_total 0' "$smokedir/metrics2"; then
+    echo "compare on a lazy dataset built no cubes" >&2
+    cat "$smokedir/metrics2" >&2
+    exit 1
+fi
+if grep -qF 'opmap_result_cache_hits_total 0' "$smokedir/metrics2"; then
+    echo "repeated compare did not hit the result cache" >&2
+    cat "$smokedir/metrics2" >&2
+    exit 1
+fi
+kill -TERM "$opmapd2_pid"
+if ! wait "$opmapd2_pid"; then
+    echo "lazy opmapd did not drain cleanly on SIGTERM:" >&2
+    cat "$smokedir/opmapd2.log" >&2
+    exit 1
+fi
+
 echo "== fuzz smoke (10s per target) =="
 go test -run '^$' -fuzz '^FuzzReadStore$' -fuzztime 10s ./internal/rulecube
 go test -run '^$' -fuzz '^FuzzComparator$' -fuzztime 10s ./internal/compare
 
-echo "== bench (stage timings) =="
-go run ./cmd/opmapbench -records 20000 -rounds 50 -out BENCH_pr3.json
-grep -q '"build_cubes"' BENCH_pr3.json
+echo "== bench (stage timings + engine modes) =="
+go run ./cmd/opmapbench -records 20000 -rounds 50 -out BENCH_pr4.json
+grep -q '"build_cubes"' BENCH_pr4.json
+grep -q '"lazy_cold_compare_ms"' BENCH_pr4.json
 
 echo "CI PASSED"

@@ -47,6 +47,20 @@ type benchDoc struct {
 	Rounds  int                   `json:"perm_rounds"`
 	Stages  map[string]stageStats `json:"stages"`
 	Hot     map[string]stageStats `json:"hot"`
+	Engine  engineBench           `json:"engine"`
+}
+
+// engineBench contrasts the two build modes over identical data: what
+// eager pays up front, what lazy pays on the first query, and what a
+// repeated query costs once the result cache is warm.
+type engineBench struct {
+	EagerBuildMs      float64 `json:"eager_build_ms"`
+	LazyReadyMs       float64 `json:"lazy_ready_ms"`
+	EagerCompareMs    float64 `json:"eager_compare_ms"`
+	LazyColdCompareMs float64 `json:"lazy_cold_compare_ms"`
+	LazyWarmCompareMs float64 `json:"lazy_warm_compare_ms"`
+	LazyTwoDBuilds    int64   `json:"lazy_twod_builds"`
+	LazyCubeBytes     int64   `json:"lazy_cube_bytes"`
 }
 
 type stageStats struct {
@@ -83,12 +97,18 @@ func run(records int, seed int64, rounds int, out string) error {
 		return err
 	}
 
+	engine, err := benchEngine(ctx, records, seed)
+	if err != nil {
+		return err
+	}
+
 	doc := benchDoc{
 		Records: records,
 		Seed:    seed,
 		Rounds:  rounds,
 		Stages:  map[string]stageStats{},
 		Hot:     map[string]stageStats{},
+		Engine:  engine,
 	}
 	reg := obsv.Default()
 	for _, stage := range obsv.PipelineStages {
@@ -112,6 +132,60 @@ func run(records int, seed int64, rounds int, out string) error {
 	}
 	fmt.Printf("wrote %s (%d stages)\n", out, len(doc.Stages))
 	return nil
+}
+
+// benchEngine times eager vs lazy cold start and a warm-cache repeat
+// of the same compare, on fresh sessions over identical data.
+func benchEngine(ctx context.Context, records int, seed int64) (engineBench, error) {
+	var eb engineBench
+
+	eager, gt, err := opmap.CaseStudy(seed, records)
+	if err != nil {
+		return eb, err
+	}
+	lazy, _, err := opmap.CaseStudy(seed, records)
+	if err != nil {
+		return eb, err
+	}
+
+	start := time.Now()
+	if err := eager.BuildCubesContext(ctx); err != nil {
+		return eb, err
+	}
+	eb.EagerBuildMs = msSince(start)
+
+	start = time.Now()
+	if err := lazy.BuildCubesOptions(ctx, opmap.BuildOptions{Lazy: true}); err != nil {
+		return eb, err
+	}
+	eb.LazyReadyMs = msSince(start)
+
+	start = time.Now()
+	if _, err := eager.CompareContext(ctx, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass, opmap.CompareOptions{}); err != nil {
+		return eb, err
+	}
+	eb.EagerCompareMs = msSince(start)
+
+	start = time.Now()
+	if _, err := lazy.CompareContext(ctx, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass, opmap.CompareOptions{}); err != nil {
+		return eb, err
+	}
+	eb.LazyColdCompareMs = msSince(start)
+
+	start = time.Now()
+	if _, err := lazy.CompareContext(ctx, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass, opmap.CompareOptions{}); err != nil {
+		return eb, err
+	}
+	eb.LazyWarmCompareMs = msSince(start)
+
+	st := lazy.EngineStats()
+	eb.LazyTwoDBuilds = st.TwoDBuilds
+	eb.LazyCubeBytes = st.CubeCacheBytes
+	return eb, nil
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
 }
 
 func toStats(h *obsv.Histogram) stageStats {

@@ -1,18 +1,28 @@
 // Command opmapd serves the Opportunity Map analyses over HTTP: JSON
 // endpoints for overview, attribute detail, pairwise / one-vs-rest
-// comparison, and sweeps, over a session preloaded at startup (the
+// comparison, and sweeps, over sessions preloaded at startup (the
 // deployed system's online serving step, Section V.C).
 //
 // Usage:
 //
 //	opmapd -data calls.csv -class Disposition -addr :8080
+//	opmapd -lazy -data east=east.csv -data west=west.csv -addr :8080
 //	opmapd -cubes store.bin -addr :8080
 //	opmapd -demo -records 20000 -addr 127.0.0.1:0 -ready-file addr.txt
+//
+// -data is repeatable and takes name=path or a bare path (the name
+// then derives from the file name). The first -data is the default
+// dataset; other datasets are addressed with the dataset query
+// parameter. -lazy skips the offline cube build: cubes materialize on
+// first use with singleflight dedup and a byte-budgeted LRU
+// (-cube-cache-bytes), so startup is O(1) regardless of attribute
+// count.
 //
 // Endpoints:
 //
 //	GET /healthz                              liveness
 //	GET /readyz                               readiness (503 while draining)
+//	GET /api/datasets                         served datasets + default
 //	GET /api/overview?top=10                  dataset + GI-miner summary
 //	GET /api/detail?attr=A&class=C            values + screened pairs
 //	GET /api/compare?attr=A&v1=x&v2=y&class=C pairwise comparison
@@ -20,6 +30,10 @@
 //	GET /api/sweep?attr=A&class=C&max_pairs=N degradable sweep
 //	GET /metrics[?format=json]                counters + stage histograms
 //	GET /debug/pprof/                         profiling (with -pprof)
+//
+// Every /api endpoint accepts dataset=NAME to pick a served dataset;
+// omitting it targets the default, so single-dataset URLs are
+// unchanged.
 //
 // The daemon sheds load with 429 when too many requests are in flight,
 // bounds each request with -timeout, recovers handler panics into
@@ -39,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -48,12 +63,19 @@ import (
 	"opmap/internal/server"
 )
 
+// dataFlags collects repeated -data values in order.
+type dataFlags []string
+
+func (d *dataFlags) String() string     { return strings.Join(*d, ",") }
+func (d *dataFlags) Set(v string) error { *d = append(*d, v); return nil }
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("opmapd: ")
+	var data dataFlags
+	flag.Var(&data, "data", "CSV file to analyze as name=path or bare path; repeat to serve several datasets (first is the default)")
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		data         = flag.String("data", "", "CSV file to analyze")
 		cubes        = flag.String("cubes", "", "persisted cube store to serve from")
 		class        = flag.String("class", "", "class attribute name (default: last column)")
 		demo         = flag.Bool("demo", false, "serve the synthetic call-log case study instead of a file")
@@ -70,6 +92,8 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "request log level: debug, info, warn or error")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		hotMetrics   = flag.Bool("hot-metrics", false, "arm per-cube and per-attribute hot-path timing histograms")
+		lazy         = flag.Bool("lazy", false, "materialize cubes on demand instead of at startup")
+		cacheBytes   = flag.Int64("cube-cache-bytes", 0, "lazy 2-D cube cache budget in bytes (0 = 64 MiB default, negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -87,13 +111,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	sess, err := loadSession(ctx, *data, *cubes, *class, *demo, *records, *seed, *maxRows, *maxCols, *maxRecBytes)
+	sessions, defaultName, err := loadSessions(ctx, loadConfig{
+		data:        data,
+		cubes:       *cubes,
+		class:       *class,
+		demo:        *demo,
+		records:     *records,
+		seed:        *seed,
+		maxRows:     *maxRows,
+		maxCols:     *maxCols,
+		maxRecBytes: *maxRecBytes,
+		lazy:        *lazy,
+		cacheBytes:  *cacheBytes,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	srv, err := server.New(server.Config{
-		Session:        sess,
+		Sessions:       sessions,
+		DefaultDataset: defaultName,
 		RequestTimeout: *timeout,
 		MaxInFlight:    *maxInflight,
 		DrainTimeout:   *drainTimeout,
@@ -123,52 +160,112 @@ func main() {
 	log.Print("drained cleanly")
 }
 
-// loadSession builds the serving session from exactly one of the data
-// sources and materializes its cubes under ctx, so startup aborts
-// promptly on SIGTERM.
-func loadSession(ctx context.Context, data, cubes, class string, demo bool, records int, seed int64, maxRows, maxCols, maxRecBytes int) (*opmap.Session, error) {
+// loadConfig carries the data-source flags into loadSessions.
+type loadConfig struct {
+	data        dataFlags
+	cubes       string
+	class       string
+	demo        bool
+	records     int
+	seed        int64
+	maxRows     int
+	maxCols     int
+	maxRecBytes int
+	lazy        bool
+	cacheBytes  int64
+}
+
+// loadSessions builds the serving registry from exactly one of the
+// data-source families and materializes (or lazily arms) each
+// session's engine under ctx, so startup aborts promptly on SIGTERM.
+// The returned default is the first -data dataset.
+func loadSessions(ctx context.Context, cfg loadConfig) (map[string]*opmap.Session, string, error) {
 	sources := 0
-	for _, set := range []bool{data != "", cubes != "", demo} {
+	for _, set := range []bool{len(cfg.data) > 0, cfg.cubes != "", cfg.demo} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return nil, fmt.Errorf("specify exactly one of -data, -cubes, -demo")
+		return nil, "", fmt.Errorf("specify exactly one of -data, -cubes, -demo")
 	}
 	switch {
-	case cubes != "":
-		// Persisted stores carry their cubes; nothing to build.
-		return opmap.OpenCubesFile(cubes)
-	case demo:
-		sess, _, err := opmap.CaseStudy(seed, records)
-		if err != nil {
-			return nil, err
+	case cfg.cubes != "":
+		// Persisted stores carry their cubes eagerly; -lazy has nothing
+		// to defer there.
+		if cfg.lazy {
+			return nil, "", fmt.Errorf("-lazy is incompatible with -cubes (a persisted store is already materialized)")
 		}
-		return sess, buildCubes(ctx, sess)
+		sess, err := opmap.OpenCubesFile(cfg.cubes)
+		if err != nil {
+			return nil, "", err
+		}
+		return map[string]*opmap.Session{server.DefaultDatasetName: sess}, server.DefaultDatasetName, nil
+	case cfg.demo:
+		sess, _, err := opmap.CaseStudy(cfg.seed, cfg.records)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := buildCubes(ctx, server.DefaultDatasetName, sess, cfg); err != nil {
+			return nil, "", err
+		}
+		return map[string]*opmap.Session{server.DefaultDatasetName: sess}, server.DefaultDatasetName, nil
 	default:
-		sess, err := opmap.LoadCSVFile(data, opmap.LoadOptions{
-			Class:          class,
-			MaxRows:        maxRows,
-			MaxColumns:     maxCols,
-			MaxRecordBytes: maxRecBytes,
-		})
-		if err != nil {
-			return nil, err
+		sessions := make(map[string]*opmap.Session, len(cfg.data))
+		defaultName := ""
+		for _, spec := range cfg.data {
+			name, path := splitDataSpec(spec)
+			if name == "" {
+				return nil, "", fmt.Errorf("-data %q: cannot derive a dataset name; use name=path", spec)
+			}
+			if _, dup := sessions[name]; dup {
+				return nil, "", fmt.Errorf("-data %q: dataset name %q already used", spec, name)
+			}
+			sess, err := opmap.LoadCSVFile(path, opmap.LoadOptions{
+				Class:          cfg.class,
+				MaxRows:        cfg.maxRows,
+				MaxColumns:     cfg.maxCols,
+				MaxRecordBytes: cfg.maxRecBytes,
+			})
+			if err != nil {
+				return nil, "", fmt.Errorf("dataset %q: %w", name, err)
+			}
+			if err := sess.Discretize(opmap.DiscretizeOptions{}); err != nil {
+				return nil, "", fmt.Errorf("dataset %q: %w", name, err)
+			}
+			if err := buildCubes(ctx, name, sess, cfg); err != nil {
+				return nil, "", err
+			}
+			sessions[name] = sess
+			if defaultName == "" {
+				defaultName = name
+			}
 		}
-		if err := sess.Discretize(opmap.DiscretizeOptions{}); err != nil {
-			return nil, err
-		}
-		return sess, buildCubes(ctx, sess)
+		return sessions, defaultName, nil
 	}
 }
 
-func buildCubes(ctx context.Context, sess *opmap.Session) error {
-	start := time.Now()
-	if err := sess.BuildCubesContext(ctx); err != nil {
-		return fmt.Errorf("building cubes: %w", err)
+// splitDataSpec parses one -data value: name=path, or a bare path
+// whose name derives from the file name without its extension.
+func splitDataSpec(spec string) (name, path string) {
+	if i := strings.IndexByte(spec, '='); i >= 0 {
+		return spec[:i], spec[i+1:]
 	}
-	log.Printf("built %d cubes in %v", sess.CubeCount(), time.Since(start).Round(time.Millisecond))
+	base := filepath.Base(spec)
+	return strings.TrimSuffix(base, filepath.Ext(base)), spec
+}
+
+func buildCubes(ctx context.Context, name string, sess *opmap.Session, cfg loadConfig) error {
+	start := time.Now()
+	opts := opmap.BuildOptions{Lazy: cfg.lazy, CubeCacheBytes: cfg.cacheBytes}
+	if err := sess.BuildCubesOptions(ctx, opts); err != nil {
+		return fmt.Errorf("dataset %q: building cubes: %w", name, err)
+	}
+	if cfg.lazy {
+		log.Printf("dataset %q: lazy engine ready in %v (cubes materialize on demand)", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	log.Printf("dataset %q: built %d cubes in %v", name, sess.CubeCount(), time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -109,7 +109,7 @@ func (s *Session) Compare(attr, v1, v2, class string, opts CompareOptions) (*Com
 // SweepPartial or CompareOneVsRestContext with PartialOnDeadline.
 func (s *Session) CompareContext(ctx context.Context, attr, v1, v2, class string, opts CompareOptions) (*Comparison, error) {
 	defer obsv.Stage(obsv.StageCompare)()
-	store, err := s.requireStore()
+	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
 	}
@@ -117,9 +117,17 @@ func (s *Session) CompareContext(ctx context.Context, attr, v1, v2, class string
 	if err != nil {
 		return nil, err
 	}
-	res, err := compare.New(store).CompareContext(ctx, in, copts)
+	ver := s.results.Version()
+	key := compareKey(in, copts)
+	if v, ok := s.results.Get(ver, key); ok {
+		return s.wrapComparison(attr, class, in, v.(*compare.Result)), nil
+	}
+	res, err := compare.NewSource(src).CompareContext(ctx, in, copts)
 	if err != nil {
 		return nil, err
+	}
+	if !res.Partial {
+		s.results.Put(ver, key, res)
 	}
 	return s.wrapComparison(attr, class, in, res), nil
 }

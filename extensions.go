@@ -10,6 +10,7 @@ import (
 	"opmap/internal/car"
 	"opmap/internal/compare"
 	"opmap/internal/dataset"
+	"opmap/internal/engine"
 	"opmap/internal/explore"
 	"opmap/internal/gi"
 	"opmap/internal/obsv"
@@ -39,7 +40,7 @@ type PairCandidate struct {
 // with very different drop rates" step that precedes every comparison.
 // maxPairs ≤ 0 returns all significant pairs.
 func (s *Session) ScreenPairs(attr, class string, maxPairs int) ([]PairCandidate, error) {
-	store, err := s.requireStore()
+	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +56,7 @@ func (s *Session) ScreenPairs(attr, class string, maxPairs int) ([]PairCandidate
 	if maxPairs > 0 {
 		opts.MaxPairs = maxPairs
 	}
-	pairs, err := compare.New(store).ScreenPairs(a, cls, opts)
+	pairs, err := compare.NewSource(src).ScreenPairs(a, cls, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +93,7 @@ func (s *Session) CompareOneVsRest(attr, value, class string, opts CompareOption
 // with ctx.Err().
 func (s *Session) CompareOneVsRestContext(ctx context.Context, attr, value, class string, opts CompareOptions) (*Comparison, error) {
 	defer obsv.Stage(obsv.StageCompareOneVsRest)()
-	store, err := s.requireStore()
+	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +113,7 @@ func (s *Session) CompareOneVsRestContext(ctx context.Context, attr, value, clas
 	if err != nil {
 		return nil, err
 	}
-	res, err := compare.New(store).OneVsRestContext(ctx, compare.OneVsRestInput{Attr: a, Value: v, Class: cls}, copts)
+	res, err := compare.NewSource(src).OneVsRestContext(ctx, compare.OneVsRestInput{Attr: a, Value: v, Class: cls}, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +196,7 @@ func OpenCubes(r io.Reader) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{raw: store.Dataset(), ds: store.Dataset(), store: store}, nil
+	return sessionFromStore(store), nil
 }
 
 // OpenCubesFile is OpenCubes from a file path.
@@ -204,7 +205,19 @@ func OpenCubesFile(path string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{raw: store.Dataset(), ds: store.Dataset(), store: store}, nil
+	return sessionFromStore(store), nil
+}
+
+// sessionFromStore wires a persisted store into a ready Session with
+// the eager engine and a fresh result cache.
+func sessionFromStore(store *rulecube.Store) *Session {
+	return &Session{
+		raw:     store.Dataset(),
+		ds:      store.Dataset(),
+		store:   store,
+		src:     engine.NewEager(store),
+		results: engine.NewResultCache(0),
+	}
 }
 
 // CubeStats summarizes the materialized cube store's size.
@@ -282,23 +295,7 @@ func (s *Session) SweepPartial(ctx context.Context, attr, class string, maxPairs
 
 func (s *Session) sweep(ctx context.Context, attr, class string, maxPairs int, partial bool) (*SweepResult, error) {
 	defer obsv.Stage(obsv.StageSweep)()
-	store, err := s.requireStore()
-	if err != nil {
-		return nil, err
-	}
-	a := s.ds.AttrIndex(attr)
-	if a < 0 {
-		return nil, fmt.Errorf("opmap: unknown attribute %q", attr)
-	}
-	cls, ok := s.ds.ClassDict().Lookup(class)
-	if !ok {
-		return nil, fmt.Errorf("opmap: unknown class %q", class)
-	}
-	opts := compare.SweepOptions{Partial: partial}
-	if maxPairs > 0 {
-		opts.Screen.MaxPairs = maxPairs
-	}
-	res, err := compare.New(store).SweepContext(ctx, a, cls, opts)
+	res, err := s.sweepInternal(ctx, attr, class, maxPairs, partial)
 	if err != nil {
 		return nil, err
 	}
@@ -320,26 +317,46 @@ func (s *Session) sweep(ctx context.Context, attr, class string, maxPairs int, p
 	return out, nil
 }
 
-// WriteSweepReport renders a Markdown report of a sweep over attr's
-// value pairs on the class: the systemic-vs-specific summary.
-func (s *Session) WriteSweepReport(w io.Writer, attr, class string, maxPairs int, opts ReportOptions) error {
-	store, err := s.requireStore()
+// sweepInternal resolves names, consults the result cache, and runs
+// the screen-then-compare loop. A completed (non-partial) sweep is
+// memoized; the partial flag is not part of the cache identity because
+// it only changes degradation behaviour, never a completed result.
+func (s *Session) sweepInternal(ctx context.Context, attr, class string, maxPairs int, partial bool) (*compare.SweepResult, error) {
+	src, err := s.requireSource()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	a := s.ds.AttrIndex(attr)
 	if a < 0 {
-		return fmt.Errorf("opmap: unknown attribute %q", attr)
+		return nil, fmt.Errorf("opmap: unknown attribute %q", attr)
 	}
 	cls, ok := s.ds.ClassDict().Lookup(class)
 	if !ok {
-		return fmt.Errorf("opmap: unknown class %q", class)
+		return nil, fmt.Errorf("opmap: unknown class %q", class)
 	}
-	sopts := compare.SweepOptions{}
+	ver := s.results.Version()
+	key := sweepKey(a, cls, maxPairs)
+	if v, ok := s.results.Get(ver, key); ok {
+		return v.(*compare.SweepResult), nil
+	}
+	opts := compare.SweepOptions{Partial: partial}
 	if maxPairs > 0 {
-		sopts.Screen.MaxPairs = maxPairs
+		opts.Screen.MaxPairs = maxPairs
 	}
-	res, err := compare.New(store).Sweep(a, cls, sopts)
+	res, err := compare.NewSource(src).SweepContext(ctx, a, cls, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Partial {
+		s.results.Put(ver, key, res)
+	}
+	return res, nil
+}
+
+// WriteSweepReport renders a Markdown report of a sweep over attr's
+// value pairs on the class: the systemic-vs-specific summary.
+func (s *Session) WriteSweepReport(w io.Writer, attr, class string, maxPairs int, opts ReportOptions) error {
+	res, err := s.sweepInternal(context.Background(), attr, class, maxPairs, false)
 	if err != nil {
 		return err
 	}
@@ -446,7 +463,7 @@ func (s *Session) DownsampleMajority(keepFraction float64, seed int64) error {
 	} else {
 		s.ds = nil // re-discretize on the sampled data
 	}
-	s.store = nil
+	s.dropEngine()
 	return nil
 }
 
@@ -470,11 +487,11 @@ func (s *Session) WriteReport(w io.Writer, cmp *Comparison, opts ReportOptions) 
 		Generated: opts.Timestamp,
 	}
 	if opts.IncludeImpressions {
-		store, err := s.requireStore()
+		src, err := s.requireSource()
 		if err != nil {
 			return err
 		}
-		rep, err := gi.MineAll(store, gi.TrendOptions{}, gi.ExceptionOptions{})
+		rep, err := gi.MineAllSource(context.Background(), src, gi.TrendOptions{}, gi.ExceptionOptions{})
 		if err != nil {
 			return err
 		}

@@ -355,7 +355,7 @@ func TestCubeStatsAPI(t *testing.T) {
 	if st.Cubes != s.CubeCount() {
 		t.Errorf("stats cubes %d != CubeCount %d", st.Cubes, s.CubeCount())
 	}
-	if st.Cells != s.RuleSpaceSize() {
+	if int64(st.Cells) != s.RuleSpaceSize() {
 		t.Errorf("stats cells %d != RuleSpaceSize %d", st.Cells, s.RuleSpaceSize())
 	}
 	if st.Bytes != int64(st.Cells)*8 {

@@ -68,11 +68,16 @@ func (s *Session) Impressions(opts ImpressionOptions) (*Impressions, error) {
 // attribute the GI miner processes; cancellation returns ctx.Err().
 func (s *Session) ImpressionsContext(ctx context.Context, opts ImpressionOptions) (*Impressions, error) {
 	defer obsv.Stage(obsv.StageImpressions)()
-	store, err := s.requireStore()
+	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
 	}
-	rep, err := gi.MineAllContext(ctx, store,
+	ver := s.results.Version()
+	key := impressionsKey(opts)
+	if v, ok := s.results.Get(ver, key); ok {
+		return v.(*Impressions), nil
+	}
+	rep, err := gi.MineAllSource(ctx, src,
 		gi.TrendOptions{Tolerance: opts.TrendTolerance, MinStrength: opts.TrendMinStrength},
 		gi.ExceptionOptions{MinZ: opts.ExceptionMinZ, MinSupport: opts.ExceptionMinSupport})
 	if err != nil {
@@ -106,6 +111,7 @@ func (s *Session) ImpressionsContext(ctx context.Context, opts ImpressionOptions
 			MutualInformation: inf.MutualInformation,
 		})
 	}
+	s.results.Put(ver, key, out)
 	return out, nil
 }
 
@@ -123,7 +129,7 @@ type ConditionalTrend struct {
 // ConditionalTrends mines trends of ordAttr's confidences within each
 // value of groupAttr, from the materialized 3-D cube.
 func (s *Session) ConditionalTrends(groupAttr, ordAttr string) ([]ConditionalTrend, error) {
-	store, err := s.requireStore()
+	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
 	}
@@ -135,9 +141,9 @@ func (s *Session) ConditionalTrends(groupAttr, ordAttr string) ([]ConditionalTre
 	if o < 0 {
 		return nil, fmt.Errorf("opmap: unknown attribute %q", ordAttr)
 	}
-	cube := store.Cube2(g, o)
-	if cube == nil {
-		return nil, fmt.Errorf("opmap: pair cube (%s,%s) not materialized", groupAttr, ordAttr)
+	cube, err := src.Cube2(context.Background(), g, o)
+	if err != nil {
+		return nil, fmt.Errorf("opmap: pair cube (%s,%s) unavailable: %w", groupAttr, ordAttr, err)
 	}
 	// TrendsWithin fixes the cube's first dimension; when the store's
 	// canonical (min,max) order puts the group attribute second, slice
@@ -287,7 +293,7 @@ func (s *Session) RenderOverallSVG(w io.Writer) error {
 // RenderDetailed writes the Fig. 6-style detailed view of one
 // attribute's 2-D rule cube.
 func (s *Session) RenderDetailed(w io.Writer, attr string) error {
-	store, err := s.requireStore()
+	src, err := s.requireSource()
 	if err != nil {
 		return err
 	}
@@ -295,9 +301,9 @@ func (s *Session) RenderDetailed(w io.Writer, attr string) error {
 	if a < 0 {
 		return fmt.Errorf("opmap: unknown attribute %q", attr)
 	}
-	cube := store.Cube1(a)
-	if cube == nil {
-		return fmt.Errorf("opmap: attribute %q not materialized", attr)
+	cube, err := src.Cube1(context.Background(), a)
+	if err != nil {
+		return fmt.Errorf("opmap: attribute %q unavailable: %w", attr, err)
 	}
 	return visual.Detailed(w, cube)
 }
@@ -305,7 +311,7 @@ func (s *Session) RenderDetailed(w io.Writer, attr string) error {
 // RenderDetailed3D writes the 3-D rule cube view of two attributes ×
 // class (Section V.B's second detailed mode).
 func (s *Session) RenderDetailed3D(w io.Writer, attr1, attr2 string) error {
-	store, err := s.requireStore()
+	src, err := s.requireSource()
 	if err != nil {
 		return err
 	}
@@ -317,16 +323,16 @@ func (s *Session) RenderDetailed3D(w io.Writer, attr1, attr2 string) error {
 	if b < 0 {
 		return fmt.Errorf("opmap: unknown attribute %q", attr2)
 	}
-	cube := store.Cube2(a, b)
-	if cube == nil {
-		return fmt.Errorf("opmap: pair cube (%s,%s) not materialized", attr1, attr2)
+	cube, err := src.Cube2(context.Background(), a, b)
+	if err != nil {
+		return fmt.Errorf("opmap: pair cube (%s,%s) unavailable: %w", attr1, attr2, err)
 	}
 	return visual.Detailed3D(w, cube)
 }
 
 // RenderDetailedSVG writes the Fig. 6-style view as an SVG document.
 func (s *Session) RenderDetailedSVG(w io.Writer, attr string) error {
-	store, err := s.requireStore()
+	src, err := s.requireSource()
 	if err != nil {
 		return err
 	}
@@ -334,9 +340,9 @@ func (s *Session) RenderDetailedSVG(w io.Writer, attr string) error {
 	if a < 0 {
 		return fmt.Errorf("opmap: unknown attribute %q", attr)
 	}
-	cube := store.Cube1(a)
-	if cube == nil {
-		return fmt.Errorf("opmap: attribute %q not materialized", attr)
+	cube, err := src.Cube1(context.Background(), a)
+	if err != nil {
+		return fmt.Errorf("opmap: attribute %q unavailable: %w", attr, err)
 	}
 	return visual.DetailedSVG(w, cube)
 }

@@ -28,6 +28,7 @@ import (
 
 	"opmap/internal/car"
 	"opmap/internal/dataset"
+	"opmap/internal/engine"
 	"opmap/internal/faultinject"
 	"opmap/internal/obsv"
 	"opmap/internal/rulecube"
@@ -202,17 +203,25 @@ func (r *Result) Find(name string) (score AttrScore, rank int, ok bool) {
 	return AttrScore{}, 0, false
 }
 
-// Comparator evaluates comparisons against a materialized cube store,
-// the deployed configuration: because only cube cells are read, the
-// comparison time is independent of the raw dataset size (Section V.C).
+// Comparator evaluates comparisons against a cube source — either a
+// fully materialized store (the deployed configuration: because only
+// cube cells are read, the comparison time is independent of the raw
+// dataset size, Section V.C) or a lazy engine that materializes cubes
+// on first touch.
 type Comparator struct {
-	store *rulecube.Store
-	ds    *dataset.Dataset
+	src engine.CubeSource
+	ds  *dataset.Dataset
 }
 
-// New returns a Comparator over the given store.
+// New returns a Comparator over the given eager store. Kept as the
+// store-based constructor; NewSource accepts any engine.
 func New(store *rulecube.Store) *Comparator {
-	return &Comparator{store: store, ds: store.Dataset()}
+	return NewSource(engine.NewEager(store))
+}
+
+// NewSource returns a Comparator over any cube source.
+func NewSource(src engine.CubeSource) *Comparator {
+	return &Comparator{src: src, ds: src.Dataset()}
 }
 
 // Compare runs the full ranking of Fig. 3's algorithm: for each
@@ -238,9 +247,9 @@ func ctxOrFault(ctx context.Context, site string) error {
 // fan-out callers, SweepContext and OneVsRestContext).
 func (c *Comparator) CompareContext(ctx context.Context, in Input, opts Options) (*Result, error) {
 	res, attrs, err := prepare(c.ds, in, opts, func(attr int, value, class int32) (condCount, supCount int64, err error) {
-		cube := c.store.Cube1(attr)
-		if cube == nil {
-			return 0, 0, fmt.Errorf("compare: attribute %d not materialized in store", attr)
+		cube, err := c.src.Cube1(ctx, attr)
+		if err != nil {
+			return 0, 0, fmt.Errorf("compare: attribute %d unavailable: %w", attr, err)
 		}
 		cond, err := cube.CondCount([]int32{value})
 		if err != nil {
@@ -271,9 +280,9 @@ func (c *Comparator) CompareContext(ctx context.Context, in Input, opts Options)
 		if attrTimes != nil {
 			attrStart = time.Now()
 		}
-		cube := c.store.Cube2(in.Attr, ai)
-		if cube == nil {
-			return nil, fmt.Errorf("compare: pair cube (%d,%d) not materialized; build the store with pairs", in.Attr, ai)
+		cube, err := c.src.Cube2(ctx, in.Attr, ai)
+		if err != nil {
+			return nil, fmt.Errorf("compare: pair cube (%d,%d) unavailable: %w", in.Attr, ai, err)
 		}
 		tab, err := pairTable(cube, in.Attr, ai, res.v1, res.v2, in.Class)
 		if err != nil {

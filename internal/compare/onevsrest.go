@@ -50,9 +50,9 @@ func (c *Comparator) OneVsRestContext(ctx context.Context, in OneVsRestInput, op
 	if in.Class < 0 || int(in.Class) >= ds.NumClasses() {
 		return nil, fmt.Errorf("compare: class %d out of range", in.Class)
 	}
-	cube := c.store.Cube1(in.Attr)
-	if cube == nil {
-		return nil, fmt.Errorf("compare: attribute %d not materialized in store", in.Attr)
+	cube, err := c.src.Cube1(ctx, in.Attr)
+	if err != nil {
+		return nil, fmt.Errorf("compare: attribute %d unavailable: %w", in.Attr, err)
 	}
 
 	// Counts of the two sides from the 2-D cube.
@@ -139,11 +139,15 @@ func (c *Comparator) OneVsRestContext(ctx context.Context, in OneVsRestInput, op
 			}
 			break
 		}
-		pair := c.store.Cube2(in.Attr, ai)
-		if pair == nil {
-			return nil, fmt.Errorf("compare: pair cube (%d,%d) not materialized", in.Attr, ai)
+		pair, err := c.src.Cube2(ctx, in.Attr, ai)
+		if err != nil {
+			return nil, fmt.Errorf("compare: pair cube (%d,%d) unavailable: %w", in.Attr, ai, err)
 		}
-		tab, err := oneVsRestTable(pair, c.store.Cube1(ai), in.Attr, ai, in.Value, in.Class, restIsHigh)
+		marginal, err := c.src.Cube1(ctx, ai)
+		if err != nil {
+			return nil, fmt.Errorf("compare: attribute %d unavailable: %w", ai, err)
+		}
+		tab, err := oneVsRestTable(pair, marginal, in.Attr, ai, in.Value, in.Class, restIsHigh)
 		if err != nil {
 			return nil, err
 		}

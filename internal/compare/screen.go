@@ -1,6 +1,7 @@
 package compare
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -67,6 +68,12 @@ func (o ScreenOptions) minZ() float64 {
 // ScreenPairs ranks the value pairs of attr by the significance of
 // their confidence difference on the class, most significant first.
 func (c *Comparator) ScreenPairs(attr int, class int32, opts ScreenOptions) ([]PairCandidate, error) {
+	return c.ScreenPairsContext(context.Background(), attr, class, opts)
+}
+
+// ScreenPairsContext is ScreenPairs under a context: a lazy source may
+// need to materialize the attribute's 1-D cube first.
+func (c *Comparator) ScreenPairsContext(ctx context.Context, attr int, class int32, opts ScreenOptions) ([]PairCandidate, error) {
 	ds := c.ds
 	if attr < 0 || attr >= ds.NumAttrs() || attr == ds.ClassIndex() {
 		return nil, fmt.Errorf("compare: invalid attribute %d", attr)
@@ -74,9 +81,9 @@ func (c *Comparator) ScreenPairs(attr int, class int32, opts ScreenOptions) ([]P
 	if class < 0 || int(class) >= ds.NumClasses() {
 		return nil, fmt.Errorf("compare: class %d out of range", class)
 	}
-	cube := c.store.Cube1(attr)
-	if cube == nil {
-		return nil, fmt.Errorf("compare: attribute %d not materialized in store", attr)
+	cube, err := c.src.Cube1(ctx, attr)
+	if err != nil {
+		return nil, fmt.Errorf("compare: attribute %d unavailable: %w", attr, err)
 	}
 	type side struct {
 		v    int32

@@ -90,7 +90,7 @@ func (c *Comparator) Sweep(attr int, class int32, opts SweepOptions) (*SweepResu
 // and the remaining pairs annotated in Errors; otherwise the first
 // context or comparison error fails the sweep.
 func (c *Comparator) SweepContext(ctx context.Context, attr int, class int32, opts SweepOptions) (*SweepResult, error) {
-	pairs, err := c.ScreenPairs(attr, class, opts.Screen)
+	pairs, err := c.ScreenPairsContext(ctx, attr, class, opts.Screen)
 	if err != nil {
 		return nil, err
 	}

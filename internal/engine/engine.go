@@ -1,0 +1,168 @@
+// Package engine abstracts cube access behind a CubeSource so query
+// layers (compare, gi, the public Session API, the opmapd daemon) no
+// longer care whether cubes were pre-materialized or are built on
+// demand. The paper's deployed system pre-computes every rule cube
+// offline (Section V.C); COMPARE (arXiv:2107.11967) and Smart
+// Drill-Down (arXiv:1412.0364) observe that interactive comparison
+// workloads touch a small, skewed subset of the cube lattice and are
+// dominated by repeated overlapping aggregates — so the production
+// shape is lazy materialization with caching, which LazySource
+// provides, while Eager wraps the existing rulecube.Store unchanged.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"opmap/internal/dataset"
+	"opmap/internal/rulecube"
+)
+
+// Metric names recorded by the engine layer. The 2-D cube cache (the
+// byte-budgeted LRU inside LazySource) owns the cube_cache family;
+// result-cache counters are advanced by ResultCache. All are plain
+// counters/gauges in the obsv default registry so they surface on
+// opmapd's /metrics endpoint.
+const (
+	// CubeCacheHitsCounterName counts 2-D cube requests served from the
+	// LRU without a build.
+	CubeCacheHitsCounterName = "opmap_cube_cache_hits_total"
+	// CubeCacheMissesCounterName counts 2-D cube requests that had to
+	// materialize (or join an in-flight materialization of) the cube.
+	CubeCacheMissesCounterName = "opmap_cube_cache_misses_total"
+	// CubeCacheEvictionsCounterName counts cubes dropped from the LRU to
+	// satisfy the byte budget.
+	CubeCacheEvictionsCounterName = "opmap_cube_cache_evictions_total"
+	// CubeCacheBytesGaugeName tracks resident 2-D cube bytes in the LRU.
+	CubeCacheBytesGaugeName = "opmap_cube_cache_bytes"
+	// LazyBuildHistogramName times each on-demand cube build (1-D and
+	// 2-D) performed by a LazySource — the user-facing cold-path cost.
+	LazyBuildHistogramName = "opmap_lazy_build_seconds"
+	// ResultCacheHitsCounterName / ResultCacheMissesCounterName count
+	// query-result cache lookups (Compare/Sweep/Impressions).
+	ResultCacheHitsCounterName   = "opmap_result_cache_hits_total"
+	ResultCacheMissesCounterName = "opmap_result_cache_misses_total"
+)
+
+// MetricNames lists every engine metric so servers can pre-register
+// the series and expose zero values before the first query touches
+// them (the ci smoke asserts `opmap_cube_cache_misses_total 0` on a
+// freshly started lazy daemon).
+func MetricNames() (counters []string, gauges []string, histograms []string) {
+	return []string{
+			CubeCacheHitsCounterName,
+			CubeCacheMissesCounterName,
+			CubeCacheEvictionsCounterName,
+			ResultCacheHitsCounterName,
+			ResultCacheMissesCounterName,
+		},
+		[]string{CubeCacheBytesGaugeName},
+		[]string{LazyBuildHistogramName}
+}
+
+// CubeSource is the engine contract: read access to the 1-D
+// (attribute × class) and 2-D (pair × class) rule cubes of one
+// dataset snapshot. Implementations must be safe for concurrent use.
+// Cube2 accepts the pair in either order and returns the cube with
+// min(a,b) as its first condition dimension, matching
+// rulecube.Store.Cube2. A source never returns (nil, nil): an
+// unavailable cube is an error.
+type CubeSource interface {
+	// Dataset returns the (discretized) dataset the cubes are counted
+	// over.
+	Dataset() *dataset.Dataset
+	// Attrs returns the servable attribute indices in ascending order.
+	// Callers must not modify the slice.
+	Attrs() []int
+	// Cube1 returns the 2-D cube (attr × class).
+	Cube1(ctx context.Context, attr int) (*rulecube.Cube, error)
+	// Cube2 returns the 3-D cube over the attribute pair.
+	Cube2(ctx context.Context, a, b int) (*rulecube.Cube, error)
+}
+
+// Eager adapts a fully materialized rulecube.Store to CubeSource. It
+// performs no builds: a cube the store lacks is an error, preserving
+// the pre-PR behaviour of the compare and gi layers.
+type Eager struct {
+	store *rulecube.Store
+}
+
+// NewEager wraps store. A nil store yields a source whose every cube
+// lookup errors (callers construct sources before cubes exist only in
+// tests).
+func NewEager(store *rulecube.Store) *Eager { return &Eager{store: store} }
+
+// Store returns the wrapped store, for eager-only operations
+// (persistence, baseline exploration, visual rendering).
+func (e *Eager) Store() *rulecube.Store { return e.store }
+
+// Dataset implements CubeSource.
+func (e *Eager) Dataset() *dataset.Dataset {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Dataset()
+}
+
+// Attrs implements CubeSource.
+func (e *Eager) Attrs() []int {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Attrs()
+}
+
+// Cube1 implements CubeSource.
+func (e *Eager) Cube1(_ context.Context, attr int) (*rulecube.Cube, error) {
+	if e.store == nil {
+		return nil, fmt.Errorf("engine: no cube store")
+	}
+	c := e.store.Cube1(attr)
+	if c == nil {
+		return nil, fmt.Errorf("engine: no cube for attribute %d", attr)
+	}
+	return c, nil
+}
+
+// Cube2 implements CubeSource.
+func (e *Eager) Cube2(_ context.Context, a, b int) (*rulecube.Cube, error) {
+	if e.store == nil {
+		return nil, fmt.Errorf("engine: no cube store")
+	}
+	c := e.store.Cube2(a, b)
+	if c == nil {
+		return nil, fmt.Errorf("engine: no pair cube for attributes (%d,%d)", a, b)
+	}
+	return c, nil
+}
+
+// normalizeAttrs validates and defaults a source attribute list the
+// same way rulecube.BuildStoreContext does: nil means every non-class
+// attribute; explicit lists must not contain the class or duplicates.
+func normalizeAttrs(ds *dataset.Dataset, attrs []int) ([]int, error) {
+	if attrs == nil {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			if a != ds.ClassIndex() {
+				attrs = append(attrs, a)
+			}
+		}
+		return attrs, nil
+	}
+	attrs = append([]int(nil), attrs...)
+	seen := make(map[int]bool, len(attrs))
+	for _, a := range attrs {
+		if a < 0 || a >= ds.NumAttrs() {
+			return nil, fmt.Errorf("engine: attribute index %d out of range", a)
+		}
+		if a == ds.ClassIndex() {
+			return nil, fmt.Errorf("engine: class attribute in source attribute list")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("engine: duplicate attribute %d", a)
+		}
+		seen[a] = true
+	}
+	sort.Ints(attrs)
+	return attrs, nil
+}

@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opmap/internal/dataset"
+	"opmap/internal/obsv"
+	"opmap/internal/rulecube"
+)
+
+// DefaultCacheBytes is the 2-D cube LRU budget when LazyOptions leaves
+// CacheBytes zero: 64 MiB ≈ 8M cells, far beyond the working set Smart
+// Drill-Down-style exploration touches, small next to an eager
+// all-pairs store on a wide schema.
+const DefaultCacheBytes = 64 << 20
+
+// LazyOptions configures a LazySource.
+type LazyOptions struct {
+	// Attrs restricts the servable attributes (class excluded
+	// automatically). Nil means all non-class attributes.
+	Attrs []int
+	// CacheBytes is the byte budget of the 2-D cube LRU. Zero means
+	// DefaultCacheBytes; negative means unlimited.
+	CacheBytes int64
+}
+
+// LazyStats is a point-in-time snapshot of a LazySource's counters,
+// used by tests (singleflight: exactly one build per key) and the
+// Session.EngineStats API. Global obsv metrics advance in lockstep.
+type LazyStats struct {
+	// OneDBuilds / TwoDBuilds count completed cube materializations.
+	OneDBuilds int64
+	TwoDBuilds int64
+	// Hits / Misses count 2-D lookups (1-D cubes are pinned after the
+	// first build and tiny, so only the LRU is accounted).
+	Hits   int64
+	Misses int64
+	// Evictions counts cubes dropped to satisfy the byte budget.
+	Evictions int64
+	// CachedBytes / CachedCubes describe the resident 2-D LRU.
+	CachedBytes int64
+	CachedCubes int
+	// PinnedOneD is the number of resident 1-D cubes.
+	PinnedOneD int
+}
+
+// lruEntry is one resident 2-D cube keyed by its normalized pair.
+type lruEntry struct {
+	key  [2]int
+	cube *rulecube.Cube
+	size int64
+}
+
+// flight is an in-progress cube build. The leader closes done after
+// publishing cube/err; followers wait on done or their own context.
+type flight struct {
+	done chan struct{}
+	cube *rulecube.Cube
+	err  error
+}
+
+// LazySource materializes rule cubes on first use. 1-D cubes (one per
+// attribute, O(cardinality × classes) cells) are pinned once built;
+// 2-D cubes live in a byte-budgeted LRU. Concurrent first-touch
+// requests for the same cube are collapsed into a single build
+// (per-key singleflight); build errors are returned to every waiter
+// but never cached, so transient failures retry. Safe for concurrent
+// use.
+type LazySource struct {
+	ds    *dataset.Dataset
+	attrs []int
+	inSet map[int]bool
+
+	budget int64 // <0 = unlimited
+
+	mu      sync.Mutex
+	oneD    map[int]*rulecube.Cube
+	twoD    map[[2]int]*list.Element // value: *lruEntry
+	order   *list.List               // front = most recently used
+	bytes   int64
+	flights map[[2]int]*flight // 1-D keys use {attr, -1}
+
+	oneDBuilds atomic.Int64
+	twoDBuilds atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+}
+
+// NewLazy creates a lazy source over ds. The dataset must be fully
+// categorical (discretize first), mirroring rulecube.BuildStore.
+func NewLazy(ds *dataset.Dataset, opts LazyOptions) (*LazySource, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("engine: nil dataset")
+	}
+	if !ds.AllCategorical() {
+		return nil, fmt.Errorf("engine: dataset has continuous attributes; discretize first")
+	}
+	attrs, err := normalizeAttrs(ds, opts.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	budget := opts.CacheBytes
+	if budget == 0 {
+		budget = DefaultCacheBytes
+	}
+	s := &LazySource{
+		ds:      ds,
+		attrs:   attrs,
+		inSet:   make(map[int]bool, len(attrs)),
+		budget:  budget,
+		oneD:    make(map[int]*rulecube.Cube, len(attrs)),
+		twoD:    make(map[[2]int]*list.Element),
+		order:   list.New(),
+		flights: make(map[[2]int]*flight),
+	}
+	for _, a := range attrs {
+		s.inSet[a] = true
+	}
+	return s, nil
+}
+
+// Dataset implements CubeSource.
+func (s *LazySource) Dataset() *dataset.Dataset { return s.ds }
+
+// Attrs implements CubeSource.
+func (s *LazySource) Attrs() []int { return s.attrs }
+
+// Stats snapshots the source's counters.
+func (s *LazySource) Stats() LazyStats {
+	s.mu.Lock()
+	cachedBytes := s.bytes
+	cachedCubes := s.order.Len()
+	pinned := len(s.oneD)
+	s.mu.Unlock()
+	return LazyStats{
+		OneDBuilds:  s.oneDBuilds.Load(),
+		TwoDBuilds:  s.twoDBuilds.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Evictions:   s.evictions.Load(),
+		CachedBytes: cachedBytes,
+		CachedCubes: cachedCubes,
+		PinnedOneD:  pinned,
+	}
+}
+
+// Cube1 implements CubeSource: the cube is built on first use and
+// pinned thereafter.
+func (s *LazySource) Cube1(ctx context.Context, attr int) (*rulecube.Cube, error) {
+	if !s.inSet[attr] {
+		return nil, fmt.Errorf("engine: no cube for attribute %d", attr)
+	}
+	key := [2]int{attr, -1}
+	s.mu.Lock()
+	if c, ok := s.oneD[attr]; ok {
+		s.mu.Unlock()
+		return c, nil
+	}
+	return s.build(ctx, key, func(c *rulecube.Cube) {
+		s.oneD[attr] = c
+		s.oneDBuilds.Add(1)
+	})
+}
+
+// Cube2 implements CubeSource: LRU lookup, singleflight build on miss.
+func (s *LazySource) Cube2(ctx context.Context, a, b int) (*rulecube.Cube, error) {
+	if a == b {
+		return nil, fmt.Errorf("engine: pair cube needs two distinct attributes, got (%d,%d)", a, b)
+	}
+	if !s.inSet[a] || !s.inSet[b] {
+		return nil, fmt.Errorf("engine: no pair cube for attributes (%d,%d)", a, b)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	s.mu.Lock()
+	if el, ok := s.twoD[key]; ok {
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		s.hits.Add(1)
+		obsv.Default().Counter(CubeCacheHitsCounterName).Inc()
+		return el.Value.(*lruEntry).cube, nil
+	}
+	s.misses.Add(1)
+	obsv.Default().Counter(CubeCacheMissesCounterName).Inc()
+	return s.build(ctx, key, func(c *rulecube.Cube) {
+		s.insertTwoD(key, c)
+		s.twoDBuilds.Add(1)
+	})
+}
+
+// build resolves a cube miss under singleflight. Called with s.mu
+// held; releases it before building. The leader registers a flight,
+// builds outside the lock, publishes the result (calling commit with
+// the lock held on success), removes the flight and closes done.
+// Followers wait for done or their own ctx; an abandoned wait leaves
+// the build running — its result is still cached for the next caller.
+func (s *LazySource) build(ctx context.Context, key [2]int, commit func(*rulecube.Cube)) (*rulecube.Cube, error) {
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.cube, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		// Canceled before the data pass: publish the error so queued
+		// followers fail fast too; nothing is cached.
+		s.finish(key, f, nil, err)
+		return nil, err
+	}
+	attrs := []int{key[0]}
+	if key[1] >= 0 {
+		attrs = append(attrs, key[1])
+	}
+	start := time.Now()
+	cube, err := rulecube.BuildCube(s.ds, attrs)
+	if err == nil {
+		obsv.Default().Histogram(LazyBuildHistogramName, nil).ObserveSince(start)
+	}
+	s.finish(key, f, cube, err)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	commit(cube)
+	s.mu.Unlock()
+	return cube, nil
+}
+
+// finish publishes a flight's outcome and retires it. Errors are not
+// cached: the flight is removed before done is closed, so a request
+// arriving after the failure starts a fresh build.
+func (s *LazySource) finish(key [2]int, f *flight, cube *rulecube.Cube, err error) {
+	f.cube, f.err = cube, err
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+	close(f.done)
+}
+
+// insertTwoD records a freshly built 2-D cube and evicts from the LRU
+// tail until the budget holds. Called with s.mu held. The fresh entry
+// is inserted first and may itself be evicted if it alone exceeds the
+// budget — the caller still returns the cube it holds; it just won't
+// be resident for the next request.
+func (s *LazySource) insertTwoD(key [2]int, c *rulecube.Cube) {
+	if el, ok := s.twoD[key]; ok {
+		// A second flight can theoretically land after an eviction
+		// re-miss; keep the resident entry authoritative.
+		s.order.MoveToFront(el)
+		return
+	}
+	e := &lruEntry{key: key, cube: c, size: c.SizeBytes()}
+	s.twoD[key] = s.order.PushFront(e)
+	s.bytes += e.size
+	if s.budget >= 0 {
+		for s.bytes > s.budget && s.order.Len() > 0 {
+			tail := s.order.Back()
+			ev := tail.Value.(*lruEntry)
+			s.order.Remove(tail)
+			delete(s.twoD, ev.key)
+			s.bytes -= ev.size
+			s.evictions.Add(1)
+			obsv.Default().Counter(CubeCacheEvictionsCounterName).Inc()
+		}
+	}
+	obsv.Default().Gauge(CubeCacheBytesGaugeName).Set(s.bytes)
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"opmap/internal/obsv"
+)
+
+// DefaultResultCacheEntries caps the query-result cache when
+// ResultCacheOptions leave MaxEntries zero. Compare/Sweep results are
+// small (top-k attribute scores, not cubes), so an entry count — not a
+// byte budget — is the right control.
+const DefaultResultCacheEntries = 256
+
+// ResultCache memoizes finished query results (Compare, Sweep,
+// Impressions) under a (snapshot version, normalized query key) pair.
+// The version fences staleness: Invalidate bumps it and clears the
+// cache, so results computed against a dropped snapshot can neither be
+// returned nor inserted afterwards — re-discretizing or downsampling a
+// Session must never serve counts from the old cube space. Entries
+// beyond the cap evict least-recently-used. Safe for concurrent use.
+type ResultCache struct {
+	mu      sync.Mutex
+	version int64
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	max     int
+
+	hits   int64
+	misses int64
+}
+
+// rcEntry is one memoized result.
+type rcEntry struct {
+	key string
+	val any
+}
+
+// NewResultCache creates a cache holding at most max entries
+// (DefaultResultCacheEntries when max is zero or negative).
+func NewResultCache(max int) *ResultCache {
+	if max <= 0 {
+		max = DefaultResultCacheEntries
+	}
+	return &ResultCache{
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		max:     max,
+	}
+}
+
+// Version returns the current snapshot version. Callers snapshot it
+// before running a query and pass it to Get/Put, so a concurrent
+// Invalidate between compute and insert drops the stale result instead
+// of caching it.
+func (rc *ResultCache) Version() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.version
+}
+
+// Invalidate advances the version and empties the cache.
+func (rc *ResultCache) Invalidate() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.version++
+	rc.entries = make(map[string]*list.Element)
+	rc.order.Init()
+}
+
+// Get returns the memoized value for key if it was stored under the
+// same version and is still resident.
+func (rc *ResultCache) Get(version int64, key string) (any, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if version == rc.version {
+		if el, ok := rc.entries[key]; ok {
+			rc.order.MoveToFront(el)
+			rc.hits++
+			obsv.Default().Counter(ResultCacheHitsCounterName).Inc()
+			return el.Value.(*rcEntry).val, true
+		}
+	}
+	rc.misses++
+	obsv.Default().Counter(ResultCacheMissesCounterName).Inc()
+	return nil, false
+}
+
+// Put memoizes val under key if version is still current; stale
+// versions are dropped silently. Existing entries are refreshed.
+func (rc *ResultCache) Put(version int64, key string, val any) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if version != rc.version {
+		return
+	}
+	if el, ok := rc.entries[key]; ok {
+		el.Value.(*rcEntry).val = val
+		rc.order.MoveToFront(el)
+		return
+	}
+	rc.entries[key] = rc.order.PushFront(&rcEntry{key: key, val: val})
+	for rc.order.Len() > rc.max {
+		tail := rc.order.Back()
+		rc.order.Remove(tail)
+		delete(rc.entries, tail.Value.(*rcEntry).key)
+	}
+}
+
+// Len returns the number of resident entries.
+func (rc *ResultCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.order.Len()
+}
+
+// ResultCacheStats is a snapshot of cache effectiveness counters.
+type ResultCacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+	Version int64
+}
+
+// Stats snapshots the cache counters.
+func (rc *ResultCache) Stats() ResultCacheStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return ResultCacheStats{Hits: rc.hits, Misses: rc.misses, Entries: rc.order.Len(), Version: rc.version}
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"opmap/internal/engine"
 	"opmap/internal/faultinject"
 	"opmap/internal/obsv"
 	"opmap/internal/rulecube"
@@ -346,15 +347,24 @@ func InfluentialAttributes(store *rulecube.Store) ([]Influence, error) {
 // InfluentialAttributesContext is InfluentialAttributes under a
 // context, checked once per attribute.
 func InfluentialAttributesContext(ctx context.Context, store *rulecube.Store) ([]Influence, error) {
+	return InfluentialAttributesSource(ctx, engine.NewEager(store))
+}
+
+// InfluentialAttributesSource is the engine-agnostic form: a lazy
+// source materializes each attribute's 1-D cube on first touch.
+func InfluentialAttributesSource(ctx context.Context, src engine.CubeSource) ([]Influence, error) {
 	var out []Influence
-	for _, a := range store.Attrs() {
+	for _, a := range src.Attrs() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if err := faultinject.HitContext(ctx, faultinject.SiteGIAttr); err != nil {
 			return nil, err
 		}
-		cube := store.Cube1(a)
+		cube, err := src.Cube1(ctx, a)
+		if err != nil {
+			return nil, err
+		}
 		inf, err := influenceOf(cube)
 		if err != nil {
 			return nil, err
@@ -457,16 +467,26 @@ func MineAll(store *rulecube.Store, topts TrendOptions, eopts ExceptionOptions) 
 // attribute. It is strict: a partial impressions report would silently
 // miss trends, so cancellation returns ctx.Err().
 func MineAllContext(ctx context.Context, store *rulecube.Store, topts TrendOptions, eopts ExceptionOptions) (*Report, error) {
+	return MineAllSource(ctx, engine.NewEager(store), topts, eopts)
+}
+
+// MineAllSource is the engine-agnostic form of MineAllContext. Only
+// 1-D cubes are touched, so a lazy source serves an impressions report
+// without materializing any pair cube.
+func MineAllSource(ctx context.Context, src engine.CubeSource, topts TrendOptions, eopts ExceptionOptions) (*Report, error) {
 	defer obsv.Stage(obsv.StageGIMine)()
 	rep := &Report{}
-	for _, a := range store.Attrs() {
+	for _, a := range src.Attrs() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if err := faultinject.HitContext(ctx, faultinject.SiteGIAttr); err != nil {
 			return nil, err
 		}
-		cube := store.Cube1(a)
+		cube, err := src.Cube1(ctx, a)
+		if err != nil {
+			return nil, err
+		}
 		tr, err := Trends(cube, topts)
 		if err != nil {
 			return nil, err
@@ -478,7 +498,7 @@ func MineAllContext(ctx context.Context, store *rulecube.Store, topts TrendOptio
 		}
 		rep.Exceptions = append(rep.Exceptions, ex...)
 	}
-	inf, err := InfluentialAttributesContext(ctx, store)
+	inf, err := InfluentialAttributesSource(ctx, src)
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,7 @@ var goldenCases = []struct {
 	{"locksafe", lint.LockSafe},
 	{"apidoc", lint.APIDoc},
 	{"ctxrule", lint.CtxRule},
+	{"cubeaccess", lint.CubeAccess},
 }
 
 // wantRe extracts the expectation regexp from a `// want` comment.

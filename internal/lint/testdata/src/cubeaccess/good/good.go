@@ -1,0 +1,51 @@
+// Package good holds the blessed patterns: cube cache maps are only
+// touched by methods of the owning type, and non-cube maps are free.
+package good
+
+// Cube is a stand-in for the rule cube count array.
+type Cube struct{ cells []int64 }
+
+// Store caches cubes behind accessor methods.
+type Store struct {
+	oneD  map[int]*Cube
+	twoD  map[[2]int]*Cube
+	names map[int]string
+}
+
+// Cube1 reads the 1-D cache from the owning type.
+func (s *Store) Cube1(a int) *Cube { return s.oneD[a] }
+
+// Cube2 canonicalizes the pair key inside the owner.
+func (s *Store) Cube2(a, b int) *Cube {
+	if a > b {
+		a, b = b, a
+	}
+	return s.twoD[[2]int{a, b}]
+}
+
+// put is the owner's write path.
+func (s *Store) put(a, b int, c *Cube) {
+	s.twoD[[2]int{a, b}] = c
+}
+
+// count iterates from the owner.
+func (s *Store) count() int {
+	n := len(s.oneD)
+	for range s.twoD {
+		n++
+	}
+	return n
+}
+
+// Names reads a non-cube map from outside; only cube-valued maps are
+// guarded.
+func Names(s *Store) map[int]string { return s.names }
+
+// Label indexes the non-cube map freely.
+func Label(s *Store, a int) string { return s.names[a] }
+
+// Local maps of cubes are not struct fields and stay free.
+func Local(c *Cube) *Cube {
+	m := map[int]*Cube{0: c}
+	return m[0]
+}

@@ -1,0 +1,60 @@
+package rulecube_test
+
+import (
+	"testing"
+
+	"opmap/internal/rulecube"
+	"opmap/internal/workload"
+)
+
+// benchPairCube builds a 3-D cube over two moderately wide attributes
+// of the synthetic call log, the shape Slice/Rollup/Dice iterate over
+// in the compare and GI hot paths.
+func benchPairCube(b *testing.B) *rulecube.Cube {
+	b.Helper()
+	ds, gt, err := workload.CallLog(workload.CallLogConfig{Seed: 1, Records: 30000, NumPhones: 24, NoiseAttrs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	phone := ds.AttrIndex(gt.PhoneAttr)
+	tower := ds.AttrIndex(gt.DistinguishingAttr)
+	cube, err := rulecube.Build(ds, []int{phone, tower})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cube
+}
+
+func BenchmarkCubeSlice(b *testing.B) {
+	cube := benchPairCube(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Slice(0, int32(i%cube.Dim(0))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCubeRollup(b *testing.B) {
+	cube := benchPairCube(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Rollup(i % 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCubeDice(b *testing.B) {
+	cube := benchPairCube(b)
+	values := []int32{0, 1, 2, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Dice(0, values); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -228,11 +228,12 @@ func (c *Cube) Slice(pos int, value int32) (*Cube, error) {
 		return nil, fmt.Errorf("rulecube: slice value %d out of range [0,%d)", value, c.dims[pos])
 	}
 	out := c.dropDim(pos)
+	rest := make([]int32, 0, len(c.dims)-1)
 	c.forEach(func(values []int32, class int32, n int64) {
 		if values[pos] != value || n == 0 {
 			return
 		}
-		rest := dropAt(values, pos)
+		rest = dropAtInto(rest, values, pos)
 		off, _ := out.offset(rest, class)
 		out.counts[off] += n
 		out.total += n
@@ -276,6 +277,7 @@ func (c *Cube) Dice(pos int, values []int32) (*Cube, error) {
 		size *= d
 	}
 	out.counts = make([]int64, size)
+	mapped := make([]int32, len(c.dims))
 	c.forEach(func(vals []int32, class int32, n int64) {
 		if n == 0 {
 			return
@@ -284,7 +286,7 @@ func (c *Cube) Dice(pos int, values []int32) (*Cube, error) {
 		if !ok {
 			return
 		}
-		mapped := append([]int32(nil), vals...)
+		copy(mapped, vals)
 		mapped[pos] = nv
 		off, _ := out.offset(mapped, class)
 		out.counts[off] += n
@@ -301,11 +303,12 @@ func (c *Cube) Rollup(pos int) (*Cube, error) {
 		return nil, fmt.Errorf("rulecube: rollup position %d out of range", pos)
 	}
 	out := c.dropDim(pos)
+	rest := make([]int32, 0, len(c.dims)-1)
 	c.forEach(func(values []int32, class int32, n int64) {
 		if n == 0 {
 			return
 		}
-		rest := dropAt(values, pos)
+		rest = dropAtInto(rest, values, pos)
 		off, _ := out.offset(rest, class)
 		out.counts[off] += n
 		out.total += n
@@ -334,10 +337,13 @@ func (c *Cube) dropDim(pos int) *Cube {
 	return out
 }
 
-func dropAt(values []int32, pos int) []int32 {
-	out := make([]int32, 0, len(values)-1)
-	out = append(out, values[:pos]...)
-	return append(out, values[pos+1:]...)
+// dropAtInto writes values minus position pos into dst's backing array
+// and returns the filled slice. Slice and Rollup call it once per cube
+// cell; reusing one scratch buffer across the whole pass keeps the
+// hot loop allocation-free.
+func dropAtInto(dst, values []int32, pos int) []int32 {
+	dst = append(dst[:0], values[:pos]...)
+	return append(dst, values[pos+1:]...)
 }
 
 // forEach visits every cell of the cube.
@@ -430,6 +436,46 @@ func (c *Cube) Rules() []car.Rule {
 		}
 	})
 	return out
+}
+
+// SizeBytes approximates the memory held by the cube's count array
+// (8 bytes per cell). Dictionaries and headers are shared with the
+// dataset and not charged here; this is the figure cache budgets and
+// StoreStats account in.
+func (c *Cube) SizeBytes() int64 { return int64(c.RuleCount()) * 8 }
+
+// EstimateCubeBytes predicts SizeBytes for a cube over attrs without
+// building it, saturating at math.MaxInt64 for absurd cardinality
+// products. Lazy engines use it to decide whether a build fits the
+// cache budget before paying for the data pass.
+func EstimateCubeBytes(ds *dataset.Dataset, attrs []int) int64 {
+	cells := int64(ds.NumClasses())
+	if cells <= 0 {
+		cells = 1
+	}
+	for _, a := range attrs {
+		card := int64(ds.Cardinality(a))
+		if card <= 0 {
+			card = 1
+		}
+		if cells > (1<<62)/card {
+			return 1<<63 - 1
+		}
+		cells *= card
+	}
+	if cells > (1<<62)/8 {
+		return 1<<63 - 1
+	}
+	return cells * 8
+}
+
+// BuildCube counts a single rule cube over attrs, advancing the
+// cubes-built counter and (when hot metrics are armed) the per-cube
+// build-duration histogram. It is the unit of work a lazy engine
+// schedules; BuildStore is a loop over BuildCube for every attribute
+// and pair.
+func BuildCube(ds *dataset.Dataset, attrs []int) (*Cube, error) {
+	return buildCounted(ds, attrs)
 }
 
 // pairKey normalizes an attribute pair for Store lookup.
@@ -544,7 +590,7 @@ func BuildStoreContext(ctx context.Context, ds *dataset.Dataset, opts StoreOptio
 		if err != nil {
 			return nil, err
 		}
-		s.oneD[a] = cube
+		s.putCube1(a, cube)
 	}
 	if opts.SkipPairs {
 		return s, nil
@@ -574,7 +620,7 @@ func BuildStoreContext(ctx context.Context, ds *dataset.Dataset, opts StoreOptio
 			if err != nil {
 				return nil, err
 			}
-			s.twoD[p] = cube
+			s.putCube2(p[0], p[1], cube)
 		}
 		return s, nil
 	}
@@ -659,7 +705,7 @@ func (s *Store) buildPairsParallel(ctx context.Context, pairs [][2]int, workers 
 			}
 			continue
 		}
-		s.twoD[r.pair] = r.cube
+		s.putCube2(r.pair[0], r.pair[1], r.cube)
 	}
 	if firstErr == nil {
 		firstErr = ctx.Err()
@@ -679,6 +725,51 @@ func (s *Store) Cube1(attr int) *Cube { return s.oneD[attr] }
 // Cube2 returns the 3-D cube over the attribute pair, or nil. The cube's
 // first dimension is min(a,b) and second is max(a,b).
 func (s *Store) Cube2(a, b int) *Cube { return s.twoD[pairKey(a, b)] }
+
+// putCube1 records the 2-D cube for attr. All writes to the oneD map
+// go through here so the cubeaccess lint can confine cube-cache map
+// access to the owning accessors.
+func (s *Store) putCube1(attr int, c *Cube) { s.oneD[attr] = c }
+
+// putCube2 records the 3-D cube for the (normalized) attribute pair.
+func (s *Store) putCube2(a, b int, c *Cube) { s.twoD[pairKey(a, b)] = c }
+
+// oneDAttrs returns the attribute indices with a materialized 1-D cube,
+// in ascending order.
+func (s *Store) oneDAttrs() []int {
+	out := make([]int, 0, len(s.oneD))
+	for a := range s.oneD {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// twoDPairs returns the materialized pair keys in ascending order.
+func (s *Store) twoDPairs() [][2]int {
+	out := make([][2]int, 0, len(s.twoD))
+	for p := range s.twoD {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// forEachCube visits every materialized cube (1-D then 2-D, unordered
+// within each group).
+func (s *Store) forEachCube(f func(c *Cube)) {
+	for _, c := range s.oneD {
+		f(c)
+	}
+	for _, c := range s.twoD {
+		f(c)
+	}
+}
 
 // CubeCount returns the number of materialized cubes.
 func (s *Store) CubeCount() int { return len(s.oneD) + len(s.twoD) }
@@ -702,21 +793,15 @@ type StoreStats struct {
 // Stats computes the store's size summary.
 func (s *Store) Stats() StoreStats {
 	st := StoreStats{Attributes: len(s.attrs)}
-	add := func(c *Cube) {
+	s.forEachCube(func(c *Cube) {
 		st.Cubes++
 		n := c.RuleCount()
 		st.Cells += n
-		st.Bytes += int64(n) * 8
+		st.Bytes += c.SizeBytes()
 		if n > st.MaxCubeCells {
 			st.MaxCubeCells = n
 		}
-	}
-	for _, c := range s.oneD {
-		add(c)
-	}
-	for _, c := range s.twoD {
-		add(c)
-	}
+	})
 	return st
 }
 

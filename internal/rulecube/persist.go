@@ -181,27 +181,21 @@ func WriteStore(w io.Writer, s *Store) error {
 		return nil
 	}
 
-	if err := writeUvarint(cw, uint64(len(s.oneD))); err != nil {
+	oneAttrs := s.oneDAttrs()
+	if err := writeUvarint(cw, uint64(len(oneAttrs))); err != nil {
 		return err
 	}
-	for _, a := range s.attrs {
-		if err := writeCube(s.oneD[a]); err != nil {
+	for _, a := range oneAttrs {
+		if err := writeCube(s.Cube1(a)); err != nil {
 			return err
 		}
 	}
-	var pairs [][2]int
-	for i, a := range s.attrs {
-		for _, b := range s.attrs[i+1:] {
-			if s.twoD[pairKey(a, b)] != nil {
-				pairs = append(pairs, pairKey(a, b))
-			}
-		}
-	}
+	pairs := s.twoDPairs()
 	if err := writeUvarint(cw, uint64(len(pairs))); err != nil {
 		return err
 	}
 	for _, p := range pairs {
-		if err := writeCube(s.twoD[p]); err != nil {
+		if err := writeCube(s.Cube2(p[0], p[1])); err != nil {
 			return err
 		}
 	}
@@ -428,7 +422,7 @@ func ReadStore(r io.Reader) (*Store, error) {
 		if len(c.attrIdx) != 1 {
 			return nil, fmt.Errorf("rulecube: expected 2-D cube, got %d dims", len(c.attrIdx)+1)
 		}
-		s.oneD[c.attrIdx[0]] = c
+		s.putCube1(c.attrIdx[0], c)
 	}
 	nTwo, err := binary.ReadUvarint(cr)
 	if err != nil {
@@ -442,7 +436,7 @@ func ReadStore(r io.Reader) (*Store, error) {
 		if len(c.attrIdx) != 2 {
 			return nil, fmt.Errorf("rulecube: expected 3-D cube, got %d dims", len(c.attrIdx)+1)
 		}
-		s.twoD[pairKey(c.attrIdx[0], c.attrIdx[1])] = c
+		s.putCube2(c.attrIdx[0], c.attrIdx[1], c)
 	}
 
 	// Verify the trailer CRC (computed over everything before it).

@@ -18,7 +18,7 @@ type overviewResponse struct {
 	Classes     []string           `json:"classes"`
 	Attributes  []string           `json:"attributes"`
 	CubeCount   int                `json:"cube_count"`
-	RuleSpace   int                `json:"rule_space"`
+	RuleSpace   int64              `json:"rule_space"`
 	Influential []influentialEntry `json:"influential"`
 	Trends      []trendEntry       `json:"trends"`
 }
@@ -38,21 +38,25 @@ type trendEntry struct {
 }
 
 func (s *Server) handleOverview(r *http.Request) (any, error) {
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
 	limit, err := intParam(r, "top", 10)
 	if err != nil {
 		return nil, err
 	}
-	imp, err := s.sess.ImpressionsContext(r.Context(), opmap.ImpressionOptions{})
+	imp, err := sess.ImpressionsContext(r.Context(), opmap.ImpressionOptions{})
 	if err != nil {
 		return nil, err
 	}
 	resp := &overviewResponse{
-		Rows:       s.sess.NumRows(),
-		Class:      s.sess.ClassAttribute(),
-		Classes:    s.sess.Classes(),
-		Attributes: s.sess.Attributes(),
-		CubeCount:  s.sess.CubeCount(),
-		RuleSpace:  s.sess.RuleSpaceSize(),
+		Rows:       sess.NumRows(),
+		Class:      sess.ClassAttribute(),
+		Classes:    sess.Classes(),
+		Attributes: sess.Attributes(),
+		CubeCount:  sess.CubeCount(),
+		RuleSpace:  sess.RuleSpaceSize(),
 	}
 	for i, inf := range imp.Influential {
 		if i >= limit {
@@ -93,6 +97,10 @@ type pairEntry struct {
 }
 
 func (s *Server) handleDetail(r *http.Request) (any, error) {
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
 	attr := r.URL.Query().Get("attr")
 	class := r.URL.Query().Get("class")
 	if attr == "" || class == "" {
@@ -102,11 +110,11 @@ func (s *Server) handleDetail(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	values, err := s.sess.Values(attr)
+	values, err := sess.Values(attr)
 	if err != nil {
 		return nil, err
 	}
-	pairs, err := s.sess.ScreenPairs(attr, class, maxPairs)
+	pairs, err := sess.ScreenPairs(attr, class, maxPairs)
 	if err != nil {
 		return nil, err
 	}
@@ -172,6 +180,10 @@ type scoreEntry struct {
 // two values pairwise; attr+value compares value against the rest
 // (degrading to a partial ranking on deadline expiry).
 func (s *Server) handleCompare(r *http.Request) (any, error) {
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
 	q := r.URL.Query()
 	attr, class := q.Get("attr"), q.Get("class")
 	if attr == "" || class == "" {
@@ -185,9 +197,9 @@ func (s *Server) handleCompare(r *http.Request) (any, error) {
 	switch {
 	case q.Get("value") != "":
 		opts := opmap.CompareOptions{PartialOnDeadline: true}
-		cmp, err = s.sess.CompareOneVsRestContext(r.Context(), attr, q.Get("value"), class, opts)
+		cmp, err = sess.CompareOneVsRestContext(r.Context(), attr, q.Get("value"), class, opts)
 	case q.Get("v1") != "" && q.Get("v2") != "":
-		cmp, err = s.sess.CompareContext(r.Context(), attr, q.Get("v1"), q.Get("v2"), class, opmap.CompareOptions{})
+		cmp, err = sess.CompareContext(r.Context(), attr, q.Get("v1"), q.Get("v2"), class, opmap.CompareOptions{})
 	default:
 		return nil, badRequest("compare requires either v1 and v2, or value (one-vs-rest)")
 	}
@@ -251,6 +263,10 @@ type sweepEntry struct {
 // mid-fan-out the pairs compared so far are returned with partial=true
 // and the skipped pairs annotated in errors.
 func (s *Server) handleSweep(r *http.Request) (any, error) {
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
 	q := r.URL.Query()
 	attr, class := q.Get("attr"), q.Get("class")
 	if attr == "" || class == "" {
@@ -260,7 +276,7 @@ func (s *Server) handleSweep(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.sess.SweepPartial(r.Context(), attr, class, maxPairs)
+	res, err := sess.SweepPartial(r.Context(), attr, class, maxPairs)
 	if err != nil {
 		return nil, err
 	}
@@ -277,6 +293,37 @@ func (s *Server) handleSweep(r *http.Request) (any, error) {
 			BestScore:  a.BestScore,
 			BestPair:   a.BestPair,
 			TotalScore: a.TotalScore,
+		})
+	}
+	return resp, nil
+}
+
+type datasetsResponse struct {
+	Default  string         `json:"default"`
+	Datasets []datasetEntry `json:"datasets"`
+}
+
+type datasetEntry struct {
+	Name      string `json:"name"`
+	Rows      int    `json:"rows"`
+	Class     string `json:"class"`
+	Lazy      bool   `json:"lazy"`
+	CubeCount int    `json:"cube_count"`
+}
+
+// handleDatasets lists the served datasets so clients can discover the
+// dataset parameter's legal values. CubeCount on a lazy dataset is the
+// cubes materialized so far, not the full space.
+func (s *Server) handleDatasets(_ *http.Request) (any, error) {
+	resp := &datasetsResponse{Default: s.defaultName}
+	for _, name := range s.DatasetNames() {
+		sess := s.sessions[name]
+		resp.Datasets = append(resp.Datasets, datasetEntry{
+			Name:      name,
+			Rows:      sess.NumRows(),
+			Class:     sess.ClassAttribute(),
+			Lazy:      sess.EngineStats().Lazy,
+			CubeCount: sess.CubeCount(),
 		})
 	}
 	return resp, nil

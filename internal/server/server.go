@@ -1,14 +1,21 @@
 // Package server implements the opmapd HTTP daemon: JSON endpoints for
-// overview, attribute detail, pairwise comparison and sweeps over a
-// preloaded Session. The serving layer is hardened the way the paper's
-// deployed system had to be (analysts querying pre-materialized cubes
-// online, Section V.C): every request runs under a timeout, panics are
-// converted to 500s without taking the process down, in-flight work is
-// bounded with 429 load-shedding, and SIGTERM drains cleanly. Every
-// request is also observable after the fact: the middleware counts
-// requests, sheds, timeouts, panics and partial-result degradations
-// into an obsv.Registry exposed at /metrics, and emits one structured
-// log line per request carrying a propagated request id.
+// overview, attribute detail, pairwise comparison and sweeps over one
+// or more preloaded Sessions. The serving layer is hardened the way
+// the paper's deployed system had to be (analysts querying
+// pre-materialized cubes online, Section V.C): every request runs
+// under a timeout, panics are converted to 500s without taking the
+// process down, in-flight work is bounded with 429 load-shedding, and
+// SIGTERM drains cleanly. Every request is also observable after the
+// fact: the middleware counts requests, sheds, timeouts, panics and
+// partial-result degradations into an obsv.Registry exposed at
+// /metrics, and emits one structured log line per request carrying a
+// propagated request id.
+//
+// A daemon can serve several datasets at once: each named Session has
+// its own engine (eager store or lazy cube cache), and requests pick
+// one with the dataset query parameter. Requests without the
+// parameter go to the default dataset, so single-dataset URLs keep
+// working unchanged.
 package server
 
 import (
@@ -20,11 +27,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"opmap"
+	"opmap/internal/engine"
 	"opmap/internal/faultinject"
 	"opmap/internal/obsv"
 )
@@ -40,11 +49,27 @@ const (
 	metricInflight = "opmapd_inflight"                 // gauge
 )
 
-// Config parameterizes a Server. Session is required; zero values for
-// the rest use the documented defaults.
+// DefaultDatasetName is the registry name given to Config.Session, the
+// single-dataset configuration form.
+const DefaultDatasetName = "default"
+
+// Config parameterizes a Server. At least one session (Session or an
+// entry in Sessions) is required; zero values for the rest use the
+// documented defaults.
 type Config struct {
-	// Session is the preloaded analysis session (cubes built).
+	// Session is the single-dataset form: the session is registered
+	// under DefaultDatasetName and serves requests without a dataset
+	// parameter.
 	Session *opmap.Session
+	// Sessions is the multi-dataset registry, name → preloaded
+	// session. It may be combined with Session (which keeps the name
+	// DefaultDatasetName).
+	Sessions map[string]*opmap.Session
+	// DefaultDataset names the session serving requests without a
+	// dataset parameter. Empty means DefaultDatasetName when Session
+	// is set, else the sole entry of Sessions; with several named
+	// sessions and no Session it must be set explicitly.
+	DefaultDataset string
 	// RequestTimeout bounds each request's context. Zero means 10s.
 	RequestTimeout time.Duration
 	// MaxInFlight bounds concurrently served requests; excess requests
@@ -63,9 +88,10 @@ type Config struct {
 	Metrics *obsv.Registry
 }
 
-// Server is the hardened HTTP front end over one Session.
+// Server is the hardened HTTP front end over a registry of Sessions.
 type Server struct {
-	sess           *opmap.Session
+	sessions       map[string]*opmap.Session
+	defaultName    string
 	requestTimeout time.Duration
 	drainTimeout   time.Duration
 	sem            chan struct{}
@@ -79,8 +105,9 @@ type Server struct {
 
 // New builds a Server over the given config.
 func New(cfg Config) (*Server, error) {
-	if cfg.Session == nil {
-		return nil, fmt.Errorf("server: Config.Session is required")
+	sessions, defaultName, err := buildRegistry(cfg)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 10 * time.Second
@@ -98,7 +125,8 @@ func New(cfg Config) (*Server, error) {
 		cfg.Metrics = obsv.Default()
 	}
 	s := &Server{
-		sess:           cfg.Session,
+		sessions:       sessions,
+		defaultName:    defaultName,
 		requestTimeout: cfg.RequestTimeout,
 		drainTimeout:   cfg.DrainTimeout,
 		sem:            make(chan struct{}, cfg.MaxInFlight),
@@ -114,6 +142,7 @@ func New(cfg Config) (*Server, error) {
 		"/api/detail":   s.handleDetail,
 		"/api/compare":  s.handleCompare,
 		"/api/sweep":    s.handleSweep,
+		"/api/datasets": s.handleDatasets,
 	} {
 		s.mux.Handle(path, s.wrap(path, h))
 		// Pre-register the happy-path series so a scrape right after
@@ -128,8 +157,87 @@ func New(cfg Config) (*Server, error) {
 	s.metrics.Counter(metricPanics)
 	s.metrics.Counter(metricPartials)
 	s.metrics.Gauge(metricInflight)
+	// Engine cache series likewise: a fresh lazy daemon must already
+	// expose its hit/miss/eviction counters at 0 so a scrape can assert
+	// "startup built nothing".
+	counters, gauges, histograms := engine.MetricNames()
+	for _, name := range counters {
+		s.metrics.Counter(name)
+	}
+	for _, name := range gauges {
+		s.metrics.Gauge(name)
+	}
+	for _, name := range histograms {
+		s.metrics.Histogram(name, nil)
+	}
 	s.ready.Store(true)
 	return s, nil
+}
+
+// buildRegistry merges the single- and multi-dataset config forms into
+// one name → session map and resolves the default dataset name.
+func buildRegistry(cfg Config) (map[string]*opmap.Session, string, error) {
+	sessions := make(map[string]*opmap.Session, len(cfg.Sessions)+1)
+	for name, sess := range cfg.Sessions {
+		if name == "" {
+			return nil, "", fmt.Errorf("server: Config.Sessions contains an empty dataset name")
+		}
+		if sess == nil {
+			return nil, "", fmt.Errorf("server: Config.Sessions[%q] is nil", name)
+		}
+		sessions[name] = sess
+	}
+	if cfg.Session != nil {
+		if _, dup := sessions[DefaultDatasetName]; dup {
+			return nil, "", fmt.Errorf("server: Config.Session conflicts with Sessions[%q]", DefaultDatasetName)
+		}
+		sessions[DefaultDatasetName] = cfg.Session
+	}
+	if len(sessions) == 0 {
+		return nil, "", fmt.Errorf("server: at least one session is required (Config.Session or Config.Sessions)")
+	}
+	def := cfg.DefaultDataset
+	if def == "" {
+		switch {
+		case cfg.Session != nil:
+			def = DefaultDatasetName
+		case len(sessions) == 1:
+			for name := range sessions {
+				def = name
+			}
+		default:
+			return nil, "", fmt.Errorf("server: Config.DefaultDataset is required with multiple named sessions")
+		}
+	}
+	if _, ok := sessions[def]; !ok {
+		return nil, "", fmt.Errorf("server: default dataset %q is not registered", def)
+	}
+	return sessions, def, nil
+}
+
+// session resolves the dataset query parameter to a registered
+// Session; absence selects the default dataset, so pre-registry URLs
+// are unchanged.
+func (s *Server) session(r *http.Request) (*opmap.Session, error) {
+	name := r.URL.Query().Get("dataset")
+	if name == "" {
+		name = s.defaultName
+	}
+	sess, ok := s.sessions[name]
+	if !ok {
+		return nil, badRequest("unknown dataset %q (GET /api/datasets lists the served datasets)", name)
+	}
+	return sess, nil
+}
+
+// DatasetNames returns the registered dataset names, sorted.
+func (s *Server) DatasetNames() []string {
+	names := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Handler returns the server's root handler (for tests and embedding).

@@ -44,7 +44,7 @@ func demoSession(t *testing.T) (*opmap.Session, opmap.CallLogTruth) {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	if cfg.Session == nil {
+	if cfg.Session == nil && len(cfg.Sessions) == 0 {
 		cfg.Session, _ = demoSession(t)
 	}
 	s, err := New(cfg)
@@ -438,6 +438,86 @@ func (s *syncBuffer) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.String()
+}
+
+// TestMultiDataset pins the registry contract: named sessions are
+// selected with the dataset query parameter, the default dataset keeps
+// single-dataset URLs working, /api/datasets enumerates what is served,
+// and an unknown name is a client error.
+func TestMultiDataset(t *testing.T) {
+	east, _ := demoSession(t)
+	west, _, err := opmap.CaseStudy(2, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := west.BuildCubesOptions(context.Background(), opmap.BuildOptions{Lazy: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{
+		Sessions:       map[string]*opmap.Session{"east": east, "west": west},
+		DefaultDataset: "east",
+	})
+
+	code, body := get(t, ts.URL, "/api/datasets")
+	if code != http.StatusOK {
+		t.Fatalf("/api/datasets = %d: %s", code, body)
+	}
+	var dl struct {
+		Default  string `json:"default"`
+		Datasets []struct {
+			Name string `json:"name"`
+			Rows int    `json:"rows"`
+			Lazy bool   `json:"lazy"`
+		} `json:"datasets"`
+	}
+	if err := json.Unmarshal(body, &dl); err != nil {
+		t.Fatalf("/api/datasets is not JSON: %v", err)
+	}
+	if dl.Default != "east" || len(dl.Datasets) != 2 {
+		t.Fatalf("datasets listing = %+v, want default east and 2 entries", dl)
+	}
+	byName := map[string]struct {
+		Rows int
+		Lazy bool
+	}{}
+	for _, d := range dl.Datasets {
+		byName[d.Name] = struct {
+			Rows int
+			Lazy bool
+		}{d.Rows, d.Lazy}
+	}
+	if byName["east"].Rows != 2000 || byName["east"].Lazy {
+		t.Errorf("east entry = %+v, want 2000 eager rows", byName["east"])
+	}
+	if byName["west"].Rows != 1200 || !byName["west"].Lazy {
+		t.Errorf("west entry = %+v, want 1200 lazy rows", byName["west"])
+	}
+
+	var ov struct {
+		Rows int `json:"rows"`
+	}
+	// No parameter routes to the default dataset, preserving existing URLs.
+	if code, body := get(t, ts.URL, "/api/overview"); code != http.StatusOK {
+		t.Fatalf("/api/overview = %d: %s", code, body)
+	} else if err := json.Unmarshal(body, &ov); err != nil || ov.Rows != 2000 {
+		t.Errorf("default overview rows = %d (err %v), want 2000", ov.Rows, err)
+	}
+	if code, body := get(t, ts.URL, "/api/overview?dataset=west"); code != http.StatusOK {
+		t.Fatalf("/api/overview?dataset=west = %d: %s", code, body)
+	} else if err := json.Unmarshal(body, &ov); err != nil || ov.Rows != 1200 {
+		t.Errorf("west overview rows = %d (err %v), want 1200", ov.Rows, err)
+	}
+
+	code, body = get(t, ts.URL, "/api/overview?dataset=nope")
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown dataset = %d (%s), want 400", code, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "nope") {
+		t.Errorf("unknown-dataset error %q should name the dataset", body)
+	}
 }
 
 // TestServeDrains pins graceful shutdown: canceling the serve context

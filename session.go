@@ -4,24 +4,33 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 
 	"opmap/internal/dataset"
 	"opmap/internal/discretize"
+	"opmap/internal/engine"
 	"opmap/internal/obsv"
 	"opmap/internal/rulecube"
 	"opmap/internal/workload"
 )
 
 // Session is the top-level handle of the Opportunity Map pipeline: it
-// owns a dataset, the discretized working copy, and the materialized
-// rule-cube store. A Session is not safe for concurrent mutation;
-// read-only queries (Compare, views, rule access) may run concurrently
-// once BuildCubes has returned.
+// owns a dataset, the discretized working copy, and the cube engine —
+// either a fully materialized store (eager mode, the default) or a
+// lazy source that builds cubes on first touch. A Session is not safe
+// for concurrent mutation; read-only queries (Compare, views, rule
+// access) may run concurrently once a BuildCubes variant has returned.
 type Session struct {
 	raw   *dataset.Dataset // as loaded; may contain continuous attributes
 	ds    *dataset.Dataset // fully categorical working dataset
 	cuts  map[string][]float64
-	store *rulecube.Store
+	store *rulecube.Store    // eager mode only; nil in lazy mode
+	src   engine.CubeSource  // set by any BuildCubes variant
+	lazy  *engine.LazySource // set in lazy mode, for stats
+	// results memoizes Compare/Sweep/Impressions under a snapshot
+	// version; Discretize, DownsampleMajority and rebuilds invalidate
+	// it. Always non-nil.
+	results *engine.ResultCache
 }
 
 // LoadOptions configures CSV loading.
@@ -99,7 +108,7 @@ func LoadARFFFile(path, classAttr string) (*Session, error) {
 }
 
 func newSession(ds *dataset.Dataset) *Session {
-	s := &Session{raw: ds}
+	s := &Session{raw: ds, results: engine.NewResultCache(0)}
 	if ds.AllCategorical() {
 		s.ds = ds
 	}
@@ -230,6 +239,10 @@ type DiscretizeOptions struct {
 func (s *Session) Discretize(opts DiscretizeOptions) error {
 	if s.raw.AllCategorical() {
 		s.ds = s.raw
+		// Even a no-op re-discretize resets the engine: the caller asked
+		// for a fresh working dataset, and a stale result cache fenced to
+		// the old snapshot version must not survive the request.
+		s.dropEngine()
 		return nil
 	}
 	var d discretize.Discretizer
@@ -260,8 +273,18 @@ func (s *Session) Discretize(opts DiscretizeOptions) error {
 	}
 	s.ds = ds
 	s.cuts = cuts
-	s.store = nil // cubes built over the old dataset are invalid
+	s.dropEngine() // cubes and cached results over the old dataset are invalid
 	return nil
+}
+
+// dropEngine discards the cube engine and fences the result cache:
+// after a re-discretize or resample, counts from the old cube space
+// must be neither served nor inserted.
+func (s *Session) dropEngine() {
+	s.store = nil
+	s.src = nil
+	s.lazy = nil
+	s.results.Invalidate()
 }
 
 // manualOverride routes named attributes to manual cut points and the
@@ -323,14 +346,41 @@ func (s *Session) BuildCubesFor(attrNames []string) error {
 
 // BuildCubesForContext is BuildCubesFor under a context.
 func (s *Session) BuildCubesForContext(ctx context.Context, attrNames []string) error {
+	return s.BuildCubesOptions(ctx, BuildOptions{Attrs: attrNames})
+}
+
+// BuildOptions selects the cube engine behind the session's queries.
+type BuildOptions struct {
+	// Lazy skips the offline materialization entirely: cubes are
+	// counted on first use, deduplicated across concurrent requests,
+	// and 2-D cubes are cached in a byte-budgeted LRU. Startup becomes
+	// O(1) instead of O(|A|²) data passes; the first touch of each cube
+	// pays its build. Eager-only operations (SaveCubes, Explore,
+	// CubeExceptions, RenderOverall) are unavailable in lazy mode.
+	Lazy bool
+	// CubeCacheBytes bounds the lazy 2-D cube cache. Zero means the
+	// engine default (64 MiB); negative means unlimited. Ignored when
+	// Lazy is false.
+	CubeCacheBytes int64
+	// Attrs restricts the servable attributes by name; nil means all
+	// non-class attributes (the paper's domain-expert selection of the
+	// ~200 performance-related attributes out of 600).
+	Attrs []string
+}
+
+// BuildCubesOptions prepares the session's cube engine: eagerly
+// materializing the full store (the paper's offline step) or, with
+// opts.Lazy, installing an on-demand engine. Either way the previous
+// engine and all cached query results are dropped first.
+func (s *Session) BuildCubesOptions(ctx context.Context, opts BuildOptions) error {
 	defer obsv.Stage(obsv.StageBuildCubes)()
 	ds, err := s.working()
 	if err != nil {
 		return err
 	}
 	var attrs []int
-	if attrNames != nil {
-		for _, n := range attrNames {
+	if opts.Attrs != nil {
+		for _, n := range opts.Attrs {
 			i := ds.AttrIndex(n)
 			if i < 0 {
 				return fmt.Errorf("opmap: unknown attribute %q", n)
@@ -338,11 +388,23 @@ func (s *Session) BuildCubesForContext(ctx context.Context, attrNames []string) 
 			attrs = append(attrs, i)
 		}
 	}
+	if opts.Lazy {
+		lazy, err := engine.NewLazy(ds, engine.LazyOptions{Attrs: attrs, CacheBytes: opts.CubeCacheBytes})
+		if err != nil {
+			return err
+		}
+		s.dropEngine()
+		s.src = lazy
+		s.lazy = lazy
+		return nil
+	}
 	store, err := rulecube.BuildStoreContext(ctx, ds, rulecube.StoreOptions{Attrs: attrs})
 	if err != nil {
 		return err
 	}
+	s.dropEngine()
 	s.store = store
+	s.src = engine.NewEager(store)
 	return nil
 }
 
@@ -355,13 +417,26 @@ func (s *Session) working() (*dataset.Dataset, error) {
 	return s.ds, nil
 }
 
-// requireStore returns the cube store, erroring if BuildCubes has not
-// run.
+// requireStore returns the eager cube store, erroring if BuildCubes
+// has not run. Operations that persist, explore or render whole
+// stores need every cube resident and stay eager-only.
 func (s *Session) requireStore() (*rulecube.Store, error) {
 	if s.store == nil {
+		if s.src != nil {
+			return nil, fmt.Errorf("opmap: operation requires eagerly built cubes; the session is in lazy mode (rebuild with BuildCubes)")
+		}
 		return nil, fmt.Errorf("opmap: rule cubes not built; call BuildCubes first")
 	}
 	return s.store, nil
+}
+
+// requireSource returns the cube engine, erroring if no BuildCubes
+// variant has run.
+func (s *Session) requireSource() (engine.CubeSource, error) {
+	if s.src == nil {
+		return nil, fmt.Errorf("opmap: rule cubes not built; call BuildCubes first")
+	}
+	return s.src, nil
 }
 
 // NumRows returns the number of records.
@@ -411,33 +486,132 @@ func (s *Session) ClassDistribution() map[string]int64 {
 	return out
 }
 
-// CubeCount returns the number of materialized rule cubes (0 before
-// BuildCubes).
+// CubeCount returns the number of resident rule cubes: everything the
+// store holds in eager mode, the pinned 1-D plus cached 2-D cubes in
+// lazy mode, 0 before any BuildCubes variant.
 func (s *Session) CubeCount() int {
-	if s.store == nil {
-		return 0
+	if s.store != nil {
+		return s.store.CubeCount()
 	}
-	return s.store.CubeCount()
+	if s.lazy != nil {
+		st := s.lazy.Stats()
+		return st.PinnedOneD + st.CachedCubes
+	}
+	return 0
 }
 
-// RuleSpaceSize returns the total number of rules represented by the
-// materialized cubes (the count of cube cells, as in Fig. 1's "24
-// rules").
-func (s *Session) RuleSpaceSize() int {
-	if s.store == nil {
+// satAdd and satMul are saturating int64 arithmetic: wide or
+// high-cardinality schemas can push the rule-space size past any
+// fixed-width integer, and a clamped count is more useful than a
+// silently wrapped one.
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
 		return 0
 	}
-	total := 0
-	for _, a := range s.store.Attrs() {
-		total += s.store.Cube1(a).RuleCount()
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
 	}
-	attrs := s.store.Attrs()
+	return a * b
+}
+
+// RuleSpaceSize returns the total number of rules the session's cube
+// space represents (the count of cube cells, as in Fig. 1's "24
+// rules"), saturating at math.MaxInt64. In eager mode it counts the
+// materialized cubes; in lazy mode it is computed from the schema —
+// the size of the space the engine can serve, whether or not the
+// cubes are resident yet.
+func (s *Session) RuleSpaceSize() int64 {
+	if s.store != nil {
+		var total int64
+		attrs := s.store.Attrs()
+		for _, a := range attrs {
+			if c := s.store.Cube1(a); c != nil {
+				total = satAdd(total, c.SizeBytes()/8)
+			}
+		}
+		for i, a := range attrs {
+			for _, b := range attrs[i+1:] {
+				if c := s.store.Cube2(a, b); c != nil {
+					total = satAdd(total, c.SizeBytes()/8)
+				}
+			}
+		}
+		return total
+	}
+	if s.lazy == nil {
+		return 0
+	}
+	cells := func(attrs ...int) int64 {
+		n := int64(s.ds.NumClasses())
+		for _, a := range attrs {
+			card := int64(s.ds.Cardinality(a))
+			if card <= 0 {
+				card = 1
+			}
+			n = satMul(n, card)
+		}
+		return n
+	}
+	var total int64
+	attrs := s.lazy.Attrs()
+	for _, a := range attrs {
+		total = satAdd(total, cells(a))
+	}
 	for i, a := range attrs {
 		for _, b := range attrs[i+1:] {
-			if c := s.store.Cube2(a, b); c != nil {
-				total += c.RuleCount()
-			}
+			total = satAdd(total, cells(a, b))
 		}
 	}
 	return total
+}
+
+// EngineStats describes the cube engine's caches: build counts, the
+// 2-D cube LRU, and the query-result cache. Zero-valued in eager mode
+// except the result-cache fields.
+type EngineStats struct {
+	// Lazy reports whether the session runs the on-demand engine.
+	Lazy bool
+	// OneDBuilds and TwoDBuilds count cube materializations performed
+	// by the lazy engine.
+	OneDBuilds int64
+	TwoDBuilds int64
+	// CubeCacheHits/Misses/Evictions/Bytes/Cubes describe the 2-D LRU.
+	CubeCacheHits      int64
+	CubeCacheMisses    int64
+	CubeCacheEvictions int64
+	CubeCacheBytes     int64
+	CubeCacheCubes     int
+	// ResultCacheHits/Misses/Entries describe the memoized
+	// Compare/Sweep/Impressions results.
+	ResultCacheHits    int64
+	ResultCacheMisses  int64
+	ResultCacheEntries int
+}
+
+// EngineStats snapshots the engine's cache counters.
+func (s *Session) EngineStats() EngineStats {
+	st := EngineStats{}
+	if s.lazy != nil {
+		ls := s.lazy.Stats()
+		st.Lazy = true
+		st.OneDBuilds = ls.OneDBuilds
+		st.TwoDBuilds = ls.TwoDBuilds
+		st.CubeCacheHits = ls.Hits
+		st.CubeCacheMisses = ls.Misses
+		st.CubeCacheEvictions = ls.Evictions
+		st.CubeCacheBytes = ls.CachedBytes
+		st.CubeCacheCubes = ls.CachedCubes
+	}
+	rs := s.results.Stats()
+	st.ResultCacheHits = rs.Hits
+	st.ResultCacheMisses = rs.Misses
+	st.ResultCacheEntries = rs.Entries
+	return st
 }
