@@ -147,13 +147,80 @@ if ! wait "$opmapd2_pid"; then
     exit 1
 fi
 
+echo "== opmapd smoke (snapshot warm start survives kill -9) =="
+snapdir="$smokedir/snaps"
+"$smokedir/opmapd" -demo -records 4000 -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr3" -snapshot-dir "$snapdir" >"$smokedir/opmapd3.log" 2>&1 &
+opmapd3_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr3" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr3" ]; then
+    echo "snapshot opmapd never became ready:" >&2
+    cat "$smokedir/opmapd3.log" >&2
+    exit 1
+fi
+addr3=$(cat "$smokedir/addr3")
+"$smokedir/opmapd" -probe "$addr3/api/overview" >"$smokedir/overview.cold"
+"$smokedir/opmapd" -probe "$addr3/api/compare?attr=Phone-Model&v1=ph1&v2=ph2&class=dropped-in-progress" \
+    >"$smokedir/compare.cold"
+# The cold run checkpoints its build immediately; a hard kill (no
+# drain, no atexit) must leave that snapshot usable.
+[ -s "$snapdir/default.omapsnap" ] || { echo "cold run wrote no snapshot" >&2; exit 1; }
+kill -9 "$opmapd3_pid"
+wait "$opmapd3_pid" 2>/dev/null || true
+"$smokedir/opmapd" -demo -records 4000 -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr4" -snapshot-dir "$snapdir" >"$smokedir/opmapd4.log" 2>&1 &
+opmapd4_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr4" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr4" ]; then
+    echo "warm opmapd never became ready:" >&2
+    cat "$smokedir/opmapd4.log" >&2
+    exit 1
+fi
+addr4=$(cat "$smokedir/addr4")
+grep -q "warm start" "$smokedir/opmapd4.log"
+# Warm responses are byte-identical to the cold run's.
+"$smokedir/opmapd" -probe "$addr4/api/overview" >"$smokedir/overview.warm"
+"$smokedir/opmapd" -probe "$addr4/api/compare?attr=Phone-Model&v1=ph1&v2=ph2&class=dropped-in-progress" \
+    >"$smokedir/compare.warm"
+cmp "$smokedir/overview.cold" "$smokedir/overview.warm"
+cmp "$smokedir/compare.cold" "$smokedir/compare.warm"
+"$smokedir/opmapd" -probe "$addr4/api/datasets" | grep -q '"snapshot": "loaded"'
+# The warm start built nothing: zero cubes counted, zero build-stage
+# timings, one snapshot load.
+"$smokedir/opmapd" -probe "$addr4/metrics" >"$smokedir/metrics4"
+for want in \
+    'opmap_cubes_built_total 0' \
+    'opmap_stage_duration_seconds_count{stage="build_cubes"} 0' \
+    'opmapd_snapshot_loads_total 1' \
+    'opmapd_snapshot_fallbacks_total{reason="stale"} 0'; do
+    if ! grep -qF "$want" "$smokedir/metrics4"; then
+        echo "warm-start metrics missing: $want" >&2
+        cat "$smokedir/metrics4" >&2
+        exit 1
+    fi
+done
+kill -TERM "$opmapd4_pid"
+if ! wait "$opmapd4_pid"; then
+    echo "warm opmapd did not drain cleanly on SIGTERM:" >&2
+    cat "$smokedir/opmapd4.log" >&2
+    exit 1
+fi
+
 echo "== fuzz smoke (10s per target) =="
 go test -run '^$' -fuzz '^FuzzReadStore$' -fuzztime 10s ./internal/rulecube
 go test -run '^$' -fuzz '^FuzzComparator$' -fuzztime 10s ./internal/compare
+go test -run '^$' -fuzz '^FuzzReadSnapshot$' -fuzztime 10s ./internal/snapshot
 
-echo "== bench (stage timings + engine modes) =="
-go run ./cmd/opmapbench -records 20000 -rounds 50 -out BENCH_pr4.json
-grep -q '"build_cubes"' BENCH_pr4.json
-grep -q '"lazy_cold_compare_ms"' BENCH_pr4.json
+echo "== bench (stage timings + engine modes + snapshot cycle) =="
+go run ./cmd/opmapbench -records 20000 -rounds 50 -out BENCH_pr5.json
+grep -q '"build_cubes"' BENCH_pr5.json
+grep -q '"lazy_cold_compare_ms"' BENCH_pr5.json
+grep -q '"load_speedup_vs_build"' BENCH_pr5.json
 
 echo "CI PASSED"

@@ -286,12 +286,12 @@ func main() {
 			log.Fatal(err)
 		}
 		w := os.Stdout
+		var f *os.File
 		if *out != "" {
-			f, err := os.Create(*out)
+			f, err = os.Create(*out)
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer f.Close()
 			w = f
 		}
 		err = session.WriteReport(w, cmp, opmap.ReportOptions{
@@ -299,6 +299,11 @@ func main() {
 			Timestamp:          time.Now(),
 			IncludeImpressions: !*noGI,
 		})
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

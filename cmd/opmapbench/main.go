@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"opmap"
@@ -48,6 +49,21 @@ type benchDoc struct {
 	Stages  map[string]stageStats `json:"stages"`
 	Hot     map[string]stageStats `json:"hot"`
 	Engine  engineBench           `json:"engine"`
+	Snap    snapshotBench         `json:"snapshot"`
+}
+
+// snapshotBench contrasts a cold start (build every cube from raw
+// rows) with a warm start (load the snapshot written by the previous
+// run) — the daemon's -snapshot-dir trade: one save per source
+// version buys every later startup the load path.
+type snapshotBench struct {
+	ColdBuildMs   float64 `json:"cold_build_ms"`
+	SaveMs        float64 `json:"save_ms"`
+	LoadMs        float64 `json:"load_ms"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	// LoadSpeedup is cold_build_ms / load_ms: how many times faster a
+	// warm start is than rebuilding.
+	LoadSpeedup float64 `json:"load_speedup_vs_build"`
 }
 
 // engineBench contrasts the two build modes over identical data: what
@@ -101,6 +117,10 @@ func run(records int, seed int64, rounds int, out string) error {
 	if err != nil {
 		return err
 	}
+	snap, err := benchSnapshot(ctx, records, seed)
+	if err != nil {
+		return err
+	}
 
 	doc := benchDoc{
 		Records: records,
@@ -109,6 +129,7 @@ func run(records int, seed int64, rounds int, out string) error {
 		Stages:  map[string]stageStats{},
 		Hot:     map[string]stageStats{},
 		Engine:  engine,
+		Snap:    snap,
 	}
 	reg := obsv.Default()
 	for _, stage := range obsv.PipelineStages {
@@ -182,6 +203,54 @@ func benchEngine(ctx context.Context, records int, seed int64) (engineBench, err
 	eb.LazyTwoDBuilds = st.TwoDBuilds
 	eb.LazyCubeBytes = st.CubeCacheBytes
 	return eb, nil
+}
+
+// benchSnapshot times the durable-session cycle: cold cube build,
+// snapshot save, snapshot load into a ready-to-serve session. The
+// loaded session answers one compare so the load number covers a
+// usable engine, not just parsing.
+func benchSnapshot(ctx context.Context, records int, seed int64) (snapshotBench, error) {
+	var sb snapshotBench
+
+	sess, gt, err := opmap.CaseStudy(seed, records)
+	if err != nil {
+		return sb, err
+	}
+	start := time.Now()
+	if err := sess.BuildCubesContext(ctx); err != nil {
+		return sb, err
+	}
+	sb.ColdBuildMs = msSince(start)
+
+	dir, err := os.MkdirTemp("", "opmapbench-snap-")
+	if err != nil {
+		return sb, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.omapsnap")
+	hash := opmap.HashSourceString(fmt.Sprintf("bench seed=%d records=%d", seed, records))
+	start = time.Now()
+	if err := sess.SaveSnapshotFile(path, opmap.SnapshotOptions{SourceHash: hash}); err != nil {
+		return sb, err
+	}
+	sb.SaveMs = msSince(start)
+	if fi, err := os.Stat(path); err == nil {
+		sb.SnapshotBytes = fi.Size()
+	}
+
+	start = time.Now()
+	warm, err := opmap.LoadSnapshotFile(path)
+	if err != nil {
+		return sb, err
+	}
+	if _, err := warm.CompareContext(ctx, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass, opmap.CompareOptions{}); err != nil {
+		return sb, err
+	}
+	sb.LoadMs = msSince(start)
+	if sb.LoadMs > 0 {
+		sb.LoadSpeedup = sb.ColdBuildMs / sb.LoadMs
+	}
+	return sb, nil
 }
 
 func msSince(start time.Time) float64 {

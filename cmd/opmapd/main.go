@@ -18,6 +18,16 @@
 // (-cube-cache-bytes), so startup is O(1) regardless of attribute
 // count.
 //
+// -snapshot-dir makes sessions durable: at startup each dataset
+// warm-starts from <dir>/<name>.omapsnap when the snapshot matches
+// the source content hash (eager datasets restore with zero cube
+// builds; lazy datasets seed their caches), falling back to a cold
+// rebuild on a missing, stale or corrupt file — and after a cold
+// eager build the snapshot is written back immediately.
+// -checkpoint-interval additionally rewrites changed snapshots in the
+// background (and once more on drain), always atomically, so a crash
+// mid-checkpoint never clobbers the previous good snapshot.
+//
 // Endpoints:
 //
 //	GET /healthz                              liveness
@@ -94,6 +104,8 @@ func main() {
 		hotMetrics   = flag.Bool("hot-metrics", false, "arm per-cube and per-attribute hot-path timing histograms")
 		lazy         = flag.Bool("lazy", false, "materialize cubes on demand instead of at startup")
 		cacheBytes   = flag.Int64("cube-cache-bytes", 0, "lazy 2-D cube cache budget in bytes (0 = 64 MiB default, negative = unlimited)")
+		snapDir      = flag.String("snapshot-dir", "", "directory of per-dataset session snapshots: warm-start from them at boot, checkpoint into them while serving")
+		ckptEvery    = flag.Duration("checkpoint-interval", 0, "rewrite changed snapshots in -snapshot-dir this often (0 disables the background checkpointer)")
 	)
 	flag.Parse()
 
@@ -111,6 +123,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	var snaps *snapman
+	if *snapDir != "" {
+		if *cubes != "" {
+			log.Fatal("-snapshot-dir is incompatible with -cubes (a persisted store is already durable)")
+		}
+		snaps, err = newSnapman(*snapDir, *ckptEvery)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if *ckptEvery != 0 {
+		log.Fatal("-checkpoint-interval requires -snapshot-dir")
+	}
+
 	sessions, defaultName, err := loadSessions(ctx, loadConfig{
 		data:        data,
 		cubes:       *cubes,
@@ -123,19 +148,24 @@ func main() {
 		maxRecBytes: *maxRecBytes,
 		lazy:        *lazy,
 		cacheBytes:  *cacheBytes,
+		snaps:       snaps,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Sessions:       sessions,
 		DefaultDataset: defaultName,
 		RequestTimeout: *timeout,
 		MaxInFlight:    *maxInflight,
 		DrainTimeout:   *drainTimeout,
 		Logger:         logger,
-	})
+	}
+	if snaps != nil {
+		cfg.SnapshotStatus = snaps.status
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -154,8 +184,22 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var ckptDone chan struct{}
+	if snaps != nil && *ckptEvery > 0 {
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			snaps.run(ctx)
+		}()
+		log.Printf("checkpointing changed snapshots to %s every %v", *snapDir, *ckptEvery)
+	}
 	if err := srv.Serve(ctx, ln); err != nil {
 		log.Fatal(err)
+	}
+	if ckptDone != nil {
+		// The checkpointer takes one final snapshot on shutdown; wait so
+		// the freshest working set is on disk before the process exits.
+		<-ckptDone
 	}
 	log.Print("drained cleanly")
 }
@@ -173,6 +217,9 @@ type loadConfig struct {
 	maxRecBytes int
 	lazy        bool
 	cacheBytes  int64
+	// snaps, when non-nil, enables snapshot warm starts and checkpoints
+	// for every loaded dataset.
+	snaps *snapman
 }
 
 // loadSessions builds the serving registry from exactly one of the
@@ -202,11 +249,15 @@ func loadSessions(ctx context.Context, cfg loadConfig) (map[string]*opmap.Sessio
 		}
 		return map[string]*opmap.Session{server.DefaultDatasetName: sess}, server.DefaultDatasetName, nil
 	case cfg.demo:
-		sess, _, err := opmap.CaseStudy(cfg.seed, cfg.records)
+		// The demo dataset is fully determined by its generator
+		// parameters, so the staleness hash covers those instead of a
+		// source file.
+		hash := opmap.HashSourceString(fmt.Sprintf("demo seed=%d records=%d", cfg.seed, cfg.records))
+		sess, err := openDataset(ctx, cfg, server.DefaultDatasetName, hash, func() (*opmap.Session, error) {
+			sess, _, err := opmap.CaseStudy(cfg.seed, cfg.records)
+			return sess, err
+		})
 		if err != nil {
-			return nil, "", err
-		}
-		if err := buildCubes(ctx, server.DefaultDatasetName, sess, cfg); err != nil {
 			return nil, "", err
 		}
 		return map[string]*opmap.Session{server.DefaultDatasetName: sess}, server.DefaultDatasetName, nil
@@ -221,19 +272,33 @@ func loadSessions(ctx context.Context, cfg loadConfig) (map[string]*opmap.Sessio
 			if _, dup := sessions[name]; dup {
 				return nil, "", fmt.Errorf("-data %q: dataset name %q already used", spec, name)
 			}
-			sess, err := opmap.LoadCSVFile(path, opmap.LoadOptions{
-				Class:          cfg.class,
-				MaxRows:        cfg.maxRows,
-				MaxColumns:     cfg.maxCols,
-				MaxRecordBytes: cfg.maxRecBytes,
+			hash := ""
+			if cfg.snaps != nil {
+				if !validName(name) {
+					return nil, "", fmt.Errorf("-data %q: dataset name %q cannot name a snapshot file; use name=path", spec, name)
+				}
+				h, err := opmap.HashSourceFile(path)
+				if err != nil {
+					return nil, "", fmt.Errorf("dataset %q: hashing source: %w", name, err)
+				}
+				hash = h
+			}
+			sess, err := openDataset(ctx, cfg, name, hash, func() (*opmap.Session, error) {
+				sess, err := opmap.LoadCSVFile(path, opmap.LoadOptions{
+					Class:          cfg.class,
+					MaxRows:        cfg.maxRows,
+					MaxColumns:     cfg.maxCols,
+					MaxRecordBytes: cfg.maxRecBytes,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("dataset %q: %w", name, err)
+				}
+				if err := sess.Discretize(opmap.DiscretizeOptions{}); err != nil {
+					return nil, fmt.Errorf("dataset %q: %w", name, err)
+				}
+				return sess, nil
 			})
 			if err != nil {
-				return nil, "", fmt.Errorf("dataset %q: %w", name, err)
-			}
-			if err := sess.Discretize(opmap.DiscretizeOptions{}); err != nil {
-				return nil, "", fmt.Errorf("dataset %q: %w", name, err)
-			}
-			if err := buildCubes(ctx, name, sess, cfg); err != nil {
 				return nil, "", err
 			}
 			sessions[name] = sess
@@ -243,6 +308,35 @@ func loadSessions(ctx context.Context, cfg loadConfig) (map[string]*opmap.Sessio
 		}
 		return sessions, defaultName, nil
 	}
+}
+
+// openDataset produces one served session: warm from the dataset's
+// snapshot when possible, otherwise cold — load from source, build
+// the engine, and (eager mode) checkpoint the result immediately so
+// the build cost is paid at most once per source version. Lazy
+// sessions always build (startup is O(1)) and are seeded from the
+// snapshot afterwards.
+func openDataset(ctx context.Context, cfg loadConfig, name, hash string, cold func() (*opmap.Session, error)) (*opmap.Session, error) {
+	if cfg.snaps != nil && !cfg.lazy {
+		if sess, ok := cfg.snaps.loadEager(name, hash); ok {
+			return sess, nil
+		}
+	}
+	sess, err := cold()
+	if err != nil {
+		return nil, err
+	}
+	if err := buildCubes(ctx, name, sess, cfg); err != nil {
+		return nil, err
+	}
+	if cfg.snaps != nil {
+		if cfg.lazy {
+			cfg.snaps.seedLazy(name, hash, sess)
+		} else {
+			cfg.snaps.trackCold(name, hash, sess)
+		}
+	}
+	return sess, nil
 }
 
 // splitDataSpec parses one -data value: name=path, or a bare path

@@ -1,0 +1,317 @@
+package main
+
+// Durable session snapshots for the daemon. A snapman owns one
+// -snapshot-dir: at startup it warm-starts each dataset from its
+// snapshot when the file is present, intact and matches the source
+// content hash (eager datasets load with zero cube builds; lazy
+// datasets seed their cube caches), and falls back to a cold rebuild
+// otherwise. While serving, an optional background checkpointer
+// rewrites each dataset's snapshot atomically whenever its engine has
+// changed since the last save, so a later restart warm-starts from
+// the freshest working set. Every load, fallback and checkpoint is
+// counted in the obsv default registry, which opmapd's /metrics
+// endpoint scrapes.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"opmap"
+	"opmap/internal/atomicfile"
+	"opmap/internal/obsv"
+)
+
+// Snapshot metric families. Fallback reasons are bounded label values
+// (missing, stale, corrupt, incompatible) so the series set stays
+// fixed.
+const (
+	metricSnapLoads       = "opmapd_snapshot_loads_total"             // counter: warm starts served from a snapshot
+	metricSnapFallbacks   = "opmapd_snapshot_fallbacks_total"         // counter{reason}: cold rebuilds forced at startup
+	metricSnapCheckpoints = "opmapd_snapshot_checkpoint_seconds"      // histogram: atomic checkpoint write durations
+	metricSnapBytes       = "opmapd_snapshot_bytes_written_total"     // counter: snapshot bytes persisted
+	metricSnapErrors      = "opmapd_snapshot_checkpoint_errors_total" // counter: failed checkpoint attempts
+)
+
+// fallbackReasons enumerates the metricSnapFallbacks label values so
+// the series exist from the first scrape.
+var fallbackReasons = []string{"missing", "stale", "corrupt", "incompatible"}
+
+// snapExt is the snapshot file suffix; each dataset gets
+// <dir>/<name>.omapsnap.
+const snapExt = ".omapsnap"
+
+// snapman manages the snapshot directory for every served dataset.
+type snapman struct {
+	dir      string
+	interval time.Duration
+
+	mu      sync.Mutex
+	entries map[string]*snapEntry
+	// reasons records why a dataset's warm start fell back, keyed by
+	// dataset name, so the tracked status can say more than "cold".
+	reasons map[string]string
+}
+
+// snapEntry is one tracked dataset: the live session to checkpoint,
+// the source identity to stamp into headers, and the serving status
+// reported on /api/datasets.
+type snapEntry struct {
+	sess   *opmap.Session
+	hash   string
+	status string
+	// lastSig is the engine signature at the last successful save;
+	// checkpoints are skipped while the signature is unchanged, so an
+	// idle daemon does not rewrite identical snapshots every interval.
+	lastSig string
+}
+
+// newSnapman prepares the snapshot directory (creating it, sweeping
+// staging files orphaned by a crash) and pre-registers the snapshot
+// metric series at zero.
+func newSnapman(dir string, interval time.Duration) (*snapman, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot dir: %w", err)
+	}
+	if n, err := atomicfile.CleanupTemps(dir); err != nil {
+		return nil, fmt.Errorf("snapshot dir: sweeping staging files: %w", err)
+	} else if n > 0 {
+		log.Printf("snapshot dir: removed %d staging file(s) orphaned by a crash", n)
+	}
+	reg := obsv.Default()
+	reg.Counter(metricSnapLoads)
+	for _, reason := range fallbackReasons {
+		reg.Counter(metricSnapFallbacks, "reason", reason)
+	}
+	reg.Histogram(metricSnapCheckpoints, nil)
+	reg.Counter(metricSnapBytes)
+	reg.Counter(metricSnapErrors)
+	return &snapman{
+		dir:      dir,
+		interval: interval,
+		entries:  map[string]*snapEntry{},
+		reasons:  map[string]string{},
+	}, nil
+}
+
+// path maps a dataset name to its snapshot file. Names with path
+// separators are rejected at flag validation (validName), so the join
+// cannot escape the snapshot directory.
+func (m *snapman) path(name string) string {
+	return filepath.Join(m.dir, name+snapExt)
+}
+
+// validName reports whether a dataset name can serve as a snapshot
+// file stem.
+func validName(name string) bool {
+	return name != "" && !strings.ContainsAny(name, "/\\") && name != "." && name != ".."
+}
+
+// loadEager attempts an eager warm start: peek the header for a cheap
+// staleness check, then load the full snapshot as a ready-to-serve
+// session. A missing, stale, corrupt or lazy-mode snapshot records a
+// fallback and returns false — the caller rebuilds from source.
+func (m *snapman) loadEager(name, hash string) (*opmap.Session, bool) {
+	path := m.path(name)
+	info, err := opmap.PeekSnapshotFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		m.fallback(name, "missing", nil)
+		return nil, false
+	case err != nil:
+		m.fallback(name, "corrupt", err)
+		return nil, false
+	case info.Lazy:
+		m.fallback(name, "incompatible", fmt.Errorf("snapshot holds a lazy working set; daemon is eager"))
+		return nil, false
+	case info.SourceHash != hash:
+		m.fallback(name, "stale", nil)
+		return nil, false
+	}
+	start := time.Now()
+	sess, err := opmap.LoadSnapshotFile(path)
+	if err != nil {
+		// The header looked fine but the body failed integrity or
+		// validation; rebuild rather than refuse to serve.
+		m.fallback(name, "corrupt", err)
+		return nil, false
+	}
+	obsv.Default().Counter(metricSnapLoads).Inc()
+	m.track(name, hash, "loaded", sess)
+	log.Printf("dataset %q: warm start from %s in %v (%d cubes, zero builds)",
+		name, path, time.Since(start).Round(time.Millisecond), sess.CubeCount())
+	return sess, true
+}
+
+// seedLazy warms a freshly built lazy session from the dataset's
+// snapshot. Both lazy and eager snapshots can seed (an eager snapshot
+// simply warms every cube); a missing, stale or mismatched one records
+// a fallback and the session serves cold.
+func (m *snapman) seedLazy(name, hash string, sess *opmap.Session) {
+	path := m.path(name)
+	info, err := opmap.PeekSnapshotFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		m.fallback(name, "missing", nil)
+		m.track(name, hash, "cold", sess)
+		return
+	case err != nil:
+		m.fallback(name, "corrupt", err)
+		m.track(name, hash, "cold", sess)
+		return
+	case info.SourceHash != hash:
+		m.fallback(name, "stale", nil)
+		m.track(name, hash, "cold", sess)
+		return
+	}
+	n, err := sess.SeedSnapshotFile(path)
+	if err != nil {
+		// The snapshot passed the hash check but its cubes disagree with
+		// the dataset; SeedCubes rejected it without touching the caches.
+		m.fallback(name, "incompatible", err)
+		m.track(name, hash, "cold", sess)
+		return
+	}
+	obsv.Default().Counter(metricSnapLoads).Inc()
+	m.track(name, hash, "seeded", sess)
+	log.Printf("dataset %q: seeded %d cube(s) from %s", name, n, path)
+}
+
+// trackCold registers an eager dataset that was rebuilt from source
+// and checkpoints it immediately, so the expensive build is durable
+// before the first request arrives. (Lazy engines go through seedLazy
+// instead: they start empty and are persisted by the periodic
+// checkpointer as they warm.)
+func (m *snapman) trackCold(name, hash string, sess *opmap.Session) {
+	m.track(name, hash, "cold", sess)
+	m.mu.Lock()
+	e := m.entries[name]
+	m.mu.Unlock()
+	m.checkpoint(name, e)
+}
+
+// track registers (or updates) a dataset entry. Warm entries start
+// with the current engine signature so the checkpointer does not
+// immediately rewrite the file it just loaded.
+func (m *snapman) track(name, hash, status string, sess *opmap.Session) {
+	e := &snapEntry{sess: sess, hash: hash, status: status}
+	if status == "loaded" || status == "seeded" {
+		e.lastSig = engineSig(sess)
+	}
+	m.mu.Lock()
+	if reason, ok := m.reasons[name]; ok && status == "cold" {
+		e.status = "cold (" + reason + ")"
+	}
+	m.entries[name] = e
+	m.mu.Unlock()
+}
+
+// fallback records a warm-start failure: a counter tick, a log line,
+// and the reason for the dataset's status string.
+func (m *snapman) fallback(name, reason string, err error) {
+	obsv.Default().Counter(metricSnapFallbacks, "reason", reason).Inc()
+	m.mu.Lock()
+	m.reasons[name] = reason
+	m.mu.Unlock()
+	if err != nil {
+		log.Printf("dataset %q: snapshot fallback (%s): %v; rebuilding from source", name, reason, err)
+		return
+	}
+	log.Printf("dataset %q: snapshot fallback (%s); rebuilding from source", name, reason)
+}
+
+// status reports a dataset's snapshot state for /api/datasets; empty
+// means untracked.
+func (m *snapman) status(name string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[name]
+	if e == nil {
+		return ""
+	}
+	return e.status
+}
+
+// checkpoint writes one dataset's snapshot atomically, skipping the
+// write when the engine is unchanged since the last save.
+func (m *snapman) checkpoint(name string, e *snapEntry) {
+	if e == nil {
+		return
+	}
+	sig := engineSig(e.sess)
+	m.mu.Lock()
+	skip := sig == e.lastSig
+	m.mu.Unlock()
+	if skip {
+		return
+	}
+	path := m.path(name)
+	start := time.Now()
+	if err := e.sess.SaveSnapshotFile(path, opmap.SnapshotOptions{SourceHash: e.hash}); err != nil {
+		obsv.Default().Counter(metricSnapErrors).Inc()
+		log.Printf("dataset %q: checkpoint to %s failed: %v", name, path, err)
+		return
+	}
+	dur := time.Since(start)
+	obsv.Default().Histogram(metricSnapCheckpoints, nil).Observe(dur.Seconds())
+	if fi, err := os.Stat(path); err == nil {
+		obsv.Default().Counter(metricSnapBytes).Add(fi.Size())
+	}
+	m.mu.Lock()
+	e.lastSig = sig
+	m.mu.Unlock()
+	log.Printf("dataset %q: checkpointed to %s in %v", name, path, dur.Round(time.Millisecond))
+}
+
+// checkpointAll checkpoints every tracked dataset in name order.
+func (m *snapman) checkpointAll() {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.entries))
+	for name := range m.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]*snapEntry, len(names))
+	for i, name := range names {
+		entries[i] = m.entries[name]
+	}
+	m.mu.Unlock()
+	for i, name := range names {
+		m.checkpoint(name, entries[i])
+	}
+}
+
+// run is the background checkpointer: every interval it persists the
+// datasets whose engines changed, and on shutdown it takes one final
+// checkpoint so a drained daemon leaves its freshest working set
+// behind. Caller gates on interval > 0.
+func (m *snapman) run(ctx context.Context) {
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			m.checkpointAll()
+			return
+		case <-t.C:
+			m.checkpointAll()
+		}
+	}
+}
+
+// engineSig summarizes the engine state that a snapshot would capture;
+// two equal signatures mean a checkpoint would write the same cube
+// set. Build counters are included so a lazy eviction-then-rebuild
+// cycle (same count, different residents) still triggers a save.
+func engineSig(s *opmap.Session) string {
+	st := s.EngineStats()
+	return fmt.Sprintf("%d|%d|%d", s.CubeCount(), st.OneDBuilds, st.TwoDBuilds)
+}

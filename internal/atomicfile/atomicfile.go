@@ -1,0 +1,100 @@
+// Package atomicfile is the project's single durable-write path: every
+// file the system persists (cube stores, session snapshots, CSV/ARFF
+// exports) goes through WriteFile, which stages the bytes in a
+// temporary file in the destination directory, fsyncs the data, renames
+// it over the destination, and fsyncs the directory. A crash — process
+// kill, full disk, power loss — at any point leaves either the old file
+// or the new file at the destination, never a truncated hybrid. The
+// previous direct-os.Create writers could be killed mid-write and leave
+// a corrupt artifact exactly where the next startup looks for a good
+// one; the deployed Opportunity Map regenerates cubes overnight
+// (Section V.C of the paper), so a clobbered store file means analysts
+// lose the serving day, which is the failure mode this package closes.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"opmap/internal/faultinject"
+)
+
+// tempPattern is the CreateTemp pattern for staging files. The prefix
+// is dot-hidden and distinctive so CleanupTemps can identify orphans
+// left behind by a crash without ever touching user files.
+const tempPattern = ".atomictmp-*"
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The data is staged in a temporary file in path's directory (rename is
+// only atomic within one filesystem), synced to stable storage, renamed
+// over path, and the directory entry is synced too. On any error the
+// destination is untouched and the temporary file is removed.
+func WriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tempPattern)
+	if err != nil {
+		return fmt.Errorf("atomicfile: staging in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	// Any failure from here on must not leave the staging file behind.
+	fail := func(step string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %s for %s: %w", step, path, err)
+	}
+	if err := faultinject.Hit(faultinject.SiteAtomicWriteData); err != nil {
+		return fail("writing data", err)
+	}
+	if err := write(f); err != nil {
+		return fail("writing data", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("syncing data", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: closing staging file for %s: %w", path, err)
+	}
+	if err := faultinject.Hit(faultinject.SiteAtomicWriteRename); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: renaming onto %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: renaming onto %s: %w", path, err)
+	}
+	// Sync the directory so the rename itself survives a crash. Some
+	// platforms cannot fsync a directory; treat that as best-effort the
+	// way the standard library's os.Rename callers do.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// CleanupTemps removes staging files orphaned in dir by a crash between
+// CreateTemp and rename. It returns how many were removed. Only files
+// matching this package's staging pattern are considered; everything
+// else in the directory is left alone.
+func CleanupTemps(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	prefix := strings.TrimSuffix(tempPattern, "*")
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}

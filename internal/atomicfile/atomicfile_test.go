@@ -1,0 +1,149 @@
+package atomicfile_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opmap/internal/atomicfile"
+	"opmap/internal/faultinject"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return string(b)
+}
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "first" {
+		t.Fatalf("content = %q, want %q", got, "first")
+	}
+	if err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second, longer than the first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "second, longer than the first" {
+		t.Fatalf("content = %q after replace", got)
+	}
+}
+
+// TestWriteFileFailureKeepsOldContent is the crash-safety contract: a
+// writer that fails partway (full disk, killed process simulated by an
+// error after partial output) must leave the previous good file intact
+// and no staging files behind.
+func TestWriteFileFailureKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.omap")
+	if err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "good snapshot")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "partial gar"); err != nil {
+			return err
+		}
+		return fmt.Errorf("disk full")
+	})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("want wrapped write error, got %v", err)
+	}
+	if got := readFile(t, path); got != "good snapshot" {
+		t.Fatalf("destination corrupted: %q", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+// TestWriteFileCrashSimulation drives the two injected crash windows:
+// before any data is staged and after staging but before the rename.
+// In both, the previously written destination must survive unchanged.
+func TestWriteFileCrashSimulation(t *testing.T) {
+	for _, site := range []string{faultinject.SiteAtomicWriteData, faultinject.SiteAtomicWriteRename} {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "snap.bin")
+			if err := atomicfile.WriteFile(path, func(w io.Writer) error {
+				_, err := io.WriteString(w, "pre-crash")
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			disarm, err := faultinject.Arm(faultinject.Fault{Site: site, Kind: faultinject.Error})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer disarm()
+			err = atomicfile.WriteFile(path, func(w io.Writer) error {
+				_, err := io.WriteString(w, "post-crash")
+				return err
+			})
+			if err == nil {
+				t.Fatal("injected crash did not surface as an error")
+			}
+			if got := readFile(t, path); got != "pre-crash" {
+				t.Fatalf("crash at %s corrupted destination: %q", site, got)
+			}
+			assertNoTemps(t, dir)
+		})
+	}
+}
+
+// TestCleanupTemps removes exactly the staging orphans a kill -9
+// between CreateTemp and rename would leave, and nothing else.
+func TestCleanupTemps(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate the post-kill state: an orphaned staging file with
+	// partial content next to a good destination file.
+	orphan := filepath.Join(dir, ".atomictmp-12345")
+	if err := os.WriteFile(orphan, []byte("trunca"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "snap.bin")
+	if err := os.WriteFile(keep, []byte("good"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	n, err := atomicfile.CleanupTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("removed %d temps, want 1", n)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan still present: %v", err)
+	}
+	if got := readFile(t, keep); got != "good" {
+		t.Fatalf("cleanup touched a real file: %q", got)
+	}
+}
+
+func assertNoTemps(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".atomictmp-") {
+			t.Fatalf("staging file leaked: %s", e.Name())
+		}
+	}
+}

@@ -5,9 +5,10 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"strconv"
 	"strings"
+
+	"opmap/internal/atomicfile"
 )
 
 // WriteARFF writes the dataset as a Weka ARFF relation, the round-trip
@@ -61,17 +62,13 @@ func WriteARFF(w io.Writer, ds *Dataset, relation string) error {
 	return bw.Flush()
 }
 
-// WriteARFFFile is WriteARFF to a file path.
+// WriteARFFFile is WriteARFF to a file path, written atomically so a
+// crash or full disk mid-export cannot leave a truncated file at the
+// destination.
 func WriteARFFFile(path string, ds *Dataset, relation string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteARFF(f, ds, relation); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		return WriteARFF(w, ds, relation)
+	})
 }
 
 // quoteARFF single-quotes a token when it contains characters that would

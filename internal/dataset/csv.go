@@ -7,6 +7,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"opmap/internal/atomicfile"
 )
 
 // CSVOptions controls CSV parsing into a Dataset.
@@ -200,15 +202,11 @@ func WriteCSV(w io.Writer, ds *Dataset) error {
 	return cw.Error()
 }
 
-// WriteCSVFile is WriteCSV to a file path.
+// WriteCSVFile is WriteCSV to a file path, written atomically so a
+// crash or full disk mid-export cannot leave a truncated file at the
+// destination.
 func WriteCSVFile(path string, ds *Dataset) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteCSV(f, ds); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		return WriteCSV(w, ds)
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -250,6 +251,115 @@ func (s *LazySource) finish(key [2]int, f *flight, cube *rulecube.Cube, err erro
 	delete(s.flights, key)
 	s.mu.Unlock()
 	close(f.done)
+}
+
+// Budget returns the configured 2-D cube cache byte budget (negative
+// means unlimited) — recorded in session snapshots so a warm start can
+// restore the same engine configuration.
+func (s *LazySource) Budget() int64 { return s.budget }
+
+// ResidentCubes returns every cube currently materialized — pinned 1-D
+// cubes by attribute index, then cached 2-D cubes by pair — the working
+// set a session snapshot persists so a warm-started lazy engine skips
+// re-counting them. The cubes are the source's own; callers must treat
+// them as read-only.
+func (s *LazySource) ResidentCubes() []*rulecube.Cube {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oneKeys := make([]int, 0, len(s.oneD))
+	for a := range s.oneD {
+		oneKeys = append(oneKeys, a)
+	}
+	sort.Ints(oneKeys)
+	twoKeys := make([][2]int, 0, len(s.twoD))
+	for k := range s.twoD {
+		twoKeys = append(twoKeys, k)
+	}
+	sort.Slice(twoKeys, func(i, j int) bool {
+		if twoKeys[i][0] != twoKeys[j][0] {
+			return twoKeys[i][0] < twoKeys[j][0]
+		}
+		return twoKeys[i][1] < twoKeys[j][1]
+	})
+	out := make([]*rulecube.Cube, 0, len(oneKeys)+len(twoKeys))
+	for _, a := range oneKeys {
+		out = append(out, s.oneD[a])
+	}
+	for _, k := range twoKeys {
+		out = append(out, s.twoD[k].Value.(*lruEntry).cube)
+	}
+	return out
+}
+
+// SeedCubes installs cubes counted in an earlier process — a snapshot's
+// resident set — so the first touch of each is a cache hit instead of a
+// data pass. Every cube is validated against the dataset (attribute
+// membership, per-dimension cardinality, class count); a mismatch
+// fails the whole seed without mutating the caches, since a snapshot
+// that disagrees with the data is stale and none of it can be trusted.
+// 2-D cubes enter the LRU front in the order given and may evict under
+// the byte budget. Returns the number of cubes accepted (already-
+// resident duplicates are skipped; an over-budget 2-D cube may still
+// evict). Build counters do not advance: seeded cubes were not built
+// here.
+func (s *LazySource) SeedCubes(cubes []*rulecube.Cube) (int, error) {
+	type placed struct {
+		key  [2]int
+		cube *rulecube.Cube
+	}
+	plan := make([]placed, 0, len(cubes))
+	for i, c := range cubes {
+		if c == nil {
+			return 0, fmt.Errorf("engine: seed cube %d is nil", i)
+		}
+		if c.NumClasses() != s.ds.NumClasses() {
+			return 0, fmt.Errorf("engine: seed cube %d has %d classes, dataset has %d", i, c.NumClasses(), s.ds.NumClasses())
+		}
+		idx := c.AttrIndices()
+		for pos, a := range idx {
+			if !s.inSet[a] {
+				return 0, fmt.Errorf("engine: seed cube %d references attribute %d outside the served set", i, a)
+			}
+			card := s.ds.Cardinality(a)
+			if card == 0 {
+				card = 1
+			}
+			if c.Dim(pos) != card {
+				return 0, fmt.Errorf("engine: seed cube %d dimension %d has cardinality %d, dataset says %d", i, pos, c.Dim(pos), card)
+			}
+		}
+		switch len(idx) {
+		case 1:
+			plan = append(plan, placed{key: [2]int{idx[0], -1}, cube: c})
+		case 2:
+			a, b := idx[0], idx[1]
+			if a > b {
+				a, b = b, a
+			}
+			plan = append(plan, placed{key: [2]int{a, b}, cube: c})
+		default:
+			return 0, fmt.Errorf("engine: seed cube %d has %d condition dimensions (want 1 or 2)", i, len(idx))
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seeded := 0
+	for _, p := range plan {
+		if p.key[1] < 0 {
+			if _, ok := s.oneD[p.key[0]]; ok {
+				continue
+			}
+			s.oneD[p.key[0]] = p.cube
+			seeded++
+			continue
+		}
+		if _, ok := s.twoD[p.key]; ok {
+			continue
+		}
+		s.insertTwoD(p.key, p.cube)
+		seeded++
+	}
+	return seeded, nil
 }
 
 // insertTwoD records a freshly built 2-D cube and evicts from the LRU

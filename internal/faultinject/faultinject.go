@@ -45,6 +45,16 @@ const (
 	// SiteServerHandle fires inside the opmapd request path, after the
 	// middleware and before the endpoint handler.
 	SiteServerHandle = "server.handle"
+	// SiteAtomicWriteData fires inside atomicfile.WriteFile before the
+	// payload is written to the staging file — an Error fault here
+	// simulates a crash mid-write, which must leave the destination
+	// untouched.
+	SiteAtomicWriteData = "atomicfile.write"
+	// SiteAtomicWriteRename fires after the staging file is synced and
+	// closed, immediately before the rename — an Error fault here
+	// simulates a crash in the narrowest window, after which the old
+	// destination must still be intact.
+	SiteAtomicWriteRename = "atomicfile.rename"
 )
 
 // ErrInjected is the error returned by an Error fault whose Fault.Err

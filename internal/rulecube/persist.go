@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"opmap/internal/atomicfile"
 	"opmap/internal/dataset"
 )
 
@@ -27,6 +28,17 @@ const (
 	// hostile streams must not drive huge allocations. 1<<24 cells
 	// (128 MiB of counts) is far beyond any real 3-D rule cube.
 	maxCubeCells = 1 << 24
+
+	// maxStringLen bounds every length-prefixed string on read. Attribute
+	// names and dictionary labels come from CSV headers and cell values;
+	// 1 MiB is far beyond any real one and small enough that a corrupt
+	// uvarint cannot drive a large allocation before the CRC check.
+	maxStringLen = 1 << 20
+
+	// maxDictEntries bounds dictionary sizes on read, mirroring
+	// maxCubeCells: a dictionary can have at most one entry per dataset
+	// row, and 16M distinct labels is past any dataset this serves.
+	maxDictEntries = 1 << 24
 )
 
 type crcWriter struct {
@@ -73,13 +85,16 @@ func writeString(w io.Writer, s string) error {
 	return err
 }
 
-func readString(r *crcReader) (string, error) {
+// readString reads one length-prefixed string, rejecting lengths over
+// maxStringLen before allocating. block names the stream section being
+// decoded so corrupt-file errors point at the offending block.
+func readString(r *crcReader, block string) (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<20 {
-		return "", fmt.Errorf("rulecube: string length %d implausible; corrupt stream", n)
+	if n > maxStringLen {
+		return "", fmt.Errorf("rulecube: %s: string length %d exceeds limit %d; corrupt stream", block, n, maxStringLen)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -101,17 +116,20 @@ func writeDict(w io.Writer, d *dataset.Dictionary) error {
 	return nil
 }
 
-func readDict(r *crcReader) (*dataset.Dictionary, error) {
+// readDict reads one dictionary block, rejecting entry counts over
+// maxDictEntries before any label is decoded. block names the stream
+// section for error messages.
+func readDict(r *crcReader, block string) (*dataset.Dictionary, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, err
 	}
-	if n > 1<<24 {
-		return nil, fmt.Errorf("rulecube: dictionary size %d implausible", n)
+	if n > maxDictEntries {
+		return nil, fmt.Errorf("rulecube: %s: dictionary size %d exceeds limit %d; corrupt stream", block, n, maxDictEntries)
 	}
 	d := dataset.NewDictionary()
 	for i := uint64(0); i < n; i++ {
-		l, err := readString(r)
+		l, err := readString(r, block)
 		if err != nil {
 			return nil, err
 		}
@@ -210,17 +228,14 @@ func WriteStore(w io.Writer, s *Store) error {
 	return cw.w.Flush()
 }
 
-// WriteStoreFile is WriteStore to a file path.
+// WriteStoreFile is WriteStore to a file path. The write is atomic: the
+// stream is staged next to path and renamed over it only once fully
+// synced, so a crash mid-write cannot leave a truncated store where the
+// next startup expects a good one.
 func WriteStoreFile(path string, s *Store) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteStore(f, s); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		return WriteStore(w, s)
+	})
 }
 
 // ReadStore deserializes a store previously written with WriteStore.
@@ -266,11 +281,11 @@ func ReadStore(r io.Reader) (*Store, error) {
 		if idx > 1<<20 {
 			return nil, fmt.Errorf("rulecube: attribute index %d implausible", idx)
 		}
-		name, err := readString(cr)
+		name, err := readString(cr, fmt.Sprintf("attribute %d name", i))
 		if err != nil {
 			return nil, err
 		}
-		dict, err := readDict(cr)
+		dict, err := readDict(cr, fmt.Sprintf("attribute %d dictionary", i))
 		if err != nil {
 			return nil, err
 		}
@@ -287,11 +302,11 @@ func ReadStore(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("rulecube: class index %d implausible", classIdx64)
 	}
 	classIdx := int(classIdx64)
-	className, err := readString(cr)
+	className, err := readString(cr, "class name")
 	if err != nil {
 		return nil, err
 	}
-	classDict, err := readDict(cr)
+	classDict, err := readDict(cr, "class dictionary")
 	if err != nil {
 		return nil, err
 	}

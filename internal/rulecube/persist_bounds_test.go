@@ -1,0 +1,97 @@
+package rulecube_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"opmap/internal/rulecube"
+)
+
+// boundsStream builds the prefix of a store stream by hand: magic,
+// version, and whatever the test appends. It lets each case plant one
+// hostile length field at a known position without bit-hunting through
+// a real stream.
+type boundsStream struct{ buf bytes.Buffer }
+
+func (s *boundsStream) uvarint(v uint64) *boundsStream {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	s.buf.Write(b[:n])
+	return s
+}
+
+func (s *boundsStream) str(v string) *boundsStream {
+	s.uvarint(uint64(len(v)))
+	s.buf.WriteString(v)
+	return s
+}
+
+func newBoundsStream() *boundsStream {
+	s := &boundsStream{}
+	s.buf.WriteString("OMAPCUBE")
+	s.uvarint(1) // store version
+	return s
+}
+
+// TestReadStoreBounds pins the read-side allocation guards: a hostile
+// length field must fail before any large allocation, with an error
+// naming the block it sits in.
+func TestReadStoreBounds(t *testing.T) {
+	const huge = 1 << 30
+	cases := []struct {
+		name    string
+		stream  *boundsStream
+		wantSub []string
+	}{
+		{
+			name: "attribute name length",
+			// One attribute at index 0 whose name claims 1 GiB.
+			stream:  newBoundsStream().uvarint(1).uvarint(0).uvarint(huge),
+			wantSub: []string{"attribute 0 name", "exceeds limit"},
+		},
+		{
+			name: "attribute dictionary size",
+			// Valid name, then a dictionary claiming 1<<30 entries.
+			stream:  newBoundsStream().uvarint(1).uvarint(0).str("A1").uvarint(huge),
+			wantSub: []string{"attribute 0 dictionary", "exceeds limit"},
+		},
+		{
+			name: "dictionary label length",
+			// Dictionary of one label whose length claims 1 GiB.
+			stream:  newBoundsStream().uvarint(1).uvarint(0).str("A1").uvarint(1).uvarint(huge),
+			wantSub: []string{"attribute 0 dictionary", "exceeds limit"},
+		},
+		{
+			name: "class name length",
+			// One complete attribute (empty dict), class at index 1, then
+			// an oversized class name.
+			stream:  newBoundsStream().uvarint(1).uvarint(0).str("A1").uvarint(0).uvarint(1).uvarint(huge),
+			wantSub: []string{"class name", "exceeds limit"},
+		},
+		{
+			name:    "class dictionary size",
+			stream:  newBoundsStream().uvarint(1).uvarint(0).str("A1").uvarint(0).uvarint(1).str("C").uvarint(huge),
+			wantSub: []string{"class dictionary", "exceeds limit"},
+		},
+		{
+			name:    "attribute count",
+			stream:  newBoundsStream().uvarint(huge),
+			wantSub: []string{"attribute count"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := rulecube.ReadStore(bytes.NewReader(tc.stream.buf.Bytes()))
+			if err == nil {
+				t.Fatal("hostile stream accepted")
+			}
+			for _, sub := range tc.wantSub {
+				if !strings.Contains(err.Error(), sub) {
+					t.Errorf("error %q does not name %q", err, sub)
+				}
+			}
+		})
+	}
+}

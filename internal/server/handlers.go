@@ -309,6 +309,10 @@ type datasetEntry struct {
 	Class     string `json:"class"`
 	Lazy      bool   `json:"lazy"`
 	CubeCount int    `json:"cube_count"`
+	// Snapshot reports the dataset's warm-start state ("loaded",
+	// "seeded", "cold (stale)", ...) when the daemon serves with a
+	// snapshot directory; absent otherwise.
+	Snapshot string `json:"snapshot,omitempty"`
 }
 
 // handleDatasets lists the served datasets so clients can discover the
@@ -318,13 +322,17 @@ func (s *Server) handleDatasets(_ *http.Request) (any, error) {
 	resp := &datasetsResponse{Default: s.defaultName}
 	for _, name := range s.DatasetNames() {
 		sess := s.sessions[name]
-		resp.Datasets = append(resp.Datasets, datasetEntry{
+		entry := datasetEntry{
 			Name:      name,
 			Rows:      sess.NumRows(),
 			Class:     sess.ClassAttribute(),
 			Lazy:      sess.EngineStats().Lazy,
 			CubeCount: sess.CubeCount(),
-		})
+		}
+		if s.snapStatus != nil {
+			entry.Snapshot = s.snapStatus(name)
+		}
+		resp.Datasets = append(resp.Datasets, entry)
 	}
 	return resp, nil
 }

@@ -36,6 +36,7 @@ import (
 	"opmap/internal/engine"
 	"opmap/internal/faultinject"
 	"opmap/internal/obsv"
+	"opmap/internal/rulecube"
 )
 
 // Metric families recorded by the request middleware.
@@ -86,6 +87,12 @@ type Config struct {
 	// carries the pipeline stage timings — so one scrape shows the
 	// serving layer and the analysis stages together.
 	Metrics *obsv.Registry
+	// SnapshotStatus, when set, reports each dataset's snapshot state
+	// ("loaded", "seeded", "cold (reason)", ...) for /api/datasets.
+	// Empty return values omit the field; nil disables it entirely —
+	// the daemon wires this only when serving with a snapshot
+	// directory.
+	SnapshotStatus func(dataset string) string
 }
 
 // Server is the hardened HTTP front end over a registry of Sessions.
@@ -97,6 +104,7 @@ type Server struct {
 	sem            chan struct{}
 	logger         *obsv.Logger
 	metrics        *obsv.Registry
+	snapStatus     func(dataset string) string
 	mux            *http.ServeMux
 
 	ready    atomic.Bool
@@ -132,6 +140,7 @@ func New(cfg Config) (*Server, error) {
 		sem:            make(chan struct{}, cfg.MaxInFlight),
 		logger:         cfg.Logger,
 		metrics:        cfg.Metrics,
+		snapStatus:     cfg.SnapshotStatus,
 		mux:            http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -170,6 +179,10 @@ func New(cfg Config) (*Server, error) {
 	for _, name := range histograms {
 		s.metrics.Histogram(name, nil)
 	}
+	// The cube-build counter too: a snapshot warm start must be able to
+	// prove "zero cubes built" with a scrape, which needs the series
+	// present at 0 rather than absent.
+	s.metrics.Counter(rulecube.CubesBuiltCounterName)
 	s.ready.Store(true)
 	return s, nil
 }

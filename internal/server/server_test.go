@@ -555,3 +555,41 @@ func TestServeDrains(t *testing.T) {
 		t.Error("listener still accepting after drain")
 	}
 }
+
+// TestDatasetsSnapshotStatus pins the snapshot field on /api/datasets:
+// present per dataset when the daemon wires a SnapshotStatus callback,
+// absent otherwise.
+func TestDatasetsSnapshotStatus(t *testing.T) {
+	sess, _ := demoSession(t)
+	_, ts := newTestServer(t, Config{
+		Session: sess,
+		SnapshotStatus: func(name string) string {
+			if name == DefaultDatasetName {
+				return "loaded"
+			}
+			return ""
+		},
+	})
+	code, body := get(t, ts.URL, "/api/datasets")
+	if code != http.StatusOK {
+		t.Fatalf("/api/datasets = %d: %s", code, body)
+	}
+	var dl struct {
+		Datasets []struct {
+			Name     string `json:"name"`
+			Snapshot string `json:"snapshot"`
+		} `json:"datasets"`
+	}
+	if err := json.Unmarshal(body, &dl); err != nil {
+		t.Fatalf("/api/datasets is not JSON: %v", err)
+	}
+	if len(dl.Datasets) != 1 || dl.Datasets[0].Snapshot != "loaded" {
+		t.Fatalf("datasets = %+v, want one entry with snapshot \"loaded\"", dl.Datasets)
+	}
+
+	// Without the callback the field stays off the wire entirely.
+	_, ts2 := newTestServer(t, Config{Session: sess})
+	if _, body := get(t, ts2.URL, "/api/datasets"); strings.Contains(string(body), "\"snapshot\"") {
+		t.Errorf("snapshot field present without a SnapshotStatus callback: %s", body)
+	}
+}

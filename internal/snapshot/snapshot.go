@@ -1,0 +1,584 @@
+// Package snapshot implements the durable session snapshot: everything
+// a serving session needs to answer Compare/Sweep/Impressions queries —
+// dataset schema and dictionaries, discretization cut points, the rule
+// cubes, and engine metadata — in one versioned, checksummed file. The
+// deployed Opportunity Map generates cubes offline and serves analysts
+// from them the next day (Section V.C of the paper); a snapshot lets
+// opmapd warm-start in milliseconds instead of re-counting every cube
+// from CSV. The header records a content hash of the source data so a
+// loader can detect stale snapshots, and every write goes through
+// internal/atomicfile so a crash can never clobber a good snapshot.
+//
+// Layout (all integers varint-encoded, little-endian where fixed):
+//
+//	magic "OMAPSNAP" | version | header (source hash, created, rows,
+//	mode, cache bytes) | schema block (attrs: name, kind, dictionary) |
+//	cuts block | store block (length-prefixed rulecube stream) |
+//	CRC32 trailer
+//
+// The store block reuses the rulecube.WriteStore wire format verbatim,
+// length-prefixed so the embedded stream's own buffering cannot consume
+// snapshot bytes past the block. Readers bound every declared length
+// before allocating, so corrupt or hostile streams fail with a clear
+// error instead of driving huge allocations.
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"opmap/internal/atomicfile"
+	"opmap/internal/dataset"
+	"opmap/internal/rulecube"
+)
+
+const (
+	// Magic is the 8-byte file signature opening every snapshot.
+	Magic = "OMAPSNAP"
+	// Version is the format version this package writes and the only
+	// one it reads.
+	Version = 1
+
+	// maxStringLen bounds every length-prefixed string on read (names,
+	// labels, the source hash). 1 MiB is far past any real value and
+	// small enough that a corrupt length cannot drive a big allocation.
+	maxStringLen = 1 << 20
+	// maxDictEntries bounds dictionary sizes on read: at most one entry
+	// per dataset row, and 16M distinct labels is past any served data.
+	maxDictEntries = 1 << 24
+	// maxAttrs bounds the schema's attribute count on read.
+	maxAttrs = 1 << 20
+	// maxCutPoints bounds the cut points of one discretized attribute.
+	maxCutPoints = 1 << 20
+	// maxRows bounds the recorded row count.
+	maxRows = 1 << 40
+	// maxStoreBytes bounds the embedded cube-store block.
+	maxStoreBytes = int64(1) << 32
+)
+
+// Mode records which engine the snapshotted session ran.
+type Mode uint8
+
+const (
+	// ModeEager marks a snapshot holding the full materialized store; a
+	// loader can serve from it standalone.
+	ModeEager Mode = 1
+	// ModeLazy marks a snapshot holding only the cubes resident when it
+	// was taken; a loader seeds them into a fresh lazy engine over the
+	// source data.
+	ModeLazy Mode = 2
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeEager:
+		return "eager"
+	case ModeLazy:
+		return "lazy"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Snapshot is the in-memory form of one session snapshot.
+type Snapshot struct {
+	// SourceHash is the content hash of the source data (HashFile /
+	// HashBytes), recorded so loaders can detect staleness. Empty means
+	// unknown: never stale, never fresh — loader policy decides.
+	SourceHash string
+	// CreatedUnix is when the snapshot was taken (Unix seconds).
+	CreatedUnix int64
+	// Rows is the source row count; snapshot-loaded datasets are
+	// schema-only, so this is the only place the count survives.
+	Rows int
+	// Mode is the engine the session ran (eager or lazy).
+	Mode Mode
+	// CacheBytes is the lazy 2-D cube budget (ModeLazy only; negative
+	// means unlimited).
+	CacheBytes int64
+	// Cuts are the discretization cut points per attribute name.
+	Cuts map[string][]float64
+	// Dataset carries the schema and dictionaries. On write any dataset
+	// with the right schema serves (rows are not serialized); on read it
+	// is a freshly built zero-row dataset.
+	Dataset *dataset.Dataset
+	// Store holds the cubes: all of them for ModeEager, the resident
+	// subset for ModeLazy. On read it is rebound to Dataset.
+	Store *rulecube.Store
+}
+
+// Header is the cheaply readable prefix of a snapshot, enough for a
+// staleness decision without decoding cubes. PeekHeader does not verify
+// the trailing CRC — treat the fields as advisory until a full Read.
+type Header struct {
+	Version     int
+	SourceHash  string
+	CreatedUnix int64
+	Rows        int
+	Mode        Mode
+	CacheBytes  int64
+}
+
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeVarint(w io.Writer, v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// readString reads one length-prefixed string, rejecting lengths over
+// maxStringLen before allocating. block names the stream section for
+// corrupt-file errors.
+func readString(r *crcReader, block string) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: %s: %w", block, err)
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("snapshot: %s: string length %d exceeds limit %d; corrupt stream", block, n, maxStringLen)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("snapshot: %s: %w", block, err)
+	}
+	return string(buf), nil
+}
+
+func readBoundedUvarint(r *crcReader, limit uint64, block string) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %s: %w", block, err)
+	}
+	if v > limit {
+		return 0, fmt.Errorf("snapshot: %s: value %d exceeds limit %d; corrupt stream", block, v, limit)
+	}
+	return v, nil
+}
+
+// Write serializes the snapshot to w. See the package comment for the
+// layout. The caller supplies a complete Snapshot; Dataset and Store
+// must be non-nil and Mode valid.
+func Write(w io.Writer, snap *Snapshot) error {
+	if snap == nil || snap.Dataset == nil || snap.Store == nil {
+		return fmt.Errorf("snapshot: write needs a snapshot with dataset and store")
+	}
+	if snap.Mode != ModeEager && snap.Mode != ModeLazy {
+		return fmt.Errorf("snapshot: invalid mode %d", snap.Mode)
+	}
+	cw := &crcWriter{w: bufio.NewWriter(w)}
+	if _, err := io.WriteString(cw, Magic); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, Version); err != nil {
+		return err
+	}
+
+	// Header.
+	if err := writeString(cw, snap.SourceHash); err != nil {
+		return err
+	}
+	created := snap.CreatedUnix
+	if created < 0 {
+		created = 0
+	}
+	if err := writeUvarint(cw, uint64(created)); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, uint64(snap.Rows)); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, uint64(snap.Mode)); err != nil {
+		return err
+	}
+	if err := writeVarint(cw, snap.CacheBytes); err != nil {
+		return err
+	}
+
+	// Schema block: every attribute with its dictionary, so the loader
+	// rebuilds the full working dataset, not just the cube-covered part.
+	ds := snap.Dataset
+	if err := writeUvarint(cw, uint64(ds.NumAttrs())); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, uint64(ds.ClassIndex())); err != nil {
+		return err
+	}
+	for i := 0; i < ds.NumAttrs(); i++ {
+		a := ds.Attr(i)
+		if err := writeString(cw, a.Name); err != nil {
+			return err
+		}
+		if err := writeUvarint(cw, uint64(a.Kind)); err != nil {
+			return err
+		}
+		var labels []string
+		if d := ds.Column(i).Dict; d != nil {
+			labels = d.Labels()
+		}
+		if err := writeUvarint(cw, uint64(len(labels))); err != nil {
+			return err
+		}
+		for _, l := range labels {
+			if err := writeString(cw, l); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Cuts block, in sorted attribute order for deterministic output.
+	names := make([]string, 0, len(snap.Cuts))
+	for n := range snap.Cuts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if err := writeUvarint(cw, uint64(len(names))); err != nil {
+		return err
+	}
+	var f64 [8]byte
+	for _, n := range names {
+		if err := writeString(cw, n); err != nil {
+			return err
+		}
+		pts := snap.Cuts[n]
+		if err := writeUvarint(cw, uint64(len(pts))); err != nil {
+			return err
+		}
+		for _, p := range pts {
+			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(p))
+			if _, err := cw.Write(f64[:]); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Store block, length-prefixed so the reader can hand the embedded
+	// stream exactly its own bytes.
+	var sb bytes.Buffer
+	if err := rulecube.WriteStore(&sb, snap.Store); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, uint64(sb.Len())); err != nil {
+		return err
+	}
+	if _, err := cw.Write(sb.Bytes()); err != nil {
+		return err
+	}
+
+	// Trailer: CRC of everything written so far.
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], cw.crc)
+	if _, err := cw.w.Write(tr[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// WriteFile writes the snapshot to path atomically: staged next to the
+// destination, synced, renamed. A crash mid-write leaves any previous
+// snapshot at path intact.
+func WriteFile(path string, snap *Snapshot) error {
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		return Write(w, snap)
+	})
+}
+
+// readHeader parses magic, version and the header fields from cr.
+func readHeader(cr *crcReader) (*Header, error) {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q (not a snapshot file)", magic)
+	}
+	ver, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading version: %w", err)
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (this build reads %d)", ver, Version)
+	}
+	hash, err := readString(cr, "header source hash")
+	if err != nil {
+		return nil, err
+	}
+	created, err := readBoundedUvarint(cr, math.MaxInt64, "header created")
+	if err != nil {
+		return nil, err
+	}
+	rows, err := readBoundedUvarint(cr, maxRows, "header rows")
+	if err != nil {
+		return nil, err
+	}
+	mode, err := readBoundedUvarint(cr, uint64(ModeLazy), "header mode")
+	if err != nil {
+		return nil, err
+	}
+	if Mode(mode) != ModeEager && Mode(mode) != ModeLazy {
+		return nil, fmt.Errorf("snapshot: header mode %d is not eager(1) or lazy(2)", mode)
+	}
+	cacheBytes, err := binary.ReadVarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: header cache bytes: %w", err)
+	}
+	return &Header{
+		Version:     int(ver),
+		SourceHash:  hash,
+		CreatedUnix: int64(created),
+		Rows:        int(rows),
+		Mode:        Mode(mode),
+		CacheBytes:  cacheBytes,
+	}, nil
+}
+
+// Read deserializes a snapshot written with Write, verifying the CRC
+// trailer, rebuilding the schema-only dataset and rebinding the cube
+// store to it. Corrupt, truncated or over-declared streams fail with an
+// error naming the offending block; no input can make Read panic or
+// allocate past the documented bounds.
+func Read(r io.Reader) (*Snapshot, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	h, err := readHeader(cr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Schema block.
+	nAttrs, err := readBoundedUvarint(cr, maxAttrs, "schema attribute count")
+	if err != nil {
+		return nil, err
+	}
+	classIdx, err := readBoundedUvarint(cr, maxAttrs, "schema class index")
+	if err != nil {
+		return nil, err
+	}
+	if classIdx >= nAttrs {
+		return nil, fmt.Errorf("snapshot: class index %d outside schema of %d attributes", classIdx, nAttrs)
+	}
+	attrs := make([]dataset.Attribute, nAttrs)
+	dicts := make([]*dataset.Dictionary, nAttrs)
+	for i := range attrs {
+		block := fmt.Sprintf("schema attribute %d", i)
+		name, err := readString(cr, block+" name")
+		if err != nil {
+			return nil, err
+		}
+		kind, err := readBoundedUvarint(cr, uint64(dataset.Continuous), block+" kind")
+		if err != nil {
+			return nil, err
+		}
+		nLabels, err := readBoundedUvarint(cr, maxDictEntries, block+" dictionary")
+		if err != nil {
+			return nil, err
+		}
+		d := dataset.NewDictionary()
+		for j := uint64(0); j < nLabels; j++ {
+			l, err := readString(cr, block+" dictionary")
+			if err != nil {
+				return nil, err
+			}
+			d.Code(l)
+		}
+		attrs[i] = dataset.Attribute{Name: name, Kind: dataset.Kind(kind)}
+		if d.Len() > 0 || dataset.Kind(kind) == dataset.Categorical {
+			dicts[i] = d
+		}
+	}
+	b, err := dataset.NewBuilder(dataset.Schema{Attrs: attrs, ClassIndex: int(classIdx)})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: rebuilding schema: %w", err)
+	}
+	for i, d := range dicts {
+		if d != nil {
+			b.WithDict(i, d)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: rebuilding schema: %w", err)
+	}
+
+	// Cuts block.
+	nCuts, err := readBoundedUvarint(cr, maxAttrs, "cuts count")
+	if err != nil {
+		return nil, err
+	}
+	var cuts map[string][]float64
+	if nCuts > 0 {
+		cuts = make(map[string][]float64, nCuts)
+	}
+	var f64 [8]byte
+	for i := uint64(0); i < nCuts; i++ {
+		block := fmt.Sprintf("cuts entry %d", i)
+		name, err := readString(cr, block)
+		if err != nil {
+			return nil, err
+		}
+		nPts, err := readBoundedUvarint(cr, maxCutPoints, block)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]float64, nPts)
+		for j := range pts {
+			if _, err := io.ReadFull(cr, f64[:]); err != nil {
+				return nil, fmt.Errorf("snapshot: %s: %w", block, err)
+			}
+			pts[j] = math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+		}
+		cuts[name] = pts
+	}
+
+	// Store block: buffer exactly the declared bytes so the embedded
+	// stream's own buffered reader cannot consume past the block, and
+	// grow the buffer only with bytes that actually arrive — a hostile
+	// length hits EOF, not an allocation.
+	storeLen, err := readBoundedUvarint(cr, uint64(maxStoreBytes), "store block length")
+	if err != nil {
+		return nil, err
+	}
+	var sb bytes.Buffer
+	n, err := io.Copy(&sb, io.LimitReader(cr, int64(storeLen)))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: store block: %w", err)
+	}
+	if uint64(n) != storeLen {
+		return nil, fmt.Errorf("snapshot: store block truncated: declared %d bytes, stream had %d", storeLen, n)
+	}
+	raw, err := rulecube.ReadStore(&sb)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: store block: %w", err)
+	}
+
+	// Trailer.
+	want := cr.crc
+	var tr [4]byte
+	if _, err := io.ReadFull(cr.r, tr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading CRC trailer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tr[:]); got != want {
+		return nil, fmt.Errorf("snapshot: CRC mismatch: stream %08x, computed %08x", got, want)
+	}
+
+	// Rebind the store's cubes to the schema dataset so labels have one
+	// source of truth (the store block's own reconstruction is partial).
+	store, err := rulecube.AssembleStore(ds, raw.Attrs(), raw.Cubes())
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: store does not match schema: %w", err)
+	}
+
+	return &Snapshot{
+		SourceHash:  h.SourceHash,
+		CreatedUnix: h.CreatedUnix,
+		Rows:        h.Rows,
+		Mode:        h.Mode,
+		CacheBytes:  h.CacheBytes,
+		Cuts:        cuts,
+		Dataset:     ds,
+		Store:       store,
+	}, nil
+}
+
+// ReadFile reads and fully verifies the snapshot at path.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// PeekHeader reads just the snapshot header — enough for a staleness
+// decision without decoding dictionaries or cubes. The CRC trailer is
+// NOT verified; a loader that decides to use the snapshot must still go
+// through Read.
+func PeekHeader(r io.Reader) (*Header, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	return readHeader(cr)
+}
+
+// PeekFile is PeekHeader on a file path.
+func PeekFile(path string) (*Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return PeekHeader(f)
+}
+
+// HashFile returns the hex SHA-256 of the file's contents — the source
+// identity recorded in Snapshot.SourceHash for staleness checks.
+func HashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// HashBytes returns the hex SHA-256 of b — the source identity for
+// generated (demo) datasets, hashed over their configuration string.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,337 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"opmap/internal/dataset"
+	"opmap/internal/rulecube"
+	"opmap/internal/snapshot"
+)
+
+// testDataset builds a small fully categorical dataset: two condition
+// attributes plus the class.
+func testDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	b, err := dataset.NewBuilder(dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "phone", Kind: dataset.Categorical},
+			{Name: "location", Kind: dataset.Categorical},
+			{Name: "dropped", Kind: dataset.Categorical},
+		},
+		ClassIndex: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WithDict(0, dataset.DictionaryOf("p1", "p2", "p3"))
+	b.WithDict(1, dataset.DictionaryOf("north", "south"))
+	b.WithDict(2, dataset.DictionaryOf("yes", "no"))
+	add := func(p, l, c string, n int) {
+		for i := 0; i < n; i++ {
+			if err := b.AddRow([]string{p, l, c}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add("p1", "north", "yes", 10)
+	add("p1", "south", "no", 90)
+	add("p2", "north", "yes", 40)
+	add("p2", "south", "no", 60)
+	add("p3", "north", "no", 50)
+	add("p3", "south", "yes", 50)
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// testSnapshot builds a complete eager snapshot over testDataset.
+func testSnapshot(t testing.TB) *snapshot.Snapshot {
+	t.Helper()
+	ds := testDataset(t)
+	store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &snapshot.Snapshot{
+		SourceHash:  snapshot.HashBytes([]byte("test-source")),
+		CreatedUnix: 1754000000,
+		Rows:        ds.NumRows(),
+		Mode:        snapshot.ModeEager,
+		Cuts:        map[string][]float64{"temp": {1.5, 2.5}, "pressure": {0.25}},
+		Dataset:     ds,
+		Store:       store,
+	}
+}
+
+func encode(t testing.TB, snap *snapshot.Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := testSnapshot(t)
+	raw := encode(t, want)
+	got, err := snapshot.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SourceHash != want.SourceHash {
+		t.Errorf("SourceHash = %q, want %q", got.SourceHash, want.SourceHash)
+	}
+	if got.CreatedUnix != want.CreatedUnix {
+		t.Errorf("CreatedUnix = %d, want %d", got.CreatedUnix, want.CreatedUnix)
+	}
+	if got.Rows != want.Rows {
+		t.Errorf("Rows = %d, want %d", got.Rows, want.Rows)
+	}
+	if got.Mode != snapshot.ModeEager {
+		t.Errorf("Mode = %v, want eager", got.Mode)
+	}
+	if !reflect.DeepEqual(got.Cuts, want.Cuts) {
+		t.Errorf("Cuts = %v, want %v", got.Cuts, want.Cuts)
+	}
+	// Schema fidelity: names, kinds, class, dictionaries.
+	if got.Dataset.NumAttrs() != want.Dataset.NumAttrs() {
+		t.Fatalf("NumAttrs = %d, want %d", got.Dataset.NumAttrs(), want.Dataset.NumAttrs())
+	}
+	if got.Dataset.ClassIndex() != want.Dataset.ClassIndex() {
+		t.Errorf("ClassIndex = %d, want %d", got.Dataset.ClassIndex(), want.Dataset.ClassIndex())
+	}
+	if got.Dataset.NumRows() != 0 {
+		t.Errorf("restored dataset has %d rows, want 0 (schema-only)", got.Dataset.NumRows())
+	}
+	for i := 0; i < want.Dataset.NumAttrs(); i++ {
+		if got.Dataset.Attr(i) != want.Dataset.Attr(i) {
+			t.Errorf("attr %d = %+v, want %+v", i, got.Dataset.Attr(i), want.Dataset.Attr(i))
+		}
+		wd, gd := want.Dataset.Column(i).Dict, got.Dataset.Column(i).Dict
+		if !reflect.DeepEqual(wd.Labels(), gd.Labels()) {
+			t.Errorf("attr %d labels = %v, want %v", i, gd.Labels(), wd.Labels())
+		}
+	}
+	// Cube fidelity: re-serializing the rebound store must reproduce the
+	// original store stream byte for byte.
+	var wantStore, gotStore bytes.Buffer
+	if err := rulecube.WriteStore(&wantStore, want.Store); err != nil {
+		t.Fatal(err)
+	}
+	if err := rulecube.WriteStore(&gotStore, got.Store); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantStore.Bytes(), gotStore.Bytes()) {
+		t.Error("restored store stream differs from the original")
+	}
+	// And a second snapshot write must be deterministic.
+	if !bytes.Equal(raw, encode(t, got)) {
+		t.Error("re-snapshotting the restored snapshot is not byte-identical")
+	}
+}
+
+func TestPeekHeader(t *testing.T) {
+	want := testSnapshot(t)
+	want.Mode = snapshot.ModeLazy
+	want.CacheBytes = -1
+	raw := encode(t, want)
+	h, err := snapshot.PeekHeader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != snapshot.Version {
+		t.Errorf("Version = %d, want %d", h.Version, snapshot.Version)
+	}
+	if h.SourceHash != want.SourceHash || h.CreatedUnix != want.CreatedUnix || h.Rows != want.Rows {
+		t.Errorf("header = %+v, want hash %q created %d rows %d", h, want.SourceHash, want.CreatedUnix, want.Rows)
+	}
+	if h.Mode != snapshot.ModeLazy || h.CacheBytes != -1 {
+		t.Errorf("mode/cache = %v/%d, want lazy/-1", h.Mode, h.CacheBytes)
+	}
+	// Peek must not need more than the header: it works on a prefix.
+	if _, err := snapshot.PeekHeader(bytes.NewReader(raw[:96])); err != nil {
+		t.Errorf("peek on header-sized prefix failed: %v", err)
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	valid := encode(t, testSnapshot(t))
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 4, len(valid) / 4, len(valid) / 2, len(valid) - 1} {
+			if _, err := snapshot.Read(bytes.NewReader(valid[:cut])); err == nil {
+				t.Errorf("truncation at %d bytes accepted", cut)
+			}
+		}
+	})
+
+	t.Run("bit-flip", func(t *testing.T) {
+		// CRC32 catches every single-bit error; flips in length prefixes
+		// may fail earlier with a bounds or structure error. Either way:
+		// an error, never a panic, never success.
+		mutated := make([]byte, len(valid))
+		for i := range valid {
+			copy(mutated, valid)
+			mutated[i] ^= 0x10
+			if _, err := snapshot.Read(bytes.NewReader(mutated)); err == nil {
+				t.Fatalf("bit flip at byte %d accepted", i)
+			}
+		}
+	})
+
+	t.Run("wrong-magic", func(t *testing.T) {
+		_, err := snapshot.Read(strings.NewReader("NOTASNAPxxxxxxxx"))
+		if err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Errorf("want bad-magic error, got %v", err)
+		}
+	})
+
+	t.Run("wrong-version", func(t *testing.T) {
+		var buf bytes.Buffer
+		buf.WriteString(snapshot.Magic)
+		var v [binary.MaxVarintLen64]byte
+		buf.Write(v[:binary.PutUvarint(v[:], 99)])
+		_, err := snapshot.Read(&buf)
+		if err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("want version error, got %v", err)
+		}
+	})
+
+	t.Run("oversized-length", func(t *testing.T) {
+		// A hostile uvarint claiming a 1 GiB source-hash string must be
+		// rejected by the bound, not attempted as an allocation.
+		var buf bytes.Buffer
+		buf.WriteString(snapshot.Magic)
+		var v [binary.MaxVarintLen64]byte
+		buf.Write(v[:binary.PutUvarint(v[:], snapshot.Version)])
+		buf.Write(v[:binary.PutUvarint(v[:], 1<<30)])
+		_, err := snapshot.Read(&buf)
+		if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Errorf("want bounds error, got %v", err)
+		}
+	})
+
+	t.Run("oversized-store-block", func(t *testing.T) {
+		// Declare a store block far larger than the stream: the copy must
+		// stop at EOF with a truncation error, not allocate the claim.
+		idx := bytes.Index(valid, []byte("OMAPCUBE"))
+		if idx < 0 {
+			t.Fatal("embedded store magic not found")
+		}
+		var buf bytes.Buffer
+		// The store length prefix immediately precedes the embedded
+		// magic: its final varint byte is valid[idx-1] (high bit clear),
+		// preceded by continuation bytes with the high bit set.
+		start := idx - 1
+		for start > 0 && valid[start-1]&0x80 != 0 {
+			start--
+		}
+		buf.Write(valid[:start])
+		var v [binary.MaxVarintLen64]byte
+		buf.Write(v[:binary.PutUvarint(v[:], uint64(1)<<31)])
+		buf.Write(valid[idx:])
+		_, err := snapshot.Read(&buf)
+		if err == nil {
+			t.Error("oversized store block accepted")
+		}
+	})
+}
+
+func TestWriteRejectsIncomplete(t *testing.T) {
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	snap := testSnapshot(t)
+	snap.Store = nil
+	if err := snapshot.Write(&buf, snap); err == nil {
+		t.Error("snapshot without store accepted")
+	}
+	snap = testSnapshot(t)
+	snap.Mode = 0
+	if err := snapshot.Write(&buf, snap); err == nil {
+		t.Error("snapshot without mode accepted")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/snap.omapsnap"
+	snap := testSnapshot(t)
+	if err := snapshot.WriteFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := snapshot.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != snap.Rows {
+		t.Errorf("Rows = %d, want %d", got.Rows, snap.Rows)
+	}
+}
+
+func TestHashHelpers(t *testing.T) {
+	if h := snapshot.HashBytes([]byte("abc")); len(h) != 64 {
+		t.Errorf("HashBytes length = %d, want 64 hex chars", len(h))
+	}
+	if snapshot.HashBytes([]byte("a")) == snapshot.HashBytes([]byte("b")) {
+		t.Error("distinct inputs hash equal")
+	}
+	dir := t.TempDir()
+	path := dir + "/src.csv"
+	writeTestFile(t, path, "a,b\n1,2\n")
+	h1, err := snapshot.HashFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != snapshot.HashBytes([]byte("a,b\n1,2\n")) {
+		t.Error("HashFile disagrees with HashBytes over identical content")
+	}
+}
+
+func writeTestFile(t testing.TB, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzReadSnapshot(f *testing.F) {
+	snap := testSnapshot(f)
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, snap); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(snapshot.Magic))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/3] ^= 0x40
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := snapshot.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed snapshot must answer basic queries
+		// without panicking.
+		_ = snap.Mode.String()
+		for _, a := range snap.Store.Attrs() {
+			if c := snap.Store.Cube1(a); c != nil {
+				_ = c.ClassMarginals()
+				_ = c.RuleCount()
+			}
+		}
+	})
+}

@@ -31,6 +31,9 @@ type Session struct {
 	// version; Discretize, DownsampleMajority and rebuilds invalidate
 	// it. Always non-nil.
 	results *engine.ResultCache
+	// rowsHint carries the source row count for sessions restored from
+	// a snapshot, whose datasets are schema-only (zero rows).
+	rowsHint int
 }
 
 // LoadOptions configures CSV loading.
@@ -439,8 +442,15 @@ func (s *Session) requireSource() (engine.CubeSource, error) {
 	return s.src, nil
 }
 
-// NumRows returns the number of records.
-func (s *Session) NumRows() int { return s.raw.NumRows() }
+// NumRows returns the number of records. Sessions restored from a
+// snapshot hold a schema-only dataset; for them this is the row count
+// recorded when the snapshot was taken.
+func (s *Session) NumRows() int {
+	if n := s.raw.NumRows(); n > 0 {
+		return n
+	}
+	return s.rowsHint
+}
 
 // Attributes returns all attribute names including the class, in schema
 // order.
