@@ -26,8 +26,30 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== opmaplint (internal/lint analyzers) =="
-go run ./cmd/opmaplint ./...
+echo "== opmaplint (parallel incremental driver + baseline) =="
+lintdir=$(mktemp -d)
+go build -o "$lintdir/opmaplint" ./cmd/opmaplint
+# Cold run against a fresh cache: machine-readable findings, gated on
+# the committed lint_baseline.json (any finding not in the baseline is
+# an exit 1 right here). The stderr summary prints the cache hit rate.
+"$lintdir/opmaplint" -format json -cache-dir "$lintdir/cache" ./... \
+    >"$lintdir/lint.json" 2>"$lintdir/lint.cold.log"
+cat "$lintdir/lint.cold.log"
+if ! grep -qF '"new_findings": 0' "$lintdir/lint.json"; then
+    echo "opmaplint found new findings not in lint_baseline.json:" >&2
+    cat "$lintdir/lint.json" >&2
+    exit 1
+fi
+# Warm run: same tree, same cache — every package must be served from
+# the content-hash cache. Emits SARIF for the CI artifact upload.
+"$lintdir/opmaplint" -format sarif -cache-dir "$lintdir/cache" ./... \
+    >lint.sarif 2>"$lintdir/lint.warm.log"
+cat "$lintdir/lint.warm.log"
+if ! grep -qE 'cache hits [1-9]' "$lintdir/lint.warm.log"; then
+    echo "warm opmaplint run skipped no packages; the result cache is broken" >&2
+    exit 1
+fi
+rm -rf "$lintdir"
 
 echo "== opmapd smoke (serve, probe, drain) =="
 smokedir=$(mktemp -d)

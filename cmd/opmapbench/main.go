@@ -15,12 +15,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 	"time"
 
 	"opmap"
+	"opmap/internal/atomicfile"
 	"opmap/internal/obsv"
 )
 
@@ -135,9 +137,8 @@ func run(records int, seed int64, rounds int, out string) error {
 	for _, stage := range obsv.PipelineStages {
 		doc.Stages[stage] = toStats(reg.Histogram(obsv.StageHistogramName, nil, "stage", stage))
 	}
-	for _, name := range []string{obsv.CubeBuildHistogramName, obsv.CompareAttrHistogramName} {
-		doc.Hot[name] = toStats(reg.Histogram(name, nil))
-	}
+	doc.Hot[obsv.CubeBuildHistogramName] = toStats(reg.Histogram(obsv.CubeBuildHistogramName, nil))
+	doc.Hot[obsv.CompareAttrHistogramName] = toStats(reg.Histogram(obsv.CompareAttrHistogramName, nil))
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -148,8 +149,11 @@ func run(records int, seed int64, rounds int, out string) error {
 		_, err = os.Stdout.Write(enc)
 		return err
 	}
-	if err := os.WriteFile(out, enc, 0o644); err != nil {
-		return err
+	if err := atomicfile.WriteFile(out, func(w io.Writer) error {
+		_, werr := w.Write(enc)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("opmapbench: writing report %s: %w", out, err)
 	}
 	fmt.Printf("wrote %s (%d stages)\n", out, len(doc.Stages))
 	return nil

@@ -1,120 +1,134 @@
 // Command opmaplint runs the project's static analyzers (package
-// internal/lint) over Go packages and reports diagnostics with
-// file:line positions, exiting non-zero when anything is found. It is
-// part of the tier-1 CI gate (see ci.sh):
+// internal/lint) over Go packages and reports diagnostics, exiting
+// non-zero when anything *new* is found. It is part of the tier-1 CI
+// gate (see ci.sh):
 //
-//	go run ./cmd/opmaplint ./...
+//	go run ./cmd/opmaplint -format json ./...
 //
-// Packages are enumerated with `go list`, so the usual patterns work.
-// The engine type-checks from source with only the standard library —
-// the module keeps zero external dependencies.
+// The v2 engine type-checks the module's package DAG in parallel,
+// caches per-package results under .lintcache/ by content hash (a warm
+// re-run skips unchanged packages entirely), and subtracts the
+// git-tracked baseline file lint_baseline.json so only new findings
+// fail the build. Output formats: text (compiler-style), json (for
+// ci.sh and scripts), sarif (for code-scanning UIs). The engine
+// remains zero-dependency: go/parser, go/types and the stdlib source
+// importer only.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"path/filepath"
-	"strings"
+	"runtime"
 
 	"opmap/internal/lint"
 )
 
-// listedPackage is the subset of `go list -json` output the driver
-// needs.
-type listedPackage struct {
-	Dir        string
-	ImportPath string
-	GoFiles    []string
-}
-
 func main() {
-	args := os.Args[1:]
-	for _, a := range args {
-		if a == "-h" || a == "-help" || a == "--help" {
-			usage(os.Stdout)
-			return
-		}
-	}
-	if err := run(args, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "opmaplint:", err)
-		os.Exit(2)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: opmaplint [packages]")
+// realMain is the testable entry point. Exit status: 0 clean (no new
+// findings), 1 new findings, 2 operational error.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("opmaplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		format        = fs.String("format", "text", "output format: text, json, or sarif")
+		baselinePath  = fs.String("baseline", "", "baseline file (default <module root>/lint_baseline.json)")
+		writeBaseline = fs.Bool("write-baseline", false, "write all current findings to the baseline file and exit 0")
+		cacheDir      = fs.String("cache-dir", "", "result cache directory (default <module root>/.lintcache)")
+		noCache       = fs.Bool("no-cache", false, "disable the result cache for this run")
+		jobs          = fs.Int("jobs", 0, "max concurrent package analyses (default GOMAXPROCS)")
+	)
+	fs.Usage = func() { usage(stderr, fs) }
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "opmaplint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+
+	res, err := lint.Drive(lint.DriverConfig{
+		Patterns:  fs.Args(),
+		Analyzers: lint.All,
+		Allow:     lint.Allowlist,
+		CacheDir:  *cacheDir,
+		NoCache:   *noCache,
+		Jobs:      *jobs,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "opmaplint:", err)
+		return 2
+	}
+
+	blPath := *baselinePath
+	if blPath == "" {
+		blPath = filepath.Join(res.ModuleRoot, lint.DefaultBaselineName)
+	}
+
+	if *writeBaseline {
+		bl := lint.BaselineFrom(res.Diags)
+		if err := bl.Write(blPath); err != nil {
+			fmt.Fprintln(stderr, "opmaplint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "opmaplint: wrote %d baseline entrie(s) to %s\n", len(bl.Findings), blPath)
+		return 0
+	}
+
+	bl, err := lint.LoadBaseline(blPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "opmaplint:", err)
+		return 2
+	}
+	fresh, baselined, stale := bl.Apply(res.Diags)
+	rep := lint.BuildReport(res, fresh, baselined, stale)
+
+	switch *format {
+	case "text":
+		err = rep.WriteText(stdout)
+	case "json":
+		err = rep.WriteJSON(stdout)
+	case "sarif":
+		err = rep.WriteSARIF(stdout, lint.All)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "opmaplint:", err)
+		return 2
+	}
+	fmt.Fprintln(stderr, rep.Summary())
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "opmaplint: stale baseline entry (finding no longer occurs): %s %s %s\n", e.Analyzer, e.File, e.Symbol)
+	}
+	if len(fresh) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer, fs *flag.FlagSet) {
+	fmt.Fprintln(w, "usage: opmaplint [flags] [packages]")
 	fmt.Fprintln(w, "")
 	fmt.Fprintln(w, "Runs the project's static analyzers over the given package patterns")
-	fmt.Fprintln(w, "(default ./...), printing file:line diagnostics. Exit status: 0 clean,")
-	fmt.Fprintln(w, "1 findings, 2 operational error. Analyzers:")
+	fmt.Fprintln(w, "(default ./...). Packages unchanged since the last run are served from")
+	fmt.Fprintf(w, "the %s/ result cache; findings recorded in %s\n", lint.DefaultCacheDirName, lint.DefaultBaselineName)
+	fmt.Fprintln(w, "are reported but do not fail the run. Exit status: 0 clean (no new")
+	fmt.Fprintln(w, "findings), 1 new findings, 2 operational error.")
 	fmt.Fprintln(w, "")
+	fmt.Fprintln(w, "Flags:")
+	fs.PrintDefaults()
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "Analyzers (%s, up to %d parallel workers):\n", lint.EngineVersion, runtime.GOMAXPROCS(0))
 	for _, a := range lint.All {
 		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
 	}
-}
-
-// run executes the lint pass and returns an error only for operational
-// failures; findings are printed to w and surfaced via findingsError.
-func run(patterns []string, w io.Writer) error {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	pkgs, err := goList(patterns)
-	if err != nil {
-		return err
-	}
-	cwd, _ := os.Getwd()
-	loader := lint.NewLoader()
-	total := 0
-	for _, pkg := range pkgs {
-		if len(pkg.GoFiles) == 0 {
-			continue
-		}
-		p, err := loader.Load(pkg.ImportPath, pkg.Dir, pkg.GoFiles)
-		if err != nil {
-			return err
-		}
-		for _, d := range lint.Run(p, lint.All, lint.Allowlist) {
-			if cwd != "" {
-				if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-					d.Pos.Filename = rel
-				}
-			}
-			fmt.Fprintln(w, d)
-			total++
-		}
-	}
-	if total > 0 {
-		fmt.Fprintf(w, "opmaplint: %d finding(s)\n", total)
-		os.Exit(1)
-	}
-	return nil
-}
-
-// goList resolves package patterns via the go command.
-func goList(patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-json=Dir,ImportPath,GoFiles"}, patterns...)
-	cmd := exec.Command("go", args...)
-	var out, errb bytes.Buffer
-	cmd.Stdout = &out
-	cmd.Stderr = &errb
-	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
-	}
-	dec := json.NewDecoder(&out)
-	var pkgs []listedPackage
-	for {
-		var p listedPackage
-		if err := dec.Decode(&p); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("decoding go list output: %v", err)
-		}
-		pkgs = append(pkgs, p)
-	}
-	return pkgs, nil
 }

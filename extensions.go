@@ -299,6 +299,11 @@ func (s *Session) sweep(ctx context.Context, attr, class string, maxPairs int, p
 	if err != nil {
 		return nil, err
 	}
+	return toSweepResult(res), nil
+}
+
+// toSweepResult converts the internal sweep result to the public type.
+func toSweepResult(res *compare.SweepResult) *SweepResult {
 	out := &SweepResult{
 		PairsCompared: res.PairsCompared,
 		PairsSkipped:  res.PairsSkipped,
@@ -314,7 +319,7 @@ func (s *Session) sweep(ctx context.Context, attr, class string, maxPairs int, p
 			TotalScore: sa.TotalScore,
 		})
 	}
-	return out, nil
+	return out
 }
 
 // sweepInternal resolves names, consults the result cache, and runs

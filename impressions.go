@@ -83,6 +83,13 @@ func (s *Session) ImpressionsContext(ctx context.Context, opts ImpressionOptions
 	if err != nil {
 		return nil, err
 	}
+	out := toImpressions(rep)
+	s.results.Put(ver, key, out)
+	return out, nil
+}
+
+// toImpressions converts the GI miner's report to the public type.
+func toImpressions(rep *gi.Report) *Impressions {
 	out := &Impressions{}
 	for _, t := range rep.Trends {
 		out.Trends = append(out.Trends, Trend{
@@ -111,8 +118,7 @@ func (s *Session) ImpressionsContext(ctx context.Context, opts ImpressionOptions
 			MutualInformation: inf.MutualInformation,
 		})
 	}
-	s.results.Put(ver, key, out)
-	return out, nil
+	return out
 }
 
 // ConditionalTrend is a trend detected within one sub-population: for

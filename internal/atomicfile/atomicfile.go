@@ -41,7 +41,9 @@ func WriteFile(path string, write func(io.Writer) error) error {
 	tmp := f.Name()
 	// Any failure from here on must not leave the staging file behind.
 	fail := func(step string, err error) error {
-		f.Close()
+		// The close error is secondary: the original failure is what the
+		// caller needs, and the staging file is removed either way.
+		_ = f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("atomicfile: %s for %s: %w", step, path, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"opmap/internal/car"
+	"opmap/internal/dataset"
 	"opmap/internal/faultinject"
 	"opmap/internal/rulecube"
 )
@@ -116,11 +117,7 @@ func (c *Comparator) OneVsRestContext(ctx context.Context, in OneVsRestInput, op
 	comp := &computation{result: res}
 	attrs := opts.Attrs
 	if attrs == nil {
-		for a := 0; a < ds.NumAttrs(); a++ {
-			if a != in.Attr && a != ds.ClassIndex() {
-				attrs = append(attrs, a)
-			}
-		}
+		attrs = defaultRankAttrs(ds, in.Attr)
 	}
 	for i, ai := range attrs {
 		if ai == in.Attr || ai == ds.ClassIndex() {
@@ -163,6 +160,18 @@ func (c *Comparator) OneVsRestContext(ctx context.Context, in OneVsRestInput, op
 
 // carRule is a minimal count pair used during orientation.
 type carRule struct{ cond, sup int64 }
+
+// defaultRankAttrs lists every attribute except the split attribute and
+// the class, the default candidate set for ranking.
+func defaultRankAttrs(ds *dataset.Dataset, splitAttr int) []int {
+	var attrs []int
+	for a := 0; a < ds.NumAttrs(); a++ {
+		if a != splitAttr && a != ds.ClassIndex() {
+			attrs = append(attrs, a)
+		}
+	}
+	return attrs
+}
 
 // oneVsRestTable builds the per-value contingency rows of candidate
 // attribute ai for the split A=v vs A≠v: the "value" side comes from the

@@ -71,30 +71,10 @@ func PermutationTestContext(ctx context.Context, ds *dataset.Dataset, in Input, 
 	}
 
 	// Collect the member rows of both sub-populations, with their
-	// candidate-attribute value and class membership.
-	type member struct {
-		value   int32
-		inClass bool
-	}
-	var pool []member
-	var n1 int
-	a1 := ds.Column(in.Attr).Codes
-	ai := ds.Column(attr).Codes
-	cls := ds.Column(ds.ClassIndex()).Codes
-	v1, v2 := in.V1, in.V2
-	// Match the observed orientation: prepare() may have swapped.
-	if obs.Swapped {
-		v1, v2 = v2, v1
-	}
-	for r := range a1 {
-		switch a1[r] {
-		case v1:
-			pool = append(pool, member{ai[r], cls[r] == in.Class})
-			n1++
-		case v2:
-			pool = append(pool, member{ai[r], cls[r] == in.Class})
-		}
-	}
+	// candidate-attribute value and class membership. One pass over the
+	// rows; cancellation granularity is the pass (same convention as a
+	// single cube build).
+	pool, n1 := collectPool(ds, in, attr, obs.Swapped)
 	if n1 == 0 || n1 == len(pool) {
 		return PermutationResult{}, fmt.Errorf("compare: degenerate sub-populations")
 	}
@@ -149,14 +129,51 @@ func PermutationTestContext(ctx context.Context, ds *dataset.Dataset, in Input, 
 		PValue:   float64(1+exceed) / float64(1+len(null)),
 		Rounds:   len(null),
 	}
+	res.NullMean, res.NullQ95 = summarizeNull(null)
+	return res, nil
+}
+
+// member is one row of a permutation pool: its candidate-attribute
+// value and whether the row belongs to the target class.
+type member struct {
+	value   int32
+	inClass bool
+}
+
+// collectPool gathers the member rows of both sub-populations in one
+// pass over the dataset, in row order; n1 counts the first
+// sub-population's rows. The permutation rounds shuffle the pool and
+// re-partition it at n1.
+func collectPool(ds *dataset.Dataset, in Input, attr int, swapped bool) (pool []member, n1 int) {
+	a1 := ds.Column(in.Attr).Codes
+	ai := ds.Column(attr).Codes
+	cls := ds.Column(ds.ClassIndex()).Codes
+	v1, v2 := in.V1, in.V2
+	// Match the observed orientation: prepare() may have swapped.
+	if swapped {
+		v1, v2 = v2, v1
+	}
+	for r := range a1 {
+		switch a1[r] {
+		case v1:
+			pool = append(pool, member{ai[r], cls[r] == in.Class})
+			n1++
+		case v2:
+			pool = append(pool, member{ai[r], cls[r] == in.Class})
+		}
+	}
+	return pool, n1
+}
+
+// summarizeNull reduces the null distribution to its mean and 95th
+// percentile. Sorts in place.
+func summarizeNull(null []float64) (mean, q95 float64) {
 	var sum float64
 	for _, m := range null {
 		sum += m
 	}
-	res.NullMean = sum / float64(len(null))
 	sort.Float64s(null)
-	res.NullQ95 = null[int(0.95*float64(len(null)-1))]
-	return res, nil
+	return sum / float64(len(null)), null[int(0.95*float64(len(null)-1))]
 }
 
 // permScore computes M for a permuted table, orienting so cf1 < cf2.

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 
+	"opmap/internal/dataset"
+	"opmap/internal/rulecube"
 	"opmap/internal/stats"
 )
 
@@ -85,11 +87,48 @@ func (c *Comparator) ScreenPairsContext(ctx context.Context, attr int, class int
 	if err != nil {
 		return nil, fmt.Errorf("compare: attribute %d unavailable: %w", attr, err)
 	}
-	type side struct {
-		v    int32
-		n, s int64
-		cf   float64
+	// The screen itself is cardinality-bounded work over the resident
+	// cube and runs to completion even under a canceled context: the
+	// sweep's partial mode depends on a complete candidate list so it
+	// can annotate every pair it will not compare.
+	sides, err := collectSides(cube, class, opts)
+	if err != nil {
+		return nil, err
 	}
+	out := screenCandidates(sides, cube.Dict(0), attr, opts)
+	applyFDR(out)
+	sort.SliceStable(out, func(i, j int) bool {
+		// Pairs the comparator can consume (finite ratio) first, then by
+		// descending significance.
+		fi, fj := math.IsInf(out[i].Ratio, 1), math.IsInf(out[j].Ratio, 1)
+		if fi != fj {
+			return !fi
+		}
+		switch {
+		case out[i].Z > out[j].Z:
+			return true
+		case out[j].Z > out[i].Z:
+			return false
+		}
+		return out[i].Label1+out[i].Label2 < out[j].Label1+out[j].Label2
+	})
+	if opts.MaxPairs > 0 && len(out) > opts.MaxPairs {
+		out = out[:opts.MaxPairs]
+	}
+	return out, nil
+}
+
+// side is one attribute value that passed the support screen, with its
+// condition count, class count and confidence.
+type side struct {
+	v    int32
+	n, s int64
+	cf   float64
+}
+
+// collectSides reads each value's condition and class counts from the
+// 1-D cube and keeps the values meeting the support threshold.
+func collectSides(cube *rulecube.Cube, class int32, opts ScreenOptions) ([]side, error) {
 	var sides []side
 	for v := int32(0); int(v) < cube.Dim(0); v++ {
 		n, err := cube.CondCount([]int32{v})
@@ -105,7 +144,12 @@ func (c *Comparator) ScreenPairsContext(ctx context.Context, attr int, class int
 		}
 		sides = append(sides, side{v: v, n: n, s: s, cf: float64(s) / float64(n)})
 	}
-	dict := cube.Dict(0)
+	return sides, nil
+}
+
+// screenCandidates forms every value pair whose confidence difference
+// clears the z threshold, oriented so Cf1 <= Cf2.
+func screenCandidates(sides []side, dict *dataset.Dictionary, attr int, opts ScreenOptions) []PairCandidate {
 	var out []PairCandidate
 	for i := 0; i < len(sides); i++ {
 		for j := i + 1; j < len(sides); j++ {
@@ -138,7 +182,12 @@ func (c *Comparator) ScreenPairsContext(ctx context.Context, attr int, class int
 			out = append(out, pc)
 		}
 	}
-	// FDR adjustment across all screened pairs.
+	return out
+}
+
+// applyFDR fills each candidate's QValue with the Benjamini-Hochberg
+// adjustment across all screened pairs.
+func applyFDR(out []PairCandidate) {
 	ps := make([]float64, len(out))
 	for i := range out {
 		ps[i] = out[i].PValue
@@ -146,25 +195,6 @@ func (c *Comparator) ScreenPairsContext(ctx context.Context, attr int, class int
 	for i, q := range stats.AdjustBH(ps) {
 		out[i].QValue = q
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		// Pairs the comparator can consume (finite ratio) first, then by
-		// descending significance.
-		fi, fj := math.IsInf(out[i].Ratio, 1), math.IsInf(out[j].Ratio, 1)
-		if fi != fj {
-			return !fi
-		}
-		switch {
-		case out[i].Z > out[j].Z:
-			return true
-		case out[j].Z > out[i].Z:
-			return false
-		}
-		return out[i].Label1+out[i].Label2 < out[j].Label1+out[j].Label2
-	})
-	if opts.MaxPairs > 0 && len(out) > opts.MaxPairs {
-		out = out[:opts.MaxPairs]
-	}
-	return out, nil
 }
 
 // twoProportionZ computes the pooled two-proportion z statistic for

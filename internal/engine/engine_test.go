@@ -1,14 +1,17 @@
 package engine_test
 
 import (
+	"bytes"
 	"context"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
 	"opmap/internal/compare"
 	"opmap/internal/dataset"
 	"opmap/internal/engine"
+	"opmap/internal/obsv"
 	"opmap/internal/rulecube"
 	"opmap/internal/testutil"
 	"opmap/internal/workload"
@@ -418,29 +421,31 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	}
 }
 
-// TestMetricNamesComplete pins the exported metric list — the server
-// pre-registers from it, and ci greps these exact strings.
-func TestMetricNamesComplete(t *testing.T) {
-	counters, gauges, histograms := engine.MetricNames()
-	wantCounters := []string{
+// TestPreRegisterComplete pins the pre-registered metric surface — the
+// server calls PreRegister at startup, and ci greps these exact
+// strings from a fresh daemon's first scrape.
+func TestPreRegisterComplete(t *testing.T) {
+	reg := obsv.NewRegistry()
+	engine.PreRegister(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape := buf.String()
+	for _, name := range []string{
 		engine.CubeCacheHitsCounterName,
 		engine.CubeCacheMissesCounterName,
 		engine.CubeCacheEvictionsCounterName,
 		engine.ResultCacheHitsCounterName,
 		engine.ResultCacheMissesCounterName,
-	}
-	if !reflect.DeepEqual(counters, wantCounters) {
-		t.Errorf("counters = %v", counters)
-	}
-	if !reflect.DeepEqual(gauges, []string{engine.CubeCacheBytesGaugeName}) {
-		t.Errorf("gauges = %v", gauges)
-	}
-	if !reflect.DeepEqual(histograms, []string{engine.LazyBuildHistogramName}) {
-		t.Errorf("histograms = %v", histograms)
-	}
-	for _, name := range append(append(counters, gauges...), histograms...) {
+		engine.CubeCacheBytesGaugeName,
+		engine.LazyBuildHistogramName,
+	} {
 		if name == "" {
-			t.Error("empty metric name")
+			t.Fatal("empty metric name constant")
+		}
+		if !strings.Contains(scrape, name) {
+			t.Errorf("metric %q absent from a pre-registered scrape", name)
 		}
 	}
 }

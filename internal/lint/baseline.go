@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+
+	"opmap/internal/atomicfile"
+)
+
+// The baseline is the driver's "fail only on what's new" mechanism: a
+// git-tracked JSON file recording accepted findings by fingerprint
+// (analyzer + file + symbol + message — deliberately not the line
+// number, which shifts on every unrelated edit). A lint run subtracts
+// the baseline from its findings and exits non-zero only for the
+// remainder, so a large refactor can land with its historical debt
+// recorded while any *new* violation still breaks the build. The
+// baseline supersedes growing the in-source allowlist for bulk
+// suppression: allow.go stays reserved for permanent, individually
+// justified exceptions, and the baseline is expected to shrink to
+// empty (the repo ships an empty one).
+
+// BaselineVersion is the on-disk format version of lint_baseline.json.
+const BaselineVersion = 1
+
+// DefaultBaselineName is the conventional baseline filename at the
+// module root.
+const DefaultBaselineName = "lint_baseline.json"
+
+// BaselineEntry is one accepted finding fingerprint. Count says how
+// many identical findings (same fingerprint) the baseline absorbs;
+// zero means one.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, forward slashes
+	Symbol   string `json:"symbol,omitempty"`
+	Message  string `json:"message"`
+	Count    int    `json:"count,omitempty"`
+}
+
+// Baseline is the parsed lint_baseline.json.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// fingerprint is the line-number-free identity of a finding.
+type fingerprint struct {
+	analyzer, file, symbol, message string
+}
+
+func (e BaselineEntry) fp() fingerprint {
+	return fingerprint{e.Analyzer, e.File, e.Symbol, e.Message}
+}
+
+func diagFP(d Diagnostic) fingerprint {
+	return fingerprint{d.Analyzer, d.Pos.Filename, d.Symbol, d.Message}
+}
+
+// LoadBaseline reads the baseline at path. A missing file is an empty
+// baseline, not an error, so repos without accepted debt need no file
+// at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &Baseline{Version: BaselineVersion}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline %s: %w", path, err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s has version %d, this driver reads version %d", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// Apply splits diagnostics into new findings and baselined ones. Each
+// baseline entry absorbs up to its Count matching diagnostics (position
+// order); the split is deterministic for sorted input. stale reports
+// entries whose budget was not fully used — debt that has been paid
+// down and should be pruned from the file.
+func (b *Baseline) Apply(diags []Diagnostic) (fresh, baselined []Diagnostic, stale []BaselineEntry) {
+	budget := make(map[fingerprint]int, len(b.Findings))
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[e.fp()] += n
+	}
+	for _, d := range diags {
+		fp := diagFP(d)
+		if budget[fp] > 0 {
+			budget[fp]--
+			baselined = append(baselined, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Findings {
+		fp := e.fp()
+		if budget[fp] > 0 {
+			stale = append(stale, e)
+			// Zero the remainder so a duplicated entry is only reported
+			// stale once.
+			budget[fp] = 0
+		}
+	}
+	return fresh, baselined, stale
+}
+
+// BaselineFrom builds a baseline accepting exactly the given
+// diagnostics, with identical findings collapsed into counted entries,
+// sorted for a stable git diff.
+func BaselineFrom(diags []Diagnostic) *Baseline {
+	counts := make(map[fingerprint]int, len(diags))
+	order := make([]fingerprint, 0, len(diags))
+	for _, d := range diags {
+		fp := diagFP(d)
+		if counts[fp] == 0 {
+			order = append(order, fp)
+		}
+		counts[fp]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		if a.symbol != b.symbol {
+			return a.symbol < b.symbol
+		}
+		return a.message < b.message
+	})
+	bl := &Baseline{Version: BaselineVersion}
+	for _, fp := range order {
+		e := BaselineEntry{Analyzer: fp.analyzer, File: fp.file, Symbol: fp.symbol, Message: fp.message}
+		if n := counts[fp]; n > 1 {
+			e.Count = n
+		}
+		bl.Findings = append(bl.Findings, e)
+	}
+	return bl
+}
+
+// Write persists the baseline to path through the project's atomic
+// write path, so an interrupted -write-baseline cannot truncate a
+// tracked file.
+func (b *Baseline) Write(path string) error {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(b); err != nil {
+			return fmt.Errorf("lint: encoding baseline %s: %w", path, err)
+		}
+		return nil
+	})
+}

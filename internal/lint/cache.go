@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"opmap/internal/atomicfile"
+)
+
+// The result cache makes re-runs incremental: each package's findings
+// are stored under a content hash covering the engine fingerprint, the
+// package's own source bytes, and the cache keys of its module-internal
+// dependencies (type information flows across package boundaries, so a
+// dependency edit must invalidate dependents). A warm run therefore
+// skips both analysis and — when no cache-missing dependent needs the
+// package's types — type-checking entirely, which is what turns the
+// full-module lint gate from a rebuild into a hash pass.
+
+// EngineVersion fingerprints the analyzer implementations. Bump it
+// whenever an analyzer's behavior changes so stale cached findings
+// cannot survive an engine upgrade.
+const EngineVersion = "opmaplint/2.0.0"
+
+// DefaultCacheDirName is the cache directory at the module root; it is
+// listed in .gitignore, never committed.
+const DefaultCacheDirName = ".lintcache"
+
+// cacheMaxAge bounds how long unused entries live before the driver
+// sweeps them, so key churn cannot grow the directory without bound.
+const cacheMaxAge = 14 * 24 * time.Hour
+
+// cacheEntry is the JSON payload of one cached package result.
+type cacheEntry struct {
+	Version string       `json:"version"` // EngineVersion at write time
+	Package string       `json:"package"`
+	Diags   []cachedDiag `json:"diags"`
+}
+
+// cachedDiag is a Diagnostic flattened for storage, with the filename
+// kept module-root-relative so cache entries survive a checkout moving.
+type cachedDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Symbol   string `json:"symbol,omitempty"`
+	Message  string `json:"message"`
+}
+
+// enginePrint hashes everything that changes findings independently of
+// package sources: the engine version, the analyzer set, the compiled-in
+// allowlist and the Go toolchain.
+func enginePrint(analyzers []*Analyzer, allow []Allow) string {
+	h := sha256.New()
+	io.WriteString(h, EngineVersion)
+	io.WriteString(h, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "|a:%s", a.Name)
+	}
+	for _, e := range allow {
+		fmt.Fprintf(h, "|w:%s\x00%s\x00%s", e.Analyzer, e.Package, e.Symbol)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// packageKey derives a package's cache key from the engine print, its
+// import path, the content hash of each of its Go files (sorted), and
+// the keys of its in-module dependencies (sorted), forming a Merkle
+// chain over the package DAG.
+func packageKey(engine, importPath, dir string, files []string, depKeys []string) (string, error) {
+	h := sha256.New()
+	io.WriteString(h, engine)
+	io.WriteString(h, "|p:"+importPath)
+	names := append([]string(nil), files...)
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", fmt.Errorf("lint: hashing %s: %w", filepath.Join(dir, name), err)
+		}
+		sum := sha256.Sum256(data)
+		fmt.Fprintf(h, "|f:%s:%s", name, hex.EncodeToString(sum[:]))
+	}
+	deps := append([]string(nil), depKeys...)
+	sort.Strings(deps)
+	for _, k := range deps {
+		io.WriteString(h, "|d:"+k)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cachePath maps a key to its entry file.
+func cachePath(dir, key string) string { return filepath.Join(dir, key+".json") }
+
+// loadCached returns the cached diagnostics for key, or ok=false on
+// any miss (absent, unreadable, or written by a different engine —
+// corrupt entries are misses, never errors).
+func loadCached(dir, key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(cachePath(dir, key))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Version != EngineVersion {
+		return nil, false
+	}
+	diags := make([]Diagnostic, 0, len(e.Diags))
+	for _, cd := range e.Diags {
+		d := Diagnostic{Analyzer: cd.Analyzer, Symbol: cd.Symbol, Message: cd.Message}
+		d.Pos.Filename = cd.File
+		d.Pos.Line = cd.Line
+		d.Pos.Column = cd.Column
+		diags = append(diags, d)
+	}
+	return diags, true
+}
+
+// storeCached persists one package's diagnostics (filenames already
+// module-root-relative) under key. Concurrent writers are safe: the
+// entry is staged and renamed, so readers only ever see whole files.
+func storeCached(dir, key, importPath string, diags []Diagnostic) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("lint: cache dir: %w", err)
+	}
+	e := cacheEntry{Version: EngineVersion, Package: importPath, Diags: make([]cachedDiag, 0, len(diags))}
+	for _, d := range diags {
+		e.Diags = append(e.Diags, cachedDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Symbol:   d.Symbol,
+			Message:  d.Message,
+		})
+	}
+	return atomicfile.WriteFile(cachePath(dir, key), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(e)
+	})
+}
+
+// pruneCache sweeps entries untouched for cacheMaxAge. Best effort:
+// pruning failures never fail a lint run.
+func pruneCache(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-cacheMaxAge)
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		if info, err := de.Info(); err == nil && info.ModTime().Before(cutoff) {
+			_ = os.Remove(filepath.Join(dir, de.Name()))
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"opmap/internal/lint"
+)
+
+// writeTestModule lays out a tiny two-package module in a temp dir:
+// demo/a carries one deliberate floatcmp violation, demo/b imports a
+// and is clean. Neither package imports the standard library, so the
+// driver never has to consult the installed stdlib export data.
+func writeTestModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a/a.go": `// Package a is driver-test fodder.
+package a
+
+// Eq compares floats exactly, which floatcmp must flag.
+func Eq(x, y float64) bool { return x == y }
+
+// Sum is clean.
+func Sum(x, y float64) float64 { return x + y }
+`,
+		"b/b.go": `// Package b depends on a.
+package b
+
+import "demo/a"
+
+// UsesA exercises the in-module import edge.
+func UsesA() float64 { return a.Sum(1, 2) }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// drive runs the engine over the test module with only floatcmp
+// enabled, so the expected finding set is exactly one diagnostic.
+func drive(t *testing.T, root, cacheDir string) *lint.DriverResult {
+	t.Helper()
+	res, err := lint.Drive(lint.DriverConfig{
+		Patterns:  []string{"./..."},
+		Dir:       root,
+		Analyzers: []*lint.Analyzer{lint.FloatCmp},
+		CacheDir:  cacheDir,
+	})
+	if err != nil {
+		t.Fatalf("Drive: %v", err)
+	}
+	return res
+}
+
+func TestDriveColdThenWarm(t *testing.T) {
+	root := writeTestModule(t)
+	cacheDir := filepath.Join(root, ".lintcache")
+
+	cold := drive(t, root, cacheDir)
+	if cold.Packages != 2 || cold.Analyzed != 2 || cold.CacheHits != 0 {
+		t.Fatalf("cold run: packages=%d analyzed=%d hits=%d, want 2/2/0",
+			cold.Packages, cold.Analyzed, cold.CacheHits)
+	}
+	if len(cold.Diags) != 1 {
+		t.Fatalf("cold run diags = %v, want exactly the planted floatcmp finding", cold.Diags)
+	}
+	if d := cold.Diags[0]; d.Analyzer != "floatcmp" || d.Pos.Filename != filepath.Join("a", "a.go") {
+		t.Fatalf("unexpected diagnostic %+v", d)
+	}
+
+	warm := drive(t, root, cacheDir)
+	if warm.Analyzed != 0 || warm.CacheHits != 2 {
+		t.Fatalf("warm run: analyzed=%d hits=%d, want 0 analyzed / 2 hits", warm.Analyzed, warm.CacheHits)
+	}
+	// Cached diagnostics must be byte-identical to fresh ones, or the
+	// baseline diff would churn between cold and warm CI runs.
+	if len(warm.Diags) != 1 || warm.Diags[0].String() != cold.Diags[0].String() {
+		t.Fatalf("warm diags %v differ from cold %v", warm.Diags, cold.Diags)
+	}
+}
+
+func TestDriveCacheInvalidation(t *testing.T) {
+	root := writeTestModule(t)
+	cacheDir := filepath.Join(root, ".lintcache")
+	drive(t, root, cacheDir) // prime
+
+	// Touching only the leaf package must leave its dependency cached.
+	bPath := filepath.Join(root, "b", "b.go")
+	src, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, append(src, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := drive(t, root, cacheDir)
+	if res.Analyzed != 1 || res.CacheHits != 1 {
+		t.Fatalf("after editing b: analyzed=%d hits=%d, want 1/1", res.Analyzed, res.CacheHits)
+	}
+
+	// Touching the root package changes its content hash, and the
+	// Merkle key of every dependent, so both re-analyze.
+	aPath := filepath.Join(root, "a", "a.go")
+	src, err = os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, append(src, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res = drive(t, root, cacheDir)
+	if res.Analyzed != 2 || res.CacheHits != 0 {
+		t.Fatalf("after editing a: analyzed=%d hits=%d, want 2/0", res.Analyzed, res.CacheHits)
+	}
+}
+
+func TestDriveNoCacheWritesNothing(t *testing.T) {
+	root := writeTestModule(t)
+	cacheDir := filepath.Join(root, ".lintcache")
+	res, err := lint.Drive(lint.DriverConfig{
+		Patterns:  []string{"./..."},
+		Dir:       root,
+		Analyzers: []*lint.Analyzer{lint.FloatCmp},
+		CacheDir:  cacheDir,
+		NoCache:   true,
+	})
+	if err != nil {
+		t.Fatalf("Drive: %v", err)
+	}
+	if res.CacheHits != 0 || res.Analyzed != 2 {
+		t.Fatalf("no-cache run: analyzed=%d hits=%d, want 2/0", res.Analyzed, res.CacheHits)
+	}
+	if _, err := os.Stat(cacheDir); !os.IsNotExist(err) {
+		t.Fatalf("NoCache run created %s (stat err %v)", cacheDir, err)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := writeTestModule(t)
+	res := drive(t, root, filepath.Join(root, ".lintcache"))
+
+	// A baseline captured from the run swallows every current finding.
+	b := lint.BaselineFrom(res.Diags)
+	fresh, baselined, stale := b.Apply(res.Diags)
+	if len(fresh) != 0 || len(baselined) != 1 || len(stale) != 0 {
+		t.Fatalf("self-apply: fresh=%d baselined=%d stale=%d, want 0/1/0",
+			len(fresh), len(baselined), len(stale))
+	}
+
+	// Round-trip through disk.
+	path := filepath.Join(root, lint.DefaultBaselineName)
+	if err := b.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	loaded, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if fresh, _, stale := loaded.Apply(res.Diags); len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("loaded baseline: fresh=%d stale=%d, want 0/0", len(fresh), len(stale))
+	}
+
+	// An empty baseline reports everything as new; a missing file loads
+	// as empty rather than erroring, so bootstrap needs no setup step.
+	empty, err := lint.LoadBaseline(filepath.Join(root, "does-not-exist.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline(missing): %v", err)
+	}
+	if fresh, _, _ := empty.Apply(res.Diags); len(fresh) != 1 {
+		t.Fatalf("empty baseline fresh=%d, want 1", len(fresh))
+	}
+
+	// Fixing the finding leaves the baseline entry stale, which the CLI
+	// surfaces so the baseline gets re-tightened.
+	if _, _, stale := loaded.Apply(nil); len(stale) != 1 {
+		t.Fatalf("stale entries = %d, want 1", len(stale))
+	}
+}
+
+func TestReportFormats(t *testing.T) {
+	root := writeTestModule(t)
+	res := drive(t, root, filepath.Join(root, ".lintcache"))
+	rep := lint.BuildReport(res, res.Diags, nil, nil)
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded lint.Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON output does not round-trip: %v", err)
+	}
+	if len(decoded.Findings) != 1 || decoded.Findings[0].Analyzer != "floatcmp" {
+		t.Fatalf("decoded findings = %+v", decoded.Findings)
+	}
+
+	buf.Reset()
+	if err := rep.WriteSARIF(&buf, []*lint.Analyzer{lint.FloatCmp}); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var sarif struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID        string `json:"ruleId"`
+				BaselineState string `json:"baselineState"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &sarif); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v", err)
+	}
+	if sarif.Version != "2.1.0" || len(sarif.Runs) != 1 {
+		t.Fatalf("sarif version=%q runs=%d", sarif.Version, len(sarif.Runs))
+	}
+	if rs := sarif.Runs[0].Results; len(rs) != 1 || rs[0].RuleID != "floatcmp" || rs[0].BaselineState != "new" {
+		t.Fatalf("sarif results = %+v", sarif.Runs[0].Results)
+	}
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrClose protects the crash-safety work of PR 5: on write paths, the
+// error that actually reports a failed write very often comes back from
+// Close, Sync or Flush — the kernel buffers until then. A dropped
+// Close error on a snapshot or CSV export silently persists a torn
+// file. The analyzer tracks write handles (os.Create/OpenFile/
+// CreateTemp results and bufio.Writer values) and flags Close/Sync/
+// Flush calls whose error result is neither consumed nor explicitly
+// discarded with `_ =`. Read-side closes (os.Open) are deliberately
+// exempt: a failed close after a successful read loses nothing.
+var ErrClose = &Analyzer{
+	Name: "errclose",
+	Doc:  "Close/Sync/Flush errors on write handles must be checked or explicitly discarded with _ =",
+	Skip: func(pkgPath string) bool { return false },
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			checkErrClose(p, f)
+		}
+	},
+}
+
+// finalizers are the methods whose error results report deferred write
+// failures.
+var finalizers = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+// writeOpenFuncs are the os package constructors that yield write
+// handles.
+var writeOpenFuncs = map[string]bool{"Create": true, "OpenFile": true, "CreateTemp": true}
+
+// checkErrClose runs the per-file analysis: collect write handles
+// (file scope, so closures capturing a handle are covered), then flag
+// unchecked finalizer calls on them.
+func checkErrClose(p *Pass, file *ast.File) {
+	handles := collectWriteHandles(p, file)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				flagFinalizer(p, file, call, handles)
+			}
+			return true
+		case *ast.DeferStmt:
+			flagFinalizer(p, file, s.Call, handles)
+			return true
+		case *ast.GoStmt:
+			flagFinalizer(p, file, s.Call, handles)
+			return true
+		}
+		return true
+	})
+}
+
+// collectWriteHandles walks the file for objects holding write
+// handles: variables assigned from os.Create/OpenFile/CreateTemp.
+// (bufio.Writer and csv.Writer receivers are matched by type at the
+// call site instead.)
+func collectWriteHandles(p *Pass, file *ast.File) map[types.Object]bool {
+	handles := make(map[types.Object]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		asgn, ok := n.(*ast.AssignStmt)
+		if !ok || len(asgn.Rhs) != 1 {
+			return true
+		}
+		call, ok := asgn.Rhs[0].(*ast.CallExpr)
+		if !ok || !isWriteOpen(p, call) {
+			return true
+		}
+		if id, ok := asgn.Lhs[0].(*ast.Ident); ok {
+			if obj := identObject(p, id); obj != nil {
+				handles[obj] = true
+			}
+		}
+		return true
+	})
+	return handles
+}
+
+// isWriteOpen reports whether call is os.Create/OpenFile/CreateTemp.
+func isWriteOpen(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writeOpenFuncs[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "os"
+}
+
+// flagFinalizer reports call when it is an unchecked Close/Sync/Flush
+// on a write handle.
+func flagFinalizer(p *Pass, file *ast.File, call *ast.CallExpr, handles map[types.Object]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !finalizers[sel.Sel.Name] {
+		return
+	}
+	recvObj := receiverObject(p, sel.X)
+	isHandle := recvObj != nil && handles[recvObj]
+	if !isHandle && !isBufioWriter(p, sel.X) && !isCSVWriter(p, sel.X) {
+		return
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if !returnsError(sig) {
+		// (*csv.Writer).Flush returns nothing; its failure surfaces via
+		// Error(). Flag the Flush unless Error() is consulted on the
+		// same receiver somewhere in the function.
+		if isCSVWriter(p, sel.X) && sel.Sel.Name == "Flush" && !callsErrorOn(p, file, recvObj) {
+			p.Reportf(call.Pos(), "csv.Writer.Flush buffers write errors; call %s.Error() after flushing", exprString(sel.X))
+		}
+		return
+	}
+	p.Reportf(call.Pos(), "%s.%s error is dropped on a write path; check it or discard explicitly with _ =", exprString(sel.X), sel.Sel.Name)
+}
+
+// receiverObject resolves the receiver expression to a types.Object
+// when it is a plain identifier or selector chain ending in one.
+func receiverObject(p *Pass, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return identObject(p, e)
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func identObject(p *Pass, id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// isBufioWriter reports whether expr's static type is *bufio.Writer.
+func isBufioWriter(p *Pass, expr ast.Expr) bool {
+	return hasNamedType(p, expr, "bufio", "Writer")
+}
+
+// isCSVWriter reports whether expr's static type is *encoding/csv.Writer.
+func isCSVWriter(p *Pass, expr ast.Expr) bool {
+	return hasNamedType(p, expr, "encoding/csv", "Writer")
+}
+
+func hasNamedType(p *Pass, expr ast.Expr, pkgPath, name string) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	} else if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// callsErrorOn reports whether the file contains a call recv.Error().
+func callsErrorOn(p *Pass, file *ast.File, recv types.Object) bool {
+	if recv == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" {
+			return true
+		}
+		if receiverObject(p, sel.X) == recv {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a receiver expression compactly for messages.
+func exprString(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	}
+	return "receiver"
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Exhaustive keeps enum switches honest: a switch over one of the
+// project's enum types (DiscretizeMethod, faultinject.Kind, snapshot
+// modes, trend kinds, ...) must either cover every declared constant or
+// carry a default clause that fails loudly (returns an error or
+// panics). Without this, adding an enum member compiles everywhere and
+// silently misbehaves at the one switch someone forgot — the exact bug
+// class the fault-injection Kind switch guards against by construction.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over project enum types must cover every constant or have a default that returns an error or panics",
+	Skip: func(pkgPath string) bool { return false },
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkExhaustive(p, sw)
+				return true
+			})
+		}
+	},
+}
+
+// checkExhaustive validates one tagged switch when its tag is a project
+// enum type.
+func checkExhaustive(p *Pass, sw *ast.SwitchStmt) {
+	tv, ok := p.Info.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || !isProjectEnumType(p, named) {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return
+	}
+	covered := make(map[string]bool, len(members))
+	hasDefault := false
+	defaultOK := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			defaultOK = clauseFailsLoudly(cc)
+			continue
+		}
+		for _, expr := range cc.List {
+			etv, ok := p.Info.Types[expr]
+			if !ok || etv.Value == nil {
+				continue
+			}
+			covered[etv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m.Val().ExactString()] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if hasDefault && defaultOK {
+		return
+	}
+	if hasDefault {
+		p.Reportf(sw.Pos(), "switch over %s is missing %s and its default clause neither returns an error nor panics", named.Obj().Name(), strings.Join(missing, ", "))
+		return
+	}
+	p.Reportf(sw.Pos(), "switch over %s does not cover %s; add the missing cases or a default that returns an error or panics", named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// isProjectEnumType reports whether named is declared in this module
+// (path "opmap" or a subpackage, or the package under analysis) with a
+// basic integer/string underlying type.
+func isProjectEnumType(p *Pass, named *types.Named) bool {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	info := basic.Info()
+	if info&(types.IsInteger|types.IsString) == 0 {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "opmap" || strings.HasPrefix(path, "opmap/") || obj.Pkg() == p.Types
+}
+
+// enumMembers returns the package-level constants of exactly type named,
+// in declaration order.
+func enumMembers(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var members []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			members = append(members, c)
+		}
+	}
+	return members
+}
+
+// clauseFailsLoudly reports whether the clause (transitively) returns
+// or panics, i.e. cannot silently fall through to the code after the
+// switch.
+func clauseFailsLoudly(cc *ast.CaseClause) bool {
+	loud := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if loud {
+				return false
+			}
+			switch s := n.(type) {
+			case *ast.ReturnStmt:
+				loud = true
+				return false
+			case *ast.CallExpr:
+				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					loud = true
+					return false
+				}
+			case *ast.FuncLit:
+				return false
+			}
+			return true
+		})
+	}
+	return loud
+}

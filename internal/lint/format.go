@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Machine-readable exposition. The driver produces one Report per run;
+// text is for humans and the terminal, json for ci.sh and scripts, and
+// sarif for code-scanning UIs (GitHub's security tab renders SARIF
+// uploads inline on the diff). All three render the same Report, so a
+// finding can never appear in one format and not another.
+
+// Finding is one diagnostic flattened for exposition, annotated with
+// whether the baseline absorbed it.
+type Finding struct {
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Symbol    string `json:"symbol,omitempty"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// Report is one run's complete machine-readable result.
+type Report struct {
+	Module       string    `json:"module"`
+	Packages     int       `json:"packages"`
+	Analyzed     int       `json:"analyzed"`
+	CacheHits    int       `json:"cache_hits"`
+	NewFindings  int       `json:"new_findings"`
+	Baselined    int       `json:"baselined"`
+	StaleEntries int       `json:"stale_baseline_entries"`
+	Findings     []Finding `json:"findings"`
+}
+
+// BuildReport assembles the Report from a driver result and the
+// baseline split. Findings keep global position order; baselined ones
+// are included (flagged) so formats can show the full picture.
+func BuildReport(res *DriverResult, fresh, baselined []Diagnostic, stale []BaselineEntry) *Report {
+	rep := &Report{
+		Module:       res.ModulePath,
+		Packages:     res.Packages,
+		Analyzed:     res.Analyzed,
+		CacheHits:    res.CacheHits,
+		NewFindings:  len(fresh),
+		Baselined:    len(baselined),
+		StaleEntries: len(stale),
+		Findings:     make([]Finding, 0, len(fresh)+len(baselined)),
+	}
+	all := make([]Diagnostic, 0, len(fresh)+len(baselined))
+	all = append(all, fresh...)
+	all = append(all, baselined...)
+	sortDiags(all)
+	// Recover the baselined flag by fingerprint count: every diagnostic
+	// is either fresh or baselined, so membership survives the re-sort
+	// as a multiset.
+	budget := make(map[fingerprint]int, len(baselined))
+	for _, d := range baselined {
+		budget[diagFP(d)]++
+	}
+	for _, d := range all {
+		f := Finding{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Symbol:   d.Symbol,
+			Message:  d.Message,
+		}
+		if fp := diagFP(d); budget[fp] > 0 {
+			budget[fp]--
+			f.Baselined = true
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	return rep
+}
+
+// Summary is the one-line human digest printed to stderr in every
+// format, so CI logs always show the cache economics and the verdict.
+func (r *Report) Summary() string {
+	pct := 0.0
+	if r.Packages > 0 {
+		pct = 100 * float64(r.CacheHits) / float64(r.Packages)
+	}
+	s := fmt.Sprintf("opmaplint: %d packages, %d analyzed, cache hits %d (%.0f%%), findings: %d new, %d baselined",
+		r.Packages, r.Analyzed, r.CacheHits, pct, r.NewFindings, r.Baselined)
+	if r.StaleEntries > 0 {
+		s += fmt.Sprintf(", %d stale baseline entrie(s) to prune", r.StaleEntries)
+	}
+	return s
+}
+
+// WriteText prints compiler-style lines for new findings (baselined
+// ones are annotated and only shown when present) plus a trailer.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, f := range r.Findings {
+		suffix := ""
+		if f.Baselined {
+			suffix = " (baselined)"
+		}
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s%s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message, suffix); err != nil {
+			return err
+		}
+	}
+	if r.NewFindings > 0 {
+		if _, err := fmt.Fprintf(w, "opmaplint: %d new finding(s)\n", r.NewFindings); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the full report as one indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if r.Findings == nil {
+		r.Findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// SARIF 2.1.0 document skeleton, kept to the subset code-scanning
+// consumers require.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name    string      `json:"name"`
+	Version string      `json:"version"`
+	Rules   []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID        string       `json:"id"`
+	ShortDesc sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	Baseline  string          `json:"baselineState,omitempty"`
+}
+
+type sarifLocation struct {
+	Physical sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the report as a SARIF 2.1.0 run. Baselined findings
+// carry baselineState "unchanged" so scanners show only new ones by
+// default; new findings are "new".
+func (r *Report) WriteSARIF(w io.Writer, analyzers []*Analyzer) error {
+	drv := sarifDriver{Name: "opmaplint", Version: EngineVersion}
+	for _, a := range analyzers {
+		drv.Rules = append(drv.Rules, sarifRule{ID: a.Name, ShortDesc: sarifMessage{Text: a.Doc}})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: drv}, Results: []sarifResult{}}
+	for _, f := range r.Findings {
+		state := "new"
+		if f.Baselined {
+			state = "unchanged"
+		}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:   f.Analyzer,
+			Level:    "error",
+			Message:  sarifMessage{Text: f.Message},
+			Baseline: state,
+			Locations: []sarifLocation{{Physical: sarifPhysical{
+				Artifact: sarifArtifact{URI: f.File},
+				Region:   sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+			}}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak enforces the project's goroutine-ownership discipline: every
+// `go` statement must be visibly tied to a completion or cancellation
+// mechanism — a WaitGroup/errgroup Done/Wait, a channel it sends on or
+// closes, or a context it watches. An untethered goroutine is the
+// classic slow leak: it outlives the request that spawned it, holds
+// cube memory, and surfaces only as an unexplained inflight gauge in
+// production. The daemon's shard workers, the snapshot checkpointer and
+// the engine's lazy builders all follow the tether pattern; this keeps
+// new `go` statements from regressing it.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement must be tied to a WaitGroup, a channel send/close, or a context so the goroutine cannot leak",
+	Skip: func(pkgPath string) bool {
+		// Test-only packages spawn short-lived helpers freely.
+		return strings.HasSuffix(pkgPath, "_test")
+	},
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if goStmtTethered(p, g) {
+					return true
+				}
+				p.Reportf(g.Pos(), "goroutine has no visible completion tether; tie it to a WaitGroup (Done/Wait), send on or close a channel, or watch a context")
+				return true
+			})
+		}
+	},
+}
+
+// goStmtTethered reports whether the go statement is visibly tied to a
+// completion mechanism.
+func goStmtTethered(p *Pass, g *ast.GoStmt) bool {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return funcLitTethered(p, lit)
+	}
+	// Named function (or method/bound call): accept when any argument —
+	// or the method receiver — is a context, channel, WaitGroup or
+	// errgroup-like value; the callee owns the tether.
+	if tetherExpr(p, g.Call.Fun) {
+		return true
+	}
+	for _, arg := range g.Call.Args {
+		if tetherExpr(p, arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLitTethered scans a goroutine body for any tether: a Done/Wait
+// call on a WaitGroup-like value, a channel send, a close(), a channel
+// receive/select, or any use of a context value.
+func funcLitTethered(p *Pass, lit *ast.FuncLit) bool {
+	tethered := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if tethered {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			tethered = true
+			return false
+		case *ast.UnaryExpr:
+			// <-ch receive counts: the goroutine blocks on a channel the
+			// spawner controls.
+			if s.Op.String() == "<-" {
+				tethered = true
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "close" {
+				tethered = true
+				return false
+			}
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Wait" {
+					tethered = true
+					return false
+				}
+			}
+		case ast.Expr:
+			if tetherExpr(p, s) {
+				tethered = true
+				return false
+			}
+		}
+		return true
+	})
+	return tethered
+}
+
+// tetherExpr reports whether expr's static type is a tether carrier: a
+// context.Context, a channel, a *sync.WaitGroup, or a pointer to a
+// struct embedding one (errgroup-style).
+func tetherExpr(p *Pass, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isTetherType(tv.Type, 0)
+}
+
+func isTetherType(t types.Type, depth int) bool {
+	if depth > 2 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return isTetherType(u.Elem(), depth+1)
+	case *types.Interface:
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	case *types.Struct:
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				return true
+			}
+			// errgroup-style: a named struct type called Group with a Wait
+			// method is a tether carrier.
+			if obj.Name() == "Group" {
+				return true
+			}
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if f.Embedded() && isTetherType(f.Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -226,4 +226,7 @@ func Run(pkg *Package, analyzers []*Analyzer, allow []Allow) []Diagnostic {
 }
 
 // All lists every analyzer the opmaplint driver runs, in report order.
-var All = []*Analyzer{FloatCmp, SeededRand, PanicFree, LockSafe, APIDoc, CtxRule, CubeAccess}
+var All = []*Analyzer{
+	FloatCmp, SeededRand, PanicFree, LockSafe, APIDoc, CtxRule, CubeAccess,
+	CtxLoop, GoroLeak, ErrClose, MetricName, Exhaustive,
+}

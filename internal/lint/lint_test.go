@@ -26,6 +26,11 @@ var goldenCases = []struct {
 	{"apidoc", lint.APIDoc},
 	{"ctxrule", lint.CtxRule},
 	{"cubeaccess", lint.CubeAccess},
+	{"ctxloop", lint.CtxLoop},
+	{"goroleak", lint.GoroLeak},
+	{"errclose", lint.ErrClose},
+	{"metricname", lint.MetricName},
+	{"exhaustive", lint.Exhaustive},
 }
 
 // wantRe extracts the expectation regexp from a `// want` comment.

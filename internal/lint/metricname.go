@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName pins the observability surface: dashboards, alerts and
+// ci.sh all grep metric names by exact string, so a name must be a
+// compile-time constant (never assembled at runtime), must follow the
+// project grammar, and must be declared exactly once per package. The
+// grammar mirrors the conventions PR 4 established: `opmap_` for the
+// pipeline/engine, `opmapd_` for the daemon, lower_snake body, and a
+// kind-specific suffix — counters end `_total`, histograms `_seconds`,
+// gauges carry a unit (`_bytes`) or none but never a counter/histogram
+// suffix.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric names must be named compile-time constants matching opmap[d]_[a-z_]+ with kind-correct suffixes, declared exactly once",
+	Skip: func(pkgPath string) bool { return false },
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkMetricCall(p, call)
+				return true
+			})
+		}
+		checkDuplicateMetricConsts(p)
+	},
+}
+
+// metricNameRE is the project grammar for a metric name.
+var metricNameRE = regexp.MustCompile(`^opmapd?_[a-z][a-z0-9_]*$`)
+
+// metricKinds maps registry method names to the suffix rule they imply.
+var metricKinds = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// checkMetricCall validates one Counter/Gauge/Histogram call on a
+// Registry-typed receiver.
+func checkMetricCall(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !metricKinds[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	if !isRegistryReceiver(p, sel.X) {
+		return
+	}
+	kind := sel.Sel.Name
+	arg := call.Args[0]
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		p.Reportf(arg.Pos(), "metric name passed to %s must be a compile-time string constant, not a runtime value", kind)
+		return
+	}
+	if !isNamedConstExpr(p, arg) {
+		p.Reportf(arg.Pos(), "metric name passed to %s must be a named constant (declare a const and use it), not a literal or expression", kind)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		p.Reportf(arg.Pos(), "metric name %q does not match the project grammar ^opmapd?_[a-z][a-z0-9_]*$", name)
+		return
+	}
+	switch kind {
+	case "Counter":
+		if !strings.HasSuffix(name, "_total") {
+			p.Reportf(arg.Pos(), "counter name %q must end in _total", name)
+		}
+	case "Histogram":
+		if !strings.HasSuffix(name, "_seconds") {
+			p.Reportf(arg.Pos(), "histogram name %q must end in _seconds", name)
+		}
+	case "Gauge":
+		if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_seconds") {
+			p.Reportf(arg.Pos(), "gauge name %q must not use a counter (_total) or histogram (_seconds) suffix", name)
+		}
+	}
+}
+
+// isRegistryReceiver reports whether expr's static type is a named type
+// called Registry (or a pointer to one). Matching by name rather than
+// by package keeps golden-test packages self-contained.
+func isRegistryReceiver(p *Pass, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// isNamedConstExpr reports whether expr is an identifier or selector
+// resolving to a declared *types.Const.
+func isNamedConstExpr(p *Pass, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		_, ok := identObject(p, e).(*types.Const)
+		return ok
+	case *ast.SelectorExpr:
+		_, ok := p.Info.Uses[e.Sel].(*types.Const)
+		return ok
+	case *ast.ParenExpr:
+		return isNamedConstExpr(p, e.X)
+	}
+	return false
+}
+
+// checkDuplicateMetricConsts flags two package-level string constants
+// declaring the same metric name: "registered exactly once" starts at
+// the declaration site.
+func checkDuplicateMetricConsts(p *Pass) {
+	type site struct {
+		name string
+		pos  token.Pos
+	}
+	seen := make(map[string]site)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, nameID := range vs.Names {
+					c, ok := p.Info.Defs[nameID].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					val := constant.StringVal(c.Val())
+					if !metricNameRE.MatchString(val) {
+						continue
+					}
+					if prev, dup := seen[val]; dup {
+						p.Reportf(nameID.Pos(), "metric name %q already declared as const %s; a metric must have exactly one declaring constant", val, prev.name)
+						continue
+					}
+					seen[val] = site{name: nameID.Name, pos: nameID.Pos()}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"opmap/internal/lint"
+)
+
+// TestSelfLint runs the full engine over this module with every
+// analyzer enabled and asserts the result matches the committed
+// baseline exactly: no new findings, no stale entries. This is the
+// invariant CI enforces; keeping it as a test means `go test ./...`
+// alone catches a regression that introduces a finding (or a fix that
+// forgets to prune its baseline entry).
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-lint type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	res, err := lint.Drive(lint.DriverConfig{
+		Patterns: []string{"./..."},
+		Dir:      root,
+		Allow:    lint.Allowlist,
+		// An isolated cache keeps the test hermetic from (and harmless
+		// to) the developer's .lintcache.
+		CacheDir: filepath.Join(t.TempDir(), "lintcache"),
+	})
+	if err != nil {
+		t.Fatalf("Drive: %v", err)
+	}
+	if res.ModulePath != "opmap" {
+		t.Fatalf("module path = %q, want opmap", res.ModulePath)
+	}
+	baseline, err := lint.LoadBaseline(filepath.Join(root, lint.DefaultBaselineName))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	fresh, _, stale := baseline.Apply(res.Diags)
+	for _, d := range fresh {
+		t.Errorf("new finding not in baseline: %s", d)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry (finding fixed; prune it): %s %s %s", e.Analyzer, e.File, e.Message)
+	}
+}

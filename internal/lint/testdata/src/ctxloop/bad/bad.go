@@ -1,0 +1,48 @@
+// Package bad exercises ctxloop: loops in context-taking functions
+// that never observe their context.
+package bad
+
+import "context"
+
+// Sum scans rows without ever consulting ctx.
+func Sum(ctx context.Context, rows []int) int {
+	total := 0
+	for _, r := range rows { // want `loop body never observes the function's context`
+		total += r
+	}
+	return total
+}
+
+// Busy spins on a plain for loop with no ctx reference.
+func Busy(ctx context.Context, n int) int {
+	v := 0
+	for i := 0; i < n; i++ { // want `loop body never observes the function's context`
+		v += i
+	}
+	return v
+}
+
+// Nested flags only the outermost loop; the inner one is covered by
+// the outer report.
+func Nested(ctx context.Context, grid [][]int) int {
+	total := 0
+	for _, row := range grid { // want `loop body never observes the function's context`
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// Closure loops inside a non-ctx literal still owe the enclosing
+// function's context a look.
+func Closure(ctx context.Context, rows []int) int {
+	f := func() int {
+		s := 0
+		for _, r := range rows { // want `loop body never observes the function's context`
+			s += r
+		}
+		return s
+	}
+	return f()
+}

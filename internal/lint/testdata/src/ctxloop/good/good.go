@@ -1,0 +1,81 @@
+// Package good exercises ctxloop: every loop observes its context, or
+// sits in code the analyzer exempts.
+package good
+
+import "context"
+
+// Poll checks ctx.Err once per iteration.
+func Poll(ctx context.Context, rows []int) (int, error) {
+	total := 0
+	for _, r := range rows {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// Callee passes ctx to a context-taking function each iteration.
+func Callee(ctx context.Context, rows []int) error {
+	for _, r := range rows {
+		if err := step(ctx, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func step(ctx context.Context, r int) error { return ctx.Err() }
+
+// Channel ranges end when the producer closes the channel; the
+// producer owns cancellation.
+func Channel(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// Select drains via ctx.Done, the canonical cancellable loop.
+func Select(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		}
+	}
+}
+
+// NoCtx has no context parameter, so its loops are out of scope.
+func NoCtx(rows []int) int {
+	total := 0
+	for _, r := range rows {
+		total += r
+	}
+	return total
+}
+
+// OwnCtx literals with their own context parameter are separate units.
+func OwnCtx(ctx context.Context) func(context.Context, []int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil
+	}
+	return func(ctx context.Context, rows []int) (int, error) {
+		total := 0
+		for _, r := range rows {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			total += r
+		}
+		return total, nil
+	}
+}

@@ -1,0 +1,81 @@
+// Package bad exercises errclose: dropped Close/Sync/Flush errors on
+// write paths.
+package bad
+
+import (
+	"bufio"
+	"encoding/csv"
+	"os"
+)
+
+// Export drops both the Sync and Close errors of a created file.
+func Export(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Sync()  // want `f\.Sync error is dropped on a write path`
+	f.Close() // want `f\.Close error is dropped on a write path`
+	return nil
+}
+
+// DeferClose drops the Close error in a defer on an os.OpenFile
+// write handle.
+func DeferClose(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `f\.Close error is dropped on a write path`
+	_, err = f.Write(data)
+	return err
+}
+
+// Buffered drops the bufio.Writer Flush error, where buffered bytes
+// actually reach the file.
+func Buffered(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := bw.Write(data); err != nil {
+		return err
+	}
+	bw.Flush() // want `bw\.Flush error is dropped on a write path`
+	return f.Close()
+}
+
+// Records flushes a csv.Writer without ever consulting its Error.
+func Records(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(f)
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush() // want `csv\.Writer\.Flush buffers write errors`
+	return f.Close()
+}
+
+// Closure drops the Close error of a handle captured from the
+// enclosing function.
+func Closure(path string) error {
+	f, err := os.CreateTemp("", path)
+	if err != nil {
+		return err
+	}
+	cleanup := func() {
+		f.Close() // want `f\.Close error is dropped on a write path`
+	}
+	defer cleanup()
+	_, err = f.WriteString("x")
+	return err
+}

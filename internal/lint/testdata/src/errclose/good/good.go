@@ -1,0 +1,94 @@
+// Package good exercises errclose: finalizer errors checked, handed
+// to the caller, or explicitly discarded.
+package good
+
+import (
+	"bufio"
+	"encoding/csv"
+	"os"
+)
+
+// Export checks every finalizer error on the write path.
+func Export(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Buffered returns the Flush error directly.
+func Buffered(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := bw.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Records consults csv.Writer.Error after the flush, which is where
+// the csv package surfaces buffered write failures.
+func Records(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(f)
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPath closes a read-only handle; a failed close after a
+// successful read loses nothing, so the bare defer is fine.
+func ReadPath(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// Discard explicitly throws the error away, which the analyzer reads
+// as a reviewed decision.
+func Discard(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := f.WriteString("x")
+	_ = f.Close()
+	return werr
+}

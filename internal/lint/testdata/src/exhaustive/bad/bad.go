@@ -1,0 +1,55 @@
+// Package bad exercises exhaustive: enum switches that miss members
+// without failing loudly.
+package bad
+
+// Kind is a project-style enum: a named integer type with its
+// package-level constant set.
+type Kind uint8
+
+const (
+	Alpha Kind = iota
+	Beta
+	Gamma
+)
+
+// Name misses Gamma and has no default at all.
+func Name(k Kind) string {
+	switch k { // want `switch over Kind does not cover Gamma`
+	case Alpha:
+		return "alpha"
+	case Beta:
+		return "beta"
+	}
+	return ""
+}
+
+// Describe misses Gamma behind a default that silently falls through.
+func Describe(k Kind) string {
+	out := ""
+	switch k { // want `missing Gamma and its default clause neither returns an error nor panics`
+	case Alpha:
+		out = "alpha"
+	case Beta:
+		out = "beta"
+	default:
+		out = "?"
+	}
+	return out
+}
+
+// Mode is a string-backed enum; the rule is the same.
+type Mode string
+
+const (
+	Eager Mode = "eager"
+	Lazy  Mode = "lazy"
+)
+
+// Pick misses Lazy.
+func Pick(m Mode) int {
+	switch m { // want `switch over Mode does not cover Lazy`
+	case Eager:
+		return 1
+	}
+	return 0
+}

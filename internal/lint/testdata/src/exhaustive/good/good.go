@@ -1,0 +1,76 @@
+// Package good exercises exhaustive: every enum switch covers the set
+// or fails loudly.
+package good
+
+import "errors"
+
+// Kind is a project-style enum.
+type Kind uint8
+
+const (
+	Alpha Kind = iota
+	Beta
+	Gamma
+)
+
+// Name covers every member.
+func Name(k Kind) string {
+	switch k {
+	case Alpha:
+		return "alpha"
+	case Beta:
+		return "beta"
+	case Gamma:
+		return "gamma"
+	}
+	return ""
+}
+
+// Parse misses Gamma but its default returns an error, so adding a
+// member cannot silently fall through.
+func Parse(k Kind) (string, error) {
+	switch k {
+	case Alpha:
+		return "alpha", nil
+	case Beta:
+		return "beta", nil
+	default:
+		return "", errors.New("unknown kind")
+	}
+}
+
+// Must misses Gamma but panics on anything else.
+func Must(k Kind) string {
+	switch k {
+	case Alpha:
+		return "alpha"
+	case Beta:
+		return "beta"
+	default:
+		panic("unknown kind")
+	}
+}
+
+// single has one constant, below the enum threshold.
+type single uint8
+
+const only single = 0
+
+// One switches over a non-enum; not checked.
+func One(s single) bool {
+	switch s {
+	case only:
+		return true
+	}
+	return false
+}
+
+// Tagless switches are flow control, not enum dispatch.
+func Tagless(n int) string {
+	switch {
+	case n > 0:
+		return "pos"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,28 @@
+// Package bad exercises goroleak: goroutines with no visible
+// completion tether.
+package bad
+
+var counter int
+
+func work() { counter++ }
+
+// Fire spawns a literal that touches no channel, context or WaitGroup.
+func Fire() {
+	go func() { // want `goroutine has no visible completion tether`
+		counter++
+	}()
+}
+
+// FireNamed spawns a named function with no tether-carrying argument.
+func FireNamed() {
+	go work() // want `goroutine has no visible completion tether`
+}
+
+// FireLoop leaks one goroutine per element.
+func FireLoop(n int) {
+	for i := 0; i < n; i++ {
+		go func(v int) { // want `goroutine has no visible completion tether`
+			counter += v
+		}(i)
+	}
+}

@@ -1,0 +1,69 @@
+// Package good exercises goroleak: every goroutine is tied to a
+// WaitGroup, a channel, or a context.
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+var counter int
+
+// WaitGrouped goroutines signal completion through wg.Done.
+func WaitGrouped(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counter++
+		}()
+	}
+	wg.Wait()
+}
+
+// ChannelSend goroutines hand their result to the spawner.
+func ChannelSend() int {
+	out := make(chan int)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+
+// Closer goroutines that close a channel announce completion.
+func Closer(items []int) <-chan int {
+	out := make(chan int, len(items))
+	go func() {
+		defer close(out)
+		for _, v := range items {
+			out <- v
+		}
+	}()
+	return out
+}
+
+// CtxBound goroutines watch their context.
+func CtxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		counter++
+	}()
+}
+
+// NamedWithCtx passes the context to the callee, which owns the
+// tether.
+func NamedWithCtx(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) { <-ctx.Done() }
+
+// NamedWithChan passes a channel to the callee.
+func NamedWithChan() <-chan int {
+	out := make(chan int, 1)
+	go produce(out)
+	return out
+}
+
+func produce(out chan<- int) { out <- 1 }

@@ -1,0 +1,39 @@
+// Package bad exercises metricname: runtime names, literals, grammar
+// violations, wrong suffixes, and duplicate declaring constants.
+package bad
+
+// Registry mirrors the obsv registry surface; the analyzer matches the
+// receiver type by name.
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) Counter(name string, labels ...string) *Counter { return nil }
+func (r *Registry) Gauge(name string, labels ...string) *Gauge     { return nil }
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	return nil
+}
+
+const (
+	badSuffixCounter = "opmap_queries"        // counter without _total
+	badSuffixHist    = "opmap_build_total"    // histogram without _seconds
+	badSuffixGauge   = "opmap_inflight_total" // gauge with a counter suffix
+	badGrammar       = "opmapx_rows_total"    // prefix outside the grammar
+)
+
+// Register exercises every call-site rule.
+func Register(r *Registry, dynamic string) {
+	r.Counter(dynamic)                       // want `must be a compile-time string constant`
+	r.Counter("opmap_literal_total")         // want `must be a named constant`
+	r.Counter(badSuffixCounter)              // want `must end in _total`
+	r.Histogram(badSuffixHist, nil)          // want `must end in _seconds`
+	r.Gauge(badSuffixGauge)                  // want `must not use a counter \(_total\) or histogram \(_seconds\) suffix`
+	r.Counter(badGrammar)                    // want `does not match the project grammar`
+	r.Counter("opmap_" + dynamic + "_total") // want `must be a compile-time string constant`
+}
+
+const dupOriginal = "opmap_dup_total"
+
+const dupCopy = "opmap_dup_total" // want `already declared as const dupOriginal`

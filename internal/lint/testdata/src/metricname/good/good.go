@@ -1,0 +1,45 @@
+// Package good exercises metricname: named constants with
+// kind-correct suffixes, each declared exactly once.
+package good
+
+// Registry mirrors the obsv registry surface; the analyzer matches the
+// receiver type by name.
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) Counter(name string, labels ...string) *Counter { return nil }
+func (r *Registry) Gauge(name string, labels ...string) *Gauge     { return nil }
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	return nil
+}
+
+const (
+	// requestsTotal counts requests; counters end _total.
+	requestsTotal = "opmap_requests_total"
+	// buildSeconds times builds; histograms end _seconds.
+	buildSeconds = "opmap_build_seconds"
+	// cacheBytes gauges resident bytes; gauges carry a unit suffix.
+	cacheBytes = "opmap_cache_bytes"
+	// inflight is a unit-less gauge, also fine.
+	inflight = "opmapd_inflight"
+)
+
+// Register pre-registers every series from its declaring constant.
+func Register(r *Registry) {
+	r.Counter(requestsTotal, "path", "/api")
+	r.Histogram(buildSeconds, nil)
+	r.Gauge(cacheBytes)
+	r.Gauge(inflight)
+}
+
+// notRegistry has a Counter method too, but its receiver type is not
+// Registry, so the analyzer leaves it alone.
+type notRegistry struct{}
+
+func (n notRegistry) Counter(name string) int { return 0 }
+
+// Other uses a literal on the unrelated type, which is fine.
+func Other(n notRegistry) int { return n.Counter("whatever") }

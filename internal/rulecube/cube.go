@@ -557,22 +557,10 @@ func BuildStoreContext(ctx context.Context, ds *dataset.Dataset, opts StoreOptio
 	if !ds.AllCategorical() {
 		return nil, fmt.Errorf("rulecube: dataset has continuous attributes; discretize first")
 	}
-	attrs := opts.Attrs
-	if attrs == nil {
-		for a := 0; a < ds.NumAttrs(); a++ {
-			if a != ds.ClassIndex() {
-				attrs = append(attrs, a)
-			}
-		}
-	} else {
-		attrs = append([]int(nil), attrs...)
-		for _, a := range attrs {
-			if a == ds.ClassIndex() {
-				return nil, fmt.Errorf("rulecube: class attribute in store attribute list")
-			}
-		}
+	attrs, err := normalizeStoreAttrs(ds, opts.Attrs)
+	if err != nil {
+		return nil, err
 	}
-	sort.Ints(attrs)
 	s := &Store{
 		ds:    ds,
 		attrs: attrs,
@@ -595,12 +583,7 @@ func BuildStoreContext(ctx context.Context, ds *dataset.Dataset, opts StoreOptio
 	if opts.SkipPairs {
 		return s, nil
 	}
-	var pairs [][2]int
-	for i, a := range attrs {
-		for _, b := range attrs[i+1:] {
-			pairs = append(pairs, [2]int{a, b})
-		}
-	}
+	pairs := enumeratePairs(attrs)
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -628,6 +611,40 @@ func BuildStoreContext(ctx context.Context, ds *dataset.Dataset, opts StoreOptio
 		return nil, err
 	}
 	return s, nil
+}
+
+// normalizeStoreAttrs resolves the store's attribute list: nil means
+// every attribute except the class; an explicit list is copied,
+// validated against the class index, and sorted.
+func normalizeStoreAttrs(ds *dataset.Dataset, attrs []int) ([]int, error) {
+	if attrs == nil {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			if a != ds.ClassIndex() {
+				attrs = append(attrs, a)
+			}
+		}
+	} else {
+		attrs = append([]int(nil), attrs...)
+		for _, a := range attrs {
+			if a == ds.ClassIndex() {
+				return nil, fmt.Errorf("rulecube: class attribute in store attribute list")
+			}
+		}
+	}
+	sort.Ints(attrs)
+	return attrs, nil
+}
+
+// enumeratePairs lists the unordered attribute pairs (a, b) with a < b
+// in the sorted attrs slice, the job list for the pair-cube build.
+func enumeratePairs(attrs []int) [][2]int {
+	var pairs [][2]int
+	for i, a := range attrs {
+		for _, b := range attrs[i+1:] {
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+	return pairs
 }
 
 // buildPairsParallel counts the pair cubes with a worker pool. The

@@ -154,9 +154,19 @@ func New(cfg Config) (*Server, error) {
 		"/api/datasets": s.handleDatasets,
 	} {
 		s.mux.Handle(path, s.wrap(path, h))
-		// Pre-register the happy-path series so a scrape right after
-		// startup already lists every endpoint at 0.
-		s.metrics.Counter(metricRequests, "path", path, "status", "200")
+		// Pre-register every status series wrap can emit so a scrape
+		// right after startup already lists the full matrix at 0 and
+		// dashboards never see a series appear mid-incident.
+		for _, status := range []int{
+			http.StatusOK,
+			http.StatusBadRequest,
+			http.StatusTooManyRequests,
+			http.StatusInternalServerError,
+			http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout,
+		} {
+			s.metrics.Counter(metricRequests, "path", path, "status", strconv.Itoa(status))
+		}
 		s.metrics.Histogram(metricDuration, nil, "path", path)
 	}
 	// Outcome counters exist from the first scrape, not the first
@@ -169,16 +179,7 @@ func New(cfg Config) (*Server, error) {
 	// Engine cache series likewise: a fresh lazy daemon must already
 	// expose its hit/miss/eviction counters at 0 so a scrape can assert
 	// "startup built nothing".
-	counters, gauges, histograms := engine.MetricNames()
-	for _, name := range counters {
-		s.metrics.Counter(name)
-	}
-	for _, name := range gauges {
-		s.metrics.Gauge(name)
-	}
-	for _, name := range histograms {
-		s.metrics.Histogram(name, nil)
-	}
+	engine.PreRegister(s.metrics)
 	// The cube-build counter too: a snapshot warm start must be able to
 	// prove "zero cubes built" with a scrape, which needs the series
 	// present at 0 rather than absent.

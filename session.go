@@ -264,8 +264,10 @@ func (s *Session) Discretize(opts DiscretizeOptions) error {
 		d = discretize.EqualFrequency{Bins: bins}
 	case ChiMerge:
 		d = discretize.ChiMerge{MaxIntervals: opts.Bins}
-	default:
+	case EntropyMDLP:
 		d = discretize.MDLP{}
+	default:
+		return fmt.Errorf("opmap: unknown discretize method %d", opts.Method)
 	}
 	if len(opts.Manual) > 0 {
 		d = &manualOverride{fallback: d, manual: opts.Manual, schemaAttr: s.raw}
@@ -381,15 +383,9 @@ func (s *Session) BuildCubesOptions(ctx context.Context, opts BuildOptions) erro
 	if err != nil {
 		return err
 	}
-	var attrs []int
-	if opts.Attrs != nil {
-		for _, n := range opts.Attrs {
-			i := ds.AttrIndex(n)
-			if i < 0 {
-				return fmt.Errorf("opmap: unknown attribute %q", n)
-			}
-			attrs = append(attrs, i)
-		}
+	attrs, err := attrIndexes(ds, opts.Attrs)
+	if err != nil {
+		return err
 	}
 	if opts.Lazy {
 		lazy, err := engine.NewLazy(ds, engine.LazyOptions{Attrs: attrs, CacheBytes: opts.CubeCacheBytes})
@@ -409,6 +405,20 @@ func (s *Session) BuildCubesOptions(ctx context.Context, opts BuildOptions) erro
 	s.store = store
 	s.src = engine.NewEager(store)
 	return nil
+}
+
+// attrIndexes resolves attribute names to dataset indexes; nil input
+// stays nil (meaning "all attributes" to the cube builders).
+func attrIndexes(ds *dataset.Dataset, names []string) ([]int, error) {
+	var attrs []int
+	for _, n := range names {
+		i := ds.AttrIndex(n)
+		if i < 0 {
+			return nil, fmt.Errorf("opmap: unknown attribute %q", n)
+		}
+		attrs = append(attrs, i)
+	}
+	return attrs, nil
 }
 
 // working returns the categorical working dataset, erroring with
