@@ -1,0 +1,305 @@
+package opmap
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"opmap/internal/testutil"
+)
+
+// ingestRows generates deterministic mixed-schema rows (two
+// categorical attributes, two continuous, categorical class). Every
+// label and class value appears within the first dozen rows, so a
+// prefix load and a full load build identical dictionaries.
+func ingestRows(n int) [][]string {
+	regions := []string{"north", "south", "east", "west"}
+	models := []string{"m1", "m2", "m3"}
+	classes := []string{"ok", "fail", "slow"}
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		temp := fmt.Sprintf("%d.5", (i*37)%100)
+		load := fmt.Sprintf("%d", (i*53)%80)
+		if i%23 == 7 {
+			temp = "?" // exercise missing continuous values
+		}
+		cls := classes[i%len(classes)]
+		if (i*31)%7 == 0 {
+			cls = classes[(i/3)%len(classes)]
+		}
+		rows[i] = []string{regions[i%len(regions)], models[i%len(models)], temp, load, cls}
+	}
+	return rows
+}
+
+func ingestCSV(rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("Region,Model,Temp,Load,Outcome\n")
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// manualCuts pins the discretization so a prefix load and a full load
+// bin continuous values identically — the precondition for exact
+// batch ≡ streamed equivalence.
+var manualCuts = DiscretizeOptions{Manual: map[string][]float64{
+	"Temp": {25, 50, 75},
+	"Load": {20, 40, 60},
+}}
+
+func loadIngestSession(t *testing.T, rows [][]string, lazy bool) *Session {
+	t.Helper()
+	s, err := LoadCSV(strings.NewReader(ingestCSV(rows)), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Discretize(manualCuts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildCubesOptions(context.Background(), BuildOptions{Lazy: lazy}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// queryTriple runs the three cached query families the oracle test
+// compares across sessions.
+func queryTriple(t *testing.T, s *Session) (*Comparison, *SweepResult, *Impressions) {
+	t.Helper()
+	cmp, err := s.Compare("Region", "north", "south", "fail", CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := s.Sweep("Region", "fail", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := s.Impressions(ImpressionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmp, sw, imp
+}
+
+// TestAppendMatchesBatchLoad is the oracle equivalence test: loading N
+// rows at once and loading a prefix then streaming the rest through
+// Append must produce identical Compare, Sweep and Impressions
+// results, in both eager and lazy engines.
+func TestAppendMatchesBatchLoad(t *testing.T) {
+	all := ingestRows(400)
+	for _, lazy := range []bool{false, true} {
+		name := "eager"
+		if lazy {
+			name = "lazy"
+		}
+		t.Run(name, func(t *testing.T) {
+			oracle := loadIngestSession(t, all, lazy)
+			streamed := loadIngestSession(t, all[:300], lazy)
+			if lazy {
+				// Materialize some cubes before the appends so both the
+				// resident and not-yet-resident paths are exercised.
+				if _, err := streamed.Compare("Region", "north", "south", "fail", CompareOptions{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Stream the tail in uneven batches.
+			for _, batch := range [][][]string{all[300:301], all[301:350], all[350:400]} {
+				if err := streamed.Append(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got, want := streamed.NumRows(), oracle.NumRows(); got != want {
+				t.Fatalf("streamed rows = %d, want %d", got, want)
+			}
+			oc, os, oi := queryTriple(t, oracle)
+			sc, ss, si := queryTriple(t, streamed)
+			if !reflect.DeepEqual(oc, sc) {
+				t.Errorf("Compare diverges:\noracle   %+v\nstreamed %+v", oc, sc)
+			}
+			if !reflect.DeepEqual(os, ss) {
+				t.Errorf("Sweep diverges:\noracle   %+v\nstreamed %+v", os, ss)
+			}
+			if !reflect.DeepEqual(oi, si) {
+				t.Errorf("Impressions diverge:\noracle   %+v\nstreamed %+v", oi, si)
+			}
+		})
+	}
+}
+
+// TestAppendValidation: a malformed batch is rejected atomically —
+// nothing about the session changes, and the error names the row.
+func TestAppendValidation(t *testing.T) {
+	s := loadIngestSession(t, ingestRows(50), false)
+	rowsBefore, cubesBefore := s.NumRows(), s.CubeCount()
+
+	if err := s.Append(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	err := s.Append([][]string{{"north", "m1", "10"}})
+	if err == nil || !strings.Contains(err.Error(), "schema has 5") {
+		t.Errorf("short row error = %v", err)
+	}
+	err = s.Append([][]string{
+		{"north", "m1", "10", "20", "ok"},
+		{"north", "m1", "not-a-number", "20", "ok"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "row 1") {
+		t.Errorf("bad number error = %v", err)
+	}
+	if s.NumRows() != rowsBefore || s.CubeCount() != cubesBefore {
+		t.Errorf("failed batches mutated the session: rows %d→%d cubes %d→%d",
+			rowsBefore, s.NumRows(), cubesBefore, s.CubeCount())
+	}
+}
+
+// TestAppendInvalidatesTouchedCache: an append evicts cached results
+// that depend on a touched attribute (all of them here — every row
+// touches every attribute) and the re-run answer reflects the new
+// rows rather than the stale cache.
+func TestAppendInvalidatesTouchedCache(t *testing.T) {
+	s := loadIngestSession(t, ingestRows(200), false)
+	before, _, _ := queryTriple(t, s)
+	if err := s.Append(ingestRows(300)[200:300]); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Compare("Region", "north", "south", "fail", CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(before, after) {
+		t.Error("Compare after 100 appended rows returned the pre-append (cached) result")
+	}
+	oracle := loadIngestSession(t, ingestRows(300), false)
+	want, _, _ := queryTriple(t, oracle)
+	if !reflect.DeepEqual(want, after) {
+		t.Errorf("post-append Compare diverges from batch oracle:\noracle %+v\ngot    %+v", want, after)
+	}
+}
+
+// TestAppendCutReevaluation: with periodic re-evaluation armed, enough
+// appended rows re-run the discretizer; when the data distribution
+// shifted, the cuts move and the session keeps serving consistently.
+func TestAppendCutReevaluation(t *testing.T) {
+	rows := ingestRows(120)
+	s, err := LoadCSV(strings.NewReader(ingestCSV(rows)), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Discretize(DiscretizeOptions{Method: EqualWidth, Bins: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildCubes(); err != nil {
+		t.Fatal(err)
+	}
+	oldCuts := s.Cuts()["Temp"]
+	s.SetCutReevaluation(50)
+
+	// Shifted regime: Temp values far outside the original [0,100) range
+	// move the equal-width cut points once re-evaluation triggers.
+	shifted := make([][]string, 60)
+	for i := range shifted {
+		shifted[i] = []string{"north", "m1", fmt.Sprintf("%d", 500+i*7), fmt.Sprintf("%d", i%80), "ok"}
+	}
+	if err := s.Append(shifted); err != nil {
+		t.Fatal(err)
+	}
+	newCuts := s.Cuts()["Temp"]
+	if reflect.DeepEqual(oldCuts, newCuts) {
+		t.Errorf("cuts unchanged after shifted appends: %v", newCuts)
+	}
+	if st := s.IngestStats(); st.RowsSinceCutEval >= 50 {
+		t.Errorf("RowsSinceCutEval = %d, want reset below 50", st.RowsSinceCutEval)
+	}
+	// The rebuilt engine serves the grown dataset.
+	if s.NumRows() != 180 {
+		t.Errorf("rows = %d, want 180", s.NumRows())
+	}
+	if _, err := s.Compare("Region", "north", "south", "fail", CompareOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestSeqRoundTrip: the ingest sequence survives a snapshot
+// round trip (OMAPSNAP v2) and shows in both the peeked header and
+// the reloaded session.
+func TestIngestSeqRoundTrip(t *testing.T) {
+	s := loadIngestSession(t, ingestRows(80), false)
+	s.SetIngestSeq(42)
+	if got := s.IngestSeq(); got != 42 {
+		t.Fatalf("IngestSeq = %d", got)
+	}
+	path := t.TempDir() + "/s.omapsnap"
+	if err := s.SaveSnapshotFile(path, SnapshotOptions{SourceHash: "h"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := PeekSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.IngestSeq != 42 {
+		t.Errorf("peeked version=%d ingestSeq=%d, want 2/42", info.Version, info.IngestSeq)
+	}
+	restored, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.IngestSeq(); got != 42 {
+		t.Errorf("restored IngestSeq = %d, want 42", got)
+	}
+	if st := restored.IngestStats(); st.IngestSeq != 42 {
+		t.Errorf("IngestStats.IngestSeq = %d, want 42", st.IngestSeq)
+	}
+}
+
+// TestConcurrentAppendAndQuery hammers the session with concurrent
+// appends and reads under -race: every query must see a consistent
+// session (no partial row, no stale engine) and nothing may leak.
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	defer testutil.VerifyNoLeak(t)()
+	s := loadIngestSession(t, ingestRows(200), false)
+	extra := ingestRows(400)[200:400]
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i+10 <= len(extra); i += 10 {
+			if err := s.Append(extra[i : i+10]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := s.Compare("Region", "north", "south", "fail", CompareOptions{}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Impressions(ImpressionOptions{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.NumRows(); got != 400 {
+		t.Errorf("rows after concurrent appends = %d, want 400", got)
+	}
+	oracle := loadIngestSession(t, ingestRows(400), false)
+	oc, _, _ := queryTriple(t, oracle)
+	sc, _, _ := queryTriple(t, s)
+	if !reflect.DeepEqual(oc, sc) {
+		t.Errorf("post-concurrency Compare diverges from oracle:\noracle %+v\ngot    %+v", oc, sc)
+	}
+}

@@ -234,15 +234,109 @@ if ! wait "$opmapd4_pid"; then
     exit 1
 fi
 
+echo "== opmapd smoke (WAL ingest survives kill -9) =="
+waldir="$smokedir/wal"
+cat >"$smokedir/ingest.csv" <<'EOF'
+Region,Model,Temp,Outcome
+north,m1,10,ok
+south,m2,30,fail
+east,m1,55,ok
+west,m2,80,slow
+north,m2,20,fail
+south,m1,60,ok
+east,m2,15,fail
+west,m1,70,ok
+EOF
+"$smokedir/opmapd" -data "ing=$smokedir/ingest.csv" -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr5" -wal-dir "$waldir" >"$smokedir/opmapd5.log" 2>&1 &
+opmapd5_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr5" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr5" ]; then
+    echo "ingest opmapd never became ready:" >&2
+    cat "$smokedir/opmapd5.log" >&2
+    exit 1
+fi
+addr5=$(cat "$smokedir/addr5")
+# /readyz answers 503 until the (empty) WAL replay finishes.
+for _ in $(seq 1 100); do
+    "$smokedir/opmapd" -probe "$addr5/readyz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+# Two acknowledged batches: each 200 carries the durable WAL sequence.
+"$smokedir/opmapd" -probe "$addr5/api/ingest" \
+    -probe-body '{"rows": [["north","m1","42","fail"],["south","m2","12","fail"]]}' \
+    | grep -q '"seq": 1'
+"$smokedir/opmapd" -probe "$addr5/api/ingest" \
+    -probe-body '{"rows": [["east","m1","33","slow"]]}' \
+    | grep -q '"seq": 2'
+"$smokedir/opmapd" -probe "$addr5/metrics" | grep -qF 'opmap_ingest_rows_total 3'
+# Capture results that include the appended rows, then hard-kill: no
+# drain, no checkpoint — only the fsynced WAL survives.
+"$smokedir/opmapd" -probe "$addr5/api/overview" >"$smokedir/overview.ingest"
+grep -q '"rows": 11' "$smokedir/overview.ingest"
+"$smokedir/opmapd" -probe "$addr5/api/compare?attr=Region&v1=north&v2=south&class=fail" \
+    >"$smokedir/compare.ingest"
+kill -9 "$opmapd5_pid"
+wait "$opmapd5_pid" 2>/dev/null || true
+# Restart over the same WAL directory: replay must restore every
+# acknowledged row before the daemon reports ready.
+"$smokedir/opmapd" -data "ing=$smokedir/ingest.csv" -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr6" -wal-dir "$waldir" >"$smokedir/opmapd6.log" 2>&1 &
+opmapd6_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr6" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr6" ]; then
+    echo "replaying opmapd never became ready:" >&2
+    cat "$smokedir/opmapd6.log" >&2
+    exit 1
+fi
+addr6=$(cat "$smokedir/addr6")
+ready=0
+for _ in $(seq 1 100); do
+    if "$smokedir/opmapd" -probe "$addr6/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$ready" != 1 ]; then
+    echo "WAL replay never finished:" >&2
+    cat "$smokedir/opmapd6.log" >&2
+    exit 1
+fi
+# Post-replay responses are byte-identical to the pre-kill ones, and
+# the scrape proves the rows came back through the WAL.
+"$smokedir/opmapd" -probe "$addr6/api/overview" >"$smokedir/overview.replayed"
+"$smokedir/opmapd" -probe "$addr6/api/compare?attr=Region&v1=north&v2=south&class=fail" \
+    >"$smokedir/compare.replayed"
+cmp "$smokedir/overview.ingest" "$smokedir/overview.replayed"
+cmp "$smokedir/compare.ingest" "$smokedir/compare.replayed"
+"$smokedir/opmapd" -probe "$addr6/metrics" | grep -qF 'opmap_wal_replayed_records_total 2'
+kill -TERM "$opmapd6_pid"
+if ! wait "$opmapd6_pid"; then
+    echo "ingest opmapd did not drain cleanly on SIGTERM:" >&2
+    cat "$smokedir/opmapd6.log" >&2
+    exit 1
+fi
+
 echo "== fuzz smoke (10s per target) =="
 go test -run '^$' -fuzz '^FuzzReadStore$' -fuzztime 10s ./internal/rulecube
 go test -run '^$' -fuzz '^FuzzComparator$' -fuzztime 10s ./internal/compare
 go test -run '^$' -fuzz '^FuzzReadSnapshot$' -fuzztime 10s ./internal/snapshot
+go test -run '^$' -fuzz '^FuzzReplayWAL$' -fuzztime 10s ./internal/wal
 
-echo "== bench (stage timings + engine modes + snapshot cycle) =="
-go run ./cmd/opmapbench -records 20000 -rounds 50 -out BENCH_pr5.json
-grep -q '"build_cubes"' BENCH_pr5.json
-grep -q '"lazy_cold_compare_ms"' BENCH_pr5.json
-grep -q '"load_speedup_vs_build"' BENCH_pr5.json
+echo "== bench (stage timings + engine modes + snapshot cycle + ingest) =="
+go run ./cmd/opmapbench -records 20000 -rounds 50 -out BENCH_pr7.json
+grep -q '"build_cubes"' BENCH_pr7.json
+grep -q '"lazy_cold_compare_ms"' BENCH_pr7.json
+grep -q '"load_speedup_vs_build"' BENCH_pr7.json
+grep -q '"rows_per_sec"' BENCH_pr7.json
+grep -q '"append_p90_ms"' BENCH_pr7.json
+grep -q '"replay_ms_per_1m_records"' BENCH_pr7.json
 
 echo "CI PASSED"

@@ -19,11 +19,14 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"opmap"
 	"opmap/internal/atomicfile"
 	"opmap/internal/obsv"
+	"opmap/internal/wal"
 )
 
 func main() {
@@ -52,6 +55,24 @@ type benchDoc struct {
 	Hot     map[string]stageStats `json:"hot"`
 	Engine  engineBench           `json:"engine"`
 	Snap    snapshotBench         `json:"snapshot"`
+	Ingest  ingestBench           `json:"ingest"`
+}
+
+// ingestBench measures the streaming append path: sustained durable
+// throughput (WAL append + fsync + incremental cube maintenance per
+// batch), the per-batch latency distribution, and how fast a restart
+// replays the log it just wrote.
+type ingestBench struct {
+	Rows        int     `json:"rows"`
+	BatchRows   int     `json:"batch_rows"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	AppendP50Ms float64 `json:"append_p50_ms"`
+	AppendP90Ms float64 `json:"append_p90_ms"`
+	WalBytes    int64   `json:"wal_bytes"`
+	ReplayMs    float64 `json:"replay_ms"`
+	// ReplayMsPer1M extrapolates the measured replay rate to one
+	// million records, the artifact's comparable unit across runs.
+	ReplayMsPer1M float64 `json:"replay_ms_per_1m_records"`
 }
 
 // snapshotBench contrasts a cold start (build every cube from raw
@@ -123,6 +144,10 @@ func run(records int, seed int64, rounds int, out string) error {
 	if err != nil {
 		return err
 	}
+	ingest, err := benchIngest(records)
+	if err != nil {
+		return err
+	}
 
 	doc := benchDoc{
 		Records: records,
@@ -132,6 +157,7 @@ func run(records int, seed int64, rounds int, out string) error {
 		Hot:     map[string]stageStats{},
 		Engine:  engine,
 		Snap:    snap,
+		Ingest:  ingest,
 	}
 	reg := obsv.Default()
 	for _, stage := range obsv.PipelineStages {
@@ -255,6 +281,146 @@ func benchSnapshot(ctx context.Context, records int, seed int64) (snapshotBench,
 		sb.LoadSpeedup = sb.ColdBuildMs / sb.LoadMs
 	}
 	return sb, nil
+}
+
+// benchIngest streams batches through the durable append path a
+// daemon ingest takes — WAL append with per-record fsync, then
+// Session.Append — and then replays the written log into a fresh
+// session, timing both directions.
+func benchIngest(records int) (ingestBench, error) {
+	const batchRows = 50
+	ib := ingestBench{BatchRows: batchRows}
+	// Bound the fsync-per-batch loop so the bench stays snappy at large
+	// -records; throughput and replay rate are per-row figures anyway.
+	ib.Rows = records
+	if ib.Rows > 10000 {
+		ib.Rows = 10000
+	}
+
+	base, err := ingestSession()
+	if err != nil {
+		return ib, err
+	}
+	dir, err := os.MkdirTemp("", "opmapbench-wal-")
+	if err != nil {
+		return ib, err
+	}
+	defer os.RemoveAll(dir)
+	lg, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return ib, err
+	}
+
+	batches := ib.Rows / batchRows
+	latencies := make([]float64, 0, batches)
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		rows := ingestRows(b*batchRows, batchRows)
+		bStart := time.Now()
+		seq, err := lg.Append(wal.EncodeRows(rows))
+		if err != nil {
+			return ib, err
+		}
+		if err := base.Append(rows); err != nil {
+			return ib, err
+		}
+		base.SetIngestSeq(seq)
+		latencies = append(latencies, msSince(bStart))
+	}
+	elapsed := time.Since(start).Seconds()
+	if err := lg.Close(); err != nil {
+		return ib, err
+	}
+	if elapsed > 0 {
+		ib.RowsPerSec = float64(batches*batchRows) / elapsed
+	}
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		ib.AppendP50Ms = latencies[n/2]
+		ib.AppendP90Ms = latencies[n*9/10]
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if fi, err := e.Info(); err == nil {
+				ib.WalBytes += fi.Size()
+			}
+		}
+	}
+
+	// Replay the log into a fresh session — the restart path.
+	fresh, err := ingestSession()
+	if err != nil {
+		return ib, err
+	}
+	lg, err = wal.Open(dir, wal.Options{})
+	if err != nil {
+		return ib, err
+	}
+	defer lg.Close()
+	start = time.Now()
+	n, err := lg.Replay(1, func(seq uint64, payload []byte) error {
+		rows, derr := wal.DecodeRows(payload)
+		if derr != nil {
+			return derr
+		}
+		if aerr := fresh.Append(rows); aerr != nil {
+			return aerr
+		}
+		fresh.SetIngestSeq(seq)
+		return nil
+	})
+	if err != nil {
+		return ib, err
+	}
+	ib.ReplayMs = msSince(start)
+	if replayed := n * batchRows; replayed > 0 {
+		ib.ReplayMsPer1M = ib.ReplayMs / float64(replayed) * 1e6
+	}
+	return ib, nil
+}
+
+// ingestSession builds a small mixed-schema session whose rows
+// ingestRows can generate.
+func ingestSession() (*opmap.Session, error) {
+	var b strings.Builder
+	b.WriteString("Region,Model,Temp,Load,Outcome\n")
+	for _, r := range ingestRows(0, 100) {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	sess, err := opmap.LoadCSV(strings.NewReader(b.String()), opmap.LoadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Discretize(opmap.DiscretizeOptions{Manual: map[string][]float64{
+		"Temp": {25, 50, 75},
+		"Load": {20, 40, 60},
+	}}); err != nil {
+		return nil, err
+	}
+	if err := sess.BuildCubes(); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// ingestRows generates n deterministic rows starting at offset off.
+func ingestRows(off, n int) [][]string {
+	regions := []string{"north", "south", "east", "west"}
+	models := []string{"m1", "m2", "m3"}
+	classes := []string{"ok", "fail", "slow"}
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		j := off + i
+		rows[i] = []string{
+			regions[j%len(regions)],
+			models[j%len(models)],
+			fmt.Sprintf("%d.5", (j*37)%100),
+			fmt.Sprintf("%d", (j*53)%80),
+			classes[j%len(classes)],
+		}
+	}
+	return rows
 }
 
 func msSince(start time.Time) float64 {

@@ -18,6 +18,15 @@
 // (-cube-cache-bytes), so startup is O(1) regardless of attribute
 // count.
 //
+// -wal-dir enables crash-safe streaming ingestion: POST /api/ingest
+// appends rows to a per-dataset write-ahead log, fsynced before the
+// response — an acknowledged batch survives kill -9 at any point. At
+// startup each dataset replays its WAL tail beyond the snapshot's
+// recorded sequence in the background (/readyz reports "replaying"
+// and answers 503 until recovery finishes). Batches fold into the
+// session incrementally through a bounded apply queue; a full queue
+// sheds with 503 + Retry-After.
+//
 // -snapshot-dir makes sessions durable: at startup each dataset
 // warm-starts from <dir>/<name>.omapsnap when the snapshot matches
 // the source content hash (eager datasets restore with zero cube
@@ -38,6 +47,7 @@
 //	GET /api/compare?attr=A&v1=x&v2=y&class=C pairwise comparison
 //	GET /api/compare?attr=A&value=x&class=C   one-vs-rest (degradable)
 //	GET /api/sweep?attr=A&class=C&max_pairs=N degradable sweep
+//	POST /api/ingest                          append rows durably (with -wal-dir)
 //	GET /metrics[?format=json]                counters + stage histograms
 //	GET /debug/pprof/                         profiling (with -pprof)
 //
@@ -99,6 +109,7 @@ func main() {
 		maxRecBytes  = flag.Int("max-record-bytes", 1<<20, "max bytes in one CSV record (0 = unlimited)")
 		readyFile    = flag.String("ready-file", "", "write the bound address to this file once serving (for scripts)")
 		probe        = flag.String("probe", "", "client mode: GET this URL, print the body, exit 0 on 2xx")
+		probeBody    = flag.String("probe-body", "", "with -probe: POST this JSON body instead of GET")
 		logLevel     = flag.String("log-level", "info", "request log level: debug, info, warn or error")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		hotMetrics   = flag.Bool("hot-metrics", false, "arm per-cube and per-attribute hot-path timing histograms")
@@ -106,11 +117,12 @@ func main() {
 		cacheBytes   = flag.Int64("cube-cache-bytes", 0, "lazy 2-D cube cache budget in bytes (0 = 64 MiB default, negative = unlimited)")
 		snapDir      = flag.String("snapshot-dir", "", "directory of per-dataset session snapshots: warm-start from them at boot, checkpoint into them while serving")
 		ckptEvery    = flag.Duration("checkpoint-interval", 0, "rewrite changed snapshots in -snapshot-dir this often (0 disables the background checkpointer)")
+		walDir       = flag.String("wal-dir", "", "directory of per-dataset write-ahead logs: enables POST /api/ingest with replay recovery at boot")
 	)
 	flag.Parse()
 
 	if *probe != "" {
-		os.Exit(runProbe(*probe))
+		os.Exit(runProbe(*probe, *probeBody))
 	}
 
 	level, err := obsv.ParseLevel(*logLevel)
@@ -134,6 +146,17 @@ func main() {
 		}
 	} else if *ckptEvery != 0 {
 		log.Fatal("-checkpoint-interval requires -snapshot-dir")
+	}
+
+	var ingest *ingestman
+	if *walDir != "" {
+		if *cubes != "" {
+			log.Fatal("-wal-dir is incompatible with -cubes (a persisted store has no raw rows to append to)")
+		}
+		ingest, err = newIngestman(*walDir)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	sessions, defaultName, err := loadSessions(ctx, loadConfig{
@@ -164,6 +187,21 @@ func main() {
 	}
 	if snaps != nil {
 		cfg.SnapshotStatus = snaps.status
+	}
+	if ingest != nil {
+		for name, sess := range sessions {
+			if err := ingest.start(name, sess); err != nil {
+				log.Fatal(err)
+			}
+		}
+		cfg.Ingest = ingest.append
+		cfg.IngestStatus = ingest.replaying
+		if snaps != nil {
+			// Checkpoints bound replay work: once a snapshot is on disk the
+			// WAL records it covers are reclaimed.
+			snaps.ingest = ingest
+		}
+		log.Printf("ingestion enabled: per-dataset WALs under %s", *walDir)
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -200,6 +238,11 @@ func main() {
 		// The checkpointer takes one final snapshot on shutdown; wait so
 		// the freshest working set is on disk before the process exits.
 		<-ckptDone
+	}
+	if ingest != nil {
+		// After the final checkpoint, so truncation sees the snapshot's
+		// sequence; drains the apply queues and closes the WALs.
+		ingest.close()
 	}
 	log.Print("drained cleanly")
 }
@@ -364,24 +407,31 @@ func buildCubes(ctx context.Context, name string, sess *opmap.Session, cfg loadC
 }
 
 // runProbe is a minimal HTTP client so scripts (ci.sh's smoke step)
-// need no external tools: GET the URL, echo the body, exit 0 iff 2xx.
-func runProbe(url string) int {
+// need no external tools: GET the URL (or POST body as JSON when body
+// is non-empty), echo the response, exit 0 iff 2xx.
+func runProbe(url, body string) int {
 	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
 		url = "http://" + url
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Get(url)
+	var resp *http.Response
+	var err error
+	if body != "" {
+		resp, err = client.Post(url, "application/json", strings.NewReader(body))
+	} else {
+		resp, err = client.Get(url)
+	}
 	if err != nil {
 		log.Printf("probe: %v", err)
 		return 1
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
 		log.Printf("probe: reading body: %v", err)
 		return 1
 	}
-	os.Stdout.Write(body)
+	os.Stdout.Write(out)
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		log.Printf("probe: %s returned %s", url, resp.Status)
 		return 1

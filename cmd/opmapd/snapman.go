@@ -53,6 +53,10 @@ const snapExt = ".omapsnap"
 type snapman struct {
 	dir      string
 	interval time.Duration
+	// ingest, when ingestion is enabled, is notified after each
+	// successful checkpoint so WAL segments fully covered by the
+	// snapshot can be reclaimed.
+	ingest *ingestman
 
 	mu      sync.Mutex
 	entries map[string]*snapEntry
@@ -255,6 +259,10 @@ func (m *snapman) checkpoint(name string, e *snapEntry) {
 	}
 	path := m.path(name)
 	start := time.Now()
+	// Captured before the save: the snapshot's recorded sequence is at
+	// least this (appends only advance it), so truncating the WAL
+	// through it can never drop a record the snapshot doesn't cover.
+	walSeq := e.sess.IngestSeq()
 	if err := e.sess.SaveSnapshotFile(path, opmap.SnapshotOptions{SourceHash: e.hash}); err != nil {
 		obsv.Default().Counter(metricSnapErrors).Inc()
 		log.Printf("dataset %q: checkpoint to %s failed: %v", name, path, err)
@@ -269,6 +277,9 @@ func (m *snapman) checkpoint(name string, e *snapEntry) {
 	e.lastSig = sig
 	m.mu.Unlock()
 	log.Printf("dataset %q: checkpointed to %s in %v", name, path, dur.Round(time.Millisecond))
+	if m.ingest != nil {
+		m.ingest.truncated(name, walSeq)
+	}
 }
 
 // checkpointAll checkpoints every tracked dataset in name order.
@@ -310,8 +321,10 @@ func (m *snapman) run(ctx context.Context) {
 // engineSig summarizes the engine state that a snapshot would capture;
 // two equal signatures mean a checkpoint would write the same cube
 // set. Build counters are included so a lazy eviction-then-rebuild
-// cycle (same count, different residents) still triggers a save.
+// cycle (same count, different residents) still triggers a save; the
+// row count and ingest sequence so streamed appends (which mutate
+// cubes in place without builds) do too.
 func engineSig(s *opmap.Session) string {
 	st := s.EngineStats()
-	return fmt.Sprintf("%d|%d|%d", s.CubeCount(), st.OneDBuilds, st.TwoDBuilds)
+	return fmt.Sprintf("%d|%d|%d|%d|%d", s.CubeCount(), st.OneDBuilds, st.TwoDBuilds, s.NumRows(), s.IngestSeq())
 }

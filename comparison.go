@@ -109,6 +109,8 @@ func (s *Session) Compare(attr, v1, v2, class string, opts CompareOptions) (*Com
 // SweepPartial or CompareOneVsRestContext with PartialOnDeadline.
 func (s *Session) CompareContext(ctx context.Context, attr, v1, v2, class string, opts CompareOptions) (*Comparison, error) {
 	defer obsv.Stage(obsv.StageCompare)()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
@@ -127,15 +129,35 @@ func (s *Session) CompareContext(ctx context.Context, attr, v1, v2, class string
 		return nil, err
 	}
 	if !res.Partial {
-		s.results.Put(ver, key, res)
+		s.results.PutDeps(ver, key, res, compareDeps(in, copts))
 	}
 	return s.wrapComparison(attr, class, in, res), nil
+}
+
+// compareDeps lists the attribute indices a cached comparison depends
+// on, so appends invalidate it only when one of them is touched. An
+// unrestricted comparison ranks every attribute — nil deps mean
+// "depends on all".
+func compareDeps(in compare.Input, copts compare.Options) []int {
+	if copts.Attrs == nil {
+		return nil
+	}
+	deps := make([]int, 0, len(copts.Attrs)+1)
+	deps = append(deps, in.Attr)
+	for _, a := range copts.Attrs {
+		if a != in.Attr {
+			deps = append(deps, a)
+		}
+	}
+	return deps
 }
 
 // CompareByScan runs the same comparison by scanning the raw records
 // instead of reading cubes. It does not require BuildCubes; its runtime
 // grows with the dataset size (the ablation of DESIGN.md §5).
 func (s *Session) CompareByScan(attr, v1, v2, class string, opts CompareOptions) (*Comparison, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if _, err := s.working(); err != nil {
 		return nil, err
 	}

@@ -40,6 +40,8 @@ type PairCandidate struct {
 // with very different drop rates" step that precedes every comparison.
 // maxPairs ≤ 0 returns all significant pairs.
 func (s *Session) ScreenPairs(attr, class string, maxPairs int) ([]PairCandidate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
@@ -93,6 +95,8 @@ func (s *Session) CompareOneVsRest(attr, value, class string, opts CompareOption
 // with ctx.Err().
 func (s *Session) CompareOneVsRestContext(ctx context.Context, attr, value, class string, opts CompareOptions) (*Comparison, error) {
 	defer obsv.Stage(obsv.StageCompareOneVsRest)()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
@@ -141,6 +145,8 @@ func (s *Session) CompareOneVsRestContext(ctx context.Context, attr, value, clas
 // ("compare the two phones again, but only for morning calls"). It
 // scans the raw data, so it needs the dataset, not just cubes.
 func (s *Session) CompareWhere(attr, v1, v2, class string, where map[string]string, opts CompareOptions) (*Comparison, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if _, err := s.working(); err != nil {
 		return nil, err
 	}
@@ -171,6 +177,8 @@ func (s *Session) CompareWhere(attr, v1, v2, class string, where map[string]stri
 // SaveCubes persists the materialized cube store (the paper's offline
 // generation artifact) to w in a checksummed binary format.
 func (s *Session) SaveCubes(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	store, err := s.requireStore()
 	if err != nil {
 		return err
@@ -180,6 +188,8 @@ func (s *Session) SaveCubes(w io.Writer) error {
 
 // SaveCubesFile is SaveCubes to a file path.
 func (s *Session) SaveCubesFile(path string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	store, err := s.requireStore()
 	if err != nil {
 		return err
@@ -231,6 +241,8 @@ type CubeStats struct {
 
 // CubeStats reports the store's size (zero value before BuildCubes).
 func (s *Session) CubeStats() CubeStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.store == nil {
 		return CubeStats{}
 	}
@@ -327,6 +339,8 @@ func toSweepResult(res *compare.SweepResult) *SweepResult {
 // memoized; the partial flag is not part of the cache identity because
 // it only changes degradation behaviour, never a completed result.
 func (s *Session) sweepInternal(ctx context.Context, attr, class string, maxPairs int, partial bool) (*compare.SweepResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
@@ -394,6 +408,8 @@ func (s *Session) TestSignificance(attr, v1, v2, class, candidate string, rounds
 // TestSignificanceContext is TestSignificance under a context, checked
 // once per permutation round; cancellation returns ctx.Err().
 func (s *Session) TestSignificanceContext(ctx context.Context, attr, v1, v2, class, candidate string, rounds int, seed int64) (SignificanceResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if _, err := s.working(); err != nil {
 		return SignificanceResult{}, err
 	}
@@ -425,6 +441,8 @@ func (s *Session) TestSignificanceContext(ctx context.Context, attr, v1, v2, cla
 // from r until EOF or "quit"; see the REPL's "help" for the command
 // language. Rule cubes must be built.
 func (s *Session) Explore(r io.Reader, w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	store, err := s.requireStore()
 	if err != nil {
 		return err
@@ -436,6 +454,8 @@ func (s *Session) Explore(r io.Reader, w io.Writer) error {
 // exploration session, writing the transcript to w (the scriptable
 // variant of Explore).
 func (s *Session) ExploreScript(script string, w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	store, err := s.requireStore()
 	if err != nil {
 		return err
@@ -447,6 +467,8 @@ func (s *Session) ExploreScript(script string, w io.Writer) error {
 // sizes, top values, missing rates, continuous ranges, and the class
 // skew that motivates unbalanced sampling.
 func (s *Session) Describe(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return dataset.Describe(s.raw).Write(w)
 }
 
@@ -455,6 +477,8 @@ func (s *Session) Describe(w io.Writer) error {
 // heavily skewed data (Section I). It must run before BuildCubes;
 // existing cubes are invalidated.
 func (s *Session) DownsampleMajority(keepFraction float64, seed int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	sampled, err := dataset.UnbalancedSample(s.raw, dataset.SampleOptions{
 		Seed:         seed,
 		KeepFraction: keepFraction,
@@ -486,6 +510,8 @@ type ReportOptions struct {
 // WriteReport renders a Markdown report of the comparison, suitable for
 // handing to the engineers who investigate the findings.
 func (s *Session) WriteReport(w io.Writer, cmp *Comparison, opts ReportOptions) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ropts := report.Options{
 		Title:     opts.Title,
 		TopN:      opts.TopN,

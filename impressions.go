@@ -68,6 +68,8 @@ func (s *Session) Impressions(opts ImpressionOptions) (*Impressions, error) {
 // attribute the GI miner processes; cancellation returns ctx.Err().
 func (s *Session) ImpressionsContext(ctx context.Context, opts ImpressionOptions) (*Impressions, error) {
 	defer obsv.Stage(obsv.StageImpressions)()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
@@ -135,6 +137,8 @@ type ConditionalTrend struct {
 // ConditionalTrends mines trends of ordAttr's confidences within each
 // value of groupAttr, from the materialized 3-D cube.
 func (s *Session) ConditionalTrends(groupAttr, ordAttr string) ([]ConditionalTrend, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	src, err := s.requireSource()
 	if err != nil {
 		return nil, err
@@ -211,6 +215,8 @@ type CubeException struct {
 // every materialized 3-D cube, returning exceptional cells by descending
 // surprise. minSelfExp ≤ 0 uses the default (2.5).
 func (s *Session) CubeExceptions(minSelfExp float64) ([]CubeException, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	store, err := s.requireStore()
 	if err != nil {
 		return nil, err
@@ -271,6 +277,8 @@ func sortCubeExceptions(out []CubeException) {
 // 2-D rule cube as a class × attribute grid of confidence sparklines
 // with class scaling and trend arrows.
 func (s *Session) RenderOverall(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	store, err := s.requireStore()
 	if err != nil {
 		return err
@@ -285,6 +293,8 @@ func (s *Session) RenderOverall(w io.Writer) error {
 // RenderOverallSVG writes the Fig. 5-style overall view as an SVG
 // document.
 func (s *Session) RenderOverallSVG(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	store, err := s.requireStore()
 	if err != nil {
 		return err
@@ -299,6 +309,8 @@ func (s *Session) RenderOverallSVG(w io.Writer) error {
 // RenderDetailed writes the Fig. 6-style detailed view of one
 // attribute's 2-D rule cube.
 func (s *Session) RenderDetailed(w io.Writer, attr string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	src, err := s.requireSource()
 	if err != nil {
 		return err
@@ -317,6 +329,8 @@ func (s *Session) RenderDetailed(w io.Writer, attr string) error {
 // RenderDetailed3D writes the 3-D rule cube view of two attributes ×
 // class (Section V.B's second detailed mode).
 func (s *Session) RenderDetailed3D(w io.Writer, attr1, attr2 string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	src, err := s.requireSource()
 	if err != nil {
 		return err
@@ -338,6 +352,8 @@ func (s *Session) RenderDetailed3D(w io.Writer, attr1, attr2 string) error {
 
 // RenderDetailedSVG writes the Fig. 6-style view as an SVG document.
 func (s *Session) RenderDetailedSVG(w io.Writer, attr string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	src, err := s.requireSource()
 	if err != nil {
 		return err

@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file gives a built Dataset an append path for streaming
+// ingestion. Appends are not safe for use concurrent with reads; the
+// Session layer serializes them behind its ingest lock.
+
+// AppendRow appends one row of textual values, one per attribute, with
+// exactly Builder.AddRow's semantics: "?" is a missing categorical
+// value or continuous NaN, unseen categorical labels register new
+// dictionary codes, continuous fields parse as numbers. The row is
+// fully validated before anything mutates, so a malformed row leaves
+// the dataset untouched.
+func (ds *Dataset) AppendRow(values []string) error {
+	if len(values) != len(ds.cols) {
+		return fmt.Errorf("dataset: row has %d values, schema has %d attributes", len(values), len(ds.cols))
+	}
+	// Validate pass: parse every continuous field first.
+	floats := make([]float64, len(values))
+	for i := range ds.cols {
+		if ds.cols[i].Kind != Continuous {
+			continue
+		}
+		v := values[i]
+		if v == MissingLabel || v == "" {
+			floats[i] = math.NaN()
+			continue
+		}
+		if _, err := fmt.Sscanf(v, "%g", &floats[i]); err != nil {
+			return fmt.Errorf("dataset: attribute %q: cannot parse %q as number: %v", ds.schema.Attrs[i].Name, v, err)
+		}
+	}
+	// Mutate pass: nothing below can fail.
+	for i := range ds.cols {
+		c := &ds.cols[i]
+		if c.Kind == Categorical {
+			if values[i] == MissingLabel {
+				c.Codes = append(c.Codes, Missing)
+			} else {
+				c.Codes = append(c.Codes, c.Dict.Code(values[i]))
+			}
+			continue
+		}
+		c.Values = append(c.Values, floats[i])
+	}
+	ds.rows++
+	return nil
+}
+
+// AppendCodedRow appends a row of pre-encoded values: codes[i] is used
+// for categorical attributes, values[i] for continuous ones (values may
+// be nil when every attribute is categorical). Codes must already be
+// registered — this path never grows a dictionary, so the caller
+// controls exactly when domains change.
+func (ds *Dataset) AppendCodedRow(codes []int32, values []float64) error {
+	if len(codes) != len(ds.cols) || (values != nil && len(values) != len(ds.cols)) {
+		return fmt.Errorf("dataset: coded row width mismatch")
+	}
+	for i := range ds.cols {
+		c := &ds.cols[i]
+		if c.Kind == Categorical {
+			code := codes[i]
+			if code >= 0 && int(code) >= c.Dict.Len() {
+				return fmt.Errorf("dataset: attribute %q: code %d beyond dictionary size %d", ds.schema.Attrs[i].Name, code, c.Dict.Len())
+			}
+			continue
+		}
+		if values == nil {
+			return fmt.Errorf("dataset: attribute %q is continuous but no values were given", ds.schema.Attrs[i].Name)
+		}
+	}
+	for i := range ds.cols {
+		c := &ds.cols[i]
+		if c.Kind == Categorical {
+			c.Codes = append(c.Codes, codes[i])
+		} else {
+			c.Values = append(c.Values, values[i])
+		}
+	}
+	ds.rows++
+	return nil
+}

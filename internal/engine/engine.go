@@ -44,6 +44,10 @@ const (
 	// query-result cache lookups (Compare/Sweep/Impressions).
 	ResultCacheHitsCounterName   = "opmap_result_cache_hits_total"
 	ResultCacheMissesCounterName = "opmap_result_cache_misses_total"
+	// ResultCacheInvalidationsCounterName counts cached results removed
+	// by per-attribute epoch bumps when appended rows touched an
+	// attribute the result depended on.
+	ResultCacheInvalidationsCounterName = "opmap_resultcache_invalidations_total"
 )
 
 // PreRegister creates every engine metric series in reg at zero so
@@ -57,6 +61,7 @@ func PreRegister(reg *obsv.Registry) {
 	reg.Counter(CubeCacheEvictionsCounterName)
 	reg.Counter(ResultCacheHitsCounterName)
 	reg.Counter(ResultCacheMissesCounterName)
+	reg.Counter(ResultCacheInvalidationsCounterName)
 	reg.Gauge(CubeCacheBytesGaugeName)
 	reg.Histogram(LazyBuildHistogramName, nil)
 }

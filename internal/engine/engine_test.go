@@ -355,6 +355,47 @@ func TestResultCache(t *testing.T) {
 	}
 }
 
+// TestResultCacheEpochInvalidation: BumpAttrs removes exactly the
+// entries whose dependency sets intersect the touched attributes —
+// plus depends-on-all entries — and leaves the rest servable under
+// the unchanged version.
+func TestResultCacheEpochInvalidation(t *testing.T) {
+	rc := engine.NewResultCache(0)
+	v := rc.Version()
+	rc.PutDeps(v, "attr1only", "a", []int{1})
+	rc.PutDeps(v, "attr2and3", "b", []int{2, 3})
+	rc.Put(v, "all", "c") // nil deps: depends on every attribute
+
+	if n := rc.BumpAttrs([]int{3}); n != 2 {
+		t.Errorf("BumpAttrs(3) removed %d entries, want 2 (attr2and3 + all)", n)
+	}
+	if _, ok := rc.Get(v, "attr1only"); !ok {
+		t.Error("entry depending only on attr 1 must survive a bump of attr 3")
+	}
+	if _, ok := rc.Get(v, "attr2and3"); ok {
+		t.Error("entry depending on attr 3 must be invalidated")
+	}
+	if _, ok := rc.Get(v, "all"); ok {
+		t.Error("depends-on-all entry must be invalidated by any bump")
+	}
+	if rc.Version() != v {
+		t.Error("BumpAttrs must not change the cache version")
+	}
+	if got := rc.AttrEpoch(3); got != 1 {
+		t.Errorf("AttrEpoch(3) = %d, want 1", got)
+	}
+	if got := rc.AttrEpoch(1); got != 0 {
+		t.Errorf("AttrEpoch(1) = %d, want 0", got)
+	}
+	if st := rc.Stats(); st.Invalidations != 2 {
+		t.Errorf("Stats.Invalidations = %d, want 2", st.Invalidations)
+	}
+	// A bump touching nothing resident removes nothing.
+	if n := rc.BumpAttrs([]int{9}); n != 0 {
+		t.Errorf("BumpAttrs(9) removed %d entries, want 0", n)
+	}
+}
+
 // TestLazyAttrSubset restricts the servable attributes and checks the
 // boundary.
 func TestLazyAttrSubset(t *testing.T) {

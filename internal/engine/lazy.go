@@ -362,6 +362,50 @@ func (s *LazySource) SeedCubes(cubes []*rulecube.Cube) (int, error) {
 	return seeded, nil
 }
 
+// ApplyRow folds one appended record into every resident cube — pinned
+// 1-D cubes and cached 2-D cubes alike — growing dimensions where the
+// row registered new labels and re-accounting LRU bytes (a grown cube
+// is bigger; the budget may evict). Non-resident cubes need nothing:
+// they materialize later from the already-updated dataset. rowCodes is
+// the full working-dataset row indexed by attribute index. Callers must
+// ensure no query is concurrently reading cube counts (the Session
+// ingest lock provides this); the source's own lock only protects the
+// cache structures.
+func (s *LazySource) ApplyRow(rowCodes []int32, class int32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.oneD {
+		c.SyncDims()
+		if _, err := c.ApplyRow(rowCodes, class); err != nil {
+			return err
+		}
+	}
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		e.cube.SyncDims()
+		if _, err := e.cube.ApplyRow(rowCodes, class); err != nil {
+			return err
+		}
+		if grown := e.cube.SizeBytes(); grown != e.size {
+			s.bytes += grown - e.size
+			e.size = grown
+		}
+	}
+	if s.budget >= 0 {
+		for s.bytes > s.budget && s.order.Len() > 0 {
+			tail := s.order.Back()
+			ev := tail.Value.(*lruEntry)
+			s.order.Remove(tail)
+			delete(s.twoD, ev.key)
+			s.bytes -= ev.size
+			s.evictions.Add(1)
+			obsv.Default().Counter(CubeCacheEvictionsCounterName).Inc()
+		}
+	}
+	obsv.Default().Gauge(CubeCacheBytesGaugeName).Set(s.bytes)
+	return nil
+}
+
 // insertTwoD records a freshly built 2-D cube and evicts from the LRU
 // tail until the budget holds. Called with s.mu held. The fresh entry
 // is inserted first and may itself be evicted if it alone exceeds the

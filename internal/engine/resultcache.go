@@ -18,8 +18,17 @@ const DefaultResultCacheEntries = 256
 // The version fences staleness: Invalidate bumps it and clears the
 // cache, so results computed against a dropped snapshot can neither be
 // returned nor inserted afterwards — re-discretizing or downsampling a
-// Session must never serve counts from the old cube space. Entries
-// beyond the cap evict least-recently-used. Safe for concurrent use.
+// Session must never serve counts from the old cube space.
+//
+// Streaming appends invalidate more surgically: each entry may carry
+// the set of attribute indices its result depends on, and BumpAttrs
+// advances a per-attribute epoch and removes only the entries whose
+// dependency set intersects the appended attributes (entries with no
+// recorded set depend on everything and always go). An append batch of
+// rows that are missing most fields — the common shape in streaming
+// call logs — therefore leaves restricted Compare results on untouched
+// attributes servable instead of cold. Entries beyond the cap evict
+// least-recently-used. Safe for concurrent use.
 type ResultCache struct {
 	mu      sync.Mutex
 	version int64
@@ -27,14 +36,21 @@ type ResultCache struct {
 	order   *list.List // front = most recently used
 	max     int
 
-	hits   int64
-	misses int64
+	attrEpochs map[int]int64 // per-attribute append epoch
+	anyEpoch   int64         // bumped by every BumpAttrs call
+
+	hits          int64
+	misses        int64
+	invalidations int64
 }
 
-// rcEntry is one memoized result.
+// rcEntry is one memoized result. deps lists the attribute indices the
+// result was computed from; nil means the result depends on every
+// attribute (sweeps and impressions rank across all of them).
 type rcEntry struct {
-	key string
-	val any
+	key  string
+	val  any
+	deps []int
 }
 
 // NewResultCache creates a cache holding at most max entries
@@ -44,9 +60,10 @@ func NewResultCache(max int) *ResultCache {
 		max = DefaultResultCacheEntries
 	}
 	return &ResultCache{
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
-		max:     max,
+		entries:    make(map[string]*list.Element),
+		order:      list.New(),
+		max:        max,
+		attrEpochs: make(map[int]int64),
 	}
 }
 
@@ -88,24 +105,86 @@ func (rc *ResultCache) Get(version int64, key string) (any, bool) {
 }
 
 // Put memoizes val under key if version is still current; stale
-// versions are dropped silently. Existing entries are refreshed.
+// versions are dropped silently. Existing entries are refreshed. The
+// entry depends on every attribute: any append invalidates it. Results
+// with a narrower footprint should use PutDeps.
 func (rc *ResultCache) Put(version int64, key string, val any) {
+	rc.PutDeps(version, key, val, nil)
+}
+
+// PutDeps memoizes val under key recording the attribute indices the
+// result depends on, so BumpAttrs can spare it when an append batch
+// touches only other attributes. nil deps means "depends on all".
+func (rc *ResultCache) PutDeps(version int64, key string, val any, deps []int) {
+	if deps != nil {
+		deps = append([]int(nil), deps...)
+	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if version != rc.version {
 		return
 	}
 	if el, ok := rc.entries[key]; ok {
-		el.Value.(*rcEntry).val = val
+		e := el.Value.(*rcEntry)
+		e.val = val
+		e.deps = deps
 		rc.order.MoveToFront(el)
 		return
 	}
-	rc.entries[key] = rc.order.PushFront(&rcEntry{key: key, val: val})
+	rc.entries[key] = rc.order.PushFront(&rcEntry{key: key, val: val, deps: deps})
 	for rc.order.Len() > rc.max {
 		tail := rc.order.Back()
 		rc.order.Remove(tail)
 		delete(rc.entries, tail.Value.(*rcEntry).key)
 	}
+}
+
+// BumpAttrs records an append batch that changed the given attribute
+// indices: each attribute's epoch advances and every resident entry
+// whose dependency set intersects attrs — plus every entry with no
+// recorded set, which depends on all of them — is removed. It returns
+// how many entries were invalidated. Unlike Invalidate, the version is
+// unchanged: results for untouched attributes stay servable.
+func (rc *ResultCache) BumpAttrs(attrs []int) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.anyEpoch++
+	touched := make(map[int]bool, len(attrs))
+	for _, a := range attrs {
+		rc.attrEpochs[a]++
+		touched[a] = true
+	}
+	removed := 0
+	for el := rc.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*rcEntry)
+		stale := e.deps == nil
+		for _, d := range e.deps {
+			if touched[d] {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			rc.order.Remove(el)
+			delete(rc.entries, e.key)
+			removed++
+		}
+		el = next
+	}
+	if removed > 0 {
+		rc.invalidations += int64(removed)
+		obsv.Default().Counter(ResultCacheInvalidationsCounterName).Add(int64(removed))
+	}
+	return removed
+}
+
+// AttrEpoch returns how many append batches have touched attribute a
+// since the cache was created.
+func (rc *ResultCache) AttrEpoch(a int) int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.attrEpochs[a]
 }
 
 // Len returns the number of resident entries.
@@ -117,15 +196,22 @@ func (rc *ResultCache) Len() int {
 
 // ResultCacheStats is a snapshot of cache effectiveness counters.
 type ResultCacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
-	Version int64
+	Hits          int64
+	Misses        int64
+	Entries       int
+	Version       int64
+	Invalidations int64 // entries removed by per-attribute epoch bumps
 }
 
 // Stats snapshots the cache counters.
 func (rc *ResultCache) Stats() ResultCacheStats {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	return ResultCacheStats{Hits: rc.hits, Misses: rc.misses, Entries: rc.order.Len(), Version: rc.version}
+	return ResultCacheStats{
+		Hits:          rc.hits,
+		Misses:        rc.misses,
+		Entries:       rc.order.Len(),
+		Version:       rc.version,
+		Invalidations: rc.invalidations,
+	}
 }

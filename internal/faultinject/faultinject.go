@@ -55,6 +55,19 @@ const (
 	// simulates a crash in the narrowest window, after which the old
 	// destination must still be intact.
 	SiteAtomicWriteRename = "atomicfile.rename"
+	// SiteWALAppend fires inside wal.Log.Append before the record bytes
+	// are written — an Error fault here simulates a crash before the
+	// record reaches the log, so the row must not be acknowledged and
+	// the log must stay appendable.
+	SiteWALAppend = "wal.append"
+	// SiteWALFsync fires after the record bytes are written and before
+	// the fsync — the torn-tail window. An Error fault here simulates a
+	// crash mid-write: the record may be present but is not durable, the
+	// append must not be acknowledged, and recovery must truncate it.
+	SiteWALFsync = "wal.fsync"
+	// SiteWALReplay fires before each replayed record is handed to the
+	// replay callback, so tests can interrupt recovery mid-stream.
+	SiteWALReplay = "wal.replay"
 )
 
 // ErrInjected is the error returned by an Error fault whose Fault.Err

@@ -1,0 +1,126 @@
+package rulecube
+
+import (
+	"fmt"
+)
+
+// This file is the incremental-maintenance path behind streaming
+// ingestion: contingency counts are additive, so an appended record
+// folds into a materialized cube as a single cell increment instead of
+// a rebuild. The only structural wrinkle is dictionary growth — cubes
+// share their dictionaries with the dataset, so when an appended row
+// registers a new label the cube's dims lag the dictionary until
+// SyncDims re-lays the counts array out for the larger domain.
+
+// SyncDims grows the cube's dimensions (and class count) to match its
+// dictionaries after appended rows registered new labels, re-laying out
+// the counts array. Existing cells keep their coordinates; new cells
+// start at zero. Dictionaries only grow, so this is monotone; a no-op
+// when nothing changed, which is the steady state.
+func (c *Cube) SyncDims() {
+	newDims := make([]int, len(c.dims))
+	changed := false
+	for i, d := range c.dicts {
+		card := d.Len()
+		if card == 0 {
+			card = 1 // mirror Build: an empty domain still needs a slot
+		}
+		if card < c.dims[i] {
+			card = c.dims[i]
+		}
+		if card != c.dims[i] {
+			changed = true
+		}
+		newDims[i] = card
+	}
+	newClasses := c.classDict.Len()
+	if newClasses < c.numClasses {
+		newClasses = c.numClasses
+	}
+	if !changed && newClasses == c.numClasses {
+		return
+	}
+	size := newClasses
+	for _, d := range newDims {
+		size *= d
+	}
+	nc := make([]int64, size)
+	// Walk every old cell, decompose its flat index into coordinates
+	// under the old shape, and recompose under the new shape.
+	for flat, v := range c.counts {
+		if v == 0 {
+			continue
+		}
+		rem := flat
+		class := rem % c.numClasses
+		rem /= c.numClasses
+		idx := 0
+		// Coordinates come out last-dimension-first; fold them into the
+		// new flat index by walking dims backwards with place values.
+		place := 1
+		for i := len(c.dims) - 1; i >= 0; i-- {
+			coord := rem % c.dims[i]
+			rem /= c.dims[i]
+			idx += coord * place
+			place *= newDims[i]
+		}
+		nc[idx*newClasses+class] = v
+	}
+	c.dims = newDims
+	c.numClasses = newClasses
+	c.counts = nc
+}
+
+// ApplyRow folds one appended record into the cube. rowCodes holds the
+// record's categorical codes indexed by dataset attribute index (the
+// full working-dataset row), class is the class code. Rows with a
+// missing class or a missing value in any cube dimension are skipped —
+// exactly Build's rule — and reported as not applied. The caller must
+// have called SyncDims since the last dictionary growth; a code beyond
+// a dimension is an error, never a silent miscount.
+func (c *Cube) ApplyRow(rowCodes []int32, class int32) (bool, error) {
+	if class < 0 {
+		return false, nil
+	}
+	if int(class) >= c.numClasses {
+		return false, fmt.Errorf("rulecube: class code %d beyond %d classes; SyncDims not run", class, c.numClasses)
+	}
+	idx := 0
+	for i, a := range c.attrIdx {
+		if a < 0 || a >= len(rowCodes) {
+			return false, fmt.Errorf("rulecube: cube dimension %q indexes attribute %d beyond row width %d", c.attrNames[i], a, len(rowCodes))
+		}
+		v := rowCodes[a]
+		if v < 0 {
+			return false, nil
+		}
+		if int(v) >= c.dims[i] {
+			return false, fmt.Errorf("rulecube: value code %d for %q beyond dimension %d; SyncDims not run", v, c.attrNames[i], c.dims[i])
+		}
+		idx = idx*c.dims[i] + int(v)
+	}
+	c.counts[idx*c.numClasses+int(class)]++
+	c.total++
+	return true, nil
+}
+
+// ApplyRow folds one appended record into every materialized cube of
+// the store, growing dimensions first where dictionaries ran ahead.
+// rowCodes is the full working-dataset row (codes indexed by attribute
+// index), class the class code. The caller owns concurrency: the store
+// is not safe for writes concurrent with reads.
+func (st *Store) ApplyRow(rowCodes []int32, class int32) error {
+	for _, c := range st.oneD {
+		c.SyncDims()
+		if _, err := c.ApplyRow(rowCodes, class); err != nil {
+			return err
+		}
+	}
+	for _, c := range st.twoD {
+		c.SyncDims()
+		if _, err := c.ApplyRow(rowCodes, class); err != nil {
+			return err
+		}
+	}
+	return nil
+}

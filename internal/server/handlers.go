@@ -1,6 +1,9 @@
 package server
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -335,6 +338,67 @@ func (s *Server) handleDatasets(_ *http.Request) (any, error) {
 		resp.Datasets = append(resp.Datasets, entry)
 	}
 	return resp, nil
+}
+
+// maxIngestBody bounds an ingest request body. A batch this size is
+// already far past the point where splitting it beats one giant POST,
+// so the limit protects memory without constraining real clients.
+const maxIngestBody = 32 << 20
+
+type ingestRequest struct {
+	Rows [][]string `json:"rows"`
+}
+
+type ingestResponse struct {
+	Dataset  string `json:"dataset"`
+	Accepted int    `json:"accepted"`
+	// Seq is the WAL sequence assigned to the batch. Once this response
+	// is on the wire the batch is fsynced: a crash at any later point
+	// replays it.
+	Seq uint64 `json:"seq"`
+}
+
+// handleIngest accepts a POST with a JSON body of rows (textual values
+// in schema order, "?" for missing) and appends them durably to the
+// dataset: WAL first (fsynced before the response), in-memory state
+// through the bounded apply queue. A full queue answers 503 with
+// Retry-After — the batch was not accepted and should be resent as-is.
+func (s *Server) handleIngest(r *http.Request) (any, error) {
+	if r.Method != http.MethodPost {
+		return nil, &httpError{status: http.StatusMethodNotAllowed, msg: "ingest requires POST"}
+	}
+	if s.ingest == nil {
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: "ingestion disabled (start opmapd with -wal-dir)"}
+	}
+	name := r.URL.Query().Get("dataset")
+	if name == "" {
+		name = s.defaultName
+	}
+	if _, ok := s.sessions[name]; !ok {
+		return nil, badRequest("unknown dataset %q (GET /api/datasets lists the served datasets)", name)
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxIngestBody))
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("ingest body: %v", err)
+	}
+	if len(req.Rows) == 0 {
+		return nil, badRequest(`ingest body has no rows (expected {"rows": [[...], ...]})`)
+	}
+	seq, err := s.ingest(r.Context(), name, req.Rows)
+	if err != nil {
+		if errors.Is(err, ErrBackpressure) {
+			s.metrics.Counter(metricIngestSheds).Inc()
+			return nil, &httpError{
+				status:     http.StatusServiceUnavailable,
+				msg:        fmt.Sprintf("ingest queue full for dataset %q; retry the batch", name),
+				retryAfter: shedRetryAfterSeconds,
+			}
+		}
+		return nil, err
+	}
+	s.metrics.Counter(metricIngestRows).Add(int64(len(req.Rows)))
+	return &ingestResponse{Dataset: name, Accepted: len(req.Rows), Seq: seq}, nil
 }
 
 // intParam parses a non-negative integer query parameter, falling back

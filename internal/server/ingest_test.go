@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"opmap/internal/faultinject"
+)
+
+func postJSON(t *testing.T, base, path, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// recordingIngest is a Config.Ingest stub that remembers the batches
+// it accepted and hands out sequential WAL sequence numbers.
+type recordingIngest struct {
+	mu      sync.Mutex
+	seq     uint64
+	batches [][][]string
+	fail    error
+}
+
+func (ri *recordingIngest) ingest(_ context.Context, _ string, rows [][]string) (uint64, error) {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	if ri.fail != nil {
+		return 0, ri.fail
+	}
+	ri.seq++
+	ri.batches = append(ri.batches, rows)
+	return ri.seq, nil
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	ri := &recordingIngest{}
+	_, ts := newTestServer(t, Config{Ingest: ri.ingest})
+
+	resp := postJSON(t, ts.URL, "/api/ingest", `{"rows": [["a","b"],["c","d"]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d, want 200", resp.StatusCode)
+	}
+	var out struct {
+		Dataset  string `json:"dataset"`
+		Accepted int    `json:"accepted"`
+		Seq      uint64 `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dataset != DefaultDatasetName || out.Accepted != 2 || out.Seq != 1 {
+		t.Errorf("response = %+v", out)
+	}
+	ri.mu.Lock()
+	if len(ri.batches) != 1 || len(ri.batches[0]) != 2 {
+		t.Errorf("hook saw batches %v", ri.batches)
+	}
+	ri.mu.Unlock()
+
+	// Method, body and dataset validation.
+	if code, _ := get(t, ts.URL, "/api/ingest"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET ingest = %d, want 405", code)
+	}
+	if resp := postJSON(t, ts.URL, "/api/ingest", `{"rows": []}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty rows = %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL, "/api/ingest", `{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL, "/api/ingest?dataset=nope", `{"rows": [["a"]]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown dataset = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestIngestDisabledWithoutHook(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL, "/api/ingest", `{"rows": [["a"]]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("ingest without hook = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestRetryAfterOnSheds covers both load-shedding paths: the
+// middleware's 429 (too many requests in flight) and ingest's 503
+// (apply queue backpressure) must each carry a Retry-After header so
+// clients back off instead of hammering.
+func TestRetryAfterOnSheds(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		wantStatus int
+		provoke    func(t *testing.T) *http.Response
+	}{
+		{
+			name:       "429 inflight shed",
+			wantStatus: http.StatusTooManyRequests,
+			provoke: func(t *testing.T) *http.Response {
+				defer faultinject.Reset()
+				_, ts := newTestServer(t, Config{MaxInFlight: 1})
+				disarm, err := faultinject.Arm(faultinject.Fault{
+					Site:  faultinject.SiteServerHandle,
+					Kind:  faultinject.Delay,
+					Delay: 400 * time.Millisecond,
+					Times: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer disarm()
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					if resp, err := http.Get(ts.URL + "/api/overview"); err == nil {
+						resp.Body.Close()
+					}
+				}()
+				t.Cleanup(func() { <-done })
+				time.Sleep(100 * time.Millisecond) // let the first request occupy the slot
+				resp, err := http.Get(ts.URL + "/api/overview")
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { resp.Body.Close() })
+				return resp
+			},
+		},
+		{
+			name:       "503 ingest backpressure",
+			wantStatus: http.StatusServiceUnavailable,
+			provoke: func(t *testing.T) *http.Response {
+				ri := &recordingIngest{fail: fmt.Errorf("queue: %w", ErrBackpressure)}
+				s, ts := newTestServer(t, Config{Ingest: ri.ingest})
+				resp := postJSON(t, ts.URL, "/api/ingest", `{"rows": [["a"]]}`)
+				if got := s.metrics.Counter(metricIngestSheds).Value(); got != 1 {
+					t.Errorf("%s = %d, want 1", metricIngestSheds, got)
+				}
+				return resp
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := tc.provoke(t)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if got := resp.Header.Get("Retry-After"); got != "1" {
+				t.Errorf("Retry-After = %q, want %q", got, "1")
+			}
+		})
+	}
+}
+
+// TestReadyzReportsReplay: while any dataset's WAL replay runs,
+// /readyz answers 503 naming the replaying datasets; once replay
+// finishes it flips back to 200 with every dataset "ready".
+func TestReadyzReportsReplay(t *testing.T) {
+	replaying := true
+	var mu sync.Mutex
+	_, ts := newTestServer(t, Config{
+		IngestStatus: func(string) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return replaying
+		},
+	})
+
+	code, body := get(t, ts.URL, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while replaying = %d, want 503", code)
+	}
+	var out struct {
+		Status string            `json:"status"`
+		Ingest map[string]string `json:"ingest"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "replaying" || out.Ingest[DefaultDatasetName] != "replaying" {
+		t.Errorf("readyz body = %+v", out)
+	}
+
+	mu.Lock()
+	replaying = false
+	mu.Unlock()
+	code, body = get(t, ts.URL, "/readyz")
+	if code != http.StatusOK {
+		t.Errorf("readyz after replay = %d, want 200", code)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ready" || out.Ingest[DefaultDatasetName] != "ready" {
+		t.Errorf("readyz body = %+v", out)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"opmap/internal/faultinject"
 	"opmap/internal/obsv"
 	"opmap/internal/rulecube"
+	"opmap/internal/wal"
 )
 
 // Metric families recorded by the request middleware.
@@ -48,7 +49,24 @@ const (
 	metricPanics   = "opmapd_panics_total"             // counter
 	metricPartials = "opmapd_partials_total"           // counter
 	metricInflight = "opmapd_inflight"                 // gauge
+	// metricIngestRows counts rows durably accepted through /api/ingest;
+	// metricIngestSheds counts ingest batches rejected with 503 because
+	// the apply queue was full (WAL backpressure).
+	metricIngestRows  = "opmap_ingest_rows_total"  // counter
+	metricIngestSheds = "opmap_ingest_sheds_total" // counter
 )
+
+// shedRetryAfterSeconds is the Retry-After hint attached to load-shed
+// responses: both the middleware's 429 (too many requests in flight)
+// and ingest's 503 (apply queue full). One second matches the drain
+// rate of both queues under normal load.
+const shedRetryAfterSeconds = 1
+
+// ErrBackpressure is returned by a Config.Ingest callback when the
+// dataset's bounded apply queue is full. The ingest endpoint maps it
+// to 503 with a Retry-After header instead of a client error: the
+// batch was NOT accepted and should be retried unchanged.
+var ErrBackpressure = errors.New("server: ingest apply queue full")
 
 // DefaultDatasetName is the registry name given to Config.Session, the
 // single-dataset configuration form.
@@ -93,6 +111,18 @@ type Config struct {
 	// the daemon wires this only when serving with a snapshot
 	// directory.
 	SnapshotStatus func(dataset string) string
+	// Ingest, when set, enables POST /api/ingest: the callback must
+	// durably append the batch to the named dataset (WAL first, then
+	// the in-memory session) and return the assigned WAL sequence.
+	// Return ErrBackpressure when the apply queue is full — the
+	// endpoint answers 503 with a Retry-After header. Nil disables the
+	// endpoint (405-free: it answers 503 "ingestion disabled").
+	Ingest func(ctx context.Context, dataset string, rows [][]string) (uint64, error)
+	// IngestStatus, when set, reports whether a dataset's WAL replay is
+	// still in progress. While any dataset replays, /readyz answers 503
+	// and names the replaying datasets, so load balancers hold traffic
+	// until recovery finishes.
+	IngestStatus func(dataset string) (replaying bool)
 }
 
 // Server is the hardened HTTP front end over a registry of Sessions.
@@ -105,6 +135,8 @@ type Server struct {
 	logger         *obsv.Logger
 	metrics        *obsv.Registry
 	snapStatus     func(dataset string) string
+	ingest         func(ctx context.Context, dataset string, rows [][]string) (uint64, error)
+	ingestStatus   func(dataset string) bool
 	mux            *http.ServeMux
 
 	ready    atomic.Bool
@@ -141,6 +173,8 @@ func New(cfg Config) (*Server, error) {
 		logger:         cfg.Logger,
 		metrics:        cfg.Metrics,
 		snapStatus:     cfg.SnapshotStatus,
+		ingest:         cfg.Ingest,
+		ingestStatus:   cfg.IngestStatus,
 		mux:            http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -152,6 +186,7 @@ func New(cfg Config) (*Server, error) {
 		"/api/compare":  s.handleCompare,
 		"/api/sweep":    s.handleSweep,
 		"/api/datasets": s.handleDatasets,
+		"/api/ingest":   s.handleIngest,
 	} {
 		s.mux.Handle(path, s.wrap(path, h))
 		// Pre-register every status series wrap can emit so a scrape
@@ -160,6 +195,7 @@ func New(cfg Config) (*Server, error) {
 		for _, status := range []int{
 			http.StatusOK,
 			http.StatusBadRequest,
+			http.StatusMethodNotAllowed,
 			http.StatusTooManyRequests,
 			http.StatusInternalServerError,
 			http.StatusServiceUnavailable,
@@ -184,6 +220,12 @@ func New(cfg Config) (*Server, error) {
 	// prove "zero cubes built" with a scrape, which needs the series
 	// present at 0 rather than absent.
 	s.metrics.Counter(rulecube.CubesBuiltCounterName)
+	// Ingest series exist whether or not ingestion is enabled, so the
+	// kill -9 smoke can assert opmap_wal_replayed_records_total moved
+	// and dashboards can alert on sheds from the first scrape.
+	s.metrics.Counter(metricIngestRows)
+	s.metrics.Counter(metricIngestSheds)
+	wal.PreRegister(s.metrics)
 	s.ready.Store(true)
 	return s, nil
 }
@@ -309,9 +351,12 @@ type handlerFunc func(r *http.Request) (any, error)
 type partialer interface{ partialResult() bool }
 
 // httpError carries an explicit status code out of a handler.
+// retryAfter, when positive, becomes a Retry-After header on the
+// response so well-behaved clients back off instead of hammering.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int // seconds; 0 omits the header
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -371,6 +416,7 @@ func (s *Server) wrap(path string, h handlerFunc) http.Handler {
 		default:
 			s.metrics.Counter(metricSheds).Inc()
 			finish(http.StatusTooManyRequests, "shed", nil)
+			w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server overloaded; retry later"})
 			return
 		}
@@ -407,6 +453,10 @@ func (s *Server) wrap(path string, h handlerFunc) http.Handler {
 			if errors.Is(err, context.DeadlineExceeded) {
 				s.metrics.Counter(metricTimeouts).Inc()
 				outcome = "timeout"
+			}
+			var he *httpError
+			if errors.As(err, &he) && he.retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
 			}
 			finish(status, outcome, err)
 			writeJSON(w, status, errorBody{Error: err.Error()})
@@ -460,15 +510,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyzResponse is the /readyz body. Ingest appears only when the
+// daemon serves with a WAL directory: it maps each dataset to "ready"
+// or "replaying", and any replaying dataset holds the whole endpoint
+// at 503 so load balancers wait out recovery.
+type readyzResponse struct {
+	Status string            `json:"status"`
+	Ingest map[string]string `json:"ingest,omitempty"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp := readyzResponse{Status: "ready"}
+	status := http.StatusOK
 	switch {
 	case s.draining.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
 	case !s.ready.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
-	default:
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		resp.Status = "not ready"
+		status = http.StatusServiceUnavailable
 	}
+	if s.ingestStatus != nil {
+		resp.Ingest = make(map[string]string, len(s.sessions))
+		for name := range s.sessions {
+			if s.ingestStatus(name) {
+				resp.Ingest[name] = "replaying"
+				if status == http.StatusOK {
+					resp.Status = "replaying"
+					status = http.StatusServiceUnavailable
+				}
+			} else {
+				resp.Ingest[name] = "ready"
+			}
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 // handleMetrics exposes the registry: Prometheus text by default,

@@ -44,9 +44,10 @@ import (
 const (
 	// Magic is the 8-byte file signature opening every snapshot.
 	Magic = "OMAPSNAP"
-	// Version is the format version this package writes and the only
-	// one it reads.
-	Version = 1
+	// Version is the format version this package writes. Version 2
+	// added the ingest sequence number to the header; version-1 files
+	// (no sequence field) still read fine and report sequence zero.
+	Version = 2
 
 	// maxStringLen bounds every length-prefixed string on read (names,
 	// labels, the source hash). 1 MiB is far past any real value and
@@ -106,6 +107,11 @@ type Snapshot struct {
 	// CacheBytes is the lazy 2-D cube budget (ModeLazy only; negative
 	// means unlimited).
 	CacheBytes int64
+	// IngestSeq is the WAL sequence number of the last append batch the
+	// session had applied when the snapshot was taken; recovery replays
+	// the WAL from IngestSeq+1. Zero for sessions never fed from a WAL
+	// and for version-1 snapshots.
+	IngestSeq uint64
 	// Cuts are the discretization cut points per attribute name.
 	Cuts map[string][]float64
 	// Dataset carries the schema and dictionaries. On write any dataset
@@ -127,6 +133,7 @@ type Header struct {
 	Rows        int
 	Mode        Mode
 	CacheBytes  int64
+	IngestSeq   uint64
 }
 
 type crcWriter struct {
@@ -247,6 +254,9 @@ func Write(w io.Writer, snap *Snapshot) error {
 	if err := writeVarint(cw, snap.CacheBytes); err != nil {
 		return err
 	}
+	if err := writeUvarint(cw, snap.IngestSeq); err != nil {
+		return err
+	}
 
 	// Schema block: every attribute with its dictionary, so the loader
 	// rebuilds the full working dataset, not just the cube-covered part.
@@ -349,8 +359,8 @@ func readHeader(cr *crcReader) (*Header, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: reading version: %w", err)
 	}
-	if ver != Version {
-		return nil, fmt.Errorf("snapshot: unsupported version %d (this build reads %d)", ver, Version)
+	if ver != 1 && ver != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (this build reads 1..%d)", ver, Version)
 	}
 	hash, err := readString(cr, "header source hash")
 	if err != nil {
@@ -375,6 +385,13 @@ func readHeader(cr *crcReader) (*Header, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: header cache bytes: %w", err)
 	}
+	var ingestSeq uint64
+	if ver >= 2 {
+		ingestSeq, err = binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: header ingest sequence: %w", err)
+		}
+	}
 	return &Header{
 		Version:     int(ver),
 		SourceHash:  hash,
@@ -382,6 +399,7 @@ func readHeader(cr *crcReader) (*Header, error) {
 		Rows:        int(rows),
 		Mode:        Mode(mode),
 		CacheBytes:  cacheBytes,
+		IngestSeq:   ingestSeq,
 	}, nil
 }
 
@@ -526,6 +544,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 		Rows:        h.Rows,
 		Mode:        h.Mode,
 		CacheBytes:  h.CacheBytes,
+		IngestSeq:   h.IngestSeq,
 		Cuts:        cuts,
 		Dataset:     ds,
 		Store:       store,

@@ -3,6 +3,7 @@ package snapshot_test
 import (
 	"bytes"
 	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"reflect"
 	"strings"
@@ -135,6 +136,59 @@ func TestRoundTrip(t *testing.T) {
 	// And a second snapshot write must be deterministic.
 	if !bytes.Equal(raw, encode(t, got)) {
 		t.Error("re-snapshotting the restored snapshot is not byte-identical")
+	}
+}
+
+// TestReadsVersion1 guards backward compatibility: a version-1 file
+// (written before the header carried an ingest sequence) must still
+// load, with IngestSeq defaulting to zero. The fixture is synthesized
+// by stripping the IngestSeq field out of a freshly written version-2
+// stream and re-stamping version and checksum.
+func TestReadsVersion1(t *testing.T) {
+	snap := testSnapshot(t)
+	snap.IngestSeq = 99
+	b := encode(t, snap)
+
+	// Walk the header fields to find the IngestSeq uvarint.
+	off := len(snapshot.Magic)
+	ver, n := binary.Uvarint(b[off:])
+	if ver != 2 || n != 1 {
+		t.Fatalf("version field = %d (%d bytes), want 2 (1 byte)", ver, n)
+	}
+	b[off] = 1 // re-stamp as version 1
+	off += n
+	l, n := binary.Uvarint(b[off:]) // SourceHash string
+	off += n + int(l)
+	for i := 0; i < 3; i++ { // CreatedUnix, Rows, Mode
+		_, n = binary.Uvarint(b[off:])
+		off += n
+	}
+	_, n = binary.Varint(b[off:]) // CacheBytes (signed)
+	off += n
+	seq, n := binary.Uvarint(b[off:])
+	if seq != 99 {
+		t.Fatalf("located field = %d, want IngestSeq 99", seq)
+	}
+	v1 := append(append([]byte{}, b[:off]...), b[off+n:]...)
+	binary.LittleEndian.PutUint32(v1[len(v1)-4:], crc32.ChecksumIEEE(v1[:len(v1)-4]))
+
+	got, err := snapshot.Read(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("reading synthesized v1 stream: %v", err)
+	}
+	if got.IngestSeq != 0 {
+		t.Errorf("v1 IngestSeq = %d, want 0", got.IngestSeq)
+	}
+	if got.Rows != snap.Rows || got.SourceHash != snap.SourceHash {
+		t.Errorf("v1 header = rows %d hash %q, want rows %d hash %q",
+			got.Rows, got.SourceHash, snap.Rows, snap.SourceHash)
+	}
+	h, err := snapshot.PeekHeader(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != 1 || h.IngestSeq != 0 {
+		t.Errorf("peeked version=%d ingestSeq=%d, want 1/0", h.Version, h.IngestSeq)
 	}
 }
 

@@ -1,0 +1,434 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"opmap/internal/faultinject"
+	"opmap/internal/obsv"
+)
+
+// collect replays the whole log into a map and returns the payloads in
+// order alongside the delivered count.
+func collect(t *testing.T, l *Log, from uint64) (seqs []uint64, payloads [][]byte, n int) {
+	t.Helper()
+	n, err := l.Replay(from, func(seq uint64, payload []byte) error {
+		seqs = append(seqs, seq)
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return seqs, payloads, n
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var want [][]byte
+	for i := 0; i < 25; i++ {
+		p := []byte(fmt.Sprintf("record-%d", i))
+		seq, err := l.Append(p)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d: seq = %d, want %d", i, seq, i+1)
+		}
+		want = append(want, p)
+	}
+	if got := l.LastSeq(); got != 25 {
+		t.Fatalf("LastSeq = %d, want 25", got)
+	}
+	seqs, payloads, n := collect(t, l, 0)
+	if n != 25 || !reflect.DeepEqual(payloads, want) {
+		t.Fatalf("replay returned %d records, payloads equal: %v", n, reflect.DeepEqual(payloads, want))
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("replayed seq[%d] = %d, want %d", i, s, i+1)
+		}
+	}
+	// From the middle: only the suffix.
+	seqs, _, n = collect(t, l, 20)
+	if n != 6 || seqs[0] != 20 {
+		t.Fatalf("Replay(from=20) delivered %d records starting at %v", n, seqs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.NextSeq(); got != 8 {
+		t.Fatalf("NextSeq after reopen = %d, want 8", got)
+	}
+	seq, err := l2.Append([]byte("after"))
+	if err != nil || seq != 8 {
+		t.Fatalf("Append after reopen: seq=%d err=%v", seq, err)
+	}
+	_, _, n := collect(t, l2, 0)
+	if n != 8 {
+		t.Fatalf("replay after reopen delivered %d records, want 8", n)
+	}
+}
+
+func TestRotationAndTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation every couple of records.
+	l, err := Open(dir, Options{SegmentBytes: 64, Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	segs, err := l.segments()
+	if err != nil {
+		t.Fatalf("segments: %v", err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected >=3 segments after 20 appends at 64-byte rotation, got %d", len(segs))
+	}
+	// Everything must still replay across the segment boundaries.
+	if _, _, n := collect(t, l, 0); n != 20 {
+		t.Fatalf("replay across segments delivered %d records, want 20", n)
+	}
+	// A checkpoint at seq 10 frees every segment wholly at or before it.
+	removed, err := l.TruncateThrough(10)
+	if err != nil {
+		t.Fatalf("TruncateThrough: %v", err)
+	}
+	if removed == 0 {
+		t.Fatalf("TruncateThrough(10) removed no segments")
+	}
+	seqs, _, _ := collect(t, l, 11)
+	if len(seqs) != 10 || seqs[0] != 11 || seqs[len(seqs)-1] != 20 {
+		t.Fatalf("post-truncation replay from 11: seqs %v", seqs)
+	}
+	// The active segment is never removed, however far the checkpoint is.
+	if _, err := l.TruncateThrough(1000); err != nil {
+		t.Fatalf("TruncateThrough(1000): %v", err)
+	}
+	if segs, _ = l.segments(); len(segs) == 0 {
+		t.Fatalf("active segment was removed")
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	for _, cut := range []int{1, 5, recHeaderLen - 1, recHeaderLen + 2} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			for i := 0; i < 5; i++ {
+				if _, err := l.Append([]byte("good-record")); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			segs, _ := (&Log{dir: dir}).segments()
+			path := segs[len(segs)-1].path
+			// Simulate a crash mid-append: append `cut` bytes of a
+			// half-written record.
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatalf("open segment: %v", err)
+			}
+			if _, err := f.Write(make([]byte, cut)); err != nil {
+				t.Fatalf("write garbage: %v", err)
+			}
+			f.Close()
+			l2, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+			if err != nil {
+				t.Fatalf("reopen over torn tail: %v", err)
+			}
+			defer l2.Close()
+			if _, _, n := collect(t, l2, 0); n != 5 {
+				t.Fatalf("replay after torn tail delivered %d records, want 5", n)
+			}
+			// The tail is gone from disk and appends continue cleanly.
+			seq, err := l2.Append([]byte("after-recovery"))
+			if err != nil || seq != 6 {
+				t.Fatalf("append after recovery: seq=%d err=%v", seq, err)
+			}
+			if _, _, n := collect(t, l2, 0); n != 6 {
+				t.Fatalf("replay after recovery append delivered %d records, want 6", n)
+			}
+		})
+	}
+}
+
+func TestCorruptPayloadStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+	segs, _ := (&Log{dir: dir}).segments()
+	path := segs[0].path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	// Flip a byte in the last record's payload: CRC must catch it and
+	// replay must stop after the first two records.
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("rewrite segment: %v", err)
+	}
+	l2, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if _, _, n := collect(t, l2, 0); n != 2 {
+		t.Fatalf("replay over corrupt record delivered %d records, want 2", n)
+	}
+}
+
+func TestAppendFaultLeavesLogClean(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("before")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// A fault in the fsync window: the record was written but not
+	// synced. The append must fail and must not leave the record in the
+	// log.
+	disarm, err := faultinject.Arm(faultinject.Fault{Site: faultinject.SiteWALFsync, Kind: faultinject.Error, Times: 1})
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	defer disarm()
+	if _, err := l.Append([]byte("lost")); err == nil {
+		t.Fatalf("Append under fsync fault succeeded")
+	}
+	seq, err := l.Append([]byte("after"))
+	if err != nil {
+		t.Fatalf("Append after fault: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("seq after failed append = %d, want 2 (failed append must not consume a sequence)", seq)
+	}
+	_, payloads, n := collect(t, l, 0)
+	if n != 2 || string(payloads[0]) != "before" || string(payloads[1]) != "after" {
+		t.Fatalf("replay after fault: n=%d payloads=%q", n, payloads)
+	}
+}
+
+func TestOpenSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	// Plant staging-file orphans as a crash between CreateTemp and
+	// rename during segment rotation would leave them.
+	for i := 0; i < 3; i++ {
+		orphan := filepath.Join(dir, fmt.Sprintf(".atomictmp-%d", i))
+		if err := os.WriteFile(orphan, []byte("junk"), 0o644); err != nil {
+			t.Fatalf("plant orphan: %v", err)
+		}
+	}
+	l, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		if len(e.Name()) > 0 && e.Name()[0] == '.' {
+			t.Fatalf("orphaned staging file %s survived Open", e.Name())
+		}
+	}
+}
+
+func TestAlignRaisesSequence(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	l.Align(100)
+	if got := l.NextSeq(); got != 100 {
+		t.Fatalf("NextSeq after Align(100) = %d", got)
+	}
+	l.Align(50) // never lowers
+	if got := l.NextSeq(); got != 100 {
+		t.Fatalf("NextSeq after Align(50) = %d, want 100", got)
+	}
+	seq, err := l.Append([]byte("x"))
+	if err != nil || seq != 100 {
+		t.Fatalf("Append after Align: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestReplayedRecordsCounter(t *testing.T) {
+	dir := t.TempDir()
+	reg := obsv.NewRegistry()
+	l, err := Open(dir, Options{Metrics: reg})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append([]byte("r")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	collect(t, l, 0)
+	if got := reg.Counter(ReplayedRecordsCounterName).Value(); got != 4 {
+		t.Fatalf("%s = %d, want 4", ReplayedRecordsCounterName, got)
+	}
+	if reg.Histogram(FsyncHistogramName, nil).Count() == 0 {
+		t.Fatalf("%s recorded no observations", FsyncHistogramName)
+	}
+}
+
+func TestRowsCodecRoundTrip(t *testing.T) {
+	cases := [][][]string{
+		nil,
+		{},
+		{{}},
+		{{"a"}},
+		{{"young", "1", "yes"}, {"old", "?", "no"}},
+		{{"", "with,comma", "with\nnewline", "ünïcode"}},
+	}
+	for i, rows := range cases {
+		payload := EncodeRows(rows)
+		got, err := DecodeRows(payload)
+		if err != nil {
+			t.Fatalf("case %d: DecodeRows: %v", i, err)
+		}
+		want := rows
+		if want == nil {
+			want = [][]string{}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d rows decoded, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if len(got[j]) != len(want[j]) {
+				t.Fatalf("case %d row %d: %d fields, want %d", i, j, len(got[j]), len(want[j]))
+			}
+			for k := range want[j] {
+				if got[j][k] != want[j][k] {
+					t.Fatalf("case %d row %d field %d: %q != %q", i, j, k, got[j][k], want[j][k])
+				}
+			}
+		}
+	}
+}
+
+func TestRowsCodecRejectsCorruptPayloads(t *testing.T) {
+	good := EncodeRows([][]string{{"a", "b"}, {"c", "d"}})
+	bad := [][]byte{
+		good[:len(good)-1],     // truncated field bytes
+		good[:1],               // truncated row header
+		append([]byte{}, 0xff), // truncated uvarint
+		nil,                    // replaced below with an oversized row count
+		append(append([]byte(nil), good...), 0x00), // trailing bytes
+	}
+	// A row count far beyond the limit.
+	bad[3] = binary.AppendUvarint(nil, maxBatchRows+1)
+	for i, payload := range bad {
+		if _, err := DecodeRows(payload); err == nil {
+			t.Fatalf("case %d: DecodeRows accepted corrupt payload", i)
+		}
+	}
+}
+
+// TestScanRejectsBadMagic ensures a foreign or zeroed file posing as a
+// segment is an error, not silently empty.
+func TestScanRejectsBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, segPrefix+"0000000000000001"+segSuffix)
+	if err := os.WriteFile(path, []byte("NOTAWAL!"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := Open(dir, Options{Metrics: obsv.NewRegistry()}); err == nil {
+		t.Fatalf("Open accepted a segment with bad magic")
+	}
+}
+
+// buildRecord assembles a raw record for corruption tests.
+func buildRecord(seq uint64, payload []byte) []byte {
+	rec := make([]byte, recHeaderLen+len(payload))
+	binary.LittleEndian.PutUint64(rec[0:8], seq)
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(payload)))
+	copy(rec[recHeaderLen:], payload)
+	crc := crc32.NewIEEE()
+	crc.Write(rec[0:12])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(rec[12:16], crc.Sum32())
+	return rec
+}
+
+// TestNonMonotonicSequenceStopsScan guards the invariant that replay
+// stops at the first non-increasing sequence instead of delivering a
+// record out of order.
+func TestNonMonotonicSequenceStopsScan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, segPrefix+"0000000000000001"+segSuffix)
+	var data []byte
+	data = append(data, segMagic...)
+	data = append(data, buildRecord(1, []byte("one"))...)
+	data = append(data, buildRecord(2, []byte("two"))...)
+	data = append(data, buildRecord(2, []byte("dup"))...) // valid CRC, bad seq
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	l, err := Open(dir, Options{Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, _, n := collect(t, l, 0); n != 2 {
+		t.Fatalf("replay delivered %d records, want 2", n)
+	}
+}

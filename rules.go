@@ -54,6 +54,8 @@ type MineOptions struct {
 
 // MineRules runs the CAR generator over the working dataset.
 func (s *Session) MineRules(opts MineOptions) ([]Rule, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ds, err := s.working()
 	if err != nil {
 		return nil, err
@@ -126,6 +128,8 @@ type RankedRule struct {
 // "chi-squared", "laplace", "cosine", "jaccard", "certainty",
 // "added-value".
 func (s *Session) RankRules(measure string, opts MineOptions) ([]RankedRule, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ds, err := s.working()
 	if err != nil {
 		return nil, err
@@ -169,6 +173,8 @@ func (s *Session) RankRules(measure string, opts MineOptions) ([]RankedRule, err
 // `attr=Name` matches rules mentioning the attribute; sup/conf/len take
 // comparison operators.
 func (s *Session) QueryRules(query string, opts MineOptions) ([]Rule, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ds, err := s.working()
 	if err != nil {
 		return nil, err
@@ -207,6 +213,8 @@ type CompletenessReport struct {
 // exhaustive CAR rule set with the same maximum length, and reports the
 // ratio.
 func (s *Session) Completeness(maxConditions int) (CompletenessReport, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ds, err := s.working()
 	if err != nil {
 		return CompletenessReport{}, err

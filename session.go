@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"opmap/internal/dataset"
 	"opmap/internal/discretize"
@@ -17,10 +18,17 @@ import (
 // Session is the top-level handle of the Opportunity Map pipeline: it
 // owns a dataset, the discretized working copy, and the cube engine —
 // either a fully materialized store (eager mode, the default) or a
-// lazy source that builds cubes on first touch. A Session is not safe
-// for concurrent mutation; read-only queries (Compare, views, rule
-// access) may run concurrently once a BuildCubes variant has returned.
+// lazy source that builds cubes on first touch. Read-only queries may
+// run concurrently once a BuildCubes variant has returned, and Append
+// may run concurrently with them: mutations take the write side of the
+// session lock, every query entry point the read side.
 type Session struct {
+	// mu serializes mutations (Append, Discretize, BuildCubes,
+	// DownsampleMajority) against queries. Every public entry point
+	// acquires it exactly once — locked methods never call other locked
+	// methods, so the lock never nests.
+	mu sync.RWMutex
+
 	raw   *dataset.Dataset // as loaded; may contain continuous attributes
 	ds    *dataset.Dataset // fully categorical working dataset
 	cuts  map[string][]float64
@@ -29,11 +37,32 @@ type Session struct {
 	lazy  *engine.LazySource // set in lazy mode, for stats
 	// results memoizes Compare/Sweep/Impressions under a snapshot
 	// version; Discretize, DownsampleMajority and rebuilds invalidate
-	// it. Always non-nil.
+	// it wholly, appends surgically per attribute. Always non-nil.
 	results *engine.ResultCache
 	// rowsHint carries the source row count for sessions restored from
-	// a snapshot, whose datasets are schema-only (zero rows).
+	// a snapshot, whose datasets start schema-only; appended rows add
+	// on top of it.
 	rowsHint int
+
+	// ingestSeq is the WAL sequence of the last applied append batch,
+	// recorded in snapshots so recovery knows where replay must resume.
+	// Maintained by the serving layer via SetIngestSeq.
+	ingestSeq uint64
+	// discOpts remembers the last Discretize configuration so periodic
+	// cut re-evaluation can re-run it over the grown raw data.
+	discOpts *DiscretizeOptions
+	// buildOpts remembers the last BuildCubesOptions configuration so a
+	// cut change can rebuild the engine in place.
+	buildOpts *BuildOptions
+	// cutReevalEvery and sinceCutEval drive periodic cut re-evaluation:
+	// every N appended rows the discretizer reruns; unchanged cuts keep
+	// the engine, changed cuts rebuild it.
+	cutReevalEvery int
+	sinceCutEval   int
+	// appendDeltas counts non-missing appended values per continuous
+	// attribute since the last cut (re-)evaluation — the discretization
+	// delta counters surfaced by IngestStats.
+	appendDeltas map[string]int
 }
 
 // LoadOptions configures CSV loading.
@@ -240,6 +269,17 @@ type DiscretizeOptions struct {
 // Discretize converts every continuous attribute to categorical
 // intervals. It is a no-op when the dataset is already categorical.
 func (s *Session) Discretize(opts DiscretizeOptions) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.discOpts = &opts
+	s.sinceCutEval = 0
+	s.appendDeltas = nil
+	return s.discretizeLocked(opts)
+}
+
+// discretizeLocked is Discretize's body, shared with periodic cut
+// re-evaluation during appends. Callers hold the write lock.
+func (s *Session) discretizeLocked(opts DiscretizeOptions) error {
 	if s.raw.AllCategorical() {
 		s.ds = s.raw
 		// Even a no-op re-discretize resets the engine: the caller asked
@@ -248,6 +288,22 @@ func (s *Session) Discretize(opts DiscretizeOptions) error {
 		s.dropEngine()
 		return nil
 	}
+	d, err := s.discretizer(opts)
+	if err != nil {
+		return err
+	}
+	ds, cuts, err := discretize.Apply(s.raw, d)
+	if err != nil {
+		return err
+	}
+	s.ds = ds
+	s.cuts = cuts
+	s.dropEngine() // cubes and cached results over the old dataset are invalid
+	return nil
+}
+
+// discretizer resolves DiscretizeOptions to a discretize.Discretizer.
+func (s *Session) discretizer(opts DiscretizeOptions) (discretize.Discretizer, error) {
 	var d discretize.Discretizer
 	switch opts.Method {
 	case EqualWidth:
@@ -267,19 +323,12 @@ func (s *Session) Discretize(opts DiscretizeOptions) error {
 	case EntropyMDLP:
 		d = discretize.MDLP{}
 	default:
-		return fmt.Errorf("opmap: unknown discretize method %d", opts.Method)
+		return nil, fmt.Errorf("opmap: unknown discretize method %d", opts.Method)
 	}
 	if len(opts.Manual) > 0 {
 		d = &manualOverride{fallback: d, manual: opts.Manual, schemaAttr: s.raw}
 	}
-	ds, cuts, err := discretize.Apply(s.raw, d)
-	if err != nil {
-		return err
-	}
-	s.ds = ds
-	s.cuts = cuts
-	s.dropEngine() // cubes and cached results over the old dataset are invalid
-	return nil
+	return d, nil
 }
 
 // dropEngine discards the cube engine and fences the result cache:
@@ -326,7 +375,11 @@ func (m *manualOverride) Cuts(values []float64, classes []int32, numClasses int)
 // Cuts returns the cut points chosen for each discretized attribute
 // (empty until Discretize has run on a dataset with continuous
 // attributes).
-func (s *Session) Cuts() map[string][]float64 { return s.cuts }
+func (s *Session) Cuts() map[string][]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cuts
+}
 
 // BuildCubes materializes all 2-D and 3-D rule cubes over the working
 // dataset (the deployed system's offline step, Section V.C).
@@ -379,6 +432,16 @@ type BuildOptions struct {
 // engine and all cached query results are dropped first.
 func (s *Session) BuildCubesOptions(ctx context.Context, opts BuildOptions) error {
 	defer obsv.Stage(obsv.StageBuildCubes)()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buildOpts = &opts
+	return s.buildCubesLocked(ctx, opts)
+}
+
+// buildCubesLocked is BuildCubesOptions's body, shared with the engine
+// rebuild after a cut re-evaluation changes the working dataset.
+// Callers hold the write lock.
+func (s *Session) buildCubesLocked(ctx context.Context, opts BuildOptions) error {
 	ds, err := s.working()
 	if err != nil {
 		return err
@@ -456,10 +519,16 @@ func (s *Session) requireSource() (engine.CubeSource, error) {
 // snapshot hold a schema-only dataset; for them this is the row count
 // recorded when the snapshot was taken.
 func (s *Session) NumRows() int {
-	if n := s.raw.NumRows(); n > 0 {
-		return n
-	}
-	return s.rowsHint
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.numRows()
+}
+
+// numRows is NumRows without the lock, for callers already holding it
+// (buildSnapshot runs under the read lock). Restored sessions start
+// with a schema-only dataset, so the hint and the live count add.
+func (s *Session) numRows() int {
+	return s.rowsHint + s.raw.NumRows()
 }
 
 // Attributes returns all attribute names including the class, in schema
@@ -478,12 +547,18 @@ func (s *Session) ClassAttribute() string {
 }
 
 // Classes returns the class labels in code order.
-func (s *Session) Classes() []string { return s.raw.ClassDict().Labels() }
+func (s *Session) Classes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.raw.ClassDict().Labels()
+}
 
 // Values returns the value labels of a categorical attribute of the
 // working dataset (discretized intervals for originally continuous
 // attributes), in code order.
 func (s *Session) Values(attr string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ds, err := s.working()
 	if err != nil {
 		return nil, err
@@ -498,6 +573,8 @@ func (s *Session) Values(attr string) ([]string, error) {
 // ClassDistribution returns label → record count for the class
 // attribute.
 func (s *Session) ClassDistribution() map[string]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	dist := s.raw.ClassDistribution()
 	out := make(map[string]int64, len(dist))
 	for c, n := range dist {
@@ -510,6 +587,8 @@ func (s *Session) ClassDistribution() map[string]int64 {
 // store holds in eager mode, the pinned 1-D plus cached 2-D cubes in
 // lazy mode, 0 before any BuildCubes variant.
 func (s *Session) CubeCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.store != nil {
 		return s.store.CubeCount()
 	}
@@ -548,6 +627,8 @@ func satMul(a, b int64) int64 {
 // the size of the space the engine can serve, whether or not the
 // cubes are resident yet.
 func (s *Session) RuleSpaceSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.store != nil {
 		var total int64
 		attrs := s.store.Attrs()
@@ -617,6 +698,8 @@ type EngineStats struct {
 
 // EngineStats snapshots the engine's cache counters.
 func (s *Session) EngineStats() EngineStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st := EngineStats{}
 	if s.lazy != nil {
 		ls := s.lazy.Stats()

@@ -39,6 +39,9 @@ type SnapshotInfo struct {
 	// cubes (seed it) rather than a full eager store (load it).
 	Lazy       bool
 	CacheBytes int64
+	// IngestSeq is the WAL sequence of the last append batch applied
+	// before the snapshot; WAL replay resumes at IngestSeq+1.
+	IngestSeq uint64
 }
 
 // SaveSnapshot persists the session — schema, dictionaries,
@@ -46,6 +49,8 @@ type SnapshotInfo struct {
 // sessions write every cube; lazy sessions write the resident working
 // set. A BuildCubes variant must have run.
 func (s *Session) SaveSnapshot(w io.Writer, opts SnapshotOptions) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	snap, err := s.buildSnapshot(opts)
 	if err != nil {
 		return err
@@ -57,6 +62,8 @@ func (s *Session) SaveSnapshot(w io.Writer, opts SnapshotOptions) error {
 // (temp file, fsync, rename): a crash mid-write leaves any previous
 // snapshot at path intact.
 func (s *Session) SaveSnapshotFile(path string, opts SnapshotOptions) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	snap, err := s.buildSnapshot(opts)
 	if err != nil {
 		return err
@@ -65,7 +72,7 @@ func (s *Session) SaveSnapshotFile(path string, opts SnapshotOptions) error {
 }
 
 // buildSnapshot assembles the in-memory snapshot for the session's
-// current engine.
+// current engine. Callers hold at least the read lock.
 func (s *Session) buildSnapshot(opts SnapshotOptions) (*snapshot.Snapshot, error) {
 	if _, err := s.requireSource(); err != nil {
 		return nil, err
@@ -73,7 +80,8 @@ func (s *Session) buildSnapshot(opts SnapshotOptions) (*snapshot.Snapshot, error
 	snap := &snapshot.Snapshot{
 		SourceHash:  opts.SourceHash,
 		CreatedUnix: time.Now().Unix(),
-		Rows:        s.NumRows(),
+		Rows:        s.numRows(),
+		IngestSeq:   s.ingestSeq,
 		Cuts:        s.cuts,
 		Dataset:     s.ds,
 	}
@@ -123,13 +131,14 @@ func sessionFromSnapshot(snap *snapshot.Snapshot) (*Session, error) {
 		return nil, fmt.Errorf("opmap: %s snapshot holds only resident cubes and cannot serve standalone; rebuild the lazy session from source and seed it with SeedSnapshotFile", snap.Mode)
 	}
 	return &Session{
-		raw:      snap.Dataset,
-		ds:       snap.Dataset,
-		cuts:     snap.Cuts,
-		rowsHint: snap.Rows,
-		store:    snap.Store,
-		src:      engine.NewEager(snap.Store),
-		results:  engine.NewResultCache(0),
+		raw:       snap.Dataset,
+		ds:        snap.Dataset,
+		cuts:      snap.Cuts,
+		rowsHint:  snap.Rows,
+		ingestSeq: snap.IngestSeq,
+		store:     snap.Store,
+		src:       engine.NewEager(snap.Store),
+		results:   engine.NewResultCache(0),
 	}, nil
 }
 
@@ -141,6 +150,8 @@ func sessionFromSnapshot(snap *snapshot.Snapshot) (*Session, error) {
 // seeded. A snapshot that disagrees with the dataset fails without
 // mutating the engine — the caller falls back to cold serving.
 func (s *Session) SeedSnapshotFile(path string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.lazy == nil {
 		return 0, fmt.Errorf("opmap: SeedSnapshotFile requires a lazy session (BuildCubesOptions with Lazy)")
 	}
@@ -166,6 +177,7 @@ func PeekSnapshotFile(path string) (*SnapshotInfo, error) {
 		Rows:       h.Rows,
 		Lazy:       h.Mode == snapshot.ModeLazy,
 		CacheBytes: h.CacheBytes,
+		IngestSeq:  h.IngestSeq,
 	}, nil
 }
 
