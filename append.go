@@ -41,12 +41,37 @@ func (s *Session) Append(rows [][]string) error {
 // dataset and the engine with the remembered Discretize/BuildCubes
 // configurations.
 func (s *Session) AppendContext(ctx context.Context, rows [][]string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(ctx, rows)
+}
+
+// AppendSeq applies one durable WAL batch: AppendContext plus
+// recording seq as the session's ingest sequence, in one critical
+// section. A concurrent snapshot (which runs under the read lock)
+// therefore can never capture the batch's rows without the sequence
+// that makes recovery skip them — split Append/SetIngestSeq calls
+// would leave a window where a checkpoint taken between the two
+// double-applies the batch after a crash. The sequence advances even
+// when the session rejects the batch: Append validates before
+// mutating and the rejection is deterministic, so replay reproduces
+// the same decision and must not re-attempt it. Callers must not
+// cancel ctx mid-batch (the WAL apply path passes an uncancellable
+// context); a partially applied batch would still be marked consumed.
+func (s *Session) AppendSeq(ctx context.Context, rows [][]string, seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.appendLocked(ctx, rows)
+	s.ingestSeq = seq
+	return err
+}
+
+// appendLocked is the body shared by the Append variants. Callers hold
+// the write lock.
+func (s *Session) appendLocked(ctx context.Context, rows [][]string) error {
 	if len(rows) == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	// Validate pass: width and continuous parses for the whole batch.
 	floats, err := s.validateBatch(rows)
 	if err != nil {
@@ -54,6 +79,7 @@ func (s *Session) AppendContext(ctx context.Context, rows [][]string) error {
 	}
 
 	classIdx := s.raw.ClassIndex()
+	restored := s.restoredDiscretized()
 	touched := make(map[int]bool)
 	for r, row := range rows {
 		if err := ctx.Err(); err != nil {
@@ -62,10 +88,16 @@ func (s *Session) AppendContext(ctx context.Context, rows [][]string) error {
 			s.flushTouched(touched)
 			return err
 		}
-		if err := s.raw.AppendRow(row); err != nil {
-			// Unreachable after validateBatch; fail loudly if it isn't.
-			s.flushTouched(touched)
-			return err
+		if !restored {
+			// Restored sessions share one dataset between raw and working
+			// roles; appendWorkingRow grows it with the coded row instead
+			// (AppendRow here would register raw numeric strings as
+			// categorical labels in the interval dictionaries).
+			if err := s.raw.AppendRow(row); err != nil {
+				// Unreachable after validateBatch; fail loudly if it isn't.
+				s.flushTouched(touched)
+				return err
+			}
 		}
 		codes, err := s.appendWorkingRow(row, floats[r])
 		if err != nil {
@@ -91,12 +123,51 @@ func (s *Session) AppendContext(ctx context.Context, rows [][]string) error {
 	return s.maybeReevalCuts(ctx)
 }
 
-// validateBatch checks every row's width and parses its continuous
-// fields, returning the parsed values per row (nil entries when the
-// schema has no continuous attributes). Nothing mutates.
+// ValidateBatch checks a batch against the session's schema — row
+// widths and numeric parses — without mutating anything: exactly the
+// validation Append runs before applying. A durability layer calls it
+// before logging a batch, so a batch that the (possibly asynchronous)
+// apply would reject is never acknowledged as durably accepted.
+func (s *Session) ValidateBatch(rows [][]string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, err := s.validateBatch(rows)
+	return err
+}
+
+// restoredDiscretized reports whether the session was restored from a
+// snapshot of a discretized dataset: one schema-only dataset serves as
+// both raw and working copy, and originally continuous attributes
+// survive only as interval columns plus the remembered cut points.
+func (s *Session) restoredDiscretized() bool {
+	return s.ds == s.raw && len(s.cuts) > 0
+}
+
+// binnedAttr reports whether attribute i's appended values are numbers
+// that must bin through remembered cut points: a continuous attribute
+// of the live schema, or — in a restored session, whose schema holds
+// only the discretized intervals — any attribute with remembered cuts.
+func (s *Session) binnedAttr(i int) bool {
+	if s.raw.Attr(i).Kind == dataset.Continuous {
+		return true
+	}
+	_, ok := s.cuts[s.raw.Attr(i).Name]
+	return ok
+}
+
+// validateBatch checks every row's width and parses its numeric
+// (continuous or restored-interval) fields, returning the parsed
+// values per row (nil entries when the schema has no such attributes).
+// Nothing mutates.
 func (s *Session) validateBatch(rows [][]string) ([][]float64, error) {
 	n := s.raw.NumAttrs()
-	hasCont := !s.raw.AllCategorical()
+	hasCont := false
+	for i := 0; i < n; i++ {
+		if s.binnedAttr(i) {
+			hasCont = true
+			break
+		}
+	}
 	floats := make([][]float64, len(rows))
 	for r, row := range rows {
 		if len(row) != n {
@@ -107,7 +178,7 @@ func (s *Session) validateBatch(rows [][]string) ([][]float64, error) {
 		}
 		fr := make([]float64, n)
 		for i := 0; i < n; i++ {
-			if s.raw.Attr(i).Kind != dataset.Continuous {
+			if !s.binnedAttr(i) {
 				continue
 			}
 			v := row[i]
@@ -134,7 +205,7 @@ func (s *Session) appendWorkingRow(row []string, fr []float64) ([]int32, error) 
 	}
 	n := s.raw.NumAttrs()
 	codes := make([]int32, n)
-	if s.ds == s.raw {
+	if s.ds == s.raw && len(s.cuts) == 0 {
 		// All-categorical schema: the working dataset IS the raw dataset
 		// and AppendRow above already grew it; just read the codes back.
 		last := s.ds.NumRows() - 1
@@ -143,12 +214,14 @@ func (s *Session) appendWorkingRow(row []string, fr []float64) ([]int32, error) 
 		}
 		return codes, nil
 	}
-	// Discretized working copy: categorical dictionaries are clones of
-	// the raw ones, kept aligned by registering the same labels in the
-	// same order; continuous values bin through the remembered cuts
-	// (every bin is pre-registered in the interval dictionary).
+	// Discretized working copy — a live session's clone of the raw
+	// dataset, or the single shared interval dataset of a restored
+	// session. Categorical dictionaries stay aligned with raw by
+	// registering the same labels in the same order; numeric values bin
+	// through the remembered cuts (every bin is pre-registered in the
+	// interval dictionary).
 	for i := 0; i < n; i++ {
-		if s.raw.Attr(i).Kind == dataset.Continuous {
+		if s.binnedAttr(i) {
 			name := s.raw.Attr(i).Name
 			if math.IsNaN(fr[i]) {
 				codes[i] = dataset.Missing
@@ -191,7 +264,7 @@ func (s *Session) noteDeltas(fr []float64) {
 		return
 	}
 	for i := 0; i < s.raw.NumAttrs(); i++ {
-		if s.raw.Attr(i).Kind != dataset.Continuous || math.IsNaN(fr[i]) {
+		if !s.binnedAttr(i) || math.IsNaN(fr[i]) {
 			continue
 		}
 		if s.appendDeltas == nil {
@@ -298,8 +371,11 @@ func (s *Session) IngestSeq() uint64 {
 }
 
 // SetIngestSeq records the WAL sequence number of the last applied
-// batch. The serving layer calls it after each Append (live or
-// replayed) so snapshots carry the resume point.
+// batch. Callers applying WAL batches should prefer AppendSeq, which
+// records the sequence atomically with the apply; a separate
+// SetIngestSeq leaves a window where a concurrent snapshot captures
+// the batch's rows under the previous sequence and recovery
+// double-applies the batch.
 func (s *Session) SetIngestSeq(seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -132,6 +132,112 @@ func TestAppendMatchesBatchLoad(t *testing.T) {
 	}
 }
 
+// TestAppendToRestoredSession: a session restored from an eager
+// snapshot of a continuous-schema dataset keeps ingesting correctly —
+// appended numeric values bin through the remembered cuts instead of
+// registering raw strings like "37.5" as new interval-dictionary
+// labels, so the restored session's answers match a session that
+// never went through the snapshot round trip.
+func TestAppendToRestoredSession(t *testing.T) {
+	all := ingestRows(400)
+	oracle := loadIngestSession(t, all, false)
+	live := loadIngestSession(t, all[:300], false)
+	path := t.TempDir() + "/s.omapsnap"
+	if err := live.SaveSnapshotFile(path, SnapshotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream the tail (which includes missing continuous values) in
+	// uneven batches, as WAL replay would after a crash.
+	for _, batch := range [][][]string{all[300:301], all[301:350], all[350:400]} {
+		if err := restored.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := restored.NumRows(), oracle.NumRows(); got != want {
+		t.Fatalf("restored rows = %d, want %d", got, want)
+	}
+	// The interval dictionaries must not have grown raw numeric labels.
+	for _, attr := range []string{"Temp", "Load"} {
+		ov, err := oracle.Values(attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := restored.Values(attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ov, rv) {
+			t.Errorf("%s domain diverged after restored-session appends:\noracle   %v\nrestored %v", attr, ov, rv)
+		}
+	}
+	// A restored session still rejects unparseable numeric fields for
+	// interval attributes, exactly like the live session it replaces.
+	if err := restored.Append([][]string{{"north", "m1", "not-a-number", "20", "ok"}}); err == nil {
+		t.Error("restored session accepted an unparseable numeric value")
+	}
+	oc, os, oi := queryTriple(t, oracle)
+	rc, rs, ri := queryTriple(t, restored)
+	if !reflect.DeepEqual(oc, rc) {
+		t.Errorf("Compare diverges:\noracle   %+v\nrestored %+v", oc, rc)
+	}
+	if !reflect.DeepEqual(os, rs) {
+		t.Errorf("Sweep diverges:\noracle   %+v\nrestored %+v", os, rs)
+	}
+	if !reflect.DeepEqual(oi, ri) {
+		t.Errorf("Impressions diverge:\noracle   %+v\nrestored %+v", oi, ri)
+	}
+}
+
+// TestAppendSeqSnapshotConsistency: AppendSeq applies a batch and
+// records its WAL sequence atomically with respect to snapshots —
+// every snapshot taken while batches stream in reports a row count
+// exactly consistent with its ingest sequence, so recovery from any
+// checkpoint neither drops nor double-applies a batch.
+func TestAppendSeqSnapshotConsistency(t *testing.T) {
+	defer testutil.VerifyNoLeak(t)()
+	const baseRows, batchRows = 100, 10
+	s := loadIngestSession(t, ingestRows(baseRows), false)
+	extra := ingestRows(400)[baseRows:400]
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for b := 0; b*batchRows < len(extra); b++ {
+			rows := extra[b*batchRows : (b+1)*batchRows]
+			if err := s.AppendSeq(context.Background(), rows, uint64(b+1)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	dir := t.TempDir()
+	for i := 0; ; i++ {
+		path := fmt.Sprintf("%s/c%d.omapsnap", dir, i)
+		if err := s.SaveSnapshotFile(path, SnapshotOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		info, err := PeekSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := baseRows + int(info.IngestSeq)*batchRows; info.Rows != want {
+			t.Fatalf("snapshot rows = %d at ingest seq %d, want %d (apply and sequence tore)", info.Rows, info.IngestSeq, want)
+		}
+		select {
+		case <-done:
+			if got := s.IngestSeq(); got != uint64(len(extra)/batchRows) {
+				t.Errorf("final ingest seq = %d, want %d", got, len(extra)/batchRows)
+			}
+			return
+		default:
+		}
+	}
+}
+
 // TestAppendValidation: a malformed batch is rejected atomically —
 // nothing about the session changes, and the error names the row.
 func TestAppendValidation(t *testing.T) {

@@ -324,6 +324,135 @@ if ! wait "$opmapd6_pid"; then
     exit 1
 fi
 
+echo "== opmapd smoke (warm start + WAL replay on a continuous schema) =="
+# The combination that matters for restored sessions: the snapshot holds
+# only the discretized intervals, so replayed and live numeric values
+# must bin through the remembered cuts instead of registering new
+# labels. Temp gets 40 distinct numeric values so the sniffer marks it
+# continuous.
+waldir2="$smokedir/wal2"
+snapdir2="$smokedir/snaps2"
+{
+    echo "Region,Model,Temp,Outcome"
+    for i in $(seq 0 39); do
+        case $((i % 4)) in
+            0) region=north ;; 1) region=south ;; 2) region=east ;; *) region=west ;;
+        esac
+        model="m$(((i % 2) + 1))"
+        case $((i % 3)) in
+            0) outcome=ok ;; 1) outcome=fail ;; *) outcome=slow ;;
+        esac
+        echo "$region,$model,$i.5,$outcome"
+    done
+} >"$smokedir/ingest2.csv"
+"$smokedir/opmapd" -data "ing2=$smokedir/ingest2.csv" -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr7" -snapshot-dir "$snapdir2" -wal-dir "$waldir2" \
+    >"$smokedir/opmapd7.log" 2>&1 &
+opmapd7_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr7" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr7" ]; then
+    echo "continuous-schema opmapd never became ready:" >&2
+    cat "$smokedir/opmapd7.log" >&2
+    exit 1
+fi
+addr7=$(cat "$smokedir/addr7")
+for _ in $(seq 1 100); do
+    "$smokedir/opmapd" -probe "$addr7/readyz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+# The cold run checkpointed at sequence 0; both batches live only in
+# the WAL and must replay into the snapshot-restored session.
+"$smokedir/opmapd" -probe "$addr7/api/ingest" \
+    -probe-body '{"rows": [["north","m1","3.7","fail"],["south","m2","88.25","ok"]]}' \
+    | grep -q '"seq": 1'
+"$smokedir/opmapd" -probe "$addr7/api/ingest" \
+    -probe-body '{"rows": [["east","m1","12.125","slow"]]}' \
+    | grep -q '"seq": 2'
+"$smokedir/opmapd" -probe "$addr7/api/overview" >"$smokedir/overview.cont"
+grep -q '"rows": 43' "$smokedir/overview.cont"
+"$smokedir/opmapd" -probe "$addr7/api/compare?attr=Region&v1=north&v2=south&class=fail" \
+    >"$smokedir/compare.cont"
+kill -9 "$opmapd7_pid"
+wait "$opmapd7_pid" 2>/dev/null || true
+"$smokedir/opmapd" -data "ing2=$smokedir/ingest2.csv" -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr8" -snapshot-dir "$snapdir2" -wal-dir "$waldir2" \
+    >"$smokedir/opmapd8.log" 2>&1 &
+opmapd8_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr8" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr8" ]; then
+    echo "warm+replay opmapd never became ready:" >&2
+    cat "$smokedir/opmapd8.log" >&2
+    exit 1
+fi
+addr8=$(cat "$smokedir/addr8")
+ready=0
+for _ in $(seq 1 100); do
+    if "$smokedir/opmapd" -probe "$addr8/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$ready" != 1 ]; then
+    echo "warm+replay WAL replay never finished:" >&2
+    cat "$smokedir/opmapd8.log" >&2
+    exit 1
+fi
+# Prove this really took the warm-start path, then that the replayed
+# state is byte-identical to the pre-kill run — with the interval
+# domains intact, not polluted by raw numeric labels.
+grep -q "warm start" "$smokedir/opmapd8.log"
+"$smokedir/opmapd" -probe "$addr8/metrics" >"$smokedir/metrics8"
+grep -qF 'opmapd_snapshot_loads_total 1' "$smokedir/metrics8"
+grep -qF 'opmap_wal_replayed_records_total 2' "$smokedir/metrics8"
+"$smokedir/opmapd" -probe "$addr8/api/overview" >"$smokedir/overview.cont.replayed"
+"$smokedir/opmapd" -probe "$addr8/api/compare?attr=Region&v1=north&v2=south&class=fail" \
+    >"$smokedir/compare.cont.replayed"
+cmp "$smokedir/overview.cont" "$smokedir/overview.cont.replayed"
+cmp "$smokedir/compare.cont" "$smokedir/compare.cont.replayed"
+# Live ingest into the restored session takes the same binned path.
+"$smokedir/opmapd" -probe "$addr8/api/ingest" \
+    -probe-body '{"rows": [["west","m2","19.75","fail"]]}' \
+    | grep -q '"seq": 3'
+"$smokedir/opmapd" -probe "$addr8/api/compare?attr=Region&v1=north&v2=south&class=fail" \
+    >"$smokedir/compare.cont.live"
+kill -TERM "$opmapd8_pid"
+if ! wait "$opmapd8_pid"; then
+    echo "warm+replay opmapd did not drain cleanly on SIGTERM:" >&2
+    cat "$smokedir/opmapd8.log" >&2
+    exit 1
+fi
+# Oracle: a cold load replaying the full WAL into a live session must
+# answer identically to the restored session that replayed + ingested.
+"$smokedir/opmapd" -data "ing2=$smokedir/ingest2.csv" -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr9" -wal-dir "$waldir2" >"$smokedir/opmapd9.log" 2>&1 &
+opmapd9_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr9" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr9" ]; then
+    echo "oracle opmapd never became ready:" >&2
+    cat "$smokedir/opmapd9.log" >&2
+    exit 1
+fi
+addr9=$(cat "$smokedir/addr9")
+for _ in $(seq 1 100); do
+    "$smokedir/opmapd" -probe "$addr9/readyz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"$smokedir/opmapd" -probe "$addr9/api/compare?attr=Region&v1=north&v2=south&class=fail" \
+    >"$smokedir/compare.cont.oracle"
+cmp "$smokedir/compare.cont.live" "$smokedir/compare.cont.oracle"
+kill -TERM "$opmapd9_pid"
+wait "$opmapd9_pid" 2>/dev/null || true
+
 echo "== fuzz smoke (10s per target) =="
 go test -run '^$' -fuzz '^FuzzReadStore$' -fuzztime 10s ./internal/rulecube
 go test -run '^$' -fuzz '^FuzzComparator$' -fuzztime 10s ./internal/compare

@@ -321,10 +321,9 @@ func benchIngest(records int) (ingestBench, error) {
 		if err != nil {
 			return ib, err
 		}
-		if err := base.Append(rows); err != nil {
+		if err := base.AppendSeq(context.Background(), rows, seq); err != nil {
 			return ib, err
 		}
-		base.SetIngestSeq(seq)
 		latencies = append(latencies, msSince(bStart))
 	}
 	elapsed := time.Since(start).Seconds()
@@ -363,11 +362,7 @@ func benchIngest(records int) (ingestBench, error) {
 		if derr != nil {
 			return derr
 		}
-		if aerr := fresh.Append(rows); aerr != nil {
-			return aerr
-		}
-		fresh.SetIngestSeq(seq)
-		return nil
+		return fresh.AppendSeq(context.Background(), rows, seq)
 	})
 	if err != nil {
 		return ib, err

@@ -129,14 +129,12 @@ func (m *ingestman) append(_ context.Context, name string, rows [][]string) (uin
 		// clients see the same 503 + Retry-After as a full queue.
 		return 0, server.ErrBackpressure
 	}
-	// Cheap synchronous schema check so an obviously malformed batch
-	// fails the request instead of being durably logged and rejected
-	// later by the (asynchronous) apply.
-	width := len(p.sess.Attributes())
-	for i, row := range rows {
-		if len(row) != width {
-			return 0, fmt.Errorf("row %d has %d values, schema has %d attributes", i, len(row), width)
-		}
+	// Full synchronous validation — row widths AND numeric parses,
+	// exactly what Append checks before mutating — so any batch the
+	// (asynchronous) apply would reject fails the request with 400 here
+	// instead of being durably acked and then silently dropped.
+	if err := p.sess.ValidateBatch(rows); err != nil {
+		return 0, err
 	}
 	select {
 	case p.slots <- struct{}{}:
@@ -190,15 +188,17 @@ func (p *ingestPipe) replayAndServe() {
 	}
 }
 
-// applyBatch folds one durable batch into the session. An apply error
-// is logged and the batch skipped — Append validates before mutating,
-// so a bad batch leaves the session consistent, and replay after a
-// crash reproduces exactly the same decision.
+// applyBatch folds one durable batch into the session, advancing the
+// ingest sequence in the same critical section (AppendSeq) so a
+// concurrent checkpoint can never snapshot the batch's rows without
+// the sequence that makes recovery skip them. An apply error is
+// logged and the batch skipped — Append validates before mutating, so
+// a bad batch leaves the session consistent, and replay after a crash
+// reproduces exactly the same decision.
 func (p *ingestPipe) applyBatch(seq uint64, rows [][]string) {
-	if err := p.sess.Append(rows); err != nil {
+	if err := p.sess.AppendSeq(context.Background(), rows, seq); err != nil {
 		log.Printf("dataset %q: WAL batch seq %d rejected by session: %v", p.name, seq, err)
 	}
-	p.sess.SetIngestSeq(seq)
 }
 
 // truncated is called by the checkpointer after a dataset's snapshot

@@ -22,7 +22,10 @@ south,m1,60,ok
 
 func ingestTestSession(t *testing.T) *opmap.Session {
 	t.Helper()
-	s, err := opmap.LoadCSV(strings.NewReader(ingestTestCSV), opmap.LoadOptions{})
+	// Force Temp continuous: six rows are too few for the sniffer, and
+	// the ingest tests specifically exercise the numeric parse + cut
+	// binning path.
+	s, err := opmap.LoadCSV(strings.NewReader(ingestTestCSV), opmap.LoadOptions{Continuous: []string{"Temp"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,9 +77,15 @@ func TestIngestPipelineRecoversAfterRestart(t *testing.T) {
 	if seq != 1 {
 		t.Errorf("first batch seq = %d, want 1", seq)
 	}
-	// A malformed batch fails synchronously without touching the WAL.
+	// A malformed batch fails synchronously without touching the WAL —
+	// both a wrong width and a width-correct row whose numeric field
+	// cannot parse (which only full validation catches; acking it would
+	// durably accept rows the apply must then drop).
 	if _, err := im.append(context.Background(), "d", [][]string{{"short"}}); err == nil {
 		t.Error("short row accepted")
+	}
+	if _, err := im.append(context.Background(), "d", [][]string{{"north", "m1", "not-a-number", "ok"}}); err == nil {
+		t.Error("unparseable numeric field accepted")
 	}
 	waitFor(t, "batch applied", func() bool { return sess.IngestSeq() == seq })
 	if got := sess.NumRows(); got != 8 {
@@ -99,6 +108,81 @@ func TestIngestPipelineRecoversAfterRestart(t *testing.T) {
 	}
 	if got := sess2.IngestSeq(); got != seq {
 		t.Errorf("replayed ingest seq = %d, want %d", got, seq)
+	}
+	im2.close()
+}
+
+// TestIngestReplayIntoRestoredSession exercises the daemon's real
+// recovery pairing: a snapshot warm start (LoadSnapshotFile) followed
+// by WAL replay of the tail, then live ingest. The restored session
+// must bin numeric values through its remembered cuts — not register
+// them as new interval-dictionary labels — in both the replayed and
+// the live path.
+func TestIngestReplayIntoRestoredSession(t *testing.T) {
+	walDir := t.TempDir()
+	im, err := newIngestman(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := ingestTestSession(t)
+	if err := im.start("d", sess); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial replay", func() bool { return !im.replaying("d") })
+
+	seq1, err := im.append(context.Background(), "d", [][]string{
+		{"north", "m1", "42", "fail"},
+		{"east", "m2", "77", "ok"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first batch applied", func() bool { return sess.IngestSeq() == seq1 })
+	// Checkpoint: the snapshot covers seq1, so recovery replays only
+	// what follows.
+	snapPath := filepath.Join(t.TempDir(), "d.omapsnap")
+	if err := sess.SaveSnapshotFile(snapPath, opmap.SnapshotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := im.append(context.Background(), "d", [][]string{{"south", "m1", "3.7", "slow"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "second batch applied", func() bool { return sess.IngestSeq() == seq2 })
+	// Simulate kill -9 and restart from snapshot + WAL.
+
+	restored, err := opmap.LoadSnapshotFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, err := newIngestman(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := im2.start("d", restored); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "restart replay", func() bool { return !im2.replaying("d") })
+	if got := restored.IngestSeq(); got != seq2 {
+		t.Errorf("replayed ingest seq = %d, want %d", got, seq2)
+	}
+	if got := restored.NumRows(); got != 9 {
+		t.Errorf("rows after warm start + replay = %d, want 9", got)
+	}
+	// Live ingest into the restored session takes the same binned path.
+	seq3, err := im2.append(context.Background(), "d", [][]string{{"west", "m2", "61", "ok"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "live batch applied", func() bool { return restored.IngestSeq() == seq3 })
+	// Manual cuts {25,50,75} give exactly 4 pre-registered intervals;
+	// any extra label means a raw numeric string leaked into the domain.
+	vals, err := restored.Values("Temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 4 {
+		t.Errorf("Temp domain after restored-session ingest = %v, want the 4 original intervals", vals)
 	}
 	im2.close()
 }

@@ -246,7 +246,19 @@ func ctxOrFault(ctx context.Context, site string) error {
 // ctx.Err() rather than a partial ranking (degradation belongs to the
 // fan-out callers, SweepContext and OneVsRestContext).
 func (c *Comparator) CompareContext(ctx context.Context, in Input, opts Options) (*Result, error) {
-	res, attrs, err := prepare(c.ds, in, opts, func(attr int, value, class int32) (condCount, supCount int64, err error) {
+	total := func() (int64, error) {
+		// The comparison attribute's 1-D cube totals the countable
+		// records (attribute and class both present) — the same
+		// population OneVsRest totals over, and, unlike the working
+		// dataset's physical row count, correct for sessions restored
+		// from a snapshot whose dataset holds only post-restore rows.
+		cube, err := c.src.Cube1(ctx, in.Attr)
+		if err != nil {
+			return 0, fmt.Errorf("compare: attribute %d unavailable: %w", in.Attr, err)
+		}
+		return cube.Total(), nil
+	}
+	res, attrs, err := prepare(c.ds, in, opts, total, func(attr int, value, class int32) (condCount, supCount int64, err error) {
 		cube, err := c.src.Cube1(ctx, attr)
 		if err != nil {
 			return 0, 0, fmt.Errorf("compare: attribute %d unavailable: %w", attr, err)
@@ -396,8 +408,11 @@ func (c *computation) finish() {
 type ruleCounter func(attr int, value, class int32) (condCount, supCount int64, err error)
 
 // prepare validates the input, counts the two input rules, orients them
-// so cf1 < cf2, and resolves the candidate attribute list.
-func prepare(ds *dataset.Dataset, in Input, opts Options, count ruleCounter) (*computation, []int, error) {
+// so cf1 < cf2, and resolves the candidate attribute list. total is
+// called only after the input validates; it supplies the record count
+// the input rules' Support is relative to (records where the
+// comparison attribute and the class are both present).
+func prepare(ds *dataset.Dataset, in Input, opts Options, total func() (int64, error), count ruleCounter) (*computation, []int, error) {
 	if in.Attr < 0 || in.Attr >= ds.NumAttrs() || in.Attr == ds.ClassIndex() {
 		return nil, nil, fmt.Errorf("compare: invalid comparison attribute %d", in.Attr)
 	}
@@ -428,6 +443,10 @@ func prepare(ds *dataset.Dataset, in Input, opts Options, count ruleCounter) (*c
 	if n1 == 0 || n2 == 0 {
 		return nil, nil, fmt.Errorf("compare: empty sub-population (|D1|=%d, |D2|=%d)", n1, n2)
 	}
+	tot, err := total()
+	if err != nil {
+		return nil, nil, err
+	}
 
 	mk := func(v int32, cond, sup int64) car.Rule {
 		return car.Rule{
@@ -435,7 +454,7 @@ func prepare(ds *dataset.Dataset, in Input, opts Options, count ruleCounter) (*c
 			Class:      in.Class,
 			SupCount:   sup,
 			CondCount:  cond,
-			Total:      int64(ds.NumRows()),
+			Total:      tot,
 		}
 	}
 	r1, r2 := mk(in.V1, n1, c1), mk(in.V2, n2, c2)
@@ -570,7 +589,20 @@ func Scan(ds *dataset.Dataset, in Input, opts Options) (*Result, error) {
 	if !ds.AllCategorical() {
 		return nil, fmt.Errorf("compare: dataset has continuous attributes; discretize first")
 	}
-	res, attrs, err := prepare(ds, in, opts, func(attr int, value, class int32) (int64, int64, error) {
+	total := func() (int64, error) {
+		// Mirror the cube path's population exactly: records where the
+		// comparison attribute and the class are both present.
+		var n int64
+		col := ds.Column(in.Attr).Codes
+		cls := ds.Column(ds.ClassIndex()).Codes
+		for r := range col {
+			if col[r] >= 0 && cls[r] >= 0 {
+				n++
+			}
+		}
+		return n, nil
+	}
+	res, attrs, err := prepare(ds, in, opts, total, func(attr int, value, class int32) (int64, int64, error) {
 		var cond, sup int64
 		col := ds.Column(attr).Codes
 		cls := ds.Column(ds.ClassIndex()).Codes
