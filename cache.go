@@ -38,6 +38,14 @@ func compareKey(in compare.Input, o compare.Options) string {
 	return fmt.Sprintf("compare|a=%d|v=%d,%d|c=%d|%s", in.Attr, lo, hi, in.Class, compareOptsKey(o))
 }
 
+// oneVsRestAllKey keys a one-vs-rest run over every value of an
+// attribute. DisableBatch-style execution knobs are deliberately not
+// part of the identity: they change how cubes are materialized, never
+// the result.
+func oneVsRestAllKey(attr int, class int32, o compare.Options) string {
+	return fmt.Sprintf("onevsrestall|a=%d|c=%d|%s", attr, class, compareOptsKey(o))
+}
+
 // sweepKey keys a sweep; maxPairs changes which pairs are compared,
 // so it is part of the identity.
 func sweepKey(attr int, class int32, maxPairs int) string {

@@ -25,8 +25,12 @@ import (
 
 	"opmap"
 	"opmap/internal/atomicfile"
+	"opmap/internal/compare"
+	"opmap/internal/engine"
 	"opmap/internal/obsv"
+	"opmap/internal/rulecube"
 	"opmap/internal/wal"
+	"opmap/internal/workload"
 )
 
 func main() {
@@ -37,9 +41,13 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		rounds  = flag.Int("rounds", 50, "permutation test rounds")
 		out     = flag.String("out", "BENCH.json", "output file (- for stdout)")
+		prev    = flag.String("prev", "", "previous artifact to gate against (skipped when absent)")
+		maxReg  = flag.Float64("max-regress", 0.30, "fail when a headline metric regresses more than this fraction vs -prev")
+		minScan = flag.Float64("min-scan-reduction", 5.0, "fail when the shared scan does not cut dataset scans by this factor vs the per-pair baseline")
+		minBsp  = flag.Float64("min-batch-speedup", 1.0, "fail when the shared-scan build is not this many times faster than the per-pair rebuild baseline (wall clock; scale with core count)")
 	)
 	flag.Parse()
-	if err := run(*records, *seed, *rounds, *out); err != nil {
+	if err := run(*records, *seed, *rounds, *out, *prev, *maxReg, *minScan, *minBsp); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -56,6 +64,98 @@ type benchDoc struct {
 	Engine  engineBench           `json:"engine"`
 	Snap    snapshotBench         `json:"snapshot"`
 	Ingest  ingestBench           `json:"ingest"`
+	Batch   batchBench            `json:"batch"`
+	Calib   calibBench            `json:"calibration"`
+	// Notes records run conditions the numbers alone cannot show —
+	// which previous artifact the regression gate compared against, or
+	// why it was skipped.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// calibBench records machine-speed canaries measured in the same run
+// as the headline metrics: a fixed CPU work loop and a fixed
+// write+fsync loop. The regression gate divides wall-clock deltas by
+// the matching canary ratio before applying its threshold, so that
+// container load or disk contention between two artifacts (observed
+// drifting disk-bound metrics 40-70% with zero code change) does not
+// read as a code regression. Artifacts written before this field
+// existed decode it as zero, which downgrades their comparisons to
+// advisory warnings.
+type calibBench struct {
+	CPUMs  float64 `json:"cpu_ms"`
+	DiskMs float64 `json:"disk_ms"`
+}
+
+// calibSink defeats dead-code elimination of the CPU canary loop.
+var calibSink uint64
+
+// benchCalib runs the two canaries. The CPU loop is a fixed xorshift
+// mix (no allocation, no memory traffic beyond registers); the disk
+// loop is the WAL's own durability pattern — write a block, fsync —
+// against a throwaway temp file.
+func benchCalib() (calibBench, error) {
+	var cb calibBench
+
+	start := time.Now()
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 1<<25; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	calibSink = x
+	cb.CPUMs = msSince(start)
+
+	f, err := os.CreateTemp("", "opmapbench-calib-*")
+	if err != nil {
+		return cb, fmt.Errorf("disk calibration: %w", err)
+	}
+	defer os.Remove(f.Name())
+	defer func() { _ = f.Close() }() // canary file, nothing durable to lose
+	block := make([]byte, 64<<10)
+	start = time.Now()
+	for i := 0; i < 16; i++ {
+		if _, err := f.Write(block); err != nil {
+			return cb, fmt.Errorf("disk calibration: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return cb, fmt.Errorf("disk calibration: %w", err)
+		}
+	}
+	cb.DiskMs = msSince(start)
+	return cb, nil
+}
+
+// batchBench contrasts the shared-scan batch comparison engine with
+// its sequential alternatives over identical data, each from a cold
+// lazy engine. PerPair* is the pre-batch cost model (one independent
+// counted build — one dataset scan — per cube in the sweep's working
+// set); Seq* is the sequential sweep loop, which still reuses cubes
+// through the engine cache; Batch* is the shared-scan path, which must
+// cover the whole working set in exactly one dataset scan.
+type batchBench struct {
+	Cubes          int64   `json:"cubes"`
+	BatchBuildMs   float64 `json:"batch_build_ms"`
+	PerPairBuildMs float64 `json:"per_pair_build_ms"`
+	PerPairScans   int64   `json:"per_pair_scans"`
+	BatchSweepMs   float64 `json:"batch_sweep_ms"`
+	BatchScans     int64   `json:"batch_scans"`
+	SeqSweepMs     float64 `json:"seq_sweep_ms"`
+	SeqScans       int64   `json:"seq_scans"`
+	AllValuesMs    float64 `json:"all_values_ms"`
+	AllValuesScans int64   `json:"all_values_scans"`
+	// ScanReduction is per_pair_scans / batch_scans: how many dataset
+	// passes the shared scan saves for the working set. It is the
+	// machine-independent criterion; the wall-clock ratios below depend
+	// on core count, because the per-row tally work is per-cube in both
+	// paths and only the pass itself is shared (and sharded).
+	ScanReduction float64 `json:"scan_reduction"`
+	// SpeedupVsPerPair is per_pair_build_ms / batch_build_ms: the
+	// wall-clock ratio of N independent builds to the one shared scan.
+	// SpeedupVsSeq is the end-to-end sweep ratio, where the sequential
+	// loop already amortizes builds through the engine cache.
+	SpeedupVsPerPair float64 `json:"speedup_vs_per_pair"`
+	SpeedupVsSeq     float64 `json:"speedup_vs_seq"`
 }
 
 // ingestBench measures the streaming append path: sustained durable
@@ -109,7 +209,7 @@ type stageStats struct {
 	TotalMsec float64 `json:"total_ms"`
 }
 
-func run(records int, seed int64, rounds int, out string) error {
+func run(records int, seed int64, rounds int, out, prev string, maxRegress, minScanReduction, minBatchSpeedup float64) error {
 	obsv.ArmHot(true)
 	ctx := context.Background()
 
@@ -148,6 +248,14 @@ func run(records int, seed int64, rounds int, out string) error {
 	if err != nil {
 		return err
 	}
+	batch, err := benchBatch(ctx, records, seed)
+	if err != nil {
+		return err
+	}
+	calib, err := benchCalib()
+	if err != nil {
+		return err
+	}
 
 	doc := benchDoc{
 		Records: records,
@@ -158,6 +266,8 @@ func run(records int, seed int64, rounds int, out string) error {
 		Engine:  engine,
 		Snap:    snap,
 		Ingest:  ingest,
+		Batch:   batch,
+		Calib:   calib,
 	}
 	reg := obsv.Default()
 	for _, stage := range obsv.PipelineStages {
@@ -166,14 +276,20 @@ func run(records int, seed int64, rounds int, out string) error {
 	doc.Hot[obsv.CubeBuildHistogramName] = toStats(reg.Histogram(obsv.CubeBuildHistogramName, nil))
 	doc.Hot[obsv.CompareAttrHistogramName] = toStats(reg.Histogram(obsv.CompareAttrHistogramName, nil))
 
+	// Gate before writing fails the run but after assembling the doc, so
+	// a failing run still leaves the numbers on disk to inspect.
+	gateErr := checkGates(&doc, prev, maxRegress, minScanReduction, minBatchSpeedup)
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	enc = append(enc, '\n')
 	if out == "-" {
-		_, err = os.Stdout.Write(enc)
-		return err
+		if _, err = os.Stdout.Write(enc); err != nil {
+			return err
+		}
+		return gateErr
 	}
 	if err := atomicfile.WriteFile(out, func(w io.Writer) error {
 		_, werr := w.Write(enc)
@@ -182,7 +298,250 @@ func run(records int, seed int64, rounds int, out string) error {
 		return fmt.Errorf("opmapbench: writing report %s: %w", out, err)
 	}
 	fmt.Printf("wrote %s (%d stages)\n", out, len(doc.Stages))
+	return gateErr
+}
+
+// benchBatch measures the shared-scan batch comparison engine: the
+// full sweep working set (the split attribute's marginal plus one pair
+// cube per candidate) built three ways, then the all-values
+// one-vs-rest fan-out, with the dataset-scan counter recording how
+// many full passes each path paid.
+func benchBatch(ctx context.Context, records int, seed int64) (batchBench, error) {
+	var bb batchBench
+	ds, gt, err := workload.CallLog(workload.CallLogConfig{Seed: seed, Records: records, NumPhones: 8, NoiseAttrs: 35})
+	if err != nil {
+		return bb, err
+	}
+	attr := ds.AttrIndex(gt.PhoneAttr)
+	cls, ok := ds.ClassDict().Lookup(gt.DropClass)
+	if !ok {
+		return bb, fmt.Errorf("opmapbench: class %q missing from the generated log", gt.DropClass)
+	}
+	scans := obsv.Default().Counter(rulecube.CubeScansCounterName)
+
+	// The sweep's declared working set, as prefetched by the batch path.
+	reqs := []rulecube.CubeReq{{A: attr, B: -1}}
+	for ai := 0; ai < ds.NumAttrs(); ai++ {
+		if ai == attr || ai == ds.ClassIndex() {
+			continue
+		}
+		reqs = append(reqs, rulecube.CubeReq{A: attr, B: ai})
+	}
+	bb.Cubes = int64(len(reqs))
+
+	// Per-pair rebuild baseline: N independent counted builds, one full
+	// dataset scan each — the cost model the batch engine replaces.
+	s0 := scans.Value()
+	start := time.Now()
+	for _, rq := range reqs {
+		attrs := []int{rq.A}
+		if rq.B >= 0 {
+			attrs = []int{rq.A, rq.B}
+		}
+		if _, err := rulecube.BuildCube(ds, attrs); err != nil {
+			return bb, err
+		}
+	}
+	bb.PerPairBuildMs = msSince(start)
+	bb.PerPairScans = scans.Value() - s0
+
+	// The same working set from one shared scan.
+	start = time.Now()
+	if _, err := rulecube.BuildMany(ctx, ds, reqs); err != nil {
+		return bb, err
+	}
+	bb.BatchBuildMs = msSince(start)
+
+	// Sequential sweep on a cold lazy engine: one build per cube, but
+	// cubes are cached and reused across the value pairs.
+	seqEng, err := engine.NewLazy(ds, engine.LazyOptions{})
+	if err != nil {
+		return bb, err
+	}
+	s0 = scans.Value()
+	start = time.Now()
+	if _, err := compare.NewSource(seqEng).SweepContext(ctx, attr, cls, compare.SweepOptions{DisableBatch: true}); err != nil {
+		return bb, err
+	}
+	bb.SeqSweepMs = msSince(start)
+	bb.SeqScans = scans.Value() - s0
+
+	// Batched sweep on an identical cold engine: the whole working set
+	// from one shared scan.
+	batchEng, err := engine.NewLazy(ds, engine.LazyOptions{})
+	if err != nil {
+		return bb, err
+	}
+	s0 = scans.Value()
+	start = time.Now()
+	if _, err := compare.NewSource(batchEng).SweepContext(ctx, attr, cls, compare.SweepOptions{}); err != nil {
+		return bb, err
+	}
+	bb.BatchSweepMs = msSince(start)
+	bb.BatchScans = scans.Value() - s0
+
+	// The all-values one-vs-rest fan-out, also cold and batched.
+	allEng, err := engine.NewLazy(ds, engine.LazyOptions{})
+	if err != nil {
+		return bb, err
+	}
+	s0 = scans.Value()
+	start = time.Now()
+	if _, err := compare.NewSource(allEng).OneVsRestAllContext(ctx, attr, cls, compare.OneVsRestAllOptions{}); err != nil {
+		return bb, err
+	}
+	bb.AllValuesMs = msSince(start)
+	bb.AllValuesScans = scans.Value() - s0
+
+	if bb.BatchScans > 0 {
+		bb.ScanReduction = float64(bb.PerPairScans) / float64(bb.BatchScans)
+	}
+	if bb.BatchBuildMs > 0 {
+		bb.SpeedupVsPerPair = bb.PerPairBuildMs / bb.BatchBuildMs
+	}
+	if bb.BatchSweepMs > 0 {
+		bb.SpeedupVsSeq = bb.SeqSweepMs / bb.BatchSweepMs
+	}
+	return bb, nil
+}
+
+// Calibration classes for headline metrics: which canary tracks the
+// resource a metric's wall clock is dominated by.
+const (
+	calibCPU  = "cpu"
+	calibDisk = "disk"
+)
+
+// maxCalibScale caps how far the canary ratio may loosen the
+// regression threshold: beyond a 3x machine slowdown the gate still
+// fires, so a real regression cannot hide behind arbitrary load.
+const maxCalibScale = 3.0
+
+// headlineMetrics are the artifact numbers the regression gate tracks
+// across PRs. Small absolute values (sub-millisecond warm paths) are
+// deliberately excluded: at that scale a 30% swing is scheduler noise,
+// not a regression.
+var headlineMetrics = []struct {
+	name   string
+	get    func(*benchDoc) float64
+	higher bool   // true when larger is better (throughput)
+	class  string // calibCPU or calibDisk: which canary normalizes it
+}{
+	{"engine.eager_build_ms", func(d *benchDoc) float64 { return d.Engine.EagerBuildMs }, false, calibCPU},
+	{"engine.lazy_cold_compare_ms", func(d *benchDoc) float64 { return d.Engine.LazyColdCompareMs }, false, calibCPU},
+	{"snapshot.cold_build_ms", func(d *benchDoc) float64 { return d.Snap.ColdBuildMs }, false, calibCPU},
+	{"snapshot.save_ms", func(d *benchDoc) float64 { return d.Snap.SaveMs }, false, calibDisk},
+	{"snapshot.load_ms", func(d *benchDoc) float64 { return d.Snap.LoadMs }, false, calibDisk},
+	{"ingest.rows_per_sec", func(d *benchDoc) float64 { return d.Ingest.RowsPerSec }, true, calibDisk},
+	{"ingest.replay_ms_per_1m_records", func(d *benchDoc) float64 { return d.Ingest.ReplayMsPer1M }, false, calibDisk},
+}
+
+// calibScale returns the threshold multiplier for a metric class: how
+// much slower this machine measured than the one that recorded the
+// previous artifact, clamped to [1, maxCalibScale]. The floor means a
+// faster machine never loosens the gate; ok is false when either
+// artifact lacks the canary, downgrading that comparison to advisory.
+func calibScale(now, prev *calibBench, class string) (scale float64, ok bool) {
+	var n, p float64
+	switch class {
+	case calibCPU:
+		n, p = now.CPUMs, prev.CPUMs
+	case calibDisk:
+		n, p = now.DiskMs, prev.DiskMs
+	}
+	if n <= 0 || p <= 0 {
+		return 1, false
+	}
+	s := n / p
+	if s < 1 {
+		s = 1
+	}
+	if s > maxCalibScale {
+		s = maxCalibScale
+	}
+	return s, true
+}
+
+// checkGates applies the bench gates, recording what was checked (or
+// why a check was skipped) in the artifact's notes:
+//   - the batch acceptance gate: a full batched sweep must take exactly
+//     one dataset scan, cut dataset scans by minScanReduction vs the
+//     per-pair baseline recorded in the same run, and not fall below
+//     the minBatchSpeedup wall-clock floor;
+//   - the regression gate: no headline metric may regress more than
+//     maxRegress vs the previous artifact, after normalizing by the
+//     calibration canary ratio so machine drift between the two runs
+//     is not read as a code regression. A missing previous artifact
+//     skips the comparison rather than failing a fresh checkout; a
+//     previous artifact that predates the canaries downgrades its
+//     over-threshold deltas to advisory WARN notes, because wall
+//     clocks from unknown machine states cannot be compared honestly
+//     (observed: disk-bound baselines drifted 40-70% under container
+//     load with zero code change).
+func checkGates(doc *benchDoc, prev string, maxRegress, minScanReduction, minBatchSpeedup float64) error {
+	var failures []string
+	if doc.Batch.BatchScans != 1 {
+		failures = append(failures, fmt.Sprintf("batched sweep performed %d dataset scans, want exactly 1", doc.Batch.BatchScans))
+	}
+	if doc.Batch.ScanReduction < minScanReduction {
+		failures = append(failures, fmt.Sprintf("shared scan cut dataset scans by %.1fx vs the per-pair baseline, below the %.1fx gate",
+			doc.Batch.ScanReduction, minScanReduction))
+	}
+	if doc.Batch.SpeedupVsPerPair < minBatchSpeedup {
+		failures = append(failures, fmt.Sprintf("shared-scan build is %.2fx the per-pair rebuild baseline, below the %.1fx wall-clock floor",
+			doc.Batch.SpeedupVsPerPair, minBatchSpeedup))
+	}
+
+	if prev == "" {
+		doc.Notes = append(doc.Notes, "regression gate: no previous artifact configured (-prev)")
+	} else if prevDoc, err := readPrevDoc(prev); err != nil {
+		doc.Notes = append(doc.Notes, fmt.Sprintf("regression gate skipped: %v", err))
+		log.Printf("regression gate skipped: %v", err)
+	} else {
+		doc.Notes = append(doc.Notes, fmt.Sprintf("regression gate: compared against %s at max regression %.0f%%", prev, maxRegress*100))
+		for _, m := range headlineMetrics {
+			was, now := m.get(prevDoc), m.get(doc)
+			if was <= 0 {
+				continue // metric absent from the older artifact
+			}
+			scale, armed := calibScale(&doc.Calib, &prevDoc.Calib, m.class)
+			worse := (m.higher && now < was*(1-maxRegress)/scale) ||
+				(!m.higher && now > was*(1+maxRegress)*scale)
+			if !worse {
+				continue
+			}
+			msg := fmt.Sprintf("%s moved %.2f -> %.2f (beyond %.0f%% at %s-calibration scale %.2f)",
+				m.name, was, now, maxRegress*100, m.class, scale)
+			if !armed {
+				// No canary in the older artifact: the delta may be the
+				// machine, not the code. Record it loudly, don't fail.
+				doc.Notes = append(doc.Notes, fmt.Sprintf(
+					"WARN: %s — advisory only, %s predates the calibration canaries", msg, prev))
+				log.Printf("regression gate warning: %s (advisory: %s has no %s canary)", msg, prev, m.class)
+				continue
+			}
+			failures = append(failures, msg)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
 	return nil
+}
+
+// readPrevDoc loads a previous artifact for the regression gate. New
+// fields absent from older artifacts decode as zero and are skipped by
+// the per-metric checks.
+func readPrevDoc(path string) (*benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("previous artifact %s: %w", path, err)
+	}
+	return &doc, nil
 }
 
 // benchEngine times eager vs lazy cold start and a warm-cache repeat

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// passingBatch satisfies the batch acceptance gates so regression-gate
+// tests can isolate the metric comparisons.
+func passingBatch() batchBench {
+	return batchBench{
+		BatchScans:       1,
+		ScanReduction:    40,
+		SpeedupVsPerPair: 2,
+	}
+}
+
+// writePrev marshals a previous artifact into a temp file and returns
+// its path.
+func writePrev(t *testing.T, doc benchDoc) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prev.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateBatchScans(t *testing.T) {
+	doc := benchDoc{Batch: passingBatch()}
+	doc.Batch.BatchScans = 3
+	err := checkGates(&doc, "", 0.30, 5.0, 1.0)
+	if err == nil || !strings.Contains(err.Error(), "3 dataset scans") {
+		t.Fatalf("want batch-scan gate failure, got %v", err)
+	}
+}
+
+func TestGateScanReduction(t *testing.T) {
+	doc := benchDoc{Batch: passingBatch()}
+	doc.Batch.ScanReduction = 2
+	err := checkGates(&doc, "", 0.30, 5.0, 1.0)
+	if err == nil || !strings.Contains(err.Error(), "below the 5.0x gate") {
+		t.Fatalf("want scan-reduction gate failure, got %v", err)
+	}
+}
+
+func TestGateBatchSpeedupFloor(t *testing.T) {
+	doc := benchDoc{Batch: passingBatch()}
+	doc.Batch.SpeedupVsPerPair = 0.5
+	err := checkGates(&doc, "", 0.30, 5.0, 1.0)
+	if err == nil || !strings.Contains(err.Error(), "wall-clock floor") {
+		t.Fatalf("want speedup-floor gate failure, got %v", err)
+	}
+}
+
+func TestGateNoPrevPasses(t *testing.T) {
+	doc := benchDoc{Batch: passingBatch()}
+	if err := checkGates(&doc, "", 0.30, 5.0, 1.0); err != nil {
+		t.Fatalf("gates with no previous artifact: %v", err)
+	}
+	if len(doc.Notes) == 0 || !strings.Contains(doc.Notes[0], "no previous artifact") {
+		t.Fatalf("want a no-previous-artifact note, got %q", doc.Notes)
+	}
+}
+
+func TestGateRegressionArmedFails(t *testing.T) {
+	calib := calibBench{CPUMs: 100, DiskMs: 50}
+	prev := benchDoc{Calib: calib}
+	prev.Engine.EagerBuildMs = 50
+	doc := benchDoc{Batch: passingBatch(), Calib: calib}
+	doc.Engine.EagerBuildMs = 100 // 2x slower, same machine speed
+
+	err := checkGates(&doc, writePrev(t, prev), 0.30, 5.0, 1.0)
+	if err == nil || !strings.Contains(err.Error(), "engine.eager_build_ms") {
+		t.Fatalf("want eager_build_ms regression failure, got %v", err)
+	}
+}
+
+func TestGateRegressionNormalizedByCalibration(t *testing.T) {
+	prev := benchDoc{Calib: calibBench{CPUMs: 100, DiskMs: 50}}
+	prev.Engine.EagerBuildMs = 50
+	doc := benchDoc{Batch: passingBatch(), Calib: calibBench{CPUMs: 200, DiskMs: 50}}
+	doc.Engine.EagerBuildMs = 100 // 2x slower wall clock, but CPU canary is 2x slower too
+
+	if err := checkGates(&doc, writePrev(t, prev), 0.30, 5.0, 1.0); err != nil {
+		t.Fatalf("calibration-normalized comparison should pass: %v", err)
+	}
+}
+
+func TestGateCalibrationScaleCapped(t *testing.T) {
+	// A 10x canary slowdown is clamped to maxCalibScale, so a 10x
+	// metric regression still fires.
+	prev := benchDoc{Calib: calibBench{CPUMs: 10, DiskMs: 50}}
+	prev.Engine.EagerBuildMs = 50
+	doc := benchDoc{Batch: passingBatch(), Calib: calibBench{CPUMs: 100, DiskMs: 50}}
+	doc.Engine.EagerBuildMs = 500
+
+	err := checkGates(&doc, writePrev(t, prev), 0.30, 5.0, 1.0)
+	if err == nil || !strings.Contains(err.Error(), "engine.eager_build_ms") {
+		t.Fatalf("want capped-scale regression failure, got %v", err)
+	}
+}
+
+func TestGateHigherBetterMetric(t *testing.T) {
+	calib := calibBench{CPUMs: 100, DiskMs: 50}
+	prev := benchDoc{Calib: calib}
+	prev.Ingest.RowsPerSec = 100000
+	doc := benchDoc{Batch: passingBatch(), Calib: calib}
+	doc.Ingest.RowsPerSec = 40000
+
+	err := checkGates(&doc, writePrev(t, prev), 0.30, 5.0, 1.0)
+	if err == nil || !strings.Contains(err.Error(), "ingest.rows_per_sec") {
+		t.Fatalf("want rows_per_sec regression failure, got %v", err)
+	}
+}
+
+func TestGateAdvisoryWithoutPrevCalibration(t *testing.T) {
+	// An artifact written before the canaries existed decodes a zero
+	// Calib: its over-threshold deltas warn in Notes instead of
+	// failing, because machine drift cannot be separated from code.
+	prev := benchDoc{}
+	prev.Ingest.ReplayMsPer1M = 4000
+	doc := benchDoc{Batch: passingBatch(), Calib: calibBench{CPUMs: 100, DiskMs: 50}}
+	doc.Ingest.ReplayMsPer1M = 7000
+
+	if err := checkGates(&doc, writePrev(t, prev), 0.30, 5.0, 1.0); err != nil {
+		t.Fatalf("uncalibrated previous artifact must be advisory: %v", err)
+	}
+	var warned bool
+	for _, n := range doc.Notes {
+		if strings.Contains(n, "WARN") && strings.Contains(n, "replay_ms_per_1m_records") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("want an advisory WARN note, got %q", doc.Notes)
+	}
+}
+
+func TestCalibScaleClamps(t *testing.T) {
+	now := calibBench{CPUMs: 100, DiskMs: 300}
+	prev := calibBench{CPUMs: 200, DiskMs: 50}
+	if s, ok := calibScale(&now, &prev, calibCPU); !ok || s != 1 {
+		t.Fatalf("faster machine must clamp to 1, got %v ok=%v", s, ok)
+	}
+	if s, ok := calibScale(&now, &prev, calibDisk); !ok || s != maxCalibScale {
+		t.Fatalf("6x slower disk must clamp to %v, got %v ok=%v", maxCalibScale, s, ok)
+	}
+	if _, ok := calibScale(&now, &calibBench{}, calibCPU); ok {
+		t.Fatal("missing previous canary must report ok=false")
+	}
+}
+
+func TestBenchCalibProducesPositiveCanaries(t *testing.T) {
+	cb, err := benchCalib()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.CPUMs <= 0 || cb.DiskMs <= 0 {
+		t.Fatalf("canaries must be positive, got cpu=%v disk=%v", cb.CPUMs, cb.DiskMs)
+	}
+}

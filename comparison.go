@@ -11,6 +11,16 @@ import (
 	"opmap/internal/visual"
 )
 
+// ErrRankSelf matches (via errors.Is) rejections of an explicit Attrs
+// list that names the comparison attribute itself: an attribute cannot
+// be ranked against its own split.
+var ErrRankSelf = compare.ErrRankSelf
+
+// ErrRankClass matches (via errors.Is) rejections of an explicit Attrs
+// list that names the class attribute: the class defines the outcome
+// being explained and cannot appear among the ranked candidates.
+var ErrRankClass = compare.ErrRankClass
+
 // CompareOptions tunes the automated comparison. The zero value
 // reproduces the paper: 0.95 confidence level with Wald intervals and a
 // 0.90 property-attribute threshold.

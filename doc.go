@@ -18,6 +18,12 @@
 //	// phones on the drop rate; cmp.PropertyAttributes() holds the
 //	// attributes set aside per Section IV.C of the paper.
 //
+// Fan-out comparisons — Sweep over every significant value pair, or
+// CompareOneVsRestAll over every value of the attribute — declare
+// their complete cube working set to the engine up front, which
+// materializes all missing cubes in one shared dataset scan instead
+// of one scan per pair.
+//
 // All functionality is deterministic given fixed seeds and uses only the
 // Go standard library.
 package opmap

@@ -139,6 +139,109 @@ func (s *Session) CompareOneVsRestContext(ctx context.Context, attr, value, clas
 	}, nil
 }
 
+// OneVsRestAllResult aggregates CompareOneVsRestAll: one comparison per
+// value of the attribute whose one-vs-rest split is defined on the
+// data, plus the values that had to be skipped.
+type OneVsRestAllResult struct {
+	// Attr is the split attribute.
+	Attr string
+	// Comparisons holds one entry per compared value, in ascending
+	// value order; each is the same shape CompareOneVsRest returns.
+	Comparisons []*Comparison
+	// Skipped annotates the values whose comparison is undefined on
+	// this data (degenerate split, absent class, …) — or, on a partial
+	// run, not attempted before the context expired.
+	Skipped []ItemError
+	// Partial is set when the context expired mid-run and
+	// PartialOnDeadline allowed degradation.
+	Partial bool
+}
+
+// CompareOneVsRestAll runs CompareOneVsRest for every value of attr in
+// one call. Its complete cube working set is declared to the engine up
+// front, so a lazy session answers the whole fan-out from a single
+// shared dataset scan instead of one scan per cube; values whose
+// comparison is undefined on the data are skipped, not fatal.
+func (s *Session) CompareOneVsRestAll(attr, class string, opts CompareOptions) (*OneVsRestAllResult, error) {
+	return s.CompareOneVsRestAllContext(context.Background(), attr, class, opts)
+}
+
+// CompareOneVsRestAllContext is CompareOneVsRestAll under a context.
+// With opts.PartialOnDeadline set, a context that expires mid-run
+// yields the values compared so far with Partial set and the rest
+// annotated in Skipped; otherwise the call fails with the first error.
+// Completed runs are memoized in the result cache, keyed like the
+// other comparisons and invalidated by appends that touch a ranked
+// attribute.
+func (s *Session) CompareOneVsRestAllContext(ctx context.Context, attr, class string, opts CompareOptions) (*OneVsRestAllResult, error) {
+	defer obsv.Stage(obsv.StageCompareOneVsRestAll)()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	src, err := s.requireSource()
+	if err != nil {
+		return nil, err
+	}
+	a := s.ds.AttrIndex(attr)
+	if a < 0 {
+		return nil, fmt.Errorf("opmap: unknown attribute %q", attr)
+	}
+	cls, ok := s.ds.ClassDict().Lookup(class)
+	if !ok {
+		return nil, fmt.Errorf("opmap: unknown class %q", class)
+	}
+	copts, err := s.compareOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	ver := s.results.Version()
+	key := oneVsRestAllKey(a, cls, copts)
+	if v, ok := s.results.Get(ver, key); ok {
+		return s.wrapOneVsRestAll(attr, class, v.(*compare.OneVsRestAllResult)), nil
+	}
+	res, err := compare.NewSource(src).OneVsRestAllContext(ctx, a, cls, compare.OneVsRestAllOptions{Compare: copts})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Partial {
+		// Deps mirror compareDeps: an unrestricted run ranks every
+		// attribute (nil deps = depends on all); a restricted one
+		// depends on the split attribute plus the explicit candidates.
+		s.results.PutDeps(ver, key, res, compareDeps(compare.Input{Attr: a}, copts))
+	}
+	return s.wrapOneVsRestAll(attr, class, res), nil
+}
+
+// wrapOneVsRestAll converts the internal all-values result to the
+// public shape, orienting each per-value comparison's labels the same
+// way CompareOneVsRest does.
+func (s *Session) wrapOneVsRestAll(attr, class string, res *compare.OneVsRestAllResult) *OneVsRestAllResult {
+	out := &OneVsRestAllResult{
+		Attr:    attr,
+		Skipped: toItemErrors(res.Skipped),
+		Partial: res.Partial,
+	}
+	for i, r := range res.Results {
+		value := res.Labels[i]
+		l1, l2 := value, "rest"
+		if r.Swapped { // the named value is the higher-confidence side
+			l1, l2 = "rest", value
+		}
+		out.Comparisons = append(out.Comparisons, &Comparison{
+			Attr:     attr,
+			Label1:   l1,
+			Label2:   l2,
+			Cf1:      r.Cf1,
+			Cf2:      r.Cf2,
+			Ratio:    r.Ratio,
+			Class:    class,
+			Partial:  r.Partial,
+			Unscored: toItemErrors(r.Unscored),
+			res:      r,
+		})
+	}
+	return out
+}
+
 // CompareWhere runs the comparison restricted to records matching every
 // condition in where (attribute name → value label): the drill-down
 // step after a first comparison isolates the context of the problem
@@ -338,6 +441,9 @@ func toSweepResult(res *compare.SweepResult) *SweepResult {
 // the screen-then-compare loop. A completed (non-partial) sweep is
 // memoized; the partial flag is not part of the cache identity because
 // it only changes degradation behaviour, never a completed result.
+// The entry is stored with nil deps (depends-on-all): a sweep ranks
+// every attribute, so an append touching any non-class attribute must
+// invalidate it — which BumpAttrs does for nil-deps entries.
 func (s *Session) sweepInternal(ctx context.Context, attr, class string, maxPairs int, partial bool) (*compare.SweepResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -1,0 +1,252 @@
+package compare
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"opmap/internal/engine"
+	"opmap/internal/obsv"
+	"opmap/internal/rulecube"
+)
+
+// batchSources builds the planted call log with an eager and a cold
+// lazy comparator over it, for batch ≡ sequential oracle checks.
+func batchSources(t testing.TB, records, noise int) (*Comparator, *Comparator, int, int32) {
+	t.Helper()
+	store, gt, ds := buildCaseStudy(t, records, noise)
+	lazy, err := engine.NewLazy(ds, engine.LazyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := ds.AttrIndex(gt.PhoneAttr)
+	cls, ok := ds.ClassDict().Lookup(gt.DropClass)
+	if !ok {
+		t.Fatal("ground truth class missing")
+	}
+	return New(store), NewSource(lazy), attr, cls
+}
+
+// TestSweepBatchOracle is the tentpole oracle: a batched sweep must be
+// byte-for-byte identical to the per-pair sequential loop, on the eager
+// store and on a cold lazy engine.
+func TestSweepBatchOracle(t *testing.T) {
+	eager, lazy, attr, cls := batchSources(t, 30000, 3)
+	ref, err := eager.Sweep(attr, cls, SweepOptions{DisableBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.PairsCompared == 0 {
+		t.Fatal("reference sweep compared nothing")
+	}
+	for name, c := range map[string]*Comparator{"eager": eager, "lazy": lazy} {
+		got, err := c.Sweep(attr, cls, SweepOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("%s: batched sweep differs from sequential reference", name)
+		}
+	}
+}
+
+// TestOneVsRestAllBatchOracle checks the all-values one-vs-rest the
+// same way, on both sources and with a restricted candidate list.
+func TestOneVsRestAllBatchOracle(t *testing.T) {
+	eager, lazy, attr, cls := batchSources(t, 30000, 3)
+	for _, opts := range []Options{{}, {Attrs: []int{1, 2}}} {
+		ref, err := eager.OneVsRestAll(attr, cls, OneVsRestAllOptions{Compare: opts, DisableBatch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref.Results) == 0 {
+			t.Fatal("reference one-vs-rest-all ranked nothing")
+		}
+		for name, c := range map[string]*Comparator{"eager": eager, "lazy": lazy} {
+			got, err := c.OneVsRestAll(attr, cls, OneVsRestAllOptions{Compare: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("%s (opts %+v): batched one-vs-rest-all differs from sequential reference", name, opts)
+			}
+		}
+	}
+}
+
+// TestSweepSingleScan asserts the acceptance criterion directly: a full
+// batched sweep over a cold lazy engine performs exactly one dataset
+// scan, where the sequential loop performs one per cube.
+func TestSweepSingleScan(t *testing.T) {
+	_, lazy, attr, cls := batchSources(t, 20000, 3)
+	scans := obsv.Default().Counter(rulecube.CubeScansCounterName)
+	s0 := scans.Value()
+	if _, err := lazy.Sweep(attr, cls, SweepOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := scans.Value() - s0; d != 1 {
+		t.Errorf("batched sweep performed %d scans, want exactly 1", d)
+	}
+
+	// The sequential loop on a second cold engine pays one scan per cube.
+	_, gt, ds := buildCaseStudy(t, 20000, 3)
+	cold, err := engine.NewLazy(ds, engine.LazyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ds.AttrIndex(gt.PhoneAttr)
+	s1 := scans.Value()
+	if _, err := NewSource(cold).Sweep(a, cls, SweepOptions{DisableBatch: true}); err != nil {
+		t.Fatal(err)
+	}
+	if d := scans.Value() - s1; d <= 1 {
+		t.Errorf("sequential sweep performed %d scans, expected one per cube", d)
+	}
+}
+
+// TestOneVsRestAllSkipsUndefined plants an undefined comparison (every
+// side below MinRuleSupport) and checks values are skipped, not fatal.
+func TestOneVsRestAllSkipsUndefined(t *testing.T) {
+	eager, _, attr, cls := batchSources(t, 5000, 1)
+	res, err := eager.OneVsRestAll(attr, cls, OneVsRestAllOptions{
+		Compare: Options{MinRuleSupport: 1 << 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 0 {
+		t.Errorf("ranked %d values despite impossible MinRuleSupport", len(res.Results))
+	}
+	if len(res.Skipped) == 0 {
+		t.Error("no values annotated as skipped")
+	}
+	for _, e := range res.Skipped {
+		if e.Err == "" || e.Item == "" {
+			t.Errorf("skipped annotation incomplete: %+v", e)
+		}
+	}
+}
+
+// TestRankSelfVsClassDistinct is the satellite bugfix check: an
+// explicit candidate list naming the split attribute and one naming the
+// class must fail with two distinguishable errors, on every entry
+// point.
+func TestRankSelfVsClassDistinct(t *testing.T) {
+	eager, _, attr, cls := batchSources(t, 5000, 1)
+	ds := eager.ds
+	classIdx := ds.ClassIndex()
+	check := func(name string, run func(opts Options) error) {
+		if err := run(Options{Attrs: []int{attr}}); !errors.Is(err, ErrRankSelf) {
+			t.Errorf("%s with split attr in Attrs: got %v, want ErrRankSelf", name, err)
+		}
+		if err := run(Options{Attrs: []int{classIdx}}); !errors.Is(err, ErrRankClass) {
+			t.Errorf("%s with class in Attrs: got %v, want ErrRankClass", name, err)
+		}
+		if err := run(Options{Attrs: []int{classIdx}}); errors.Is(err, ErrRankSelf) {
+			t.Errorf("%s: class error must not match ErrRankSelf", name)
+		}
+	}
+	var v2 int32
+	if ds.Cardinality(attr) > 1 {
+		v2 = 1
+	}
+	check("Compare", func(opts Options) error {
+		_, err := eager.Compare(Input{Attr: attr, V1: 0, V2: v2, Class: cls}, opts)
+		return err
+	})
+	check("OneVsRest", func(opts Options) error {
+		_, err := eager.OneVsRest(OneVsRestInput{Attr: attr, Value: 0, Class: cls}, opts)
+		return err
+	})
+	check("OneVsRestAll", func(opts Options) error {
+		_, err := eager.OneVsRestAll(attr, cls, OneVsRestAllOptions{Compare: opts})
+		return err
+	})
+}
+
+// TestSweepOptionValidation is the satellite bugfix check for the
+// option sanitization: a negative TopK and a NaN MinScore used to be
+// accepted and silently empty the aggregation.
+func TestSweepOptionValidation(t *testing.T) {
+	eager, _, attr, cls := batchSources(t, 5000, 1)
+	if _, err := eager.Sweep(attr, cls, SweepOptions{TopK: -1}); err == nil {
+		t.Error("negative TopK accepted")
+	}
+	if _, err := eager.Sweep(attr, cls, SweepOptions{MinScore: math.NaN()}); err == nil {
+		t.Error("NaN MinScore accepted")
+	}
+	// A sanity check that valid extremes still work.
+	if _, err := eager.Sweep(attr, cls, SweepOptions{TopK: 1 << 20, MinScore: -1}); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+// TestOneVsRestAllValidation covers the request-level errors of the new
+// entry point.
+func TestOneVsRestAllValidation(t *testing.T) {
+	eager, _, attr, cls := batchSources(t, 5000, 1)
+	ds := eager.ds
+	if _, err := eager.OneVsRestAll(-1, cls, OneVsRestAllOptions{}); err == nil {
+		t.Error("negative attribute accepted")
+	}
+	if _, err := eager.OneVsRestAll(ds.ClassIndex(), cls, OneVsRestAllOptions{}); err == nil {
+		t.Error("class as split attribute accepted")
+	}
+	if _, err := eager.OneVsRestAll(attr, int32(ds.NumClasses()), OneVsRestAllOptions{}); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+	if _, err := eager.OneVsRestAll(attr, cls, OneVsRestAllOptions{Compare: Options{Attrs: []int{99}}}); err == nil {
+		t.Error("out-of-range candidate accepted")
+	}
+}
+
+// FuzzSweepOptions fuzzes the sweep option surface: invalid options
+// (negative TopK, NaN MinScore) must error, everything else must run
+// the sweep without panicking and return a well-formed aggregate.
+func FuzzSweepOptions(f *testing.F) {
+	store, gt, ds := buildCaseStudy(f, 4000, 1)
+	attr := ds.AttrIndex(gt.PhoneAttr)
+	cls, ok := ds.ClassDict().Lookup(gt.DropClass)
+	if !ok {
+		f.Fatal("ground truth class missing")
+	}
+	c := New(store)
+	f.Add(0, 0.0, false)
+	f.Add(-3, 0.0, true)
+	f.Add(2, math.Inf(1), false)
+	f.Add(1, -1.5, true)
+	f.Fuzz(func(t *testing.T, topK int, minScore float64, disableBatch bool) {
+		opts := SweepOptions{TopK: topK, MinScore: minScore, DisableBatch: disableBatch}
+		res, err := c.Sweep(attr, cls, opts)
+		if topK < 0 || math.IsNaN(minScore) {
+			if err == nil {
+				t.Fatalf("invalid options %+v accepted", opts)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid options %+v rejected: %v", opts, err)
+		}
+		if len(res.Comparisons) != res.PairsCompared || len(res.PairLabels) != res.PairsCompared {
+			t.Fatal("comparison bookkeeping inconsistent")
+		}
+		for _, a := range res.Attributes {
+			if a.Pairs <= 0 || a.Pairs > res.PairsCompared {
+				t.Fatalf("aggregate %q counts %d pairs of %d compared", a.Name, a.Pairs, res.PairsCompared)
+			}
+		}
+	})
+}
+
+// TestSweepBatchContext checks a canceled context fails a batched sweep
+// promptly on both strict and partial paths.
+func TestSweepBatchContext(t *testing.T) {
+	_, lazy, attr, cls := batchSources(t, 5000, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := lazy.SweepContext(ctx, attr, cls, SweepOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled batched sweep: got %v", err)
+	}
+}

@@ -21,6 +21,7 @@ package compare
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -100,6 +101,41 @@ func (o Options) propertyThreshold() float64 {
 		return 0.90
 	}
 	return o.PropertyThreshold
+}
+
+// ErrRankSelf reports an explicit Options.Attrs entry equal to the
+// comparison (split) attribute: an attribute cannot be ranked against
+// itself. Distinct from ErrRankClass so callers (and the HTTP layer)
+// can tell the two request mistakes apart.
+var ErrRankSelf = errors.New("cannot be ranked against the comparison attribute itself")
+
+// ErrRankClass reports an explicit Options.Attrs entry equal to the
+// class attribute: the class is the ranking target, never a candidate.
+var ErrRankClass = errors.New("the class attribute cannot be ranked")
+
+// resolveRankAttrs resolves the candidate ranking attributes of a
+// comparison split on splitAttr: nil means every attribute except the
+// split attribute and the class; an explicit list is copied and
+// validated, wrapping ErrRankSelf for a split-attribute entry and
+// ErrRankClass for a class entry. Shared by the pairwise, one-vs-rest
+// and batch-prefetch paths so all three reject bad lists identically.
+func resolveRankAttrs(ds *dataset.Dataset, splitAttr int, explicit []int) ([]int, error) {
+	if explicit == nil {
+		return defaultRankAttrs(ds, splitAttr), nil
+	}
+	attrs := append([]int(nil), explicit...)
+	for _, a := range attrs {
+		if a < 0 || a >= ds.NumAttrs() {
+			return nil, fmt.Errorf("compare: attribute index %d out of range", a)
+		}
+		switch a {
+		case splitAttr:
+			return nil, fmt.Errorf("compare: attribute %q %w", ds.Attr(a).Name, ErrRankSelf)
+		case ds.ClassIndex():
+			return nil, fmt.Errorf("compare: attribute %q: %w", ds.Attr(a).Name, ErrRankClass)
+		}
+	}
+	return attrs, nil
 }
 
 // Input identifies the two sub-populations and the class of interest.
@@ -469,23 +505,9 @@ func prepare(ds *dataset.Dataset, in Input, opts Options, total func() (int64, e
 		return nil, nil, fmt.Errorf("compare: rule %s has zero confidence; the expectation ratio cf2/cf1 is undefined", r1.Format(ds))
 	}
 
-	attrs := opts.Attrs
-	if attrs == nil {
-		for a := 0; a < ds.NumAttrs(); a++ {
-			if a != in.Attr && a != ds.ClassIndex() {
-				attrs = append(attrs, a)
-			}
-		}
-	} else {
-		attrs = append([]int(nil), attrs...)
-		for _, a := range attrs {
-			if a < 0 || a >= ds.NumAttrs() {
-				return nil, nil, fmt.Errorf("compare: attribute index %d out of range", a)
-			}
-			if a == in.Attr || a == ds.ClassIndex() {
-				return nil, nil, fmt.Errorf("compare: attribute %q cannot be ranked against itself", ds.Attr(a).Name)
-			}
-		}
+	attrs, err := resolveRankAttrs(ds, in.Attr, opts.Attrs)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	res := &Result{

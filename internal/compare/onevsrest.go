@@ -2,6 +2,7 @@ package compare
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"opmap/internal/car"
@@ -9,6 +10,28 @@ import (
 	"opmap/internal/faultinject"
 	"opmap/internal/rulecube"
 )
+
+// ErrValueUndefined classifies one-vs-rest failures that are properties
+// of the data rather than of the request: a degenerate split, a side
+// below MinRuleSupport, a class absent from both sides, or an undefined
+// confidence ratio. OneVsRestAll skips such values instead of failing
+// the whole run; callers can test with errors.Is.
+var ErrValueUndefined = errors.New("compare: value comparison undefined")
+
+// undefinedError carries a specific message while matching
+// ErrValueUndefined under errors.Is, so the long-standing error texts
+// stay stable for callers that match on them.
+type undefinedError struct{ msg string }
+
+func (e *undefinedError) Error() string { return e.msg }
+
+// Is makes errors.Is(err, ErrValueUndefined) true for every
+// undefinedError without changing its message.
+func (e *undefinedError) Is(target error) bool { return target == ErrValueUndefined }
+
+func undefinedf(format string, args ...any) error {
+	return &undefinedError{msg: fmt.Sprintf(format, args...)}
+}
 
 // One-vs-rest comparison. Section III.C of the paper notes the
 // comparison capability is not only for product pairs: "we may find
@@ -71,15 +94,15 @@ func (c *Comparator) OneVsRestContext(ctx context.Context, in OneVsRestInput, op
 	supRest := classTotals[in.Class] - supV
 
 	if condV == 0 || condRest == 0 {
-		return nil, fmt.Errorf("compare: degenerate split (|D_v|=%d, |D_rest|=%d)", condV, condRest)
+		return nil, undefinedf("compare: degenerate split (|D_v|=%d, |D_rest|=%d)", condV, condRest)
 	}
 	if opts.MinRuleSupport > 0 && (condV < opts.MinRuleSupport || condRest < opts.MinRuleSupport) {
-		return nil, fmt.Errorf("compare: sub-population below MinRuleSupport %d", opts.MinRuleSupport)
+		return nil, undefinedf("compare: sub-population below MinRuleSupport %d", opts.MinRuleSupport)
 	}
 	cfV := float64(supV) / float64(condV)
 	cfRest := float64(supRest) / float64(condRest)
 	if supV == 0 && supRest == 0 {
-		return nil, fmt.Errorf("compare: class %d absent from both sides", in.Class)
+		return nil, undefinedf("compare: class %d absent from both sides", in.Class)
 	}
 
 	// Orient: sub-population 1 is the lower-confidence side.
@@ -96,7 +119,7 @@ func (c *Comparator) OneVsRestContext(ctx context.Context, in OneVsRestInput, op
 	res.Cf1 = float64(lo.sup) / float64(lo.cond)
 	res.Cf2 = float64(hi.sup) / float64(hi.cond)
 	if lo.sup == 0 {
-		return nil, fmt.Errorf("compare: lower-confidence side has zero confidence; ratio undefined")
+		return nil, undefinedf("compare: lower-confidence side has zero confidence; ratio undefined")
 	}
 	res.Ratio = res.Cf2 / res.Cf1
 	// car.Rule cannot express the negated "rest" condition; both sides
@@ -115,14 +138,11 @@ func (c *Comparator) OneVsRestContext(ctx context.Context, in OneVsRestInput, op
 	res.Rule2 = mk(hi)
 
 	comp := &computation{result: res}
-	attrs := opts.Attrs
-	if attrs == nil {
-		attrs = defaultRankAttrs(ds, in.Attr)
+	attrs, err := resolveRankAttrs(ds, in.Attr, opts.Attrs)
+	if err != nil {
+		return nil, err
 	}
 	for i, ai := range attrs {
-		if ai == in.Attr || ai == ds.ClassIndex() {
-			return nil, fmt.Errorf("compare: attribute %d cannot be ranked against itself", ai)
-		}
 		if err := ctxOrFault(ctx, faultinject.SiteCompareAttr); err != nil {
 			if !opts.PartialOnDeadline || ctx.Err() == nil {
 				return nil, err

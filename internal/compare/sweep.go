@@ -3,6 +3,7 @@ package compare
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"opmap/internal/faultinject"
@@ -34,6 +35,27 @@ type SweepOptions struct {
 	// the context expires mid-sweep, annotating the skipped pairs in
 	// SweepResult.Errors, instead of failing the whole sweep.
 	Partial bool
+	// DisableBatch turns off the up-front shared-scan cube prefetch
+	// (engine.CubeSource.Cubes) so every cube is faulted in one by one,
+	// as before the batch engine existed. Results are identical either
+	// way; the flag exists for benchmarking the shared-scan win and for
+	// oracle tests, and is not part of result-cache identity.
+	DisableBatch bool
+}
+
+// validate rejects option values the aggregation loop would otherwise
+// misread silently: a negative TopK used to flow through topK() and
+// terminate every per-pair aggregation immediately (an empty sweep with
+// no error), and a NaN MinScore disables the score floor entirely
+// because every comparison against NaN is false.
+func (o SweepOptions) validate() error {
+	if o.TopK < 0 {
+		return fmt.Errorf("compare: negative TopK %d", o.TopK)
+	}
+	if math.IsNaN(o.MinScore) {
+		return fmt.Errorf("compare: MinScore must not be NaN")
+	}
+	return nil
 }
 
 func (o SweepOptions) topK() int {
@@ -90,6 +112,19 @@ func (c *Comparator) Sweep(attr int, class int32, opts SweepOptions) (*SweepResu
 // and the remaining pairs annotated in Errors; otherwise the first
 // context or comparison error fails the sweep.
 func (c *Comparator) SweepContext(ctx context.Context, attr int, class int32, opts SweepOptions) (*SweepResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if !opts.DisableBatch {
+		// Declare the sweep's full cube needs up front: the split
+		// attribute's 1-D cube (screening and rule counting) plus every
+		// (split, candidate) pair cube. A lazy source answers all cache
+		// misses from one shared dataset scan; afterwards the loop below
+		// only hits resident cubes.
+		if err := c.prefetchPairs(ctx, attr, opts.Compare.Attrs, false); err != nil {
+			return nil, err
+		}
+	}
 	pairs, err := c.ScreenPairsContext(ctx, attr, class, opts.Screen)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,178 @@
+package engine_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"opmap/internal/engine"
+	"opmap/internal/obsv"
+	"opmap/internal/rulecube"
+	"opmap/internal/testutil"
+)
+
+// TestCubesOracle checks the bulk path against the single-cube path on
+// both sources: every request shape (1-D, pair in both orders,
+// duplicates) must yield exactly the cube Cube1/Cube2 returns.
+func TestCubesOracle(t *testing.T) {
+	ds, gt, eager, lazy := oracle(t)
+	ctx := context.Background()
+	phone := ds.AttrIndex(gt.PhoneAttr)
+	dist := ds.AttrIndex(gt.DistinguishingAttr)
+	other := 0
+	if other == phone || other == dist {
+		other = 1
+	}
+	reqs := []engine.CubeReq{
+		{A: phone, B: -1},
+		{A: phone, B: dist},
+		{A: dist, B: phone}, // same cube, reversed request order
+		{A: other, B: -1},
+		{A: phone, B: other},
+		{A: phone, B: dist}, // duplicate
+	}
+	for _, src := range []engine.CubeSource{eager, lazy} {
+		got, err := src.Cubes(ctx, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("got %d cubes, want %d", len(got), len(reqs))
+		}
+		for i, q := range reqs {
+			var want *rulecube.Cube
+			if q.B < 0 {
+				want, err = src.Cube1(ctx, q.A)
+			} else {
+				want, err = src.Cube2(ctx, q.A, q.B)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Errorf("req %d (%+v): bulk cube differs from single-cube path", i, q)
+			}
+		}
+		if got[1] != got[2] || got[1] != got[5] {
+			t.Error("normalized duplicate requests should share one cube")
+		}
+	}
+}
+
+// TestCubesValidation mirrors the single-cube contract on the bulk
+// path: out-of-range, class and self-pair requests are errors, and an
+// empty request list is a no-op.
+func TestCubesValidation(t *testing.T) {
+	ds, _, _, lazy := oracle(t)
+	ctx := context.Background()
+	cls := ds.ClassIndex()
+	for _, tc := range []struct {
+		name string
+		reqs []engine.CubeReq
+	}{
+		{"out of range", []engine.CubeReq{{A: ds.NumAttrs(), B: -1}}},
+		{"class 1-D", []engine.CubeReq{{A: cls, B: -1}}},
+		{"class pair", []engine.CubeReq{{A: 0, B: cls}}},
+		{"self pair", []engine.CubeReq{{A: 1, B: 1}}},
+	} {
+		if _, err := lazy.Cubes(ctx, tc.reqs); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	out, err := lazy.Cubes(ctx, nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty bulk request: got (%v, %v)", out, err)
+	}
+}
+
+// TestCubesSharedScan asserts the tentpole property: a cold bulk
+// request performs exactly one dataset scan however many cubes it
+// materializes, and a warm repeat performs none.
+func TestCubesSharedScan(t *testing.T) {
+	ds, _, _, lazy := oracle(t)
+	ctx := context.Background()
+	var reqs []engine.CubeReq
+	reqs = append(reqs, engine.CubeReq{A: 0, B: -1})
+	for a := 1; a < ds.NumAttrs(); a++ {
+		if a == ds.ClassIndex() {
+			continue
+		}
+		reqs = append(reqs, engine.CubeReq{A: 0, B: a}, engine.CubeReq{A: a, B: -1})
+	}
+	scans := obsv.Default().Counter(rulecube.CubeScansCounterName)
+	s0 := scans.Value()
+	if _, err := lazy.Cubes(ctx, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if d := scans.Value() - s0; d != 1 {
+		t.Errorf("cold bulk request performed %d scans, want exactly 1", d)
+	}
+	s1 := scans.Value()
+	if _, err := lazy.Cubes(ctx, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if d := scans.Value() - s1; d != 0 {
+		t.Errorf("warm bulk request performed %d scans, want 0", d)
+	}
+}
+
+// TestCubesSingleflightWithSingles runs bulk requests concurrently with
+// single Cube2 calls over the same keys: the singleflight registry must
+// give every key exactly one build, whichever path gets there first.
+func TestCubesSingleflightWithSingles(t *testing.T) {
+	defer testutil.VerifyNoLeak(t)()
+	ds, gt, eager, lazy := oracle(t)
+	ctx := context.Background()
+	phone := ds.AttrIndex(gt.PhoneAttr)
+	var pairs [][2]int
+	var reqs []engine.CubeReq
+	for a := 0; a < ds.NumAttrs(); a++ {
+		if a == ds.ClassIndex() || a == phone {
+			continue
+		}
+		pairs = append(pairs, [2]int{phone, a})
+		reqs = append(reqs, engine.CubeReq{A: phone, B: a})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				if _, err := lazy.Cubes(ctx, reqs); err != nil {
+					errs <- err
+				}
+				return
+			}
+			for _, p := range pairs {
+				if _, err := lazy.Cube2(ctx, p[0], p[1]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := lazy.Stats().TwoDBuilds; got != int64(len(pairs)) {
+		t.Errorf("built %d pair cubes for %d keys: singleflight across bulk and single paths failed", got, len(pairs))
+	}
+	for _, p := range pairs {
+		want, err := eager.Cube2(ctx, p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lazy.Cube2(ctx, p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("pair %v: concurrent bulk build produced a wrong cube", p)
+		}
+	}
+}

@@ -48,6 +48,10 @@ const (
 	// by per-attribute epoch bumps when appended rows touched an
 	// attribute the result depended on.
 	ResultCacheInvalidationsCounterName = "opmap_resultcache_invalidations_total"
+	// BatchBuildHistogramName times each shared-scan batch build a
+	// LazySource performs for a bulk Cubes request — one observation per
+	// scan, however many cubes it materialized.
+	BatchBuildHistogramName = "opmap_batch_build_seconds"
 )
 
 // PreRegister creates every engine metric series in reg at zero so
@@ -64,6 +68,16 @@ func PreRegister(reg *obsv.Registry) {
 	reg.Counter(ResultCacheInvalidationsCounterName)
 	reg.Gauge(CubeCacheBytesGaugeName)
 	reg.Histogram(LazyBuildHistogramName, nil)
+	reg.Histogram(BatchBuildHistogramName, nil)
+}
+
+// CubeReq names one cube of a bulk request: the 1-D (attr × class)
+// cube when B is negative, the pair cube over {A, B} otherwise. Unlike
+// rulecube.CubeReq, pair order does not matter: Cubes returns the
+// normalized (min, max) cube either way, matching Cube2.
+type CubeReq struct {
+	A int
+	B int
 }
 
 // CubeSource is the engine contract: read access to the 1-D
@@ -84,6 +98,14 @@ type CubeSource interface {
 	Cube1(ctx context.Context, attr int) (*rulecube.Cube, error)
 	// Cube2 returns the 3-D cube over the attribute pair.
 	Cube2(ctx context.Context, a, b int) (*rulecube.Cube, error)
+	// Cubes resolves a batch of cube requests at once, returning the
+	// cubes in request order. A lazy source answers every cache miss
+	// from one shared dataset scan (rulecube.BuildMany) instead of one
+	// scan per cube; an eager source answers from the store. Callers
+	// that know their full cube needs up front (a sweep, a one-vs-rest
+	// over all values) should declare them here rather than faulting
+	// cubes in one at a time.
+	Cubes(ctx context.Context, reqs []CubeReq) ([]*rulecube.Cube, error)
 }
 
 // Eager adapts a fully materialized rulecube.Store to CubeSource. It
@@ -140,6 +162,28 @@ func (e *Eager) Cube2(_ context.Context, a, b int) (*rulecube.Cube, error) {
 		return nil, fmt.Errorf("engine: no pair cube for attributes (%d,%d)", a, b)
 	}
 	return c, nil
+}
+
+// Cubes implements CubeSource: every cube is already materialized, so
+// the bulk request is a loop of store lookups.
+func (e *Eager) Cubes(ctx context.Context, reqs []CubeReq) ([]*rulecube.Cube, error) {
+	out := make([]*rulecube.Cube, len(reqs))
+	for i, q := range reqs {
+		var (
+			c   *rulecube.Cube
+			err error
+		)
+		if q.B < 0 {
+			c, err = e.Cube1(ctx, q.A)
+		} else {
+			c, err = e.Cube2(ctx, q.A, q.B)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
 }
 
 // normalizeAttrs validates and defaults a source attribute list the

@@ -197,6 +197,192 @@ func (s *LazySource) Cube2(ctx context.Context, a, b int) (*rulecube.Cube, error
 	})
 }
 
+// Cubes implements CubeSource's bulk method: one lock pass partitions
+// the (deduplicated) requests into resident cubes, builds already in
+// flight elsewhere, and keys this call leads; the led set materializes
+// in a single shared dataset scan (rulecube.BuildMany), is committed to
+// the caches, and every registered flight is released — so concurrent
+// bulk and single-cube requests for the same key still collapse into
+// one build. Joined flights are waited on afterwards under ctx.
+func (s *LazySource) Cubes(ctx context.Context, reqs []CubeReq) ([]*rulecube.Cube, error) {
+	out := make([]*rulecube.Cube, len(reqs))
+	keys, err := s.batchKeys(reqs)
+	if err != nil {
+		return nil, err
+	}
+	part := s.partitionBatch(keys, out)
+	if len(part.toBuild) > 0 {
+		if err := s.buildBatch(ctx, part, out); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range part.waits {
+		select {
+		case <-w.f.done:
+			if w.f.err != nil {
+				return nil, w.f.err
+			}
+			out[w.pos] = w.f.cube
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// batchKeys validates a bulk request list against the served set and
+// normalizes each entry to its cache key ({attr, -1} for 1-D, sorted
+// pair otherwise).
+func (s *LazySource) batchKeys(reqs []CubeReq) ([][2]int, error) {
+	keys := make([][2]int, len(reqs))
+	for i, q := range reqs {
+		if q.B < 0 {
+			if !s.inSet[q.A] {
+				return nil, fmt.Errorf("engine: no cube for attribute %d", q.A)
+			}
+			keys[i] = [2]int{q.A, -1}
+			continue
+		}
+		if q.A == q.B {
+			return nil, fmt.Errorf("engine: pair cube needs two distinct attributes, got (%d,%d)", q.A, q.B)
+		}
+		if !s.inSet[q.A] || !s.inSet[q.B] {
+			return nil, fmt.Errorf("engine: no pair cube for attributes (%d,%d)", q.A, q.B)
+		}
+		a, b := q.A, q.B
+		if a > b {
+			a, b = b, a
+		}
+		keys[i] = [2]int{a, b}
+	}
+	return keys, nil
+}
+
+// batchWait is a request position answered by a build in flight
+// elsewhere; the caller awaits its flight under its context.
+type batchWait struct {
+	pos int
+	f   *flight
+}
+
+// batchPartition is the outcome of the one lock pass over a bulk
+// request's keys: resident cubes are already filled into the output,
+// builds in flight elsewhere are joined as waits, and the keys this
+// call leads carry their registered flights and the output positions
+// each will serve.
+type batchPartition struct {
+	waits     []batchWait
+	toBuild   [][2]int
+	flights   []*flight
+	positions [][]int // positions served by each toBuild entry
+}
+
+// partitionBatch takes the single lock pass: it fills out from the
+// caches (refreshing LRU order and counting hits/misses), joins
+// flights other calls lead, and registers a flight for every key this
+// call will build.
+func (s *LazySource) partitionBatch(keys [][2]int, out []*rulecube.Cube) *batchPartition {
+	part := &batchPartition{}
+	leadIdx := make(map[[2]int]int)
+	var hits, misses int64
+	s.mu.Lock()
+	for i, k := range keys {
+		if k[1] < 0 {
+			if c, ok := s.oneD[k[0]]; ok {
+				out[i] = c
+				continue
+			}
+		} else if el, ok := s.twoD[k]; ok {
+			s.order.MoveToFront(el)
+			out[i] = el.Value.(*lruEntry).cube
+			hits++
+			continue
+		}
+		if j, ok := leadIdx[k]; ok {
+			part.positions[j] = append(part.positions[j], i)
+			continue
+		}
+		if f, ok := s.flights[k]; ok {
+			part.waits = append(part.waits, batchWait{pos: i, f: f})
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[k] = f
+		leadIdx[k] = len(part.toBuild)
+		part.toBuild = append(part.toBuild, k)
+		part.flights = append(part.flights, f)
+		part.positions = append(part.positions, []int{i})
+		if k[1] >= 0 {
+			misses++
+		}
+	}
+	s.mu.Unlock()
+	if hits > 0 {
+		s.hits.Add(hits)
+		obsv.Default().Counter(CubeCacheHitsCounterName).Add(hits)
+	}
+	if misses > 0 {
+		s.misses.Add(misses)
+		obsv.Default().Counter(CubeCacheMissesCounterName).Add(misses)
+	}
+	return part
+}
+
+// buildBatch runs the one shared scan for the keys this bulk call
+// leads, commits the cubes, fills the led output positions, and
+// releases every flight. On error the flights fail fast and nothing is
+// cached, matching the single-build path.
+func (s *LazySource) buildBatch(ctx context.Context, part *batchPartition, out []*rulecube.Cube) error {
+	start := time.Now()
+	cubes, err := rulecube.BuildMany(ctx, s.ds, batchCubeReqs(part.toBuild))
+	if err != nil {
+		s.failFlights(part, err)
+		return err
+	}
+	obsv.Default().Histogram(BatchBuildHistogramName, nil).ObserveSince(start)
+	s.commitBatch(part, cubes, out)
+	return nil
+}
+
+// batchCubeReqs converts cache keys back into rulecube requests.
+func batchCubeReqs(toBuild [][2]int) []rulecube.CubeReq {
+	rreqs := make([]rulecube.CubeReq, len(toBuild))
+	for i, k := range toBuild {
+		rreqs[i] = rulecube.CubeReq{A: k[0], B: k[1]}
+	}
+	return rreqs
+}
+
+// failFlights releases every flight this call leads with the shared
+// scan's error; nothing is cached, matching the single-build path.
+func (s *LazySource) failFlights(part *batchPartition, err error) {
+	for i, k := range part.toBuild {
+		s.finish(k, part.flights[i], nil, err)
+	}
+}
+
+// commitBatch caches the freshly built cubes under one lock, fills the
+// output positions each led key serves, and releases the flights.
+func (s *LazySource) commitBatch(part *batchPartition, cubes []*rulecube.Cube, out []*rulecube.Cube) {
+	s.mu.Lock()
+	for i, k := range part.toBuild {
+		if k[1] < 0 {
+			s.oneD[k[0]] = cubes[i]
+			s.oneDBuilds.Add(1)
+		} else {
+			s.insertTwoD(k, cubes[i])
+			s.twoDBuilds.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	for i, k := range part.toBuild {
+		for _, pos := range part.positions[i] {
+			out[pos] = cubes[i]
+		}
+		s.finish(k, part.flights[i], cubes[i], nil)
+	}
+}
+
 // build resolves a cube miss under singleflight. Called with s.mu
 // held; releases it before building. The leader registers a flight,
 // builds outside the lock, publishes the result (calling commit with

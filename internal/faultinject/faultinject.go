@@ -32,6 +32,9 @@ const (
 	// SiteCubeBuildPair fires before each 3-D pair-cube build, on both
 	// the serial and the parallel worker path.
 	SiteCubeBuildPair = "cube.build.pair"
+	// SiteCubeBatch fires once per rulecube.BuildMany call, before the
+	// shared scan starts.
+	SiteCubeBatch = "cube.build.batch"
 	// SiteCompareAttr fires before each candidate attribute is scored in
 	// a comparison (pairwise and one-vs-rest).
 	SiteCompareAttr = "compare.attr"

@@ -32,10 +32,13 @@ const (
 	StageBuildCubes       = "build_cubes"
 	StageCompare          = "compare"
 	StageCompareOneVsRest = "compare_one_vs_rest"
-	StageSweep            = "sweep"
-	StagePermutationTest  = "permutation_test"
-	StageImpressions      = "impressions"
-	StageGIMine           = "gi_mine"
+	// StageCompareOneVsRestAll spans the batch one-vs-rest run over
+	// every value of an attribute (one span for the whole fan-out).
+	StageCompareOneVsRestAll = "compare_one_vs_rest_all"
+	StageSweep               = "sweep"
+	StagePermutationTest     = "permutation_test"
+	StageImpressions         = "impressions"
+	StageGIMine              = "gi_mine"
 )
 
 // PipelineStages lists every known stage, in pipeline order. Default()
@@ -45,6 +48,7 @@ var PipelineStages = []string{
 	StageBuildCubes,
 	StageCompare,
 	StageCompareOneVsRest,
+	StageCompareOneVsRestAll,
 	StageSweep,
 	StagePermutationTest,
 	StageImpressions,

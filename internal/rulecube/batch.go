@@ -1,0 +1,432 @@
+package rulecube
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"opmap/internal/dataset"
+	"opmap/internal/faultinject"
+	"opmap/internal/obsv"
+)
+
+// Shared-scan batch building (DESIGN.md §14). A sweep or a one-vs-rest
+// over all values needs the split attribute's 1-D cube plus one pair
+// cube (and possibly one 1-D marginal) per ranked attribute — dozens of
+// cubes whose independent builds would each re-scan the same rows.
+// BuildMany counts every requested cube in a single pass: one scratch
+// accumulator per distinct pair, a branch-free inner loop, and an
+// extraction step that also derives 1-D marginals from pair scratch for
+// free. COMPARE (arXiv:2107.11967) observes that groupwise comparisons
+// share one scan and one aggregation pass this way instead of carrying
+// per-pair state through separate scans.
+
+// CubeReq names one cube of a batch build: the 2-D (A × class) cube
+// when B is negative, the 3-D (A × B × class) pair cube otherwise. The
+// pair's condition dimensions come out in (A, B) order, exactly as
+// Build(ds, []int{A, B}) would order them.
+type CubeReq struct {
+	A int
+	B int
+}
+
+// CubeScansCounterName counts full dataset passes performed to count
+// cubes: one per individually built cube (Build via BuildCube) and one
+// per BuildMany call, however many cubes that one scan produced. The
+// ratio of opmap_cubes_built_total to this counter is the shared-scan
+// amplification.
+const CubeScansCounterName = "opmap_cube_scans_total"
+
+// batchShardRows is the minimum number of rows each parallel scan
+// shard must cover before BuildMany splits the pass; below that the
+// per-shard scratch allocation and merge cost more than they save.
+const batchShardRows = 1 << 16
+
+// pairPlan accumulates one pair cube during the shared scan. The
+// scratch array is laid out (dimA+1) × (dimB+1) × numClasses: slot 0 of
+// each condition dimension catches missing values (code -1 lands there
+// via the +1 shift), which keeps the inner loop branch-free and — since
+// a row with a present class is counted *somewhere* in the array — lets
+// extraction marginalize a dimension across all its slots to reproduce
+// the other dimension's exact 1-D cube without extra scan work.
+type pairPlan struct {
+	a, b       int
+	colA, colB []int32
+	dimA, dimB int
+	strideA    int // (dimB+1) * numClasses
+	scratch    []int64
+}
+
+// onePlan accumulates a 1-D cube that no requested pair covers; its
+// scratch is (dim+1) × numClasses with the same missing slot 0.
+type onePlan struct {
+	a       int
+	col     []int32
+	dim     int
+	scratch []int64
+}
+
+// cubeDim mirrors Build's dimension sizing: an attribute with an empty
+// domain still needs one slot.
+func cubeDim(ds *dataset.Dataset, a int) int {
+	card := ds.Cardinality(a)
+	if card == 0 {
+		card = 1
+	}
+	return card
+}
+
+// BuildMany counts every requested cube in one pass over ds (plus a
+// cells-proportional extraction), advancing the scan counter once and
+// the cubes-built counter per distinct cube. Results arrive in request
+// order and are identical to what Build would return for each request;
+// duplicate requests share one underlying cube. The scan parallelizes
+// across GOMAXPROCS row shards when the dataset is large enough (counts
+// are additive, so shard partials merge by summation). Cancellation is
+// observed before the pass and between phases — the response to a
+// cancel is bounded by a single scan, matching BuildStoreContext.
+func BuildMany(ctx context.Context, ds *dataset.Dataset, reqs []CubeReq) ([]*Cube, error) {
+	if !ds.AllCategorical() {
+		return nil, fmt.Errorf("rulecube: dataset has continuous attributes; discretize first")
+	}
+	if err := validateBatchReqs(ds, reqs); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := faultinject.HitContext(ctx, faultinject.SiteCubeBatch); err != nil {
+		return nil, err
+	}
+
+	nc := ds.NumClasses()
+	plan := planBatch(ds, nc, reqs)
+	scanAll(ds.Column(ds.ClassIndex()).Codes, nc, plan.pairs, plan.ones, ds.NumRows())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out, built := extractAll(ds, nc, reqs, plan)
+	obsv.Default().Counter(CubesBuiltCounterName).Add(int64(built))
+	obsv.Default().Counter(CubeScansCounterName).Inc()
+	return out, nil
+}
+
+// validateBatchReqs rejects out-of-range, class-dimension, and
+// degenerate (A == B) requests before any allocation.
+func validateBatchReqs(ds *dataset.Dataset, reqs []CubeReq) error {
+	classIdx := ds.ClassIndex()
+	for _, q := range reqs {
+		if q.A < 0 || q.A >= ds.NumAttrs() || q.B >= ds.NumAttrs() {
+			return fmt.Errorf("rulecube: attribute index (%d,%d) out of range", q.A, q.B)
+		}
+		if q.A == classIdx || q.B == classIdx {
+			return fmt.Errorf("rulecube: class attribute cannot be a condition dimension")
+		}
+		if q.B >= 0 && q.B == q.A {
+			return fmt.Errorf("rulecube: duplicate attribute %d", q.A)
+		}
+	}
+	return nil
+}
+
+// batchPlan is the deduplicated working set of one shared scan: one
+// pairPlan per distinct pair, one onePlan per 1-D request no pair
+// covers, and the index maps extraction uses to route each request to
+// its accumulator.
+type batchPlan struct {
+	pairs   []pairPlan
+	ones    []onePlan
+	pairIdx map[[2]int]int
+	oneIdx  map[int]int
+	derived map[int][2]int // attr -> {pair plan index, dimension position}
+}
+
+// planBatch dedupes the requests into scan plans, routing 1-D requests
+// through a covering pair's scratch whenever one exists.
+func planBatch(ds *dataset.Dataset, nc int, reqs []CubeReq) *batchPlan {
+	p := &batchPlan{
+		pairIdx: make(map[[2]int]int),
+		oneIdx:  make(map[int]int),
+		derived: make(map[int][2]int),
+	}
+	for _, q := range reqs {
+		if q.B < 0 {
+			continue
+		}
+		k := [2]int{q.A, q.B}
+		if _, ok := p.pairIdx[k]; ok {
+			continue
+		}
+		dimA, dimB := cubeDim(ds, q.A), cubeDim(ds, q.B)
+		p.pairIdx[k] = len(p.pairs)
+		p.pairs = append(p.pairs, pairPlan{
+			a: q.A, b: q.B,
+			colA: ds.Column(q.A).Codes, colB: ds.Column(q.B).Codes,
+			dimA: dimA, dimB: dimB,
+			strideA: (dimB + 1) * nc,
+			scratch: make([]int64, (dimA+1)*(dimB+1)*nc),
+		})
+	}
+	for _, q := range reqs {
+		if q.B >= 0 {
+			continue
+		}
+		if _, ok := p.oneIdx[q.A]; ok {
+			continue
+		}
+		if _, ok := p.derived[q.A]; ok {
+			continue
+		}
+		pos := findPairFor(p.pairs, q.A)
+		if pos[0] >= 0 {
+			p.derived[q.A] = pos
+			continue
+		}
+		d := cubeDim(ds, q.A)
+		p.oneIdx[q.A] = len(p.ones)
+		p.ones = append(p.ones, onePlan{
+			a: q.A, col: ds.Column(q.A).Codes,
+			dim: d, scratch: make([]int64, (d+1)*nc),
+		})
+	}
+	return p
+}
+
+// extractAll materializes each distinct cube once from the counted
+// scratch (duplicate requests share the pointer) and reports how many
+// cubes were built.
+func extractAll(ds *dataset.Dataset, nc int, reqs []CubeReq, plan *batchPlan) ([]*Cube, int) {
+	out := make([]*Cube, len(reqs))
+	pairCubes := make([]*Cube, len(plan.pairs))
+	oneCubes := make(map[int]*Cube)
+	built := 0
+	for i, q := range reqs {
+		if q.B >= 0 {
+			pi := plan.pairIdx[[2]int{q.A, q.B}]
+			if pairCubes[pi] == nil {
+				pairCubes[pi] = extractPair(ds, nc, &plan.pairs[pi])
+				built++
+			}
+			out[i] = pairCubes[pi]
+			continue
+		}
+		c, ok := oneCubes[q.A]
+		if !ok {
+			if pos, der := plan.derived[q.A]; der {
+				c = extractDerivedOne(ds, nc, q.A, &plan.pairs[pos[0]], pos[1])
+			} else {
+				c = extractOne(ds, nc, &plan.ones[plan.oneIdx[q.A]])
+			}
+			oneCubes[q.A] = c
+			built++
+		}
+		out[i] = c
+	}
+	return out, built
+}
+
+// findPairFor locates a pair plan covering attribute a, returning its
+// index and the dimension position a occupies, or {-1, -1}.
+func findPairFor(pairs []pairPlan, a int) [2]int {
+	for pi := range pairs {
+		if pairs[pi].a == a {
+			return [2]int{pi, 0}
+		}
+		if pairs[pi].b == a {
+			return [2]int{pi, 1}
+		}
+	}
+	return [2]int{-1, -1}
+}
+
+// scanAll runs the shared pass, split across GOMAXPROCS contiguous row
+// shards when the dataset is large enough to amortize the per-shard
+// scratch (counts are additive; shard partials merge by summation).
+// It runs to completion once started — the caller bounds cancellation
+// at one scan by checking its context before and after.
+func scanAll(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, rows int) {
+	shards := runtime.GOMAXPROCS(0)
+	if max := rows / batchShardRows; shards > max {
+		shards = max
+	}
+	if shards <= 1 {
+		scanRange(classCol, nc, pairs, ones, 0, rows)
+		return
+	}
+	// Shard 0 scans into the plans' own scratch; each extra shard gets a
+	// private copy of the scratch arrays, merged after the pass.
+	extra := make([][]pairPlan, shards-1)
+	extraOnes := make([][]onePlan, shards-1)
+	for s := range extra {
+		ps := append([]pairPlan(nil), pairs...)
+		for i := range ps {
+			ps[i].scratch = make([]int64, len(pairs[i].scratch))
+		}
+		os := append([]onePlan(nil), ones...)
+		for i := range os {
+			os[i].scratch = make([]int64, len(ones[i].scratch))
+		}
+		extra[s], extraOnes[s] = ps, os
+	}
+	var wg sync.WaitGroup
+	per := (rows + shards - 1) / shards
+	for s := 0; s < shards; s++ {
+		lo := s * per
+		hi := lo + per
+		if hi > rows {
+			hi = rows
+		}
+		ps, os := pairs, ones
+		if s > 0 {
+			ps, os = extra[s-1], extraOnes[s-1]
+		}
+		wg.Add(1)
+		go func(ps []pairPlan, os []onePlan, lo, hi int) {
+			defer wg.Done()
+			scanRange(classCol, nc, ps, os, lo, hi)
+		}(ps, os, lo, hi)
+	}
+	wg.Wait()
+	for s := range extra {
+		for i := range pairs {
+			addInto(pairs[i].scratch, extra[s][i].scratch)
+		}
+		for i := range ones {
+			addInto(ones[i].scratch, extraOnes[s][i].scratch)
+		}
+	}
+}
+
+// scanBlockRows sizes the row blocks of the shared scan: small enough
+// that a block's class and value columns stay cache-resident while
+// every plan tallies it, large enough to amortize the per-plan loop
+// setup. 2048 rows × 4 bytes = 8 KiB per column touched.
+const scanBlockRows = 2048
+
+// scanRange is the shared scan's inner loop over rows [lo, hi): each
+// row with a present class bumps exactly one cell per plan. The +1
+// shift routes a missing value (code -1) to slot 0, so the loop has no
+// per-plan branch; extraction drops (or marginalizes over) that slot.
+// Rows are processed in blocks with the plan loop outside the row
+// loop, so each plan's column/scratch pointers hoist out of the hot
+// loop and the block's columns are revisited while still in cache —
+// the row-outer form re-derefs every plan per row and thrashes between
+// all the plans' columns.
+func scanRange(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, lo, hi int) {
+	for blo := lo; blo < hi; blo += scanBlockRows {
+		bhi := blo + scanBlockRows
+		if bhi > hi {
+			bhi = hi
+		}
+		cls := classCol[blo:bhi]
+		for i := range pairs {
+			p := &pairs[i]
+			colA, colB := p.colA[blo:bhi], p.colB[blo:bhi]
+			scratch, strideA := p.scratch, p.strideA
+			for r, cl := range cls {
+				if cl < 0 {
+					continue
+				}
+				scratch[(int(colA[r])+1)*strideA+(int(colB[r])+1)*nc+int(cl)]++
+			}
+		}
+		for i := range ones {
+			o := &ones[i]
+			col, scratch := o.col[blo:bhi], o.scratch
+			for r, cl := range cls {
+				if cl < 0 {
+					continue
+				}
+				scratch[(int(col[r])+1)*nc+int(cl)]++
+			}
+		}
+	}
+}
+
+// addInto accumulates src into dst element-wise.
+func addInto(dst, src []int64) {
+	for i, n := range src {
+		dst[i] += n
+	}
+}
+
+// newCubeHeader builds the cube metadata exactly the way Build does, so
+// batch-built cubes compare DeepEqual to individually built ones.
+func newCubeHeader(ds *dataset.Dataset, attrs []int, nc int) *Cube {
+	c := &Cube{
+		attrIdx:    append([]int(nil), attrs...),
+		classDict:  ds.ClassDict(),
+		numClasses: nc,
+	}
+	size := nc
+	for _, a := range attrs {
+		d := cubeDim(ds, a)
+		c.dims = append(c.dims, d)
+		c.attrNames = append(c.attrNames, ds.Attr(a).Name)
+		c.dicts = append(c.dicts, ds.Column(a).Dict)
+		size *= d
+	}
+	c.counts = make([]int64, size)
+	return c
+}
+
+// extractPair copies the present-value block of a pair plan's scratch
+// into an exact cube: slot 0 of either dimension (rows where that value
+// was missing) is dropped, matching Build's skip of such rows.
+func extractPair(ds *dataset.Dataset, nc int, p *pairPlan) *Cube {
+	c := newCubeHeader(ds, []int{p.a, p.b}, nc)
+	blk := p.dimB * nc
+	for va := 0; va < p.dimA; va++ {
+		src := ((va+1)*(p.dimB+1) + 1) * nc
+		copy(c.counts[va*blk:(va+1)*blk], p.scratch[src:src+blk])
+	}
+	for _, n := range c.counts {
+		c.total += n
+	}
+	return c
+}
+
+// extractOne copies a dedicated 1-D plan's present-value block.
+func extractOne(ds *dataset.Dataset, nc int, o *onePlan) *Cube {
+	c := newCubeHeader(ds, []int{o.a}, nc)
+	copy(c.counts, o.scratch[nc:(o.dim+1)*nc])
+	for _, n := range c.counts {
+		c.total += n
+	}
+	return c
+}
+
+// extractDerivedOne reproduces attribute a's 1-D cube from a pair
+// plan's scratch by marginalizing the partner dimension across *all*
+// its slots — missing slot included, because a row with a present a and
+// class is counted in the scratch wherever its partner value fell, and
+// Build's 1-D cube keeps exactly those rows regardless of the partner.
+func extractDerivedOne(ds *dataset.Dataset, nc int, a int, p *pairPlan, pos int) *Cube {
+	c := newCubeHeader(ds, []int{a}, nc)
+	if pos == 0 {
+		for va := 0; va < p.dimA; va++ {
+			dst := c.counts[va*nc : (va+1)*nc]
+			base := (va + 1) * p.strideA
+			for sb := 0; sb <= p.dimB; sb++ {
+				addInto(dst, p.scratch[base+sb*nc:base+(sb+1)*nc])
+			}
+		}
+	} else {
+		for vb := 0; vb < p.dimB; vb++ {
+			dst := c.counts[vb*nc : (vb+1)*nc]
+			for sa := 0; sa <= p.dimA; sa++ {
+				off := sa*p.strideA + (vb+1)*nc
+				addInto(dst, p.scratch[off:off+nc])
+			}
+		}
+	}
+	for _, n := range c.counts {
+		c.total += n
+	}
+	return c
+}

@@ -1,0 +1,263 @@
+package rulecube
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"opmap/internal/dataset"
+	"opmap/internal/faultinject"
+	"opmap/internal/obsv"
+)
+
+// randomDatasetMissingClass is randomDataset with missing values in the
+// class column too, so the batch oracle covers the rows the scan must
+// skip entirely.
+func randomDatasetMissingClass(t *testing.T, seed int64, rows, attrs, card, classes int, missingRate float64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	schema := dataset.Schema{ClassIndex: attrs}
+	for i := 0; i < attrs; i++ {
+		schema.Attrs = append(schema.Attrs, dataset.Attribute{Name: fmt.Sprintf("a%d", i), Kind: dataset.Categorical})
+	}
+	schema.Attrs = append(schema.Attrs, dataset.Attribute{Name: "class", Kind: dataset.Categorical})
+	b, err := dataset.NewBuilder(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < attrs; i++ {
+		d := dataset.NewDictionary()
+		for v := 0; v < card; v++ {
+			d.Code(fmt.Sprintf("v%d", v))
+		}
+		b.WithDict(i, d)
+	}
+	cd := dataset.NewDictionary()
+	for c := 0; c < classes; c++ {
+		cd.Code(fmt.Sprintf("c%d", c))
+	}
+	b.WithDict(attrs, cd)
+	codes := make([]int32, attrs+1)
+	for r := 0; r < rows; r++ {
+		for i := 0; i <= attrs; i++ {
+			if rng.Float64() < missingRate {
+				codes[i] = dataset.Missing
+			} else if i == attrs {
+				codes[i] = int32(rng.Intn(classes))
+			} else {
+				codes[i] = int32(rng.Intn(card))
+			}
+		}
+		if err := b.AddCodedRow(codes, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestBuildManyOracle checks every request shape against Build: pair
+// cubes in both dimension orders, 1-D cubes derived from a pair plan's
+// scratch, 1-D cubes with a dedicated plan, and duplicate requests.
+func TestBuildManyOracle(t *testing.T) {
+	for trial := int64(0); trial < 4; trial++ {
+		ds := randomDatasetMissingClass(t, trial, 2500, 5, 4, 3, 0.08)
+		reqs := []CubeReq{
+			{A: 0, B: 1},
+			{A: 1, B: 0}, // reversed dimension order is a distinct cube
+			{A: 2, B: 3},
+			{A: 0, B: -1}, // derived from pair (0,1)
+			{A: 3, B: -1}, // derived from pair (2,3), partner position
+			{A: 4, B: -1}, // no covering pair: dedicated 1-D plan
+			{A: 0, B: 1},  // duplicate shares the cube
+		}
+		got, err := BuildMany(context.Background(), ds, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("got %d cubes, want %d", len(got), len(reqs))
+		}
+		for i, q := range reqs {
+			attrs := []int{q.A}
+			if q.B >= 0 {
+				attrs = append(attrs, q.B)
+			}
+			want, err := Build(ds, attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Errorf("trial %d req %d (%+v): batch cube differs from Build", trial, i, q)
+			}
+		}
+		if got[0] != got[6] {
+			t.Error("duplicate requests should share one cube")
+		}
+	}
+}
+
+func TestBuildManyValidation(t *testing.T) {
+	ds := fig1Dataset(t)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		reqs []CubeReq
+	}{
+		{"out of range", []CubeReq{{A: 9, B: -1}}},
+		{"negative", []CubeReq{{A: -1, B: -1}}},
+		{"class dim", []CubeReq{{A: 2, B: -1}}},
+		{"class pair", []CubeReq{{A: 0, B: 2}}},
+		{"self pair", []CubeReq{{A: 1, B: 1}}},
+	} {
+		if _, err := BuildMany(ctx, ds, tc.reqs); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	out, err := BuildMany(ctx, ds, nil)
+	if err != nil || out != nil {
+		t.Errorf("empty request list: got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestBuildManyCounters(t *testing.T) {
+	ds := fig1Dataset(t)
+	scans := obsv.Default().Counter(CubeScansCounterName)
+	built := obsv.Default().Counter(CubesBuiltCounterName)
+	s0, b0 := scans.Value(), built.Value()
+	// 4 requests, 3 distinct cubes, one scan.
+	_, err := BuildMany(context.Background(), ds, []CubeReq{
+		{A: 0, B: 1}, {A: 0, B: -1}, {A: 1, B: -1}, {A: 0, B: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := scans.Value() - s0; d != 1 {
+		t.Errorf("scan counter advanced by %d, want 1", d)
+	}
+	if d := built.Value() - b0; d != 3 {
+		t.Errorf("built counter advanced by %d, want 3", d)
+	}
+	// The sequential path advances the scan counter once per cube.
+	s1 := scans.Value()
+	if _, err := BuildCube(ds, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := scans.Value() - s1; d != 1 {
+		t.Errorf("single build advanced scans by %d, want 1", d)
+	}
+}
+
+func TestBuildManyCancelAndFault(t *testing.T) {
+	ds := fig1Dataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildMany(ctx, ds, []CubeReq{{A: 0, B: 1}}); err != context.Canceled {
+		t.Errorf("canceled ctx: got %v", err)
+	}
+	disarm, err := faultinject.Arm(faultinject.Fault{Site: faultinject.SiteCubeBatch, Kind: faultinject.Error})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	if _, err := BuildMany(context.Background(), ds, []CubeReq{{A: 0, B: 1}}); err == nil {
+		t.Error("armed batch fault: expected error")
+	}
+}
+
+// TestBuildManySharded forces the parallel shard-and-merge path by
+// raising GOMAXPROCS over a dataset large enough to split, and checks
+// the merged counts against Build.
+func TestBuildManySharded(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rows := 3 * batchShardRows
+	ds := randomDatasetMissingClass(t, 42, rows, 3, 4, 2, 0.05)
+	got, err := BuildMany(context.Background(), ds, []CubeReq{{A: 0, B: 1}, {A: 2, B: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, attrs := range [][]int{{0, 1}, {2}} {
+		want, err := Build(ds, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("sharded cube %d differs from Build", i)
+		}
+	}
+}
+
+// BenchmarkBatchVsSequential records the shared-scan win over N
+// independent builds for a sweep-shaped request set (one split
+// attribute against every other).
+func BenchmarkBatchVsSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const rows, attrs, card, classes = 20000, 40, 8, 3
+	schema := dataset.Schema{ClassIndex: attrs}
+	for i := 0; i < attrs; i++ {
+		schema.Attrs = append(schema.Attrs, dataset.Attribute{Name: fmt.Sprintf("a%d", i), Kind: dataset.Categorical})
+	}
+	schema.Attrs = append(schema.Attrs, dataset.Attribute{Name: "class", Kind: dataset.Categorical})
+	bl, err := dataset.NewBuilder(schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < attrs; i++ {
+		d := dataset.NewDictionary()
+		for v := 0; v < card; v++ {
+			d.Code(fmt.Sprintf("v%d", v))
+		}
+		bl.WithDict(i, d)
+	}
+	cd := dataset.NewDictionary()
+	for c := 0; c < classes; c++ {
+		cd.Code(fmt.Sprintf("c%d", c))
+	}
+	bl.WithDict(attrs, cd)
+	codes := make([]int32, attrs+1)
+	for r := 0; r < rows; r++ {
+		for i := 0; i < attrs; i++ {
+			codes[i] = int32(rng.Intn(card))
+		}
+		codes[attrs] = int32(rng.Intn(classes))
+		if err := bl.AddCodedRow(codes, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ds, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := []CubeReq{{A: 0, B: -1}}
+	for ai := 1; ai < attrs; ai++ {
+		reqs = append(reqs, CubeReq{A: 0, B: ai})
+		reqs = append(reqs, CubeReq{A: ai, B: -1})
+	}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildMany(context.Background(), ds, reqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range reqs {
+				attrsList := []int{q.A}
+				if q.B >= 0 {
+					attrsList = append(attrsList, q.B)
+				}
+				if _, err := Build(ds, attrsList); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -540,6 +540,9 @@ func buildCounted(ds *dataset.Dataset, attrs []int) (*Cube, error) {
 		h.ObserveSince(start)
 	}
 	obsv.Default().Counter(CubesBuiltCounterName).Inc()
+	// An individually built cube is one full dataset pass; BuildMany
+	// advances the same counter once however many cubes it produced.
+	obsv.Default().Counter(CubeScansCounterName).Inc()
 	return cube, nil
 }
 

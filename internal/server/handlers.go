@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"opmap"
 )
@@ -179,9 +180,32 @@ type scoreEntry struct {
 	PropertyRatio float64 `json:"property_ratio,omitempty"`
 }
 
-// handleCompare serves both comparison forms: attr+v1+v2 compares the
+// compareAllEntry is one value's comparison inside the all_values
+// response, tagged with the value it compares against the rest.
+type compareAllEntry struct {
+	Value string `json:"value"`
+	compareResponse
+}
+
+// compareAllResponse is the all_values=1 form of /api/compare: one
+// entry per value of the attribute whose one-vs-rest comparison is
+// defined on the data, plus the skipped values with their reasons.
+type compareAllResponse struct {
+	Attr        string            `json:"attr"`
+	Class       string            `json:"class"`
+	Partial     bool              `json:"partial"`
+	Skipped     []itemError       `json:"skipped,omitempty"`
+	Comparisons []compareAllEntry `json:"comparisons"`
+}
+
+func (c *compareAllResponse) partialResult() bool { return c.Partial }
+
+// handleCompare serves the comparison forms: attr+v1+v2 compares the
 // two values pairwise; attr+value compares value against the rest
-// (degrading to a partial ranking on deadline expiry).
+// (degrading to a partial ranking on deadline expiry); all_values=1
+// runs the one-vs-rest comparison for every value of attr in one
+// shared-scan batch. The optional attrs parameter (comma-separated
+// names) restricts the ranked attributes in any form.
 func (s *Server) handleCompare(r *http.Request) (any, error) {
 	sess, err := s.session(r)
 	if err != nil {
@@ -196,19 +220,62 @@ func (s *Server) handleCompare(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	allValues, err := boolParam(r, "all_values")
+	if err != nil {
+		return nil, err
+	}
+	var opts opmap.CompareOptions
+	if raw := q.Get("attrs"); raw != "" {
+		for _, name := range strings.Split(raw, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return nil, badRequest("query parameter attrs=%q contains an empty attribute name", raw)
+			}
+			opts.Attrs = append(opts.Attrs, name)
+		}
+	}
 	var cmp *opmap.Comparison
 	switch {
+	case allValues:
+		opts.PartialOnDeadline = true
+		all, err := sess.CompareOneVsRestAllContext(r.Context(), attr, class, opts)
+		if err != nil {
+			return nil, err
+		}
+		resp := &compareAllResponse{
+			Attr:    all.Attr,
+			Class:   class,
+			Partial: all.Partial,
+			Skipped: toItemErrors(all.Skipped),
+		}
+		for _, c := range all.Comparisons {
+			value := c.Label1
+			if value == "rest" {
+				value = c.Label2
+			}
+			resp.Comparisons = append(resp.Comparisons, compareAllEntry{
+				Value:           value,
+				compareResponse: *toCompareResponse(c, top),
+			})
+		}
+		return resp, nil
 	case q.Get("value") != "":
-		opts := opmap.CompareOptions{PartialOnDeadline: true}
+		opts.PartialOnDeadline = true
 		cmp, err = sess.CompareOneVsRestContext(r.Context(), attr, q.Get("value"), class, opts)
 	case q.Get("v1") != "" && q.Get("v2") != "":
-		cmp, err = sess.CompareContext(r.Context(), attr, q.Get("v1"), q.Get("v2"), class, opmap.CompareOptions{})
+		cmp, err = sess.CompareContext(r.Context(), attr, q.Get("v1"), q.Get("v2"), class, opts)
 	default:
-		return nil, badRequest("compare requires either v1 and v2, or value (one-vs-rest)")
+		return nil, badRequest("compare requires v1 and v2, value (one-vs-rest), or all_values=1")
 	}
 	if err != nil {
 		return nil, err
 	}
+	return toCompareResponse(cmp, top), nil
+}
+
+// toCompareResponse converts one comparison to its wire form, keeping
+// the top entries of each ranking list.
+func toCompareResponse(cmp *opmap.Comparison, top int) *compareResponse {
 	resp := &compareResponse{
 		Attr:     cmp.Attr,
 		Label1:   cmp.Label1,
@@ -232,7 +299,7 @@ func (s *Server) handleCompare(r *http.Request) (any, error) {
 		}
 		resp.Property = append(resp.Property, toScoreEntry(sc))
 	}
-	return resp, nil
+	return resp
 }
 
 func toScoreEntry(sc opmap.AttributeScore) scoreEntry {
@@ -419,4 +486,19 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 		return 0, badRequest("query parameter %s=%d must be non-negative", name, n)
 	}
 	return n, nil
+}
+
+// boolParam parses a boolean query parameter; absence means false. A
+// malformed value fails the request with 400 for the same reason
+// intParam does: ?all_values=ture silently meaning "off" masks typos.
+func boolParam(r *http.Request, name string) (bool, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return false, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, badRequest("query parameter %s=%q is not a boolean", name, v)
+	}
+	return b, nil
 }

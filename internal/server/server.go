@@ -216,10 +216,12 @@ func New(cfg Config) (*Server, error) {
 	// expose its hit/miss/eviction counters at 0 so a scrape can assert
 	// "startup built nothing".
 	engine.PreRegister(s.metrics)
-	// The cube-build counter too: a snapshot warm start must be able to
-	// prove "zero cubes built" with a scrape, which needs the series
-	// present at 0 rather than absent.
+	// The cube-build and dataset-scan counters too: a snapshot warm
+	// start must be able to prove "zero cubes built" with a scrape, and
+	// a batch comparison must be able to prove "one shared scan", which
+	// needs both series present at 0 rather than absent.
 	s.metrics.Counter(rulecube.CubesBuiltCounterName)
+	s.metrics.Counter(rulecube.CubeScansCounterName)
 	// Ingest series exist whether or not ingestion is enabled, so the
 	// kill -9 smoke can assert opmap_wal_replayed_records_total moved
 	// and dashboards can alert on sheds from the first scrape.
@@ -491,6 +493,12 @@ func statusOf(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, faultinject.ErrInjected):
 		return http.StatusInternalServerError
+	case errors.Is(err, opmap.ErrRankSelf), errors.Is(err, opmap.ErrRankClass):
+		// Distinct, errors.Is-matchable client errors from the compare
+		// layer: an attrs= list naming the comparison attribute or the
+		// class. Mapped explicitly so both stay 400 even if the default
+		// mapping below ever tightens.
+		return http.StatusBadRequest
 	default:
 		return http.StatusBadRequest
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -591,5 +592,131 @@ func TestDatasetsSnapshotStatus(t *testing.T) {
 	_, ts2 := newTestServer(t, Config{Session: sess})
 	if _, body := get(t, ts2.URL, "/api/datasets"); strings.Contains(string(body), "\"snapshot\"") {
 		t.Errorf("snapshot field present without a SnapshotStatus callback: %s", body)
+	}
+}
+
+// wireScore is the slice element of a compare response's ranked list,
+// as decoded for cross-form equality checks.
+type wireScore struct {
+	Name      string  `json:"name"`
+	Score     float64 `json:"score"`
+	NormScore float64 `json:"norm_score"`
+}
+
+// TestCompareAllValues exercises the batch form of /api/compare:
+// all_values=1 returns one entry per value whose one-vs-rest split is
+// defined, and each entry's ranking is identical to what the
+// single-value form returns for that value.
+func TestCompareAllValues(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, gt := demoSession(t)
+
+	v := url.Values{}
+	v.Set("attr", gt.PhoneAttr)
+	v.Set("class", gt.DropClass)
+	v.Set("all_values", "1")
+	code, body := get(t, ts.URL, "/api/compare?"+v.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("/api/compare all_values = %d: %s", code, body)
+	}
+	var all struct {
+		Attr        string `json:"attr"`
+		Class       string `json:"class"`
+		Partial     bool   `json:"partial"`
+		Comparisons []struct {
+			Value  string      `json:"value"`
+			Ranked []wireScore `json:"ranked"`
+		} `json:"comparisons"`
+	}
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatalf("all_values response is not JSON: %v", err)
+	}
+	if all.Attr != gt.PhoneAttr || all.Class != gt.DropClass {
+		t.Errorf("response identifies %s/%s, want %s/%s", all.Attr, all.Class, gt.PhoneAttr, gt.DropClass)
+	}
+	if len(all.Comparisons) == 0 {
+		t.Fatal("all_values compared nothing")
+	}
+	for _, c := range all.Comparisons {
+		if c.Value == "" {
+			t.Fatal("comparison entry missing its value tag")
+		}
+		sv := url.Values{}
+		sv.Set("attr", gt.PhoneAttr)
+		sv.Set("class", gt.DropClass)
+		sv.Set("value", c.Value)
+		code, single := get(t, ts.URL, "/api/compare?"+sv.Encode())
+		if code != http.StatusOK {
+			t.Fatalf("single-value compare for %q = %d: %s", c.Value, code, single)
+		}
+		var one struct {
+			Ranked []wireScore `json:"ranked"`
+		}
+		if err := json.Unmarshal(single, &one); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(c.Ranked, one.Ranked) {
+			t.Errorf("value %q: all_values ranking differs from the single-value form", c.Value)
+		}
+	}
+}
+
+// TestCompareAttrsParam covers the attrs= restriction and its error
+// mapping: a valid restriction narrows the ranking, while naming the
+// comparison attribute or the class answers 400 with the two distinct
+// compare-layer messages.
+func TestCompareAttrsParam(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sess, gt := demoSession(t)
+
+	query := func(attrs string) (int, []byte) {
+		v := url.Values{}
+		v.Set("attr", gt.PhoneAttr)
+		v.Set("class", gt.DropClass)
+		v.Set("value", gt.BadPhone)
+		v.Set("attrs", attrs)
+		return get(t, ts.URL, "/api/compare?"+v.Encode())
+	}
+
+	code, body := query(gt.DistinguishingAttr)
+	if code != http.StatusOK {
+		t.Fatalf("restricted compare = %d: %s", code, body)
+	}
+	var one struct {
+		Ranked []wireScore `json:"ranked"`
+	}
+	if err := json.Unmarshal(body, &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Ranked) != 1 || one.Ranked[0].Name != gt.DistinguishingAttr {
+		t.Errorf("attrs=%s ranked %+v, want exactly that attribute", gt.DistinguishingAttr, one.Ranked)
+	}
+
+	// Self-rank and class-rank are distinct client errors, both 400.
+	for _, tc := range []struct {
+		attrs, wantMsg string
+	}{
+		{gt.PhoneAttr, "comparison attribute itself"},
+		{sess.ClassAttribute(), "class attribute cannot be ranked"},
+	} {
+		code, body := query(tc.attrs)
+		if code != http.StatusBadRequest {
+			t.Errorf("attrs=%s = %d: %s, want 400", tc.attrs, code, body)
+		}
+		if !strings.Contains(string(body), tc.wantMsg) {
+			t.Errorf("attrs=%s error %q does not mention %q", tc.attrs, body, tc.wantMsg)
+		}
+	}
+
+	// Malformed lists and booleans are 400s, not silent defaults.
+	if code, _ := query("a,,b"); code != http.StatusBadRequest {
+		t.Errorf("attrs with empty entry = %d, want 400", code)
+	}
+	v := url.Values{}
+	v.Set("attr", gt.PhoneAttr)
+	v.Set("class", gt.DropClass)
+	v.Set("all_values", "ture")
+	if code, _ := get(t, ts.URL, "/api/compare?"+v.Encode()); code != http.StatusBadRequest {
+		t.Errorf("all_values=ture = %d, want 400", code)
 	}
 }
