@@ -81,12 +81,40 @@ func (s *Session) appendLocked(ctx context.Context, rows [][]string) error {
 	classIdx := s.raw.ClassIndex()
 	restored := s.restoredDiscretized()
 	touched := make(map[int]bool)
+	// Coded rows accumulate here and fold into the resident engine in
+	// one batched pass (Store/LazySource IngestRows, the additive-merge
+	// primitive): the dictionaries are fully grown by then, so each cube
+	// pays one SyncDims per batch instead of one per row. Any early
+	// return must flush the accumulated prefix first so the engine's
+	// counts match the rows already appended to the dataset.
+	var (
+		pending [][]int32
+		classes []int32
+	)
+	applyPending := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		err := s.applyRowsToEngine(pending, classes)
+		pending, classes = nil, nil
+		return err
+	}
+	// bail ends the batch early: the applied prefix stays applied and
+	// consistent (engine folded, caches invalidated), err is returned.
+	// An engine error while folding (which cannot arise from a validated
+	// row) drops the engine rather than serve skewed counts.
+	bail := func(err error) error {
+		if aerr := applyPending(); aerr != nil {
+			s.dropEngine()
+		}
+		s.flushTouched(touched)
+		return err
+	}
 	for r, row := range rows {
 		if err := ctx.Err(); err != nil {
 			// Already-applied rows of the batch stay applied and
 			// consistent; the caller decides whether to re-send the rest.
-			s.flushTouched(touched)
-			return err
+			return bail(err)
 		}
 		if !restored {
 			// Restored sessions share one dataset between raw and working
@@ -95,21 +123,16 @@ func (s *Session) appendLocked(ctx context.Context, rows [][]string) error {
 			// categorical labels in the interval dictionaries).
 			if err := s.raw.AppendRow(row); err != nil {
 				// Unreachable after validateBatch; fail loudly if it isn't.
-				s.flushTouched(touched)
-				return err
+				return bail(err)
 			}
 		}
 		codes, err := s.appendWorkingRow(row, floats[r])
 		if err != nil {
-			s.flushTouched(touched)
-			return err
+			return bail(err)
 		}
 		if codes != nil {
-			if err := s.applyRowToEngine(codes, codes[classIdx]); err != nil {
-				s.flushTouched(touched)
-				s.dropEngine()
-				return err
-			}
+			pending = append(pending, codes)
+			classes = append(classes, codes[classIdx])
 			for i, c := range codes {
 				if i != classIdx && c >= 0 {
 					touched[i] = true
@@ -118,6 +141,11 @@ func (s *Session) appendLocked(ctx context.Context, rows [][]string) error {
 		}
 		s.noteDeltas(floats[r])
 		s.sinceCutEval++
+	}
+	if err := applyPending(); err != nil {
+		s.flushTouched(touched)
+		s.dropEngine()
+		return err
 	}
 	s.flushTouched(touched)
 	return s.maybeReevalCuts(ctx)
@@ -239,17 +267,18 @@ func (s *Session) appendWorkingRow(row []string, fr []float64) ([]int32, error) 
 	return codes, s.ds.AppendCodedRow(codes, nil)
 }
 
-// applyRowToEngine folds one coded row into whichever cube engine is
-// resident. No engine means nothing to maintain: cubes built later
-// count the grown dataset anyway.
-func (s *Session) applyRowToEngine(codes []int32, class int32) error {
+// applyRowsToEngine folds a batch of coded rows into whichever cube
+// engine is resident, via the rulecube additive-merge primitive. No
+// engine means nothing to maintain: cubes built later count the grown
+// dataset anyway.
+func (s *Session) applyRowsToEngine(rows [][]int32, classes []int32) error {
 	if s.store != nil {
-		if err := s.store.ApplyRow(codes, class); err != nil {
+		if err := s.store.IngestRows(rows, classes); err != nil {
 			return err
 		}
 	}
 	if s.lazy != nil {
-		if err := s.lazy.ApplyRow(codes, class); err != nil {
+		if err := s.lazy.IngestRows(rows, classes); err != nil {
 			return err
 		}
 	}

@@ -453,34 +453,167 @@ cmp "$smokedir/compare.cont.live" "$smokedir/compare.cont.oracle"
 kill -TERM "$opmapd9_pid"
 wait "$opmapd9_pid" 2>/dev/null || true
 
+echo "== shard smoke (shard-build x2, shard-merge, warm serve) =="
+# The sharded-build contract end to end through the CLIs: two row-shards
+# cubed independently (opmap shard-build), merged into one serving
+# snapshot (opmap shard-merge), and served by opmapd -shard-dir — with
+# responses byte-identical to a single-pass build over the concatenated
+# rows, and zero cubes built at startup. Model m3 and outcome slow
+# appear only in the second shard, so the merge must grow the
+# dictionaries, not just sum counts. All columns are string-valued:
+# per-shard kind sniffing must agree, and categorical-only data needs
+# no shared cut points.
+go build -o "$smokedir/opmap" ./cmd/opmap
+sharddir="$smokedir/shards"
+mergeddir="$smokedir/merged"
+mkdir -p "$sharddir" "$mergeddir"
+cat >"$smokedir/shard1.csv" <<'EOF'
+Region,Model,Outcome
+north,m1,ok
+south,m2,bad
+east,m1,bad
+west,m2,ok
+north,m2,bad
+south,m1,ok
+east,m2,bad
+west,m1,bad
+EOF
+cat >"$smokedir/shard2.csv" <<'EOF'
+Region,Model,Outcome
+north,m3,bad
+south,m3,slow
+east,m3,bad
+west,m1,ok
+north,m1,slow
+south,m2,bad
+east,m1,ok
+west,m3,bad
+EOF
+{ cat "$smokedir/shard1.csv"; tail -n +2 "$smokedir/shard2.csv"; } >"$smokedir/shardfull.csv"
+"$smokedir/opmap" -data "$smokedir/shard1.csv" shard-build -o "$sharddir/a.omapsnap"
+"$smokedir/opmap" -data "$smokedir/shard2.csv" shard-build -o "$sharddir/b.omapsnap"
+"$smokedir/opmap" shard-merge -o "$mergeddir/default.omapsnap" \
+    "$sharddir/a.omapsnap" "$sharddir/b.omapsnap"
+# Baseline: a daemon that loads and cubes the concatenated CSV itself.
+"$smokedir/opmapd" -data "$smokedir/shardfull.csv" -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr10" >"$smokedir/opmapd10.log" 2>&1 &
+opmapd10_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr10" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr10" ]; then
+    echo "single-build opmapd never became ready:" >&2
+    cat "$smokedir/opmapd10.log" >&2
+    exit 1
+fi
+addr10=$(cat "$smokedir/addr10")
+"$smokedir/opmapd" -probe "$addr10/api/overview" >"$smokedir/overview.single"
+"$smokedir/opmapd" -probe "$addr10/api/compare?attr=Model&v1=m1&v2=m3&class=bad" \
+    >"$smokedir/compare.single"
+"$smokedir/opmapd" -probe "$addr10/api/sweep?attr=Model&class=bad&max_pairs=3" \
+    >"$smokedir/sweep.single"
+kill -TERM "$opmapd10_pid"
+wait "$opmapd10_pid" 2>/dev/null || true
+# The shard daemon assembles the two shard snapshots at startup.
+"$smokedir/opmapd" -shard-dir "$mergeddir" -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr11" >"$smokedir/opmapd11.log" 2>&1 &
+opmapd11_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr11" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr11" ]; then
+    echo "shard-dir opmapd never became ready:" >&2
+    cat "$smokedir/opmapd11.log" >&2
+    exit 1
+fi
+addr11=$(cat "$smokedir/addr11")
+"$smokedir/opmapd" -probe "$addr11/api/overview" >"$smokedir/overview.sharded"
+"$smokedir/opmapd" -probe "$addr11/api/compare?attr=Model&v1=m1&v2=m3&class=bad" \
+    >"$smokedir/compare.sharded"
+"$smokedir/opmapd" -probe "$addr11/api/sweep?attr=Model&class=bad&max_pairs=3" \
+    >"$smokedir/sweep.sharded"
+cmp "$smokedir/overview.single" "$smokedir/overview.sharded"
+cmp "$smokedir/compare.single" "$smokedir/compare.sharded"
+cmp "$smokedir/sweep.single" "$smokedir/sweep.sharded"
+"$smokedir/opmapd" -probe "$addr11/api/datasets" | grep -q '"snapshot": "merged (1 shards)"'
+"$smokedir/opmapd" -probe "$addr11/metrics" >"$smokedir/metrics11"
+for want in \
+    'opmap_cubes_built_total 0' \
+    'opmap_stage_duration_seconds_count{stage="build_cubes"} 0' \
+    'opmapd_shard_fallbacks_total{reason="corrupt"} 0' \
+    'opmapd_shard_fallbacks_total{reason="incompatible"} 0' \
+    'opmapd_shard_fallbacks_total{reason="empty"} 0'; do
+    if ! grep -qF "$want" "$smokedir/metrics11"; then
+        echo "shard warm-start metrics missing: $want" >&2
+        cat "$smokedir/metrics11" >&2
+        exit 1
+    fi
+done
+kill -TERM "$opmapd11_pid"
+wait "$opmapd11_pid" 2>/dev/null || true
+# The same assembly without the CLI merge: point -shard-dir at the raw
+# shard snapshots and let the daemon merge them (merged (2 shards),
+# shards-merged counter 1, still zero cube builds).
+"$smokedir/opmapd" -shard-dir "$sharddir" -addr 127.0.0.1:0 \
+    -ready-file "$smokedir/addr12" >"$smokedir/opmapd12.log" 2>&1 &
+opmapd12_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr12" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr12" ]; then
+    echo "raw-shard opmapd never became ready:" >&2
+    cat "$smokedir/opmapd12.log" >&2
+    exit 1
+fi
+addr12=$(cat "$smokedir/addr12")
+"$smokedir/opmapd" -probe "$addr12/api/compare?attr=Model&v1=m1&v2=m3&class=bad" \
+    >"$smokedir/compare.rawshards"
+cmp "$smokedir/compare.single" "$smokedir/compare.rawshards"
+"$smokedir/opmapd" -probe "$addr12/api/datasets" | grep -q '"snapshot": "merged (2 shards)"'
+"$smokedir/opmapd" -probe "$addr12/metrics" >"$smokedir/metrics12"
+grep -qF 'opmap_cubes_built_total 0' "$smokedir/metrics12"
+grep -qF 'opmap_shards_merged_total 1' "$smokedir/metrics12"
+grep -qF 'opmap_shard_merge_seconds_count 1' "$smokedir/metrics12"
+kill -TERM "$opmapd12_pid"
+wait "$opmapd12_pid" 2>/dev/null || true
+
 echo "== fuzz smoke (10s per target) =="
 go test -run '^$' -fuzz '^FuzzReadStore$' -fuzztime 10s ./internal/rulecube
 go test -run '^$' -fuzz '^FuzzComparator$' -fuzztime 10s ./internal/compare
 go test -run '^$' -fuzz '^FuzzSweepOptions$' -fuzztime 10s ./internal/compare
 go test -run '^$' -fuzz '^FuzzReadSnapshot$' -fuzztime 10s ./internal/snapshot
+go test -run '^$' -fuzz '^FuzzMergeSnapshots$' -fuzztime 10s ./internal/snapshot
 go test -run '^$' -fuzz '^FuzzReplayWAL$' -fuzztime 10s ./internal/wal
 
-echo "== bench (stage timings + engine modes + snapshot + ingest + batch) =="
-# The artifact series jumps pr5 -> pr7 -> pr8: BENCH_pr6.json was never
-# recorded (PR 6 predates the bench-artifact-per-PR convention), so the
-# regression gate compares against BENCH_pr7.json. The bench enforces
-# its gates itself (nonzero exit): a batched sweep must take exactly
-# one dataset scan and cut scans >=5x vs the per-pair baseline recorded
-# in the same run, and no headline metric may regress >30% vs the
-# previous artifact after normalizing by the CPU/disk calibration
-# canaries recorded in both artifacts. BENCH_pr7.json predates the
-# canaries, so its over-threshold deltas downgrade to WARN notes in
-# the artifact; from pr8 on the comparison is fully armed.
+echo "== bench (stage timings + engine modes + snapshot + ingest + batch + shard) =="
+# The artifact series jumps pr5 -> pr7 -> pr8 -> pr9: BENCH_pr6.json
+# was never recorded (PR 6 predates the bench-artifact-per-PR
+# convention), so that hop in the -prev chain is a gap, noted in each
+# artifact's notes. The bench enforces its gates itself (nonzero
+# exit): a batched sweep must take exactly one dataset scan and cut
+# scans >=5x vs the per-pair baseline recorded in the same run, and no
+# headline metric may regress >30% vs the previous artifact after
+# normalizing by the CPU/disk calibration canaries recorded in both
+# artifacts. The shard section (per-shard build, merge, end-to-end at
+# 2/4/8 shards) first appears in pr9; its headline metric is absent
+# from BENCH_pr8.json, so that one comparison self-skips this PR and
+# arms from pr10 on.
 go run ./cmd/opmapbench -records 20000 -rounds 50 \
-    -out BENCH_pr8.json -prev BENCH_pr7.json
-grep -q '"build_cubes"' BENCH_pr8.json
-grep -q '"lazy_cold_compare_ms"' BENCH_pr8.json
-grep -q '"load_speedup_vs_build"' BENCH_pr8.json
-grep -q '"rows_per_sec"' BENCH_pr8.json
-grep -q '"append_p90_ms"' BENCH_pr8.json
-grep -q '"replay_ms_per_1m_records"' BENCH_pr8.json
-grep -q '"batch_scans": 1,' BENCH_pr8.json
-grep -q '"scan_reduction"' BENCH_pr8.json
-grep -q '"speedup_vs_per_pair"' BENCH_pr8.json
+    -out BENCH_pr9.json -prev BENCH_pr8.json
+grep -q '"build_cubes"' BENCH_pr9.json
+grep -q '"lazy_cold_compare_ms"' BENCH_pr9.json
+grep -q '"load_speedup_vs_build"' BENCH_pr9.json
+grep -q '"rows_per_sec"' BENCH_pr9.json
+grep -q '"append_p90_ms"' BENCH_pr9.json
+grep -q '"replay_ms_per_1m_records"' BENCH_pr9.json
+grep -q '"batch_scans": 1,' BENCH_pr9.json
+grep -q '"scan_reduction"' BENCH_pr9.json
+grep -q '"speedup_vs_per_pair"' BENCH_pr9.json
+grep -q '"max_shard_build_ms"' BENCH_pr9.json
+grep -q '"single_pass_ms"' BENCH_pr9.json
+grep -q '"shards": 8' BENCH_pr9.json
 
 echo "CI PASSED"

@@ -41,6 +41,8 @@ commands:
   rules         mine class association rules
   report        write a Markdown comparison report
   savecubes     materialize rule cubes and persist them to a file
+  shard-build   cube one row-shard and write it as an eager snapshot
+  shard-merge   merge shard snapshots into one serving snapshot (needs no -data)
   repl          interactive exploration session (overview/detail/compare/focus/back)
 
 global flags (use -cubes FILE instead of -data to serve from persisted cubes):
@@ -60,6 +62,21 @@ func main() {
 	)
 	flag.Usage = usage
 	flag.Parse()
+	// shard-merge operates purely on snapshot files: intercept it before
+	// the -data/-cubes requirement below.
+	if flag.Arg(0) == "shard-merge" {
+		fs := flag.NewFlagSet("shard-merge", flag.ExitOnError)
+		out := fs.String("o", "merged.omapsnap", "output snapshot path")
+		fs.Parse(flag.Args()[1:])
+		if fs.NArg() == 0 {
+			log.Fatal("shard-merge: at least one source snapshot is required")
+		}
+		if err := opmap.MergeSnapshotFiles(*out, fs.Args()...); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "merged %d shard(s) into %s\n", fs.NArg(), *out)
+		return
+	}
 	if (*data == "" && *cubes == "") || flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
@@ -326,6 +343,22 @@ func main() {
 		st := session.CubeStats()
 		fmt.Fprintf(os.Stderr, "wrote %d cubes (%d cells ≈ %.1f MiB counts) to %s\n",
 			st.Cubes, st.Cells, float64(st.Bytes)/(1<<20), *out)
+	case "shard-build":
+		fs := flag.NewFlagSet("shard-build", flag.ExitOnError)
+		out := fs.String("o", "shard.omapsnap", "output snapshot path")
+		fs.Parse(args)
+		if fromCubes {
+			log.Fatal("shard-build: needs -data (a cube store carries no source rows to hash)")
+		}
+		requireCubes()
+		hash, err := opmap.HashSourceFile(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := session.SaveSnapshotFile(*out, opmap.SnapshotOptions{SourceHash: hash}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote shard snapshot %s (%d rows)\n", *out, session.NumRows())
 	case "impressions":
 		requireCubes()
 		imp, err := session.Impressions(opmap.ImpressionOptions{})

@@ -65,6 +65,7 @@ type benchDoc struct {
 	Snap    snapshotBench         `json:"snapshot"`
 	Ingest  ingestBench           `json:"ingest"`
 	Batch   batchBench            `json:"batch"`
+	Shard   shardBench            `json:"shard"`
 	Calib   calibBench            `json:"calibration"`
 	// Notes records run conditions the numbers alone cannot show —
 	// which previous artifact the regression gate compared against, or
@@ -156,6 +157,31 @@ type batchBench struct {
 	// loop already amortizes builds through the engine cache.
 	SpeedupVsPerPair float64 `json:"speedup_vs_per_pair"`
 	SpeedupVsSeq     float64 `json:"speedup_vs_seq"`
+}
+
+// shardBench contrasts the row-sharded build (BuildSharded) with the
+// single-pass build over identical data: per-shard build cost, the
+// cost of folding the partial stores together, and the parallel
+// end-to-end wall clock, at 2, 4 and 8 shards. Merging is exact
+// (contingency counts are additive), so the sharded session serves
+// the same answers — the bench tracks only what the sharding costs
+// and buys.
+type shardBench struct {
+	Rows         int        `json:"rows"`
+	SinglePassMs float64    `json:"single_pass_ms"`
+	Runs         []shardRun `json:"runs"`
+}
+
+// shardRun is one shard count: MaxShardBuildMs is the slowest shard's
+// load+build (the critical path of a perfectly parallel fleet),
+// MergeMs the sequential fold of the partial sessions, EndToEndMs the
+// actual BuildSharded wall clock with a worker pool.
+type shardRun struct {
+	Shards          int     `json:"shards"`
+	MaxShardBuildMs float64 `json:"max_shard_build_ms"`
+	MergeMs         float64 `json:"merge_ms"`
+	EndToEndMs      float64 `json:"end_to_end_ms"`
+	SpeedupVsSingle float64 `json:"speedup_vs_single_pass"`
 }
 
 // ingestBench measures the streaming append path: sustained durable
@@ -252,6 +278,10 @@ func run(records int, seed int64, rounds int, out, prev string, maxRegress, minS
 	if err != nil {
 		return err
 	}
+	shard, err := benchShard(ctx, records)
+	if err != nil {
+		return err
+	}
 	calib, err := benchCalib()
 	if err != nil {
 		return err
@@ -267,8 +297,12 @@ func run(records int, seed int64, rounds int, out, prev string, maxRegress, minS
 		Snap:    snap,
 		Ingest:  ingest,
 		Batch:   batch,
+		Shard:   shard,
 		Calib:   calib,
 	}
+	// The artifact series has a hole: PR 6 recorded no bench run, so the
+	// -prev chain skips from BENCH_pr5.json to BENCH_pr7.json.
+	doc.Notes = append(doc.Notes, "artifact series gap: BENCH_pr6.json was never recorded; the -prev chain jumps pr5 -> pr7")
 	reg := obsv.Default()
 	for _, stage := range obsv.PipelineStages {
 		doc.Stages[stage] = toStats(reg.Histogram(obsv.StageHistogramName, nil, "stage", stage))
@@ -405,6 +439,107 @@ func benchBatch(ctx context.Context, records int, seed int64) (batchBench, error
 	return bb, nil
 }
 
+// benchShard writes a purely categorical synthetic workload as one
+// whole CSV plus contiguous shard files, then measures the sharded
+// build three ways per shard count: each shard's load+build alone
+// (max = the fleet's critical path), the sequential merge of the
+// prebuilt shard sessions, and BuildSharded end to end.
+func benchShard(ctx context.Context, records int) (shardBench, error) {
+	sb := shardBench{Rows: records}
+	dir, err := os.MkdirTemp("", "opmapbench-shard-")
+	if err != nil {
+		return sb, err
+	}
+	defer os.RemoveAll(dir)
+
+	header := "Region,Model,Band,Cell,Firmware,Outcome"
+	attrs := strings.Split(header, ",")
+	load := opmap.LoadOptions{Class: "Outcome", Categorical: attrs}
+	rowAt := func(j int) string {
+		return fmt.Sprintf("r%d,m%d,b%d,c%d,f%d,o%d",
+			j%5, (j*7)%11, (j*13)%4, (j*29)%23, (j*3)%6, (j*17)%3)
+	}
+	writeRows := func(name string, lo, hi int) (string, error) {
+		path := filepath.Join(dir, name)
+		var b strings.Builder
+		b.WriteString(header)
+		b.WriteByte('\n')
+		for j := lo; j < hi; j++ {
+			b.WriteString(rowAt(j))
+			b.WriteByte('\n')
+		}
+		return path, os.WriteFile(path, []byte(b.String()), 0o600)
+	}
+
+	all, err := writeRows("all.csv", 0, records)
+	if err != nil {
+		return sb, err
+	}
+	start := time.Now()
+	single, err := opmap.LoadCSVFile(all, load)
+	if err != nil {
+		return sb, err
+	}
+	if err := single.BuildCubesContext(ctx); err != nil {
+		return sb, err
+	}
+	sb.SinglePassMs = msSince(start)
+
+	for _, n := range []int{2, 4, 8} {
+		chunk := (records + n - 1) / n
+		paths := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			lo, hi := i*chunk, (i+1)*chunk
+			if hi > records {
+				hi = records
+			}
+			p, err := writeRows(fmt.Sprintf("shard%d_of_%d.csv", i, n), lo, hi)
+			if err != nil {
+				return sb, err
+			}
+			paths = append(paths, p)
+		}
+		run := shardRun{Shards: n}
+
+		// Staged: per-shard builds sequentially (isolating each shard's
+		// cost from pool scheduling), then the merge fold alone.
+		sessions := make([]*opmap.Session, n)
+		for i, p := range paths {
+			t := time.Now()
+			s, err := opmap.LoadCSVFile(p, load)
+			if err != nil {
+				return sb, err
+			}
+			if err := s.BuildCubesContext(ctx); err != nil {
+				return sb, err
+			}
+			if ms := msSince(t); ms > run.MaxShardBuildMs {
+				run.MaxShardBuildMs = ms
+			}
+			sessions[i] = s
+		}
+		t := time.Now()
+		for _, other := range sessions[1:] {
+			if err := sessions[0].MergeFrom(other); err != nil {
+				return sb, err
+			}
+		}
+		run.MergeMs = msSince(t)
+
+		// End to end: the real worker-pool path.
+		t = time.Now()
+		if _, err := opmap.BuildShardedContext(ctx, paths, opmap.ShardOptions{Load: load}); err != nil {
+			return sb, err
+		}
+		run.EndToEndMs = msSince(t)
+		if run.EndToEndMs > 0 {
+			run.SpeedupVsSingle = sb.SinglePassMs / run.EndToEndMs
+		}
+		sb.Runs = append(sb.Runs, run)
+	}
+	return sb, nil
+}
+
 // Calibration classes for headline metrics: which canary tracks the
 // resource a metric's wall clock is dominated by.
 const (
@@ -434,6 +569,14 @@ var headlineMetrics = []struct {
 	{"snapshot.load_ms", func(d *benchDoc) float64 { return d.Snap.LoadMs }, false, calibDisk},
 	{"ingest.rows_per_sec", func(d *benchDoc) float64 { return d.Ingest.RowsPerSec }, true, calibDisk},
 	{"ingest.replay_ms_per_1m_records", func(d *benchDoc) float64 { return d.Ingest.ReplayMsPer1M }, false, calibDisk},
+	{"shard.end_to_end_2_shards_ms", func(d *benchDoc) float64 {
+		for _, r := range d.Shard.Runs {
+			if r.Shards == 2 {
+				return r.EndToEndMs
+			}
+		}
+		return 0
+	}, false, calibCPU},
 }
 
 // calibScale returns the threshold multiplier for a metric class: how

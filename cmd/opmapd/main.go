@@ -27,6 +27,14 @@
 // session incrementally through a bounded apply queue; a full queue
 // sheds with 503 + Retry-After.
 //
+// -shard-dir warm-starts from a directory of shard snapshots written
+// by a fleet of shard builders (opmap shard-build): the shards merge
+// at load — dictionary union, additive cube-count merge, zero cube
+// builds — into one serving dataset, and /api/datasets reports
+// "merged (N shards)". A failed assembly is counted by reason
+// (opmapd_shard_fallbacks_total) and the daemon cold-builds from
+// -data when that is also given.
+//
 // -snapshot-dir makes sessions durable: at startup each dataset
 // warm-starts from <dir>/<name>.omapsnap when the snapshot matches
 // the source content hash (eager datasets restore with zero cube
@@ -116,6 +124,7 @@ func main() {
 		lazy         = flag.Bool("lazy", false, "materialize cubes on demand instead of at startup")
 		cacheBytes   = flag.Int64("cube-cache-bytes", 0, "lazy 2-D cube cache budget in bytes (0 = 64 MiB default, negative = unlimited)")
 		snapDir      = flag.String("snapshot-dir", "", "directory of per-dataset session snapshots: warm-start from them at boot, checkpoint into them while serving")
+		shardDir     = flag.String("shard-dir", "", "directory of shard snapshots (opmap shard-build output): merge them at boot into one serving dataset, falling back to -data on failure")
 		ckptEvery    = flag.Duration("checkpoint-interval", 0, "rewrite changed snapshots in -snapshot-dir this often (0 disables the background checkpointer)")
 		walDir       = flag.String("wal-dir", "", "directory of per-dataset write-ahead logs: enables POST /api/ingest with replay recovery at boot")
 	)
@@ -148,6 +157,23 @@ func main() {
 		log.Fatal("-checkpoint-interval requires -snapshot-dir")
 	}
 
+	var shards *shardman
+	if *shardDir != "" {
+		if *cubes != "" || *demo {
+			log.Fatal("-shard-dir is incompatible with -cubes and -demo")
+		}
+		if *snapDir != "" {
+			log.Fatal("-shard-dir is incompatible with -snapshot-dir (the shard directory is already the durable source)")
+		}
+		if *lazy {
+			log.Fatal("-shard-dir restores an eager merged store; -lazy is incompatible")
+		}
+		shards, err = newShardman(*shardDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	var ingest *ingestman
 	if *walDir != "" {
 		if *cubes != "" {
@@ -172,6 +198,7 @@ func main() {
 		lazy:        *lazy,
 		cacheBytes:  *cacheBytes,
 		snaps:       snaps,
+		shards:      shards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -187,6 +214,8 @@ func main() {
 	}
 	if snaps != nil {
 		cfg.SnapshotStatus = snaps.status
+	} else if shards != nil {
+		cfg.SnapshotStatus = shards.statusFor
 	}
 	if ingest != nil {
 		for name, sess := range sessions {
@@ -263,6 +292,9 @@ type loadConfig struct {
 	// snaps, when non-nil, enables snapshot warm starts and checkpoints
 	// for every loaded dataset.
 	snaps *snapman
+	// shards, when non-nil, serves one dataset assembled from a
+	// directory of shard snapshots, with -data as the cold fallback.
+	shards *shardman
 }
 
 // loadSessions builds the serving registry from exactly one of the
@@ -270,6 +302,23 @@ type loadConfig struct {
 // session's engine under ctx, so startup aborts promptly on SIGTERM.
 // The returned default is the first -data dataset.
 func loadSessions(ctx context.Context, cfg loadConfig) (map[string]*opmap.Session, string, error) {
+	if cfg.shards != nil {
+		// The shard directory is the primary source; -data, when also
+		// given, is only the cold fallback after a failed assembly.
+		name := server.DefaultDatasetName
+		if len(cfg.data) > 0 {
+			if n, _ := splitDataSpec(cfg.data[0]); n != "" {
+				name = n
+			}
+		}
+		if sess, ok := cfg.shards.load(name); ok {
+			return map[string]*opmap.Session{name: sess}, name, nil
+		}
+		if len(cfg.data) == 0 {
+			return nil, "", fmt.Errorf("shard dir %s: no usable shard snapshots and no -data to rebuild from", cfg.shards.dir)
+		}
+		cfg.shards.trackCold(name)
+	}
 	sources := 0
 	for _, set := range []bool{len(cfg.data) > 0, cfg.cubes != "", cfg.demo} {
 		if set {

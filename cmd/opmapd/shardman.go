@@ -1,0 +1,137 @@
+package main
+
+// Shard-directory warm starts for the daemon. A shardman owns one
+// -shard-dir: a directory of eager shard snapshots written by a fleet
+// of shard builders (opmap shard-build). At startup it lists the
+// shards in name order and assembles them into one serving session
+// via opmap.LoadShardSnapshots — dictionary union, additive cube
+// merge, zero cube builds. A failed assembly records a reason-labeled
+// fallback (mirroring snapman's counters) and the daemon cold-builds
+// from -data when that is also given, or refuses to start when it is
+// not.
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"opmap"
+	"opmap/internal/obsv"
+)
+
+// metricShardFallbacks counts shard-directory warm starts abandoned
+// for a cold rebuild, labeled by reason. Merge durations and the
+// shards-merged count are recorded by the opmap session layer itself
+// (opmap.ShardMergeHistogramName, opmap.ShardsMergedCounterName).
+const metricShardFallbacks = "opmapd_shard_fallbacks_total"
+
+// shardFallbackReasons enumerates the metricShardFallbacks label
+// values so the series exist from the first scrape.
+var shardFallbackReasons = []string{"empty", "corrupt", "incompatible"}
+
+// shardman manages one shard-snapshot directory and the status string
+// reported on /api/datasets for the dataset assembled from it.
+type shardman struct {
+	dir string
+
+	mu sync.Mutex
+	// name and status describe the served merged dataset; empty until a
+	// successful load.
+	name   string
+	status string
+	reason string
+}
+
+// newShardman validates the shard directory and pre-registers the
+// fallback counter series at zero.
+func newShardman(dir string) (*shardman, error) {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("shard dir: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("shard dir: %s is not a directory", dir)
+	}
+	reg := obsv.Default()
+	for _, reason := range shardFallbackReasons {
+		reg.Counter(metricShardFallbacks, "reason", reason)
+	}
+	return &shardman{dir: dir}, nil
+}
+
+// load assembles the directory's shard snapshots (in file-name order,
+// so shard builders control merge order by naming) into one serving
+// session. On any failure it records a reason-labeled fallback and
+// returns false; the caller decides whether a cold rebuild is
+// available.
+func (m *shardman) load(name string) (*opmap.Session, bool) {
+	paths, err := filepath.Glob(filepath.Join(m.dir, "*"+snapExt))
+	if err != nil || len(paths) == 0 {
+		m.fallback("empty", err)
+		return nil, false
+	}
+	sort.Strings(paths)
+	start := time.Now()
+	sess, err := opmap.LoadShardSnapshots(paths...)
+	if err != nil {
+		// Read-stage failures (wrapped "opmap: shard <path>") mean a
+		// damaged or unreadable file; anything past reading is a merge
+		// rejection — lazy shard, cut or schema mismatch.
+		reason := "incompatible"
+		if strings.HasPrefix(err.Error(), "opmap: shard ") {
+			reason = "corrupt"
+		}
+		m.fallback(reason, err)
+		return nil, false
+	}
+	m.mu.Lock()
+	m.name = name
+	m.status = fmt.Sprintf("merged (%d shards)", len(paths))
+	m.mu.Unlock()
+	log.Printf("dataset %q: assembled %d shard snapshot(s) from %s in %v (%d cubes, zero builds)",
+		name, len(paths), m.dir, time.Since(start).Round(time.Millisecond), sess.CubeCount())
+	return sess, true
+}
+
+// fallback records a failed shard assembly: a counter tick, a log
+// line, and the reason for the dataset's status string.
+func (m *shardman) fallback(reason string, err error) {
+	obsv.Default().Counter(metricShardFallbacks, "reason", reason).Inc()
+	m.mu.Lock()
+	m.reason = reason
+	m.mu.Unlock()
+	if err != nil {
+		log.Printf("shard dir %s: fallback (%s): %v", m.dir, reason, err)
+		return
+	}
+	log.Printf("shard dir %s: fallback (%s)", m.dir, reason)
+}
+
+// trackCold marks the dataset as cold-built after a fallback, so
+// /api/datasets explains why the shard assembly did not serve.
+func (m *shardman) trackCold(name string) {
+	m.mu.Lock()
+	m.name = name
+	if m.reason != "" {
+		m.status = "cold (" + m.reason + ")"
+	} else {
+		m.status = "cold"
+	}
+	m.mu.Unlock()
+}
+
+// statusFor reports the assembled dataset's status for /api/datasets;
+// empty means untracked.
+func (m *shardman) statusFor(name string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if name != m.name {
+		return ""
+	}
+	return m.status
+}

@@ -24,6 +24,14 @@
 // materializes all missing cubes in one shared dataset scan instead
 // of one scan per pair.
 //
+// For data too large to load once, BuildSharded cubes row-shards of
+// one logical dataset concurrently and merges the partial sessions —
+// exactly, since contingency counts are additive — into a session
+// equal to a single pass over the concatenated shards. MergeFrom
+// folds sessions built elsewhere, and MergeSnapshotFiles /
+// LoadShardSnapshots do the same assembly from shard snapshot files
+// without the source rows.
+//
 // All functionality is deterministic given fixed seeds and uses only the
 // Go standard library.
 package opmap

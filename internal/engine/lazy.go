@@ -548,28 +548,37 @@ func (s *LazySource) SeedCubes(cubes []*rulecube.Cube) (int, error) {
 	return seeded, nil
 }
 
-// ApplyRow folds one appended record into every resident cube — pinned
-// 1-D cubes and cached 2-D cubes alike — growing dimensions where the
-// row registered new labels and re-accounting LRU bytes (a grown cube
-// is bigger; the budget may evict). Non-resident cubes need nothing:
-// they materialize later from the already-updated dataset. rowCodes is
-// the full working-dataset row indexed by attribute index. Callers must
-// ensure no query is concurrently reading cube counts (the Session
-// ingest lock provides this); the source's own lock only protects the
-// cache structures.
+// ApplyRow folds one appended record into every resident cube; it is
+// IngestRows for a single-row batch.
 func (s *LazySource) ApplyRow(rowCodes []int32, class int32) error {
+	return s.IngestRows([][]int32{rowCodes}, []int32{class})
+}
+
+// IngestRows folds a batch of appended records into every resident
+// cube — pinned 1-D cubes and cached 2-D cubes alike — growing
+// dimensions where the batch registered new labels (one SyncDims per
+// cube per batch, not per row) and re-accounting LRU bytes (a grown
+// cube is bigger; the budget may evict). Non-resident cubes need
+// nothing: they materialize later from the already-updated dataset.
+// Each row is the full working-dataset row indexed by attribute index,
+// with classes the parallel class codes; the delta application routes
+// through rulecube's additive-merge primitive. Callers must ensure no
+// query is concurrently reading cube counts (the Session ingest lock
+// provides this); the source's own lock only protects the cache
+// structures.
+func (s *LazySource) IngestRows(rows [][]int32, classes []int32) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range s.oneD {
 		c.SyncDims()
-		if _, err := c.ApplyRow(rowCodes, class); err != nil {
+		if _, err := c.IngestRows(rows, classes); err != nil {
 			return err
 		}
 	}
 	for el := s.order.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*lruEntry)
 		e.cube.SyncDims()
-		if _, err := e.cube.ApplyRow(rowCodes, class); err != nil {
+		if _, err := e.cube.IngestRows(rows, classes); err != nil {
 			return err
 		}
 		if grown := e.cube.SizeBytes(); grown != e.size {

@@ -294,10 +294,10 @@ func scanAll(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, rows in
 	wg.Wait()
 	for s := range extra {
 		for i := range pairs {
-			addInto(pairs[i].scratch, extra[s][i].scratch)
+			AddCounts(pairs[i].scratch, extra[s][i].scratch)
 		}
 		for i := range ones {
-			addInto(ones[i].scratch, extraOnes[s][i].scratch)
+			AddCounts(ones[i].scratch, extraOnes[s][i].scratch)
 		}
 	}
 }
@@ -345,13 +345,6 @@ func scanRange(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, lo, h
 				scratch[(int(col[r])+1)*nc+int(cl)]++
 			}
 		}
-	}
-}
-
-// addInto accumulates src into dst element-wise.
-func addInto(dst, src []int64) {
-	for i, n := range src {
-		dst[i] += n
 	}
 }
 
@@ -413,7 +406,7 @@ func extractDerivedOne(ds *dataset.Dataset, nc int, a int, p *pairPlan, pos int)
 			dst := c.counts[va*nc : (va+1)*nc]
 			base := (va + 1) * p.strideA
 			for sb := 0; sb <= p.dimB; sb++ {
-				addInto(dst, p.scratch[base+sb*nc:base+(sb+1)*nc])
+				AddCounts(dst, p.scratch[base+sb*nc:base+(sb+1)*nc])
 			}
 		}
 	} else {
@@ -421,7 +414,7 @@ func extractDerivedOne(ds *dataset.Dataset, nc int, a int, p *pairPlan, pos int)
 			dst := c.counts[vb*nc : (vb+1)*nc]
 			for sa := 0; sa <= p.dimA; sa++ {
 				off := sa*p.strideA + (vb+1)*nc
-				addInto(dst, p.scratch[off:off+nc])
+				AddCounts(dst, p.scratch[off:off+nc])
 			}
 		}
 	}

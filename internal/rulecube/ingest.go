@@ -85,19 +85,9 @@ func (c *Cube) ApplyRow(rowCodes []int32, class int32) (bool, error) {
 	if int(class) >= c.numClasses {
 		return false, fmt.Errorf("rulecube: class code %d beyond %d classes; SyncDims not run", class, c.numClasses)
 	}
-	idx := 0
-	for i, a := range c.attrIdx {
-		if a < 0 || a >= len(rowCodes) {
-			return false, fmt.Errorf("rulecube: cube dimension %q indexes attribute %d beyond row width %d", c.attrNames[i], a, len(rowCodes))
-		}
-		v := rowCodes[a]
-		if v < 0 {
-			return false, nil
-		}
-		if int(v) >= c.dims[i] {
-			return false, fmt.Errorf("rulecube: value code %d for %q beyond dimension %d; SyncDims not run", v, c.attrNames[i], c.dims[i])
-		}
-		idx = idx*c.dims[i] + int(v)
+	idx, ok, err := c.cellIndex(rowCodes)
+	if err != nil || !ok {
+		return false, err
 	}
 	c.counts[idx*c.numClasses+int(class)]++
 	c.total++

@@ -1,0 +1,281 @@
+package rulecube
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"opmap/internal/dataset"
+)
+
+// shardDataset builds a three-attribute categorical dataset (A1, A2,
+// class C) from "a1 a2 c" rows with fresh dictionaries, so two shards
+// built from different row sets see genuinely different code orders.
+func shardDataset(t *testing.T, rows ...string) *dataset.Dataset {
+	t.Helper()
+	b, err := dataset.NewBuilder(dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "A1", Kind: dataset.Categorical},
+			{Name: "A2", Kind: dataset.Categorical},
+			{Name: "C", Kind: dataset.Categorical},
+		},
+		ClassIndex: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := b.AddRow(strings.Fields(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// Shard rows chosen so the two shards have disjoint first-appearance
+// orders: shard2 opens with labels shard1 never saw.
+var (
+	shard1Rows = []string{
+		"a e yes", "a e no", "b f yes", "a g no", "b e yes", "? f no",
+	}
+	shard2Rows = []string{
+		"c h no", "c e maybe", "a h yes", "d f no", "c ? maybe",
+	}
+)
+
+func TestAddCounts(t *testing.T) {
+	dst := []int64{1, 2, 3, 4}
+	AddCounts(dst, []int64{10, 0, 5})
+	if want := []int64{11, 2, 8, 4}; !reflect.DeepEqual(dst, want) {
+		t.Fatalf("dst = %v, want %v", dst, want)
+	}
+}
+
+func TestAddDelta(t *testing.T) {
+	dst := []int64{1, 2, 3}
+	AddDelta(dst, Delta{0: 5, 2: -1})
+	if want := []int64{6, 2, 2}; !reflect.DeepEqual(dst, want) {
+		t.Fatalf("dst = %v, want %v", dst, want)
+	}
+}
+
+// TestStoreMergeMatchesSinglePass is the core merge oracle: build
+// stores over two shards with non-identical dictionaries, merge, and
+// require the result DeepEqual to the single-pass store over the
+// concatenated rows — dataset included.
+func TestStoreMergeMatchesSinglePass(t *testing.T) {
+	ds1 := shardDataset(t, shard1Rows...)
+	ds2 := shardDataset(t, shard2Rows...)
+	st1, err := BuildStore(ds1, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := BuildStore(ds2, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Merge(st2); err != nil {
+		t.Fatal(err)
+	}
+
+	all := append(append([]string(nil), shard1Rows...), shard2Rows...)
+	dsAll := shardDataset(t, all...)
+	want, err := BuildStore(dsAll, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged store's dataset holds only shard1's rows (stores merge
+	// counts, not rows — the session layer appends rows separately), so
+	// append shard2's remapped rows before the full comparison.
+	rm, err := st1.Dataset().UnionDicts(ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Dataset().AppendRemapped(ds2, rm); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st1, want) {
+		t.Fatalf("merged store differs from single-pass store\n got: %+v\nwant: %+v", st1.Stats(), want.Stats())
+	}
+}
+
+// TestStoreMergeZeroRowShard checks both positions of an empty shard:
+// empty-into-populated and populated-into-empty.
+func TestStoreMergeZeroRowShard(t *testing.T) {
+	buildPair := func() (*Store, *Store, *Store) {
+		t.Helper()
+		empty, err := BuildStore(shardDataset(t), StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := BuildStore(shardDataset(t, shard1Rows...), StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := BuildStore(shardDataset(t, shard1Rows...), StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return empty, full, want
+	}
+
+	t.Run("empty destination", func(t *testing.T) {
+		empty, full, want := buildPair()
+		if err := empty.Merge(full); err != nil {
+			t.Fatal(err)
+		}
+		rm, err := empty.Dataset().UnionDicts(full.Dataset())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := empty.Dataset().AppendRemapped(full.Dataset(), rm); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(empty, want) {
+			t.Fatalf("empty-destination merge differs from single-pass store")
+		}
+	})
+	t.Run("empty source", func(t *testing.T) {
+		empty, full, want := buildPair()
+		if err := full.Merge(empty); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(full, want) {
+			t.Fatalf("empty-source merge changed the store")
+		}
+	})
+}
+
+func TestStoreMergeSchemaMismatchNamesAttribute(t *testing.T) {
+	st1, err := BuildStore(shardDataset(t, shard1Rows...), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dataset.NewBuilder(dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "A1", Kind: dataset.Categorical},
+			{Name: "B2", Kind: dataset.Categorical},
+			{Name: "C", Kind: dataset.Categorical},
+		},
+		ClassIndex: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRow([]string{"a", "e", "yes"}); err != nil {
+		t.Fatal(err)
+	}
+	other, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := BuildStore(other, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = st1.Merge(st2)
+	if err == nil || !strings.Contains(err.Error(), `"A2"`) {
+		t.Fatalf("err = %v, want mismatch naming \"A2\"", err)
+	}
+}
+
+func TestCubeMergeDimensionMismatch(t *testing.T) {
+	ds := shardDataset(t, shard1Rows...)
+	c1, err := Build(ds, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Build(ds, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Merge(c2, nil, nil); err == nil {
+		t.Fatal("merging cubes over different attributes should fail")
+	}
+	pair, err := Build(ds, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Merge(pair, nil, nil); err == nil {
+		t.Fatal("merging cubes of different dimensionality should fail")
+	}
+}
+
+// TestIngestRowsMatchesApplyRow: a batched ingest must land exactly
+// where the equivalent ApplyRow sequence lands.
+func TestIngestRowsMatchesApplyRow(t *testing.T) {
+	base := shardDataset(t, shard1Rows...)
+	stBatch, err := BuildStore(base, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRow, err := BuildStore(shardDataset(t, shard1Rows...), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the dictionaries the way appended rows would, including a
+	// label unseen at build time, then apply the same coded rows both
+	// ways. Row layout: [A1, A2, C]; -1 is a missing value.
+	growDicts := func(st *Store) {
+		st.Dataset().Column(0).Dict.Code("z")
+		st.Dataset().ClassDict().Code("new")
+	}
+	growDicts(stBatch)
+	growDicts(stRow)
+	rows := [][]int32{
+		{0, 1, 0},
+		{2, 0, 2}, // the fresh "z" value and "new" class
+		{-1, 2, 1},
+		{1, -1, 0},
+		{2, 2, -1}, // missing class: skipped everywhere
+	}
+	classes := make([]int32, len(rows))
+	for i, r := range rows {
+		classes[i] = r[2]
+	}
+	if err := stBatch.IngestRows(rows, classes); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if err := stRow.ApplyRow(r, classes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(stBatch, stRow) {
+		t.Fatal("batched IngestRows differs from row-by-row ApplyRow")
+	}
+}
+
+func TestIngestRowsValidatesBeforeMutating(t *testing.T) {
+	ds := shardDataset(t, shard1Rows...)
+	c, err := Build(ds, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]int64(nil), c.counts...)
+	total := c.total
+	// Second row's value code is beyond the dimension (dict not grown):
+	// the whole batch must be rejected with nothing applied.
+	_, err = c.IngestRows([][]int32{{0, 0, 0}, {99, 0, 0}}, []int32{0, 0})
+	if err == nil {
+		t.Fatal("expected error for out-of-range code")
+	}
+	if !reflect.DeepEqual(c.counts, before) || c.total != total {
+		t.Fatal("failed batch mutated the cube")
+	}
+}
+
+func TestIngestRowsLengthMismatch(t *testing.T) {
+	ds := shardDataset(t, shard1Rows...)
+	c, err := Build(ds, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.IngestRows([][]int32{{0, 0, 0}}, []int32{0, 1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}

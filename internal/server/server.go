@@ -222,6 +222,10 @@ func New(cfg Config) (*Server, error) {
 	// needs both series present at 0 rather than absent.
 	s.metrics.Counter(rulecube.CubesBuiltCounterName)
 	s.metrics.Counter(rulecube.CubeScansCounterName)
+	// Shard-merge series: a shard-directory warm start must be able to
+	// prove "N shards merged, zero cubes built" with a scrape.
+	s.metrics.Histogram(opmap.ShardMergeHistogramName, nil)
+	s.metrics.Counter(opmap.ShardsMergedCounterName)
 	// Ingest series exist whether or not ingestion is enabled, so the
 	// kill -9 smoke can assert opmap_wal_replayed_records_total moved
 	// and dashboards can alert on sheds from the first scrape.

@@ -1,0 +1,130 @@
+package snapshot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// OMAPSNAP shard-merge: N processes each cube a slice of the logs and
+// write ordinary snapshot files; one serving daemon assembles them into
+// a single snapshot. Contingency counts are additive, so the assembly
+// is exact — dictionaries union (new labels append in shard order),
+// cube counts remap through the union and sum (rulecube.Store.Merge),
+// row counts add, ingest sequences reconcile to the maximum. Merging
+// the shards of a row-partitioned dataset, in partition order,
+// reproduces bit-for-bit the store a single pass over the whole dataset
+// would have built.
+
+// Merge assembles shard snapshots into one serving snapshot, in
+// argument order. The first shard is the merge destination: its dataset
+// dictionaries and store are grown in place and returned inside the
+// merged snapshot (callers needing the input intact should re-read it).
+// Later shards are never modified.
+//
+// Every shard must be ModeEager — a lazy snapshot holds only the cubes
+// resident at capture time, so merging one would silently undercount.
+// Discretization cut points must be bit-identical across shards (the
+// same cuts fed to every shard build); a mismatch errors naming the
+// attribute. Header fields reconcile as: rows sum, ingest sequence and
+// created time take the maximum, cache bytes reset to zero (eager), and
+// the source hash becomes HashBytes over the newline-joined shard
+// hashes in merge order — a deterministic identity for the ordered
+// shard set.
+func Merge(snaps ...*Snapshot) (*Snapshot, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("snapshot: merge needs at least one shard")
+	}
+	for i, sn := range snaps {
+		if sn == nil || sn.Dataset == nil || sn.Store == nil {
+			return nil, fmt.Errorf("snapshot: shard %d: missing dataset or store", i)
+		}
+		if sn.Mode != ModeEager {
+			return nil, fmt.Errorf("snapshot: shard %d: mode %s: only eager snapshots merge (a lazy snapshot holds only its resident cubes and would undercount)", i, sn.Mode)
+		}
+	}
+	first := snaps[0]
+	rows := first.Rows
+	seq := first.IngestSeq
+	created := first.CreatedUnix
+	hashes := make([]string, 0, len(snaps))
+	hashes = append(hashes, first.SourceHash)
+	for i, sn := range snaps[1:] {
+		if err := compatibleCuts(first.Cuts, sn.Cuts); err != nil {
+			return nil, fmt.Errorf("snapshot: shard %d: %w", i+1, err)
+		}
+		if err := first.Store.Merge(sn.Store); err != nil {
+			return nil, fmt.Errorf("snapshot: shard %d: %w", i+1, err)
+		}
+		rows += sn.Rows
+		if sn.IngestSeq > seq {
+			seq = sn.IngestSeq
+		}
+		if sn.CreatedUnix > created {
+			created = sn.CreatedUnix
+		}
+		hashes = append(hashes, sn.SourceHash)
+	}
+	return &Snapshot{
+		SourceHash:  HashBytes([]byte(strings.Join(hashes, "\n"))),
+		CreatedUnix: created,
+		Rows:        rows,
+		Mode:        ModeEager,
+		IngestSeq:   seq,
+		Cuts:        first.Cuts,
+		Dataset:     first.Dataset,
+		Store:       first.Store,
+	}, nil
+}
+
+// MergeFiles reads the shard snapshots at srcs (any mix of format
+// versions Read accepts), merges them in argument order, and writes the
+// result to dst through internal/atomicfile — a crash mid-write leaves
+// any previous file at dst intact. Corrupt, truncated, or incompatible
+// shards error naming the shard path and the offending block or
+// attribute; dst is not touched on any error.
+func MergeFiles(dst string, srcs ...string) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("snapshot: merge needs at least one shard")
+	}
+	snaps := make([]*Snapshot, len(srcs))
+	for i, p := range srcs {
+		sn, err := ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("snapshot: shard %s: %w", p, err)
+		}
+		snaps[i] = sn
+	}
+	merged, err := Merge(snaps...)
+	if err != nil {
+		return err
+	}
+	return WriteFile(dst, merged)
+}
+
+// compatibleCuts requires bit-identical cut points across shards,
+// naming the first attribute that differs. Shards discretized with
+// different cuts count different intervals; summing those cubes would
+// be semantically meaningless, so the merge refuses.
+func compatibleCuts(a, b map[string][]float64) error {
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok {
+			return fmt.Errorf("cut points for %q missing", name)
+		}
+		if len(av) != len(bv) {
+			return fmt.Errorf("cut points for %q differ: %d vs %d points", name, len(av), len(bv))
+		}
+		for i := range av {
+			if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+				return fmt.Errorf("cut points for %q differ at point %d", name, i)
+			}
+		}
+	}
+	for name := range b {
+		if _, ok := a[name]; !ok {
+			return fmt.Errorf("unexpected cut points for %q", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opmap/internal/dataset"
+	"opmap/internal/rulecube"
+	"opmap/internal/snapshot"
+)
+
+// shardSnapshot builds an eager snapshot over "phone location dropped"
+// rows with fresh dictionaries, so shards built from different row sets
+// have genuinely different code assignments.
+func shardSnapshot(t testing.TB, hash string, rows ...string) *snapshot.Snapshot {
+	t.Helper()
+	b, err := dataset.NewBuilder(dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "phone", Kind: dataset.Categorical},
+			{Name: "location", Kind: dataset.Categorical},
+			{Name: "dropped", Kind: dataset.Categorical},
+		},
+		ClassIndex: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := b.AddRow(strings.Fields(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &snapshot.Snapshot{
+		SourceHash:  snapshot.HashBytes([]byte(hash)),
+		CreatedUnix: 1754000000,
+		Rows:        ds.NumRows(),
+		Mode:        snapshot.ModeEager,
+		Cuts:        map[string][]float64{"temp": {1.5, 2.5}},
+		Dataset:     ds,
+		Store:       store,
+	}
+}
+
+// Shard rows chosen so shard2 opens with labels shard1 never saw:
+// the merge has to remap, not just sum.
+var (
+	mergeShard1Rows = []string{
+		"p1 north yes", "p1 south no", "p2 north yes", "p2 south no",
+	}
+	mergeShard2Rows = []string{
+		"p3 east no", "p3 north maybe", "p1 east yes", "p4 south no",
+	}
+)
+
+// TestMergeMatchesSinglePass: merging two shard snapshots (with
+// non-identical dictionaries) through a Write/Read round trip must
+// serve exactly the store a single pass over the concatenated rows
+// would have built.
+func TestMergeMatchesSinglePass(t *testing.T) {
+	sn1 := shardSnapshot(t, "shard-1", mergeShard1Rows...)
+	sn1.IngestSeq = 7
+	sn2 := shardSnapshot(t, "shard-2", mergeShard2Rows...)
+	sn2.IngestSeq = 12
+	sn2.CreatedUnix = 1754009999
+
+	// Round-trip each shard through the file format first, like a real
+	// fleet would: the merge operates on restored (schema-only) shards.
+	r1, err := snapshot.Read(bytes.NewReader(encode(t, sn1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := snapshot.Read(bytes.NewReader(encode(t, sn2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := snapshot.Merge(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want := len(mergeShard1Rows) + len(mergeShard2Rows); merged.Rows != want {
+		t.Errorf("Rows = %d, want %d", merged.Rows, want)
+	}
+	if merged.IngestSeq != 12 {
+		t.Errorf("IngestSeq = %d, want max 12", merged.IngestSeq)
+	}
+	if merged.CreatedUnix != 1754009999 {
+		t.Errorf("CreatedUnix = %d, want max 1754009999", merged.CreatedUnix)
+	}
+	if merged.Mode != snapshot.ModeEager {
+		t.Errorf("Mode = %v, want eager", merged.Mode)
+	}
+	wantHash := snapshot.HashBytes([]byte(sn1.SourceHash + "\n" + sn2.SourceHash))
+	if merged.SourceHash != wantHash {
+		t.Errorf("SourceHash = %q, want hash over ordered shard hashes", merged.SourceHash)
+	}
+
+	// The store oracle: a single pass over the concatenated rows, also
+	// round-tripped, must serialize byte-identically to the merged store.
+	all := append(append([]string(nil), mergeShard1Rows...), mergeShard2Rows...)
+	single := shardSnapshot(t, "single", all...)
+	rs, err := snapshot.Read(bytes.NewReader(encode(t, single)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mergedStore, singleStore bytes.Buffer
+	if err := rulecube.WriteStore(&mergedStore, merged.Store); err != nil {
+		t.Fatal(err)
+	}
+	if err := rulecube.WriteStore(&singleStore, rs.Store); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mergedStore.Bytes(), singleStore.Bytes()) {
+		t.Error("merged store stream differs from single-pass store stream")
+	}
+
+	// And the merged snapshot must itself round-trip: write, read,
+	// rebind — the dictionaries grown by the merge stay consistent with
+	// the re-laid cube dimensions.
+	back, err := snapshot.Read(bytes.NewReader(encode(t, merged)))
+	if err != nil {
+		t.Fatalf("merged snapshot does not round-trip: %v", err)
+	}
+	if back.Rows != merged.Rows || back.IngestSeq != merged.IngestSeq {
+		t.Errorf("round-tripped header = rows %d seq %d, want %d/%d",
+			back.Rows, back.IngestSeq, merged.Rows, merged.IngestSeq)
+	}
+}
+
+func TestMergeSingleShard(t *testing.T) {
+	sn := shardSnapshot(t, "solo", mergeShard1Rows...)
+	merged, err := snapshot.Merge(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Rows != sn.Rows || merged.Store != sn.Store {
+		t.Error("single-shard merge should pass the shard through")
+	}
+	if merged.SourceHash != snapshot.HashBytes([]byte(sn.SourceHash)) {
+		t.Error("single-shard source hash should still derive from the shard hash")
+	}
+}
+
+func TestMergeRejectsLazy(t *testing.T) {
+	sn1 := shardSnapshot(t, "a", mergeShard1Rows...)
+	sn2 := shardSnapshot(t, "b", mergeShard2Rows...)
+	sn2.Mode = snapshot.ModeLazy
+	_, err := snapshot.Merge(sn1, sn2)
+	if err == nil || !strings.Contains(err.Error(), "shard 1") || !strings.Contains(err.Error(), "eager") {
+		t.Fatalf("err = %v, want lazy rejection naming shard 1", err)
+	}
+}
+
+func TestMergeCutsMismatchNamesAttribute(t *testing.T) {
+	sn1 := shardSnapshot(t, "a", mergeShard1Rows...)
+	sn2 := shardSnapshot(t, "b", mergeShard2Rows...)
+	sn2.Cuts = map[string][]float64{"temp": {1.5, 9.9}}
+	_, err := snapshot.Merge(sn1, sn2)
+	if err == nil || !strings.Contains(err.Error(), `"temp"`) {
+		t.Fatalf("err = %v, want cut mismatch naming \"temp\"", err)
+	}
+}
+
+func TestMergeNilShard(t *testing.T) {
+	sn := shardSnapshot(t, "a", mergeShard1Rows...)
+	if _, err := snapshot.Merge(sn, nil); err == nil || !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("err = %v, want nil shard error naming shard 1", err)
+	}
+	if _, err := snapshot.Merge(); err == nil {
+		t.Fatal("zero shards should error")
+	}
+}
+
+func TestMergeFiles(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "shard1.omapsnap")
+	p2 := filepath.Join(dir, "shard2.omapsnap")
+	dst := filepath.Join(dir, "merged.omapsnap")
+	if err := snapshot.WriteFile(p1, shardSnapshot(t, "a", mergeShard1Rows...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.WriteFile(p2, shardSnapshot(t, "b", mergeShard2Rows...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.MergeFiles(dst, p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := snapshot.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(mergeShard1Rows) + len(mergeShard2Rows); got.Rows != want {
+		t.Errorf("merged file Rows = %d, want %d", got.Rows, want)
+	}
+}
+
+// TestMergeFilesAcceptsVersion1: a fleet upgraded mid-stream may hand
+// the merger a mix of format versions; any version Read accepts must
+// merge. The v1 fixture is synthesized the same way TestReadsVersion1
+// does: strip the IngestSeq field, re-stamp version and checksum.
+func TestMergeFilesAcceptsVersion1(t *testing.T) {
+	sn1 := shardSnapshot(t, "a", mergeShard1Rows...)
+	sn1.IngestSeq = 5
+	b := encode(t, sn1)
+
+	off := len(snapshot.Magic)
+	ver, n := binary.Uvarint(b[off:])
+	if ver != 2 || n != 1 {
+		t.Fatalf("version field = %d (%d bytes), want 2 (1 byte)", ver, n)
+	}
+	b[off] = 1
+	off += n
+	l, n := binary.Uvarint(b[off:]) // SourceHash string
+	off += n + int(l)
+	for i := 0; i < 3; i++ { // CreatedUnix, Rows, Mode
+		_, n = binary.Uvarint(b[off:])
+		off += n
+	}
+	_, n = binary.Varint(b[off:]) // CacheBytes (signed)
+	off += n
+	seq, n := binary.Uvarint(b[off:])
+	if seq != 5 {
+		t.Fatalf("located field = %d, want IngestSeq 5", seq)
+	}
+	v1 := append(append([]byte{}, b[:off]...), b[off+n:]...)
+	binary.LittleEndian.PutUint32(v1[len(v1)-4:], crc32.ChecksumIEEE(v1[:len(v1)-4]))
+
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "v1.omapsnap")
+	p2 := filepath.Join(dir, "v2.omapsnap")
+	dst := filepath.Join(dir, "merged.omapsnap")
+	if err := os.WriteFile(p1, v1, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sn2 := shardSnapshot(t, "b", mergeShard2Rows...)
+	sn2.IngestSeq = 9
+	if err := snapshot.WriteFile(p2, sn2); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.MergeFiles(dst, p1, p2); err != nil {
+		t.Fatalf("merging v1+v2 shards: %v", err)
+	}
+	got, err := snapshot.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IngestSeq != 9 {
+		t.Errorf("IngestSeq = %d, want 9 (v1 shard contributes 0)", got.IngestSeq)
+	}
+}
+
+func TestMergeFilesErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.omapsnap")
+	if err := snapshot.WriteFile(good, shardSnapshot(t, "a", mergeShard1Rows...)); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("corrupt shard names path", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad.omapsnap")
+		raw := encode(t, shardSnapshot(t, "b", mergeShard2Rows...))
+		raw[len(raw)/2] ^= 0x20
+		if err := os.WriteFile(bad, raw, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		dst := filepath.Join(dir, "out1.omapsnap")
+		err := snapshot.MergeFiles(dst, good, bad)
+		if err == nil || !strings.Contains(err.Error(), bad) {
+			t.Fatalf("err = %v, want corrupt-shard error naming %s", err, bad)
+		}
+		if _, statErr := os.Stat(dst); !os.IsNotExist(statErr) {
+			t.Error("dst written despite merge error")
+		}
+	})
+
+	t.Run("dst preserved on error", func(t *testing.T) {
+		dst := filepath.Join(dir, "out2.omapsnap")
+		if err := os.WriteFile(dst, []byte("previous"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		missing := filepath.Join(dir, "missing.omapsnap")
+		if err := snapshot.MergeFiles(dst, good, missing); err == nil {
+			t.Fatal("expected error for missing shard")
+		}
+		content, err := os.ReadFile(dst)
+		if err != nil || string(content) != "previous" {
+			t.Errorf("dst content = %q, %v; want previous content intact", content, err)
+		}
+	})
+
+	t.Run("schema mismatch names attribute", func(t *testing.T) {
+		b, err := dataset.NewBuilder(dataset.Schema{
+			Attrs: []dataset.Attribute{
+				{Name: "phone", Kind: dataset.Categorical},
+				{Name: "region", Kind: dataset.Categorical},
+				{Name: "dropped", Kind: dataset.Categorical},
+			},
+			ClassIndex: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddRow([]string{"p1", "west", "yes"}); err != nil {
+			t.Fatal(err)
+		}
+		ds, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		other := filepath.Join(dir, "other.omapsnap")
+		if err := snapshot.WriteFile(other, &snapshot.Snapshot{
+			SourceHash: snapshot.HashBytes([]byte("c")),
+			Rows:       1,
+			Mode:       snapshot.ModeEager,
+			Cuts:       map[string][]float64{"temp": {1.5, 2.5}},
+			Dataset:    ds,
+			Store:      store,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		err = snapshot.MergeFiles(filepath.Join(dir, "out3.omapsnap"), good, other)
+		if err == nil || !strings.Contains(err.Error(), `"location"`) {
+			t.Fatalf("err = %v, want schema mismatch naming \"location\"", err)
+		}
+	})
+}
+
+// FuzzMergeSnapshots feeds arbitrary byte pairs to the file-level merge:
+// corrupt, truncated, or incompatible shard inputs must error (naming
+// the offending shard), never panic — and valid pairs must produce a
+// snapshot that reads back.
+func FuzzMergeSnapshots(f *testing.F) {
+	valid1 := encode(f, shardSnapshot(f, "fuzz-1", mergeShard1Rows...))
+	valid2 := encode(f, shardSnapshot(f, "fuzz-2", mergeShard2Rows...))
+	f.Add(append([]byte(nil), valid1...), append([]byte(nil), valid2...))
+	f.Add(valid1[:len(valid1)/2], append([]byte(nil), valid2...))
+	f.Add([]byte{}, []byte(snapshot.Magic))
+	mutated := append([]byte(nil), valid1...)
+	mutated[len(mutated)/3] ^= 0x40
+	f.Add(mutated, append([]byte(nil), valid2...))
+	// A dict-mismatched pair: different schema entirely.
+	other := encode(f, func() *snapshot.Snapshot {
+		b, err := dataset.NewBuilder(dataset.Schema{
+			Attrs:      []dataset.Attribute{{Name: "x", Kind: dataset.Categorical}},
+			ClassIndex: 0,
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		ds, err := b.Build()
+		if err != nil {
+			f.Fatal(err)
+		}
+		store, err := rulecube.BuildStore(ds, rulecube.StoreOptions{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		return &snapshot.Snapshot{Mode: snapshot.ModeEager, Dataset: ds, Store: store}
+	}())
+	f.Add(append([]byte(nil), valid1...), other)
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		dir := t.TempDir()
+		p1 := filepath.Join(dir, "a.omapsnap")
+		p2 := filepath.Join(dir, "b.omapsnap")
+		dst := filepath.Join(dir, "out.omapsnap")
+		if err := os.WriteFile(p1, a, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p2, b, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := snapshot.MergeFiles(dst, p1, p2); err != nil {
+			// Errors are expected for hostile inputs; the merged output
+			// must simply not exist.
+			if _, statErr := os.Stat(dst); !os.IsNotExist(statErr) {
+				t.Fatal("dst written despite merge error")
+			}
+			return
+		}
+		// A successful merge must read back cleanly.
+		if _, err := snapshot.ReadFile(dst); err != nil {
+			t.Fatalf("merged output does not read back: %v", err)
+		}
+	})
+}
