@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"opmap/internal/compare"
+	"opmap/internal/drill"
 )
 
 // Result-cache key construction. Keys are normalized so queries that
@@ -50,6 +51,22 @@ func oneVsRestAllKey(attr int, class int32, o compare.Options) string {
 // so it is part of the identity.
 func sweepKey(attr int, class int32, maxPairs int) string {
 	return fmt.Sprintf("sweep|a=%d|c=%d|max=%d", attr, class, maxPairs)
+}
+
+// drilldownKey keys a drill-down. Depth, beam, node budget and
+// support floor all change which branches are searched, so they are
+// part of the identity, as is the scoring measure.
+func drilldownKey(in compare.Input, o drill.Options) string {
+	lo, hi := in.V1, in.V2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	meas := "paper"
+	if o.Measure != nil {
+		meas = o.Measure.Name()
+	}
+	return fmt.Sprintf("drill|a=%d|v=%d,%d|c=%d|d=%d|b=%d|n=%d|ms=%d|meas=%s|%s",
+		in.Attr, lo, hi, in.Class, o.MaxDepth, o.Beam, o.MaxNodes, o.MinSupport, meas, compareOptsKey(o.Compare))
 }
 
 // impressionsKey keys a GI-miner run over the full cube space.

@@ -162,6 +162,33 @@ if grep -qF 'opmap_result_cache_hits_total 0' "$smokedir/metrics2"; then
     cat "$smokedir/metrics2" >&2
     exit 1
 fi
+# Drill-down over the lazy dataset: the same POST twice. The first run
+# materializes its k-D cubes on demand and searches; the second must be
+# served from the versioned result cache — two drilldown stage timings
+# but exactly one planner run.
+drillbody='{"attr":"Phone-Model","v1":"ph1","v2":"ph2","class":"dropped-in-progress"}'
+"$smokedir/opmapd" -probe "$addr2/api/drilldown?dataset=west" -probe-body "$drillbody" \
+    | grep -q '"findings"'
+"$smokedir/opmapd" -probe "$addr2/api/drilldown?dataset=west" -probe-body "$drillbody" \
+    | grep -q '"findings"'
+"$smokedir/opmapd" -probe "$addr2/metrics" >"$smokedir/metrics2"
+for want in \
+    'opmap_drilldown_runs_total 1' \
+    'opmap_stage_duration_seconds_count{stage="drilldown"} 2'; do
+    if ! grep -qF "$want" "$smokedir/metrics2"; then
+        echo "repeated drilldown was not memoized: missing $want" >&2
+        cat "$smokedir/metrics2" >&2
+        exit 1
+    fi
+done
+# A duplicate attrs entry is a 400 naming the duplicate, not a ranking
+# that scores the attribute twice.
+if "$smokedir/opmapd" -probe "$addr2/api/drilldown?dataset=west" \
+    -probe-body '{"attr":"Phone-Model","v1":"ph1","v2":"ph2","class":"dropped-in-progress","attrs":["Tower-Distance","Tower-Distance"]}' \
+    >/dev/null 2>&1; then
+    echo "duplicate drilldown attrs entry was not rejected" >&2
+    exit 1
+fi
 kill -TERM "$opmapd2_pid"
 if ! wait "$opmapd2_pid"; then
     echo "lazy opmapd did not drain cleanly on SIGTERM:" >&2
@@ -588,32 +615,34 @@ go test -run '^$' -fuzz '^FuzzReadSnapshot$' -fuzztime 10s ./internal/snapshot
 go test -run '^$' -fuzz '^FuzzMergeSnapshots$' -fuzztime 10s ./internal/snapshot
 go test -run '^$' -fuzz '^FuzzReplayWAL$' -fuzztime 10s ./internal/wal
 
-echo "== bench (stage timings + engine modes + snapshot + ingest + batch + shard) =="
-# The artifact series jumps pr5 -> pr7 -> pr8 -> pr9: BENCH_pr6.json
-# was never recorded (PR 6 predates the bench-artifact-per-PR
-# convention), so that hop in the -prev chain is a gap, noted in each
-# artifact's notes. The bench enforces its gates itself (nonzero
-# exit): a batched sweep must take exactly one dataset scan and cut
-# scans >=5x vs the per-pair baseline recorded in the same run, and no
-# headline metric may regress >30% vs the previous artifact after
-# normalizing by the CPU/disk calibration canaries recorded in both
-# artifacts. The shard section (per-shard build, merge, end-to-end at
-# 2/4/8 shards) first appears in pr9; its headline metric is absent
-# from BENCH_pr8.json, so that one comparison self-skips this PR and
-# arms from pr10 on.
+echo "== bench (stage timings + engine modes + snapshot + ingest + batch + shard + drilldown) =="
+# The artifact series jumps pr5 -> pr7 -> pr8 -> pr9 -> pr10:
+# BENCH_pr6.json was never recorded (PR 6 predates the
+# bench-artifact-per-PR convention), so that hop in the -prev chain is
+# a gap, noted in each artifact's notes. The bench enforces its gates
+# itself (nonzero exit): a batched sweep must take exactly one dataset
+# scan and cut scans >=5x vs the per-pair baseline recorded in the
+# same run, and no headline metric may regress >30% vs the previous
+# artifact after normalizing by the CPU/disk calibration canaries
+# recorded in both artifacts. The shard headline metric
+# (end_to_end_2_shards_ms) appears in BENCH_pr9.json, so comparing
+# against pr9 arms that gate for the first time this PR. The drilldown
+# section is new in pr10; its numbers become comparable from pr11 on.
 go run ./cmd/opmapbench -records 20000 -rounds 50 \
-    -out BENCH_pr9.json -prev BENCH_pr8.json
-grep -q '"build_cubes"' BENCH_pr9.json
-grep -q '"lazy_cold_compare_ms"' BENCH_pr9.json
-grep -q '"load_speedup_vs_build"' BENCH_pr9.json
-grep -q '"rows_per_sec"' BENCH_pr9.json
-grep -q '"append_p90_ms"' BENCH_pr9.json
-grep -q '"replay_ms_per_1m_records"' BENCH_pr9.json
-grep -q '"batch_scans": 1,' BENCH_pr9.json
-grep -q '"scan_reduction"' BENCH_pr9.json
-grep -q '"speedup_vs_per_pair"' BENCH_pr9.json
-grep -q '"max_shard_build_ms"' BENCH_pr9.json
-grep -q '"single_pass_ms"' BENCH_pr9.json
-grep -q '"shards": 8' BENCH_pr9.json
+    -out BENCH_pr10.json -prev BENCH_pr9.json
+grep -q '"build_cubes"' BENCH_pr10.json
+grep -q '"drilldown"' BENCH_pr10.json
+grep -q '"lazy_cold_compare_ms"' BENCH_pr10.json
+grep -q '"load_speedup_vs_build"' BENCH_pr10.json
+grep -q '"rows_per_sec"' BENCH_pr10.json
+grep -q '"append_p90_ms"' BENCH_pr10.json
+grep -q '"replay_ms_per_1m_records"' BENCH_pr10.json
+grep -q '"batch_scans": 1,' BENCH_pr10.json
+grep -q '"scan_reduction"' BENCH_pr10.json
+grep -q '"speedup_vs_per_pair"' BENCH_pr10.json
+grep -q '"max_shard_build_ms"' BENCH_pr10.json
+grep -q '"single_pass_ms"' BENCH_pr10.json
+grep -q '"shards": 8' BENCH_pr10.json
+grep -q '"recovered_planted_pair": true' BENCH_pr10.json
 
 echo "CI PASSED"

@@ -66,6 +66,7 @@ type benchDoc struct {
 	Ingest  ingestBench           `json:"ingest"`
 	Batch   batchBench            `json:"batch"`
 	Shard   shardBench            `json:"shard"`
+	Drill   drillBench            `json:"drilldown"`
 	Calib   calibBench            `json:"calibration"`
 	// Notes records run conditions the numbers alone cannot show —
 	// which previous artifact the regression gate compared against, or
@@ -125,6 +126,130 @@ func benchCalib() (calibBench, error) {
 	}
 	cb.DiskMs = msSince(start)
 	return cb, nil
+}
+
+// bestOfRuns is how many times the single-shot sections (engine,
+// snapshot, ingest, shard, drilldown) repeat, keeping the fastest
+// observation per number. A lone millisecond-scale measurement on a
+// shared container swings 30%+ between identical binaries — enough to
+// trip the regression gate with zero code change, which the
+// calibration canaries cannot catch when the contention is
+// intermittent rather than sustained. The fastest observation is the
+// one least polluted by scheduler noise, so it is the number two
+// artifacts can fairly compare. The batch section stays single-run:
+// its gated figures are ratios of two timings from the same run, so
+// shared noise divides out.
+const bestOfRuns = 3
+
+// keepMin lowers *dst to v when v is smaller.
+func keepMin(dst *float64, v float64) {
+	if v < *dst {
+		*dst = v
+	}
+}
+
+func benchEngineBest(ctx context.Context, records int, seed int64) (engineBench, error) {
+	best, err := benchEngine(ctx, records, seed)
+	if err != nil {
+		return best, err
+	}
+	for i := 1; i < bestOfRuns; i++ {
+		eb, err := benchEngine(ctx, records, seed)
+		if err != nil {
+			return best, err
+		}
+		keepMin(&best.EagerBuildMs, eb.EagerBuildMs)
+		keepMin(&best.LazyReadyMs, eb.LazyReadyMs)
+		keepMin(&best.EagerCompareMs, eb.EagerCompareMs)
+		keepMin(&best.LazyColdCompareMs, eb.LazyColdCompareMs)
+		keepMin(&best.LazyWarmCompareMs, eb.LazyWarmCompareMs)
+	}
+	return best, nil
+}
+
+func benchSnapshotBest(ctx context.Context, records int, seed int64) (snapshotBench, error) {
+	best, err := benchSnapshot(ctx, records, seed)
+	if err != nil {
+		return best, err
+	}
+	for i := 1; i < bestOfRuns; i++ {
+		sb, err := benchSnapshot(ctx, records, seed)
+		if err != nil {
+			return best, err
+		}
+		keepMin(&best.ColdBuildMs, sb.ColdBuildMs)
+		keepMin(&best.SaveMs, sb.SaveMs)
+		keepMin(&best.LoadMs, sb.LoadMs)
+	}
+	if best.LoadMs > 0 {
+		best.LoadSpeedup = best.ColdBuildMs / best.LoadMs
+	}
+	return best, nil
+}
+
+func benchShardBest(ctx context.Context, records int) (shardBench, error) {
+	best, err := benchShard(ctx, records)
+	if err != nil {
+		return best, err
+	}
+	for i := 1; i < bestOfRuns; i++ {
+		sb, err := benchShard(ctx, records)
+		if err != nil {
+			return best, err
+		}
+		keepMin(&best.SinglePassMs, sb.SinglePassMs)
+		for j := range best.Runs {
+			if j >= len(sb.Runs) || best.Runs[j].Shards != sb.Runs[j].Shards {
+				continue
+			}
+			keepMin(&best.Runs[j].MaxShardBuildMs, sb.Runs[j].MaxShardBuildMs)
+			keepMin(&best.Runs[j].MergeMs, sb.Runs[j].MergeMs)
+			keepMin(&best.Runs[j].EndToEndMs, sb.Runs[j].EndToEndMs)
+		}
+	}
+	for j := range best.Runs {
+		if best.Runs[j].EndToEndMs > 0 {
+			best.Runs[j].SpeedupVsSingle = best.SinglePassMs / best.Runs[j].EndToEndMs
+		}
+	}
+	return best, nil
+}
+
+func benchIngestBest(records int) (ingestBench, error) {
+	best, err := benchIngest(records)
+	if err != nil {
+		return best, err
+	}
+	for i := 1; i < bestOfRuns; i++ {
+		ib, err := benchIngest(records)
+		if err != nil {
+			return best, err
+		}
+		if ib.RowsPerSec > best.RowsPerSec {
+			best.RowsPerSec = ib.RowsPerSec
+		}
+		keepMin(&best.AppendP50Ms, ib.AppendP50Ms)
+		keepMin(&best.AppendP90Ms, ib.AppendP90Ms)
+		keepMin(&best.ReplayMs, ib.ReplayMs)
+		keepMin(&best.ReplayMsPer1M, ib.ReplayMsPer1M)
+	}
+	return best, nil
+}
+
+func benchDrillBest(ctx context.Context, records int, seed int64) (drillBench, error) {
+	best, err := benchDrill(ctx, records, seed)
+	if err != nil {
+		return best, err
+	}
+	for i := 1; i < bestOfRuns; i++ {
+		db, err := benchDrill(ctx, records, seed)
+		if err != nil {
+			return best, err
+		}
+		keepMin(&best.ColdMs, db.ColdMs)
+		keepMin(&best.WarmMs, db.WarmMs)
+	}
+	return best, nil
 }
 
 // batchBench contrasts the shared-scan batch comparison engine with
@@ -262,15 +387,15 @@ func run(records int, seed int64, rounds int, out, prev string, maxRegress, minS
 		return err
 	}
 
-	engine, err := benchEngine(ctx, records, seed)
+	engine, err := benchEngineBest(ctx, records, seed)
 	if err != nil {
 		return err
 	}
-	snap, err := benchSnapshot(ctx, records, seed)
+	snap, err := benchSnapshotBest(ctx, records, seed)
 	if err != nil {
 		return err
 	}
-	ingest, err := benchIngest(records)
+	ingest, err := benchIngestBest(records)
 	if err != nil {
 		return err
 	}
@@ -278,7 +403,11 @@ func run(records int, seed int64, rounds int, out, prev string, maxRegress, minS
 	if err != nil {
 		return err
 	}
-	shard, err := benchShard(ctx, records)
+	shard, err := benchShardBest(ctx, records)
+	if err != nil {
+		return err
+	}
+	drillb, err := benchDrillBest(ctx, records, seed)
 	if err != nil {
 		return err
 	}
@@ -298,11 +427,13 @@ func run(records int, seed int64, rounds int, out, prev string, maxRegress, minS
 		Ingest:  ingest,
 		Batch:   batch,
 		Shard:   shard,
+		Drill:   drillb,
 		Calib:   calib,
 	}
 	// The artifact series has a hole: PR 6 recorded no bench run, so the
 	// -prev chain skips from BENCH_pr5.json to BENCH_pr7.json.
 	doc.Notes = append(doc.Notes, "artifact series gap: BENCH_pr6.json was never recorded; the -prev chain jumps pr5 -> pr7")
+	doc.Notes = append(doc.Notes, "engine/snapshot/ingest/shard/drilldown numbers are best-of-3 (fastest observation) from this artifact on; earlier artifacts recorded single shots")
 	reg := obsv.Default()
 	for _, stage := range obsv.PipelineStages {
 		doc.Stages[stage] = toStats(reg.Histogram(obsv.StageHistogramName, nil, "stage", stage))
@@ -538,6 +669,56 @@ func benchShard(ctx context.Context, records int) (shardBench, error) {
 		sb.Runs = append(sb.Runs, run)
 	}
 	return sb, nil
+}
+
+// drillBench measures the multi-condition drill-down over the planted
+// two-condition workload: the cold search on a lazy engine (k-D cubes
+// materialized on demand, batched per frontier depth), the warm repeat
+// served by the session result cache, and the search size. Recovered
+// reports whether the run's top finding is the planted condition pair
+// — the paper-level acceptance criterion, carried in the artifact so a
+// quality regression is as visible as a latency one.
+type drillBench struct {
+	ColdMs    float64 `json:"cold_ms"`
+	WarmMs    float64 `json:"warm_ms"`
+	Expanded  int     `json:"expanded"`
+	Findings  int     `json:"findings"`
+	Recovered bool    `json:"recovered_planted_pair"`
+}
+
+// benchDrill runs the drill-down twice on a lazy session over the
+// drill-case workload: cold (builds its 3-D cubes on demand) and warm
+// (memoized).
+func benchDrill(ctx context.Context, records int, seed int64) (drillBench, error) {
+	var db drillBench
+	sess, gt, err := opmap.GenerateDrillCase(seed, records)
+	if err != nil {
+		return db, err
+	}
+	if err := sess.BuildCubesOptions(ctx, opmap.BuildOptions{Lazy: true}); err != nil {
+		return db, err
+	}
+	start := time.Now()
+	res, err := sess.DrillDownContext(ctx, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass, opmap.DrillOptions{})
+	if err != nil {
+		return db, err
+	}
+	db.ColdMs = msSince(start)
+	db.Expanded = res.Expanded
+	db.Findings = len(res.Findings)
+	if top := res.Top(1); len(top) == 1 && top[0].Depth == 2 {
+		conds := map[string]string{}
+		for _, c := range top[0].Conds {
+			conds[c.Attr] = c.Value
+		}
+		db.Recovered = conds[gt.JointAttrA] == gt.JointValueA && conds[gt.JointAttrB] == gt.JointValueB
+	}
+	start = time.Now()
+	if _, err := sess.DrillDownContext(ctx, gt.PhoneAttr, gt.GoodPhone, gt.BadPhone, gt.DropClass, opmap.DrillOptions{}); err != nil {
+		return db, err
+	}
+	db.WarmMs = msSince(start)
+	return db, nil
 }
 
 // Calibration classes for headline metrics: which canary tracks the

@@ -55,6 +55,7 @@
 //	GET /api/compare?attr=A&v1=x&v2=y&class=C pairwise comparison
 //	GET /api/compare?attr=A&value=x&class=C   one-vs-rest (degradable)
 //	GET /api/sweep?attr=A&class=C&max_pairs=N degradable sweep
+//	POST /api/drilldown                       multi-condition drill-down (JSON body)
 //	POST /api/ingest                          append rows durably (with -wal-dir)
 //	GET /metrics[?format=json]                counters + stage histograms
 //	GET /debug/pprof/                         profiling (with -pprof)

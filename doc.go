@@ -24,6 +24,13 @@
 // materializes all missing cubes in one shared dataset scan instead
 // of one scan per pair.
 //
+// DrillDown searches past the one-attribute ranking for condition
+// conjunctions: a beam search over rule cubes of three and more
+// dimensions that surfaces sub-populations like {Terrain=hilly,
+// Signal-Band=weak} whose class confidence exceeds what the pairwise
+// comparison predicts, ranked by the paper's contribution measure (or
+// lift/conviction via DrillOptions.Measure).
+//
 // For data too large to load once, BuildSharded cubes row-shards of
 // one logical dataset concurrently and merges the partial sessions —
 // exactly, since contingency counts are additive — into a session

@@ -337,9 +337,9 @@ func sessionFromStore(store *rulecube.Store) *Session {
 type CubeStats struct {
 	Attributes   int
 	Cubes        int
-	Cells        int   // total cells = rules represented
+	Cells        int64 // total cells = rules represented
 	Bytes        int64 // approximate count-array memory
-	MaxCubeCells int
+	MaxCubeCells int64
 }
 
 // CubeStats reports the store's size (zero value before BuildCubes).

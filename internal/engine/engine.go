@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"opmap/internal/dataset"
 	"opmap/internal/obsv"
@@ -74,17 +75,36 @@ func PreRegister(reg *obsv.Registry) {
 // CubeReq names one cube of a bulk request: the 1-D (attr × class)
 // cube when B is negative, the pair cube over {A, B} otherwise. Unlike
 // rulecube.CubeReq, pair order does not matter: Cubes returns the
-// normalized (min, max) cube either way, matching Cube2.
+// normalized (min, max) cube either way, matching Cube2. Attrs, when
+// non-empty, supersedes A/B and requests the cube over an arbitrary
+// attribute set (any order; the served cube's dimensions are the set
+// in ascending order, matching CubeN).
 type CubeReq struct {
 	A int
 	B int
+	// Attrs is the n-D request form; nil keeps the two-field form.
+	Attrs []int
 }
 
-// CubeSource is the engine contract: read access to the 1-D
-// (attribute × class) and 2-D (pair × class) rule cubes of one
-// dataset snapshot. Implementations must be safe for concurrent use.
-// Cube2 accepts the pair in either order and returns the cube with
-// min(a,b) as its first condition dimension, matching
+// CubeReqOf builds the n-D form of a bulk request.
+func CubeReqOf(attrs []int) CubeReq { return CubeReq{A: -1, B: -1, Attrs: attrs} }
+
+// attrList returns the request's effective attribute list.
+func (q CubeReq) attrList() []int {
+	if len(q.Attrs) > 0 {
+		return q.Attrs
+	}
+	if q.B < 0 {
+		return []int{q.A}
+	}
+	return []int{q.A, q.B}
+}
+
+// CubeSource is the engine contract: read access to the rule cubes of
+// one dataset snapshot, from the 1-D (attribute × class) cubes up to
+// arbitrary attribute sets. Implementations must be safe for
+// concurrent use. Cube2 accepts the pair in either order and returns
+// the cube with min(a,b) as its first condition dimension, matching
 // rulecube.Store.Cube2. A source never returns (nil, nil): an
 // unavailable cube is an error.
 type CubeSource interface {
@@ -98,21 +118,35 @@ type CubeSource interface {
 	Cube1(ctx context.Context, attr int) (*rulecube.Cube, error)
 	// Cube2 returns the 3-D cube over the attribute pair.
 	Cube2(ctx context.Context, a, b int) (*rulecube.Cube, error)
+	// CubeN returns the cube over an arbitrary attribute set (no
+	// duplicates, any order). The returned cube's condition dimensions
+	// are the set in ascending attribute order, so any permutation of
+	// the same set is one cube. len(attrs) == 1 matches Cube1 and
+	// len(attrs) == 2 matches Cube2; k ≥ 3 serves the multi-condition
+	// drill-down path.
+	CubeN(ctx context.Context, attrs []int) (*rulecube.Cube, error)
 	// Cubes resolves a batch of cube requests at once, returning the
 	// cubes in request order. A lazy source answers every cache miss
 	// from one shared dataset scan (rulecube.BuildMany) instead of one
 	// scan per cube; an eager source answers from the store. Callers
 	// that know their full cube needs up front (a sweep, a one-vs-rest
-	// over all values) should declare them here rather than faulting
-	// cubes in one at a time.
+	// over all values, a drill-down frontier expansion) should declare
+	// them here rather than faulting cubes in one at a time.
 	Cubes(ctx context.Context, reqs []CubeReq) ([]*rulecube.Cube, error)
 }
 
-// Eager adapts a fully materialized rulecube.Store to CubeSource. It
-// performs no builds: a cube the store lacks is an error, preserving
-// the pre-PR behaviour of the compare and gi layers.
+// Eager adapts a fully materialized rulecube.Store to CubeSource. For
+// the 1-D and 2-D cubes the store pre-materializes it performs no
+// builds: a cube the store lacks is an error, preserving the pre-PR
+// behaviour of the compare and gi layers. k ≥ 3 requests — which no
+// store materializes — are served by an internal lazy source over the
+// store's dataset, created on first use, so eager sessions get
+// drill-down with the same byte-budgeted caching as lazy ones.
 type Eager struct {
 	store *rulecube.Store
+
+	ndMu sync.Mutex
+	nd   *LazySource // lazily created for k ≥ 3 cubes
 }
 
 // NewEager wraps store. A nil store yields a source whose every cube
@@ -164,24 +198,92 @@ func (e *Eager) Cube2(_ context.Context, a, b int) (*rulecube.Cube, error) {
 	return c, nil
 }
 
-// Cubes implements CubeSource: every cube is already materialized, so
-// the bulk request is a loop of store lookups.
+// CubeN implements CubeSource: 1-D and 2-D sets answer from the store;
+// k ≥ 3 sets materialize through the internal lazy source.
+func (e *Eager) CubeN(ctx context.Context, attrs []int) (*rulecube.Cube, error) {
+	switch len(attrs) {
+	case 0:
+		return nil, fmt.Errorf("engine: empty attribute set in cube request")
+	case 1:
+		return e.Cube1(ctx, attrs[0])
+	case 2:
+		if attrs[0] == attrs[1] {
+			return nil, fmt.Errorf("engine: pair cube needs two distinct attributes, got (%d,%d)", attrs[0], attrs[1])
+		}
+		return e.Cube2(ctx, attrs[0], attrs[1])
+	}
+	nd, err := e.ndSource()
+	if err != nil {
+		return nil, err
+	}
+	return nd.CubeN(ctx, attrs)
+}
+
+// ndSource returns (creating on first use) the internal lazy source
+// serving k ≥ 3 cubes over the store's dataset and attribute set.
+func (e *Eager) ndSource() (*LazySource, error) {
+	if e.store == nil {
+		return nil, fmt.Errorf("engine: no cube store")
+	}
+	e.ndMu.Lock()
+	defer e.ndMu.Unlock()
+	if e.nd == nil {
+		src, err := NewLazy(e.store.Dataset(), LazyOptions{Attrs: e.store.Attrs()})
+		if err != nil {
+			return nil, err
+		}
+		e.nd = src
+	}
+	return e.nd, nil
+}
+
+// Cubes implements CubeSource: 1-D and 2-D cubes are already
+// materialized, so those requests are store lookups; k ≥ 3 requests
+// are forwarded as one bulk request to the internal lazy source so
+// its cache misses share a single dataset scan.
 func (e *Eager) Cubes(ctx context.Context, reqs []CubeReq) ([]*rulecube.Cube, error) {
 	out := make([]*rulecube.Cube, len(reqs))
+	var ndPos []int
+	var ndReqs []CubeReq
 	for i, q := range reqs {
+		attrs := q.attrList()
+		if len(attrs) >= 3 {
+			ndPos = append(ndPos, i)
+			ndReqs = append(ndReqs, q)
+			continue
+		}
 		var (
 			c   *rulecube.Cube
 			err error
 		)
-		if q.B < 0 {
-			c, err = e.Cube1(ctx, q.A)
+		if len(attrs) == 1 {
+			c, err = e.Cube1(ctx, attrs[0])
 		} else {
-			c, err = e.Cube2(ctx, q.A, q.B)
+			if attrs[0] == attrs[1] {
+				return nil, fmt.Errorf("engine: pair cube needs two distinct attributes, got (%d,%d)", attrs[0], attrs[1])
+			}
+			c, err = e.Cube2(ctx, attrs[0], attrs[1])
 		}
 		if err != nil {
 			return nil, err
 		}
 		out[i] = c
+	}
+	if len(ndReqs) > 0 {
+		nd, err := e.ndSource()
+		if err != nil {
+			return nil, err
+		}
+		cubes, err := nd.Cubes(ctx, ndReqs)
+		if err != nil {
+			return nil, err
+		}
+		for j, pos := range ndPos {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[pos] = cubes[j]
+		}
 	}
 	return out, nil
 }

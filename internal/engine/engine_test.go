@@ -10,6 +10,7 @@ import (
 
 	"opmap/internal/compare"
 	"opmap/internal/dataset"
+	"opmap/internal/drill"
 	"opmap/internal/engine"
 	"opmap/internal/obsv"
 	"opmap/internal/rulecube"
@@ -508,5 +509,57 @@ func BenchmarkLazyWarmCube2(b *testing.B) {
 		if _, err := lazy.Cube2(ctx, 0, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestNDCacheBudget drives a full drill-down through a lazy source
+// whose budget fits roughly one 3-D cube, and checks the k >= 3 path
+// honors the shared byte budget: cached bytes never exceed it,
+// evictions actually happen, and an evicted n-D cube rebuilds
+// identically on re-request (in any attribute order).
+func TestNDCacheBudget(t *testing.T) {
+	defer testutil.VerifyNoLeak(t)()
+	ds, gt, eager, _ := oracle(t)
+	ctx := context.Background()
+
+	probe, err := eager.CubeN(ctx, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := probe.SizeBytes() + 1
+	lazy, err := engine.NewLazy(ds, engine.LazyOptions{CacheBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A depth-2 drill expands frontier nodes with 3-attribute cube
+	// batches, far more bytes than the budget admits at once.
+	res, err := drill.New(lazy).DrillContext(ctx, compareInput(t, ds, gt), drill.Options{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("drill over planted workload returned no findings")
+	}
+
+	st := lazy.Stats()
+	if st.CachedBytes > budget {
+		t.Errorf("CachedBytes %d exceeds budget %d after drill", st.CachedBytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Error("expected evictions: the drill's cube set cannot fit a one-cube budget")
+	}
+
+	// Whatever was evicted rebuilds to the exact same cube, and a
+	// permuted attribute set resolves to it.
+	again, err := lazy.CubeN(ctx, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, probe) {
+		t.Error("rebuilt 3-D cube differs from the eager-side build")
+	}
+	if got := lazy.Stats().CachedBytes; got > budget {
+		t.Errorf("CachedBytes %d exceeds budget %d after rebuild", got, budget)
 	}
 }

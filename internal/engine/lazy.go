@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,11 +15,29 @@ import (
 	"opmap/internal/rulecube"
 )
 
-// DefaultCacheBytes is the 2-D cube LRU budget when LazyOptions leaves
-// CacheBytes zero: 64 MiB ≈ 8M cells, far beyond the working set Smart
-// Drill-Down-style exploration touches, small next to an eager
-// all-pairs store on a wide schema.
+// DefaultCacheBytes is the cube LRU budget (all k ≥ 2 cubes) when
+// LazyOptions leaves CacheBytes zero: 64 MiB ≈ 8M cells, far beyond
+// the working set Smart Drill-Down-style exploration touches, small
+// next to an eager all-pairs store on a wide schema.
 const DefaultCacheBytes = 64 << 20
+
+// cubeKey identifies a cached cube by its sorted condition-dimension
+// list: "3" for the 1-D cube of attribute 3, "3,7" for a pair, and
+// "1,3,7" for a 3-condition drill-down cube. Requests over the same
+// attribute set in any order share one entry.
+type cubeKey string
+
+// keyOf builds the cache key of a normalized (sorted) attribute list.
+func keyOf(attrs []int) cubeKey {
+	b := make([]byte, 0, len(attrs)*4)
+	for i, a := range attrs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(a), 10)
+	}
+	return cubeKey(b)
+}
 
 // LazyOptions configures a LazySource.
 type LazyOptions struct {
@@ -34,27 +53,31 @@ type LazyOptions struct {
 // used by tests (singleflight: exactly one build per key) and the
 // Session.EngineStats API. Global obsv metrics advance in lockstep.
 type LazyStats struct {
-	// OneDBuilds / TwoDBuilds count completed cube materializations.
+	// OneDBuilds / TwoDBuilds count completed cube materializations;
+	// TwoDBuilds covers every LRU-resident arity (pairs and k ≥ 3
+	// drill-down cubes alike).
 	OneDBuilds int64
 	TwoDBuilds int64
-	// Hits / Misses count 2-D lookups (1-D cubes are pinned after the
-	// first build and tiny, so only the LRU is accounted).
+	// Hits / Misses count LRU (k ≥ 2) lookups (1-D cubes are pinned
+	// after the first build and tiny, so only the LRU is accounted).
 	Hits   int64
 	Misses int64
 	// Evictions counts cubes dropped to satisfy the byte budget.
 	Evictions int64
-	// CachedBytes / CachedCubes describe the resident 2-D LRU.
+	// CachedBytes / CachedCubes describe the resident k ≥ 2 LRU.
 	CachedBytes int64
 	CachedCubes int
 	// PinnedOneD is the number of resident 1-D cubes.
 	PinnedOneD int
 }
 
-// lruEntry is one resident 2-D cube keyed by its normalized pair.
+// lruEntry is one resident k ≥ 2 cube keyed by its normalized
+// (sorted) attribute set.
 type lruEntry struct {
-	key  [2]int
-	cube *rulecube.Cube
-	size int64
+	key   cubeKey
+	attrs []int
+	cube  *rulecube.Cube
+	size  int64
 }
 
 // flight is an in-progress cube build. The leader closes done after
@@ -67,7 +90,8 @@ type flight struct {
 
 // LazySource materializes rule cubes on first use. 1-D cubes (one per
 // attribute, O(cardinality × classes) cells) are pinned once built;
-// 2-D cubes live in a byte-budgeted LRU. Concurrent first-touch
+// every higher-arity cube — pairs and the k ≥ 3 cubes drill-down
+// requests — lives in one byte-budgeted LRU. Concurrent first-touch
 // requests for the same cube are collapsed into a single build
 // (per-key singleflight); build errors are returned to every waiter
 // but never cached, so transient failures retry. Safe for concurrent
@@ -81,10 +105,10 @@ type LazySource struct {
 
 	mu      sync.Mutex
 	oneD    map[int]*rulecube.Cube
-	twoD    map[[2]int]*list.Element // value: *lruEntry
-	order   *list.List               // front = most recently used
+	nd      map[cubeKey]*list.Element // k ≥ 2 cubes; value: *lruEntry
+	order   *list.List                // front = most recently used
 	bytes   int64
-	flights map[[2]int]*flight // 1-D keys use {attr, -1}
+	flights map[cubeKey]*flight // 1-D keys are single-attribute keys
 
 	oneDBuilds atomic.Int64
 	twoDBuilds atomic.Int64
@@ -116,9 +140,9 @@ func NewLazy(ds *dataset.Dataset, opts LazyOptions) (*LazySource, error) {
 		inSet:   make(map[int]bool, len(attrs)),
 		budget:  budget,
 		oneD:    make(map[int]*rulecube.Cube, len(attrs)),
-		twoD:    make(map[[2]int]*list.Element),
+		nd:      make(map[cubeKey]*list.Element),
 		order:   list.New(),
-		flights: make(map[[2]int]*flight),
+		flights: make(map[cubeKey]*flight),
 	}
 	for _, a := range attrs {
 		s.inSet[a] = true
@@ -157,13 +181,13 @@ func (s *LazySource) Cube1(ctx context.Context, attr int) (*rulecube.Cube, error
 	if !s.inSet[attr] {
 		return nil, fmt.Errorf("engine: no cube for attribute %d", attr)
 	}
-	key := [2]int{attr, -1}
+	attrs := []int{attr}
 	s.mu.Lock()
 	if c, ok := s.oneD[attr]; ok {
 		s.mu.Unlock()
 		return c, nil
 	}
-	return s.build(ctx, key, func(c *rulecube.Cube) {
+	return s.build(ctx, keyOf(attrs), attrs, func(c *rulecube.Cube) {
 		s.oneD[attr] = c
 		s.oneDBuilds.Add(1)
 	})
@@ -180,9 +204,51 @@ func (s *LazySource) Cube2(ctx context.Context, a, b int) (*rulecube.Cube, error
 	if a > b {
 		a, b = b, a
 	}
-	key := [2]int{a, b}
+	return s.lookupOrBuild(ctx, []int{a, b})
+}
+
+// CubeN implements CubeSource: the cube over an arbitrary attribute
+// set, materialized on demand. The request is normalized to ascending
+// attribute order — that is the returned cube's dimension order — so
+// any permutation of the same set shares one cache entry. A single
+// attribute is Cube1 (pinned); every k ≥ 2 cube shares the
+// byte-budgeted LRU with the pair cubes.
+func (s *LazySource) CubeN(ctx context.Context, attrs []int) (*rulecube.Cube, error) {
+	norm, err := s.normalizeSet(attrs)
+	if err != nil {
+		return nil, err
+	}
+	if len(norm) == 1 {
+		return s.Cube1(ctx, norm[0])
+	}
+	return s.lookupOrBuild(ctx, norm)
+}
+
+// normalizeSet validates an n-D request against the served set and
+// returns the sorted copy that keys the cache.
+func (s *LazySource) normalizeSet(attrs []int) ([]int, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("engine: empty attribute set in cube request")
+	}
+	norm := append([]int(nil), attrs...)
+	sort.Ints(norm)
+	for i, a := range norm {
+		if !s.inSet[a] {
+			return nil, fmt.Errorf("engine: no cube for attribute %d", a)
+		}
+		if i > 0 && norm[i-1] == a {
+			return nil, fmt.Errorf("engine: duplicate attribute %d in cube request", a)
+		}
+	}
+	return norm, nil
+}
+
+// lookupOrBuild serves a k ≥ 2 cube from the LRU or builds it under
+// singleflight. attrs must already be normalized (sorted, validated).
+func (s *LazySource) lookupOrBuild(ctx context.Context, attrs []int) (*rulecube.Cube, error) {
+	key := keyOf(attrs)
 	s.mu.Lock()
-	if el, ok := s.twoD[key]; ok {
+	if el, ok := s.nd[key]; ok {
 		s.order.MoveToFront(el)
 		s.mu.Unlock()
 		s.hits.Add(1)
@@ -191,8 +257,8 @@ func (s *LazySource) Cube2(ctx context.Context, a, b int) (*rulecube.Cube, error
 	}
 	s.misses.Add(1)
 	obsv.Default().Counter(CubeCacheMissesCounterName).Inc()
-	return s.build(ctx, key, func(c *rulecube.Cube) {
-		s.insertTwoD(key, c)
+	return s.build(ctx, key, attrs, func(c *rulecube.Cube) {
+		s.insertND(key, attrs, c)
 		s.twoDBuilds.Add(1)
 	})
 }
@@ -206,11 +272,11 @@ func (s *LazySource) Cube2(ctx context.Context, a, b int) (*rulecube.Cube, error
 // one build. Joined flights are waited on afterwards under ctx.
 func (s *LazySource) Cubes(ctx context.Context, reqs []CubeReq) ([]*rulecube.Cube, error) {
 	out := make([]*rulecube.Cube, len(reqs))
-	keys, err := s.batchKeys(reqs)
+	items, err := s.batchItems(reqs)
 	if err != nil {
 		return nil, err
 	}
-	part := s.partitionBatch(keys, out)
+	part := s.partitionBatch(items, out)
 	if len(part.toBuild) > 0 {
 		if err := s.buildBatch(ctx, part, out); err != nil {
 			return nil, err
@@ -230,32 +296,48 @@ func (s *LazySource) Cubes(ctx context.Context, reqs []CubeReq) ([]*rulecube.Cub
 	return out, nil
 }
 
-// batchKeys validates a bulk request list against the served set and
-// normalizes each entry to its cache key ({attr, -1} for 1-D, sorted
-// pair otherwise).
-func (s *LazySource) batchKeys(reqs []CubeReq) ([][2]int, error) {
-	keys := make([][2]int, len(reqs))
+// batchItem is one bulk-request entry normalized to its cache key and
+// sorted attribute list.
+type batchItem struct {
+	key   cubeKey
+	attrs []int
+}
+
+// batchItems validates a bulk request list against the served set and
+// normalizes each entry — either request form — to its cache key and
+// sorted attribute list.
+func (s *LazySource) batchItems(reqs []CubeReq) ([]batchItem, error) {
+	items := make([]batchItem, len(reqs))
 	for i, q := range reqs {
-		if q.B < 0 {
+		var norm []int
+		switch {
+		case len(q.Attrs) > 0:
+			n, err := s.normalizeSet(q.Attrs)
+			if err != nil {
+				return nil, err
+			}
+			norm = n
+		case q.B < 0:
 			if !s.inSet[q.A] {
 				return nil, fmt.Errorf("engine: no cube for attribute %d", q.A)
 			}
-			keys[i] = [2]int{q.A, -1}
-			continue
+			norm = []int{q.A}
+		default:
+			if q.A == q.B {
+				return nil, fmt.Errorf("engine: pair cube needs two distinct attributes, got (%d,%d)", q.A, q.B)
+			}
+			if !s.inSet[q.A] || !s.inSet[q.B] {
+				return nil, fmt.Errorf("engine: no pair cube for attributes (%d,%d)", q.A, q.B)
+			}
+			a, b := q.A, q.B
+			if a > b {
+				a, b = b, a
+			}
+			norm = []int{a, b}
 		}
-		if q.A == q.B {
-			return nil, fmt.Errorf("engine: pair cube needs two distinct attributes, got (%d,%d)", q.A, q.B)
-		}
-		if !s.inSet[q.A] || !s.inSet[q.B] {
-			return nil, fmt.Errorf("engine: no pair cube for attributes (%d,%d)", q.A, q.B)
-		}
-		a, b := q.A, q.B
-		if a > b {
-			a, b = b, a
-		}
-		keys[i] = [2]int{a, b}
+		items[i] = batchItem{key: keyOf(norm), attrs: norm}
 	}
-	return keys, nil
+	return items, nil
 }
 
 // batchWait is a request position answered by a build in flight
@@ -272,7 +354,7 @@ type batchWait struct {
 // each will serve.
 type batchPartition struct {
 	waits     []batchWait
-	toBuild   [][2]int
+	toBuild   []batchItem
 	flights   []*flight
 	positions [][]int // positions served by each toBuild entry
 }
@@ -281,38 +363,38 @@ type batchPartition struct {
 // caches (refreshing LRU order and counting hits/misses), joins
 // flights other calls lead, and registers a flight for every key this
 // call will build.
-func (s *LazySource) partitionBatch(keys [][2]int, out []*rulecube.Cube) *batchPartition {
+func (s *LazySource) partitionBatch(items []batchItem, out []*rulecube.Cube) *batchPartition {
 	part := &batchPartition{}
-	leadIdx := make(map[[2]int]int)
+	leadIdx := make(map[cubeKey]int)
 	var hits, misses int64
 	s.mu.Lock()
-	for i, k := range keys {
-		if k[1] < 0 {
-			if c, ok := s.oneD[k[0]]; ok {
+	for i, it := range items {
+		if len(it.attrs) == 1 {
+			if c, ok := s.oneD[it.attrs[0]]; ok {
 				out[i] = c
 				continue
 			}
-		} else if el, ok := s.twoD[k]; ok {
+		} else if el, ok := s.nd[it.key]; ok {
 			s.order.MoveToFront(el)
 			out[i] = el.Value.(*lruEntry).cube
 			hits++
 			continue
 		}
-		if j, ok := leadIdx[k]; ok {
+		if j, ok := leadIdx[it.key]; ok {
 			part.positions[j] = append(part.positions[j], i)
 			continue
 		}
-		if f, ok := s.flights[k]; ok {
+		if f, ok := s.flights[it.key]; ok {
 			part.waits = append(part.waits, batchWait{pos: i, f: f})
 			continue
 		}
 		f := &flight{done: make(chan struct{})}
-		s.flights[k] = f
-		leadIdx[k] = len(part.toBuild)
-		part.toBuild = append(part.toBuild, k)
+		s.flights[it.key] = f
+		leadIdx[it.key] = len(part.toBuild)
+		part.toBuild = append(part.toBuild, it)
 		part.flights = append(part.flights, f)
 		part.positions = append(part.positions, []int{i})
-		if k[1] >= 0 {
+		if len(it.attrs) >= 2 {
 			misses++
 		}
 	}
@@ -344,11 +426,12 @@ func (s *LazySource) buildBatch(ctx context.Context, part *batchPartition, out [
 	return nil
 }
 
-// batchCubeReqs converts cache keys back into rulecube requests.
-func batchCubeReqs(toBuild [][2]int) []rulecube.CubeReq {
+// batchCubeReqs converts normalized batch items back into rulecube
+// requests (the n-D form covers every arity).
+func batchCubeReqs(toBuild []batchItem) []rulecube.CubeReq {
 	rreqs := make([]rulecube.CubeReq, len(toBuild))
-	for i, k := range toBuild {
-		rreqs[i] = rulecube.CubeReq{A: k[0], B: k[1]}
+	for i, it := range toBuild {
+		rreqs[i] = rulecube.CubeReqOf(it.attrs)
 	}
 	return rreqs
 }
@@ -356,8 +439,8 @@ func batchCubeReqs(toBuild [][2]int) []rulecube.CubeReq {
 // failFlights releases every flight this call leads with the shared
 // scan's error; nothing is cached, matching the single-build path.
 func (s *LazySource) failFlights(part *batchPartition, err error) {
-	for i, k := range part.toBuild {
-		s.finish(k, part.flights[i], nil, err)
+	for i, it := range part.toBuild {
+		s.finish(it.key, part.flights[i], nil, err)
 	}
 }
 
@@ -365,21 +448,21 @@ func (s *LazySource) failFlights(part *batchPartition, err error) {
 // output positions each led key serves, and releases the flights.
 func (s *LazySource) commitBatch(part *batchPartition, cubes []*rulecube.Cube, out []*rulecube.Cube) {
 	s.mu.Lock()
-	for i, k := range part.toBuild {
-		if k[1] < 0 {
-			s.oneD[k[0]] = cubes[i]
+	for i, it := range part.toBuild {
+		if len(it.attrs) == 1 {
+			s.oneD[it.attrs[0]] = cubes[i]
 			s.oneDBuilds.Add(1)
 		} else {
-			s.insertTwoD(k, cubes[i])
+			s.insertND(it.key, it.attrs, cubes[i])
 			s.twoDBuilds.Add(1)
 		}
 	}
 	s.mu.Unlock()
-	for i, k := range part.toBuild {
+	for i, it := range part.toBuild {
 		for _, pos := range part.positions[i] {
 			out[pos] = cubes[i]
 		}
-		s.finish(k, part.flights[i], cubes[i], nil)
+		s.finish(it.key, part.flights[i], cubes[i], nil)
 	}
 }
 
@@ -389,7 +472,7 @@ func (s *LazySource) commitBatch(part *batchPartition, cubes []*rulecube.Cube, o
 // the lock held on success), removes the flight and closes done.
 // Followers wait for done or their own ctx; an abandoned wait leaves
 // the build running — its result is still cached for the next caller.
-func (s *LazySource) build(ctx context.Context, key [2]int, commit func(*rulecube.Cube)) (*rulecube.Cube, error) {
+func (s *LazySource) build(ctx context.Context, key cubeKey, attrs []int, commit func(*rulecube.Cube)) (*rulecube.Cube, error) {
 	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
 		select {
@@ -409,10 +492,6 @@ func (s *LazySource) build(ctx context.Context, key [2]int, commit func(*rulecub
 		s.finish(key, f, nil, err)
 		return nil, err
 	}
-	attrs := []int{key[0]}
-	if key[1] >= 0 {
-		attrs = append(attrs, key[1])
-	}
 	start := time.Now()
 	cube, err := rulecube.BuildCube(s.ds, attrs)
 	if err == nil {
@@ -431,7 +510,7 @@ func (s *LazySource) build(ctx context.Context, key [2]int, commit func(*rulecub
 // finish publishes a flight's outcome and retires it. Errors are not
 // cached: the flight is removed before done is closed, so a request
 // arriving after the failure starts a fresh build.
-func (s *LazySource) finish(key [2]int, f *flight, cube *rulecube.Cube, err error) {
+func (s *LazySource) finish(key cubeKey, f *flight, cube *rulecube.Cube, err error) {
 	f.cube, f.err = cube, err
 	s.mu.Lock()
 	delete(s.flights, key)
@@ -445,10 +524,10 @@ func (s *LazySource) finish(key [2]int, f *flight, cube *rulecube.Cube, err erro
 func (s *LazySource) Budget() int64 { return s.budget }
 
 // ResidentCubes returns every cube currently materialized — pinned 1-D
-// cubes by attribute index, then cached 2-D cubes by pair — the working
-// set a session snapshot persists so a warm-started lazy engine skips
-// re-counting them. The cubes are the source's own; callers must treat
-// them as read-only.
+// cubes by attribute index, then cached k ≥ 2 cubes ordered by arity
+// and attribute list — the working set a session snapshot persists so
+// a warm-started lazy engine skips re-counting them. The cubes are the
+// source's own; callers must treat them as read-only.
 func (s *LazySource) ResidentCubes() []*rulecube.Cube {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -457,22 +536,28 @@ func (s *LazySource) ResidentCubes() []*rulecube.Cube {
 		oneKeys = append(oneKeys, a)
 	}
 	sort.Ints(oneKeys)
-	twoKeys := make([][2]int, 0, len(s.twoD))
-	for k := range s.twoD {
-		twoKeys = append(twoKeys, k)
+	entries := make([]*lruEntry, 0, len(s.nd))
+	for _, el := range s.nd {
+		entries = append(entries, el.Value.(*lruEntry))
 	}
-	sort.Slice(twoKeys, func(i, j int) bool {
-		if twoKeys[i][0] != twoKeys[j][0] {
-			return twoKeys[i][0] < twoKeys[j][0]
+	sort.Slice(entries, func(i, j int) bool {
+		ai, aj := entries[i].attrs, entries[j].attrs
+		if len(ai) != len(aj) {
+			return len(ai) < len(aj)
 		}
-		return twoKeys[i][1] < twoKeys[j][1]
+		for p := range ai {
+			if ai[p] != aj[p] {
+				return ai[p] < aj[p]
+			}
+		}
+		return false
 	})
-	out := make([]*rulecube.Cube, 0, len(oneKeys)+len(twoKeys))
+	out := make([]*rulecube.Cube, 0, len(oneKeys)+len(entries))
 	for _, a := range oneKeys {
 		out = append(out, s.oneD[a])
 	}
-	for _, k := range twoKeys {
-		out = append(out, s.twoD[k].Value.(*lruEntry).cube)
+	for _, e := range entries {
+		out = append(out, e.cube)
 	}
 	return out
 }
@@ -483,15 +568,16 @@ func (s *LazySource) ResidentCubes() []*rulecube.Cube {
 // membership, per-dimension cardinality, class count); a mismatch
 // fails the whole seed without mutating the caches, since a snapshot
 // that disagrees with the data is stale and none of it can be trusted.
-// 2-D cubes enter the LRU front in the order given and may evict under
-// the byte budget. Returns the number of cubes accepted (already-
-// resident duplicates are skipped; an over-budget 2-D cube may still
-// evict). Build counters do not advance: seeded cubes were not built
-// here.
+// k ≥ 2 cubes enter the LRU front in the order given and may evict
+// under the byte budget. Returns the number of cubes accepted
+// (already-resident duplicates are skipped; an over-budget cube may
+// still evict). Build counters do not advance: seeded cubes were not
+// built here.
 func (s *LazySource) SeedCubes(cubes []*rulecube.Cube) (int, error) {
 	type placed struct {
-		key  [2]int
-		cube *rulecube.Cube
+		attrs []int // nil for 1-D (pinned) entries
+		one   int
+		cube  *rulecube.Cube
 	}
 	plan := make([]placed, 0, len(cubes))
 	for i, c := range cubes {
@@ -502,10 +588,18 @@ func (s *LazySource) SeedCubes(cubes []*rulecube.Cube) (int, error) {
 			return 0, fmt.Errorf("engine: seed cube %d has %d classes, dataset has %d", i, c.NumClasses(), s.ds.NumClasses())
 		}
 		idx := c.AttrIndices()
+		if len(idx) == 0 {
+			return 0, fmt.Errorf("engine: seed cube %d has no condition dimensions", i)
+		}
+		seen := make(map[int]bool, len(idx))
 		for pos, a := range idx {
 			if !s.inSet[a] {
 				return 0, fmt.Errorf("engine: seed cube %d references attribute %d outside the served set", i, a)
 			}
+			if seen[a] {
+				return 0, fmt.Errorf("engine: seed cube %d repeats attribute %d", i, a)
+			}
+			seen[a] = true
 			card := s.ds.Cardinality(a)
 			if card == 0 {
 				card = 1
@@ -514,35 +608,31 @@ func (s *LazySource) SeedCubes(cubes []*rulecube.Cube) (int, error) {
 				return 0, fmt.Errorf("engine: seed cube %d dimension %d has cardinality %d, dataset says %d", i, pos, c.Dim(pos), card)
 			}
 		}
-		switch len(idx) {
-		case 1:
-			plan = append(plan, placed{key: [2]int{idx[0], -1}, cube: c})
-		case 2:
-			a, b := idx[0], idx[1]
-			if a > b {
-				a, b = b, a
-			}
-			plan = append(plan, placed{key: [2]int{a, b}, cube: c})
-		default:
-			return 0, fmt.Errorf("engine: seed cube %d has %d condition dimensions (want 1 or 2)", i, len(idx))
+		if len(idx) == 1 {
+			plan = append(plan, placed{one: idx[0], cube: c})
+			continue
 		}
+		norm := append([]int(nil), idx...)
+		sort.Ints(norm)
+		plan = append(plan, placed{attrs: norm, cube: c})
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	seeded := 0
 	for _, p := range plan {
-		if p.key[1] < 0 {
-			if _, ok := s.oneD[p.key[0]]; ok {
+		if p.attrs == nil {
+			if _, ok := s.oneD[p.one]; ok {
 				continue
 			}
-			s.oneD[p.key[0]] = p.cube
+			s.oneD[p.one] = p.cube
 			seeded++
 			continue
 		}
-		if _, ok := s.twoD[p.key]; ok {
+		key := keyOf(p.attrs)
+		if _, ok := s.nd[key]; ok {
 			continue
 		}
-		s.insertTwoD(p.key, p.cube)
+		s.insertND(key, p.attrs, p.cube)
 		seeded++
 	}
 	return seeded, nil
@@ -591,7 +681,7 @@ func (s *LazySource) IngestRows(rows [][]int32, classes []int32) error {
 			tail := s.order.Back()
 			ev := tail.Value.(*lruEntry)
 			s.order.Remove(tail)
-			delete(s.twoD, ev.key)
+			delete(s.nd, ev.key)
 			s.bytes -= ev.size
 			s.evictions.Add(1)
 			obsv.Default().Counter(CubeCacheEvictionsCounterName).Inc()
@@ -601,27 +691,27 @@ func (s *LazySource) IngestRows(rows [][]int32, classes []int32) error {
 	return nil
 }
 
-// insertTwoD records a freshly built 2-D cube and evicts from the LRU
+// insertND records a freshly built k ≥ 2 cube and evicts from the LRU
 // tail until the budget holds. Called with s.mu held. The fresh entry
 // is inserted first and may itself be evicted if it alone exceeds the
 // budget — the caller still returns the cube it holds; it just won't
 // be resident for the next request.
-func (s *LazySource) insertTwoD(key [2]int, c *rulecube.Cube) {
-	if el, ok := s.twoD[key]; ok {
+func (s *LazySource) insertND(key cubeKey, attrs []int, c *rulecube.Cube) {
+	if el, ok := s.nd[key]; ok {
 		// A second flight can theoretically land after an eviction
 		// re-miss; keep the resident entry authoritative.
 		s.order.MoveToFront(el)
 		return
 	}
-	e := &lruEntry{key: key, cube: c, size: c.SizeBytes()}
-	s.twoD[key] = s.order.PushFront(e)
+	e := &lruEntry{key: key, attrs: append([]int(nil), attrs...), cube: c, size: c.SizeBytes()}
+	s.nd[key] = s.order.PushFront(e)
 	s.bytes += e.size
 	if s.budget >= 0 {
 		for s.bytes > s.budget && s.order.Len() > 0 {
 			tail := s.order.Back()
 			ev := tail.Value.(*lruEntry)
 			s.order.Remove(tail)
-			delete(s.twoD, ev.key)
+			delete(s.nd, ev.key)
 			s.bytes -= ev.size
 			s.evictions.Add(1)
 			obsv.Default().Counter(CubeCacheEvictionsCounterName).Inc()

@@ -16,6 +16,8 @@ import (
 	"strings"
 
 	"opmap/internal/compare"
+	"opmap/internal/drill"
+	"opmap/internal/engine"
 	"opmap/internal/gi"
 	"opmap/internal/rulecube"
 	"opmap/internal/visual"
@@ -178,6 +180,57 @@ func (e *Explorer) Compare(w io.Writer, attr, v1, v2, class string) error {
 	return e.push(w, view{kind: "compare", render: render, cmp: res, label1: l1, label2: l2})
 }
 
+// Drill pushes a multi-condition drill-down view: the comparison's
+// highest-contribution branches expanded into condition conjunctions,
+// surfacing effects no single attribute's ranking shows. depth 0 uses
+// the default (two conditions). The view keeps the root comparison,
+// so "focus" follow-ups work like after "compare".
+func (e *Explorer) Drill(w io.Writer, attr, v1, v2, class string, depth int) error {
+	a, err := e.attrIndex(attr)
+	if err != nil {
+		return err
+	}
+	c1, err := e.valueCode(a, v1)
+	if err != nil {
+		return err
+	}
+	c2, err := e.valueCode(a, v2)
+	if err != nil {
+		return err
+	}
+	cls, err := e.classCode(class)
+	if err != nil {
+		return err
+	}
+	res, err := drill.New(engine.NewEager(e.store)).Drill(
+		compare.Input{Attr: a, V1: c1, V2: c2, Class: cls},
+		drill.Options{MaxDepth: depth},
+	)
+	if err != nil {
+		return err
+	}
+	dict := e.store.Dataset().Column(a).Dict
+	l1 := dict.Label(res.Root.Rule1.Conditions[0].Value)
+	l2 := dict.Label(res.Root.Rule2.Conditions[0].Value)
+	render := func(w io.Writer) error {
+		fmt.Fprintf(w, "drill %s: %s (%.3f%%) vs %s (%.3f%%) on %s, measure=%s\n",
+			attr, l1, 100*res.Root.Cf1, l2, 100*res.Root.Cf2, class, res.Measure)
+		fmt.Fprintf(w, "%-3s %-44s %8s %9s %9s %7s\n", "#", "conditions", "score", "rate-lo", "rate-hi", "n-hi")
+		for i, f := range res.Findings {
+			if i >= 10 {
+				break
+			}
+			fmt.Fprintf(w, "%-3d %-44s %8.4f %8.3f%% %8.3f%% %7d\n",
+				i+1, f.Label(), f.Score, 100*f.Cf1, 100*f.Cf2, f.N2)
+		}
+		if res.Partial {
+			fmt.Fprintf(w, "(partial: %d branches unexplored)\n", len(res.Unexplored))
+		}
+		return nil
+	}
+	return e.push(w, view{kind: "drill", render: render, cmp: res.Root, label1: l1, label2: l2})
+}
+
 // Focus renders the Fig. 7 view of one attribute of the current
 // comparison (or its rank-1 attribute when name is empty).
 func (e *Explorer) Focus(w io.Writer, name string) error {
@@ -301,6 +354,7 @@ const helpText = `commands:
   pairs <attr> <class> [n]                  screen value pairs worth comparing
   sweep <attr> <class>                      compare all significant pairs, aggregate causes
   compare <attr> <v1> <v2> <class>          the Section IV automated comparison
+  drill <attr> <v1> <v2> <class> [depth]    multi-condition drill-down of a comparison
   focus [attr]                              Fig. 7/8 view of a compared attribute
   impressions                               trends / exceptions / influence
   attrs                                     list attributes
@@ -408,6 +462,20 @@ func (e *Explorer) exec(w io.Writer, line string) bool {
 			err = fmt.Errorf("usage: compare <attr> <v1> <v2> <class>")
 		} else {
 			err = e.Compare(w, fields[1], fields[2], fields[3], fields[4])
+		}
+	case "drill":
+		switch len(fields) {
+		case 5:
+			err = e.Drill(w, fields[1], fields[2], fields[3], fields[4], 0)
+		case 6:
+			d := 0
+			if _, serr := fmt.Sscanf(fields[5], "%d", &d); serr != nil || d < 1 {
+				err = fmt.Errorf("usage: drill <attr> <v1> <v2> <class> [depth]")
+			} else {
+				err = e.Drill(w, fields[1], fields[2], fields[3], fields[4], d)
+			}
+		default:
+			err = fmt.Errorf("usage: drill <attr> <v1> <v2> <class> [depth]")
 		}
 	case "focus":
 		name := ""

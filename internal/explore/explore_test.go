@@ -224,3 +224,43 @@ func TestExplorerSweepCommand(t *testing.T) {
 		t.Error("arg validation missing")
 	}
 }
+
+// TestExplorerDrillCommand runs a drill-down through the command
+// language: the view renders scored condition paths, keeps the root
+// comparison for focus follow-ups, and validates its arguments.
+func TestExplorerDrillCommand(t *testing.T) {
+	e, gt := explorer(t)
+	var buf bytes.Buffer
+	script := strings.Join([]string{
+		"drill " + gt.PhoneAttr + " " + gt.GoodPhone + " " + gt.BadPhone + " " + gt.DropClass,
+		"focus",
+		"quit",
+	}, "\n")
+	if err := e.RunScript(script, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "measure=paper") {
+		t.Errorf("drill view missing the measure header:\n%s", out)
+	}
+	if !strings.Contains(out, "conditions") {
+		t.Errorf("drill view missing the findings table:\n%s", out)
+	}
+	// The planted attribute drives the comparison, so it must appear in
+	// some finding's condition path.
+	if !strings.Contains(out, gt.DistinguishingAttr+"=") {
+		t.Errorf("no finding conditions on %s:\n%s", gt.DistinguishingAttr, out)
+	}
+	// focus after drill works off the kept root comparison.
+	if strings.Contains(out, "focus requires a comparison view") {
+		t.Error("focus did not see the drill view's root comparison")
+	}
+
+	buf.Reset()
+	if err := e.RunScript("drill onlyone\ndrill a b c d notanumber", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(buf.String(), "usage: drill"); c != 2 {
+		t.Errorf("malformed drill commands printed %d usage errors, want 2:\n%s", c, buf.String())
+	}
+}

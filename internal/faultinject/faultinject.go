@@ -41,6 +41,9 @@ const (
 	// SiteSweepPair fires before each screened pair is compared in a
 	// sweep.
 	SiteSweepPair = "sweep.pair"
+	// SiteDrillNode fires before each (node, candidate attribute) pair
+	// the drill-down planner scores during a frontier expansion.
+	SiteDrillNode = "drill.node"
 	// SitePermRound fires before each permutation-test round.
 	SitePermRound = "permtest.round"
 	// SiteGIAttr fires before each attribute the GI miner processes.

@@ -181,6 +181,8 @@ func Default() *Registry {
 		}
 		defaultReg.Histogram(CubeBuildHistogramName, nil)
 		defaultReg.Histogram(CompareAttrHistogramName, nil)
+		defaultReg.Counter(DrillDownRunsCounterName)
+		defaultReg.Counter(DrillDownNodesCounterName)
 	})
 	return defaultReg
 }

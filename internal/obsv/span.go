@@ -39,6 +39,9 @@ const (
 	StagePermutationTest     = "permutation_test"
 	StageImpressions         = "impressions"
 	StageGIMine              = "gi_mine"
+	// StageDrillDown spans one multi-condition drill-down run (root
+	// comparison plus every frontier expansion).
+	StageDrillDown = "drilldown"
 )
 
 // PipelineStages lists every known stage, in pipeline order. Default()
@@ -53,7 +56,18 @@ var PipelineStages = []string{
 	StagePermutationTest,
 	StageImpressions,
 	StageGIMine,
+	StageDrillDown,
 }
+
+// Drill-down counter families, pre-registered by Default() so the
+// explorer's metrics appear at zero before the first query.
+const (
+	// DrillDownRunsCounterName counts completed drill-down runs.
+	DrillDownRunsCounterName = "opmap_drilldown_runs_total"
+	// DrillDownNodesCounterName counts frontier nodes expanded across
+	// all drill-down runs (the planner's unit of work).
+	DrillDownNodesCounterName = "opmap_drilldown_nodes_total"
+)
 
 // Stage opens a timing span for the named pipeline stage and returns
 // the closer. Idiomatic use is one line at the top of the entry point:

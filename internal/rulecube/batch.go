@@ -25,10 +25,31 @@ import (
 // CubeReq names one cube of a batch build: the 2-D (A × class) cube
 // when B is negative, the 3-D (A × B × class) pair cube otherwise. The
 // pair's condition dimensions come out in (A, B) order, exactly as
-// Build(ds, []int{A, B}) would order them.
+// Build(ds, []int{A, B}) would order them. Attrs, when non-empty,
+// supersedes A/B and names the condition dimensions of an arbitrary
+// k-D cube in order — Build(ds, Attrs) — so one batch can mix 1-D
+// marginals, pairs and higher-dimensional drill-down cubes in a single
+// shared scan.
 type CubeReq struct {
 	A int
 	B int
+	// Attrs is the n-D request form; nil keeps the legacy two-field
+	// form. len(Attrs) ≥ 1; order fixes the cube's dimension order.
+	Attrs []int
+}
+
+// CubeReqOf builds the n-D form of a request.
+func CubeReqOf(attrs []int) CubeReq { return CubeReq{A: -1, B: -1, Attrs: attrs} }
+
+// attrList returns the request's condition dimensions in cube order.
+func (q CubeReq) attrList() []int {
+	if len(q.Attrs) > 0 {
+		return q.Attrs
+	}
+	if q.B < 0 {
+		return []int{q.A}
+	}
+	return []int{q.A, q.B}
 }
 
 // CubeScansCounterName counts full dataset passes performed to count
@@ -67,6 +88,25 @@ type onePlan struct {
 	scratch []int64
 }
 
+// kPlan accumulates one k-D cube (k ≥ 3) during the shared scan. Its
+// scratch generalizes the pair layout: Π(dim_i+1) × numClasses with
+// slot 0 of every condition dimension catching missing values, so the
+// inner loop stays branch-free at any arity.
+type kPlan struct {
+	attrs   []int
+	cols    [][]int32
+	dims    []int
+	strides []int // strides[i] = numClasses × Π_{j>i}(dims[j]+1)
+	scratch []int64
+}
+
+// maxBatchScratchCells bounds one k-D plan's scratch allocation: a
+// request whose (dim+1)-product exceeds it is rejected up front rather
+// than attempted. Callers that budget cache bytes (the lazy engine)
+// reject such cubes earlier via EstimateCubeBytes; this guard protects
+// direct BuildMany users from runaway allocations.
+const maxBatchScratchCells = 1 << 31
+
 // cubeDim mirrors Build's dimension sizing: an attribute with an empty
 // domain still needs one slot.
 func cubeDim(ds *dataset.Dataset, a int) int {
@@ -104,8 +144,11 @@ func BuildMany(ctx context.Context, ds *dataset.Dataset, reqs []CubeReq) ([]*Cub
 	}
 
 	nc := ds.NumClasses()
-	plan := planBatch(ds, nc, reqs)
-	scanAll(ds.Column(ds.ClassIndex()).Codes, nc, plan.pairs, plan.ones, ds.NumRows())
+	plan, err := planBatch(ds, nc, reqs)
+	if err != nil {
+		return nil, err
+	}
+	scanAll(ds.Column(ds.ClassIndex()).Codes, nc, plan, ds.NumRows())
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -117,18 +160,24 @@ func BuildMany(ctx context.Context, ds *dataset.Dataset, reqs []CubeReq) ([]*Cub
 }
 
 // validateBatchReqs rejects out-of-range, class-dimension, and
-// degenerate (A == B) requests before any allocation.
+// duplicate-attribute requests before any allocation, in either
+// request form.
 func validateBatchReqs(ds *dataset.Dataset, reqs []CubeReq) error {
 	classIdx := ds.ClassIndex()
 	for _, q := range reqs {
-		if q.A < 0 || q.A >= ds.NumAttrs() || q.B >= ds.NumAttrs() {
-			return fmt.Errorf("rulecube: attribute index (%d,%d) out of range", q.A, q.B)
-		}
-		if q.A == classIdx || q.B == classIdx {
-			return fmt.Errorf("rulecube: class attribute cannot be a condition dimension")
-		}
-		if q.B >= 0 && q.B == q.A {
-			return fmt.Errorf("rulecube: duplicate attribute %d", q.A)
+		attrs := q.attrList()
+		for i, a := range attrs {
+			if a < 0 || a >= ds.NumAttrs() {
+				return fmt.Errorf("rulecube: attribute index %d out of range", a)
+			}
+			if a == classIdx {
+				return fmt.Errorf("rulecube: class attribute cannot be a condition dimension")
+			}
+			for _, b := range attrs[:i] {
+				if a == b {
+					return fmt.Errorf("rulecube: duplicate attribute %d", a)
+				}
+			}
 		}
 	}
 	return nil
@@ -141,60 +190,103 @@ func validateBatchReqs(ds *dataset.Dataset, reqs []CubeReq) error {
 type batchPlan struct {
 	pairs   []pairPlan
 	ones    []onePlan
+	ks      []kPlan
 	pairIdx map[[2]int]int
 	oneIdx  map[int]int
+	kIdx    map[string]int // ordered attr-list key -> kPlan index
 	derived map[int][2]int // attr -> {pair plan index, dimension position}
 }
 
+// kKey is the dedup key of a k-D request: its exact ordered dimension
+// list (order fixes the cube's dimension order, so [a b c] and
+// [b a c] are distinct cubes).
+func kKey(attrs []int) string { return fmt.Sprint(attrs) }
+
 // planBatch dedupes the requests into scan plans, routing 1-D requests
-// through a covering pair's scratch whenever one exists.
-func planBatch(ds *dataset.Dataset, nc int, reqs []CubeReq) *batchPlan {
+// through a covering pair's scratch whenever one exists and k ≥ 3
+// requests into k-D plans.
+func planBatch(ds *dataset.Dataset, nc int, reqs []CubeReq) (*batchPlan, error) {
 	p := &batchPlan{
 		pairIdx: make(map[[2]int]int),
 		oneIdx:  make(map[int]int),
+		kIdx:    make(map[string]int),
 		derived: make(map[int][2]int),
 	}
 	for _, q := range reqs {
-		if q.B < 0 {
+		attrs := q.attrList()
+		if len(attrs) != 2 {
 			continue
 		}
-		k := [2]int{q.A, q.B}
+		a, b := attrs[0], attrs[1]
+		k := [2]int{a, b}
 		if _, ok := p.pairIdx[k]; ok {
 			continue
 		}
-		dimA, dimB := cubeDim(ds, q.A), cubeDim(ds, q.B)
+		dimA, dimB := cubeDim(ds, a), cubeDim(ds, b)
 		p.pairIdx[k] = len(p.pairs)
 		p.pairs = append(p.pairs, pairPlan{
-			a: q.A, b: q.B,
-			colA: ds.Column(q.A).Codes, colB: ds.Column(q.B).Codes,
+			a: a, b: b,
+			colA: ds.Column(a).Codes, colB: ds.Column(b).Codes,
 			dimA: dimA, dimB: dimB,
 			strideA: (dimB + 1) * nc,
 			scratch: make([]int64, (dimA+1)*(dimB+1)*nc),
 		})
 	}
 	for _, q := range reqs {
-		if q.B >= 0 {
+		attrs := q.attrList()
+		if len(attrs) < 3 {
 			continue
 		}
-		if _, ok := p.oneIdx[q.A]; ok {
+		key := kKey(attrs)
+		if _, ok := p.kIdx[key]; ok {
 			continue
 		}
-		if _, ok := p.derived[q.A]; ok {
+		kp := kPlan{attrs: append([]int(nil), attrs...)}
+		cells := int64(nc)
+		for _, a := range attrs {
+			d := cubeDim(ds, a)
+			kp.dims = append(kp.dims, d)
+			kp.cols = append(kp.cols, ds.Column(a).Codes)
+			if cells > maxBatchScratchCells/int64(d+1) {
+				return nil, fmt.Errorf("rulecube: cube over attributes %v too large to count (> %d scratch cells)", attrs, int64(maxBatchScratchCells))
+			}
+			cells *= int64(d + 1)
+		}
+		kp.strides = make([]int, len(attrs))
+		stride := nc
+		for i := len(attrs) - 1; i >= 0; i-- {
+			kp.strides[i] = stride
+			stride *= kp.dims[i] + 1
+		}
+		kp.scratch = make([]int64, cells)
+		p.kIdx[key] = len(p.ks)
+		p.ks = append(p.ks, kp)
+	}
+	for _, q := range reqs {
+		attrs := q.attrList()
+		if len(attrs) != 1 {
 			continue
 		}
-		pos := findPairFor(p.pairs, q.A)
+		a := attrs[0]
+		if _, ok := p.oneIdx[a]; ok {
+			continue
+		}
+		if _, ok := p.derived[a]; ok {
+			continue
+		}
+		pos := findPairFor(p.pairs, a)
 		if pos[0] >= 0 {
-			p.derived[q.A] = pos
+			p.derived[a] = pos
 			continue
 		}
-		d := cubeDim(ds, q.A)
-		p.oneIdx[q.A] = len(p.ones)
+		d := cubeDim(ds, a)
+		p.oneIdx[a] = len(p.ones)
 		p.ones = append(p.ones, onePlan{
-			a: q.A, col: ds.Column(q.A).Codes,
+			a: a, col: ds.Column(a).Codes,
 			dim: d, scratch: make([]int64, (d+1)*nc),
 		})
 	}
-	return p
+	return p, nil
 }
 
 // extractAll materializes each distinct cube once from the counted
@@ -203,29 +295,40 @@ func planBatch(ds *dataset.Dataset, nc int, reqs []CubeReq) *batchPlan {
 func extractAll(ds *dataset.Dataset, nc int, reqs []CubeReq, plan *batchPlan) ([]*Cube, int) {
 	out := make([]*Cube, len(reqs))
 	pairCubes := make([]*Cube, len(plan.pairs))
+	kCubes := make([]*Cube, len(plan.ks))
 	oneCubes := make(map[int]*Cube)
 	built := 0
 	for i, q := range reqs {
-		if q.B >= 0 {
-			pi := plan.pairIdx[[2]int{q.A, q.B}]
+		attrs := q.attrList()
+		switch {
+		case len(attrs) >= 3:
+			ki := plan.kIdx[kKey(attrs)]
+			if kCubes[ki] == nil {
+				kCubes[ki] = extractK(ds, nc, &plan.ks[ki])
+				built++
+			}
+			out[i] = kCubes[ki]
+		case len(attrs) == 2:
+			pi := plan.pairIdx[[2]int{attrs[0], attrs[1]}]
 			if pairCubes[pi] == nil {
 				pairCubes[pi] = extractPair(ds, nc, &plan.pairs[pi])
 				built++
 			}
 			out[i] = pairCubes[pi]
-			continue
-		}
-		c, ok := oneCubes[q.A]
-		if !ok {
-			if pos, der := plan.derived[q.A]; der {
-				c = extractDerivedOne(ds, nc, q.A, &plan.pairs[pos[0]], pos[1])
-			} else {
-				c = extractOne(ds, nc, &plan.ones[plan.oneIdx[q.A]])
+		default:
+			a := attrs[0]
+			c, ok := oneCubes[a]
+			if !ok {
+				if pos, der := plan.derived[a]; der {
+					c = extractDerivedOne(ds, nc, a, &plan.pairs[pos[0]], pos[1])
+				} else {
+					c = extractOne(ds, nc, &plan.ones[plan.oneIdx[a]])
+				}
+				oneCubes[a] = c
+				built++
 			}
-			oneCubes[q.A] = c
-			built++
+			out[i] = c
 		}
-		out[i] = c
 	}
 	return out, built
 }
@@ -249,19 +352,21 @@ func findPairFor(pairs []pairPlan, a int) [2]int {
 // scratch (counts are additive; shard partials merge by summation).
 // It runs to completion once started — the caller bounds cancellation
 // at one scan by checking its context before and after.
-func scanAll(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, rows int) {
+func scanAll(classCol []int32, nc int, plan *batchPlan, rows int) {
+	pairs, ones, ks := plan.pairs, plan.ones, plan.ks
 	shards := runtime.GOMAXPROCS(0)
 	if max := rows / batchShardRows; shards > max {
 		shards = max
 	}
 	if shards <= 1 {
-		scanRange(classCol, nc, pairs, ones, 0, rows)
+		scanRange(classCol, nc, pairs, ones, ks, 0, rows)
 		return
 	}
 	// Shard 0 scans into the plans' own scratch; each extra shard gets a
 	// private copy of the scratch arrays, merged after the pass.
 	extra := make([][]pairPlan, shards-1)
 	extraOnes := make([][]onePlan, shards-1)
+	extraKs := make([][]kPlan, shards-1)
 	for s := range extra {
 		ps := append([]pairPlan(nil), pairs...)
 		for i := range ps {
@@ -271,7 +376,11 @@ func scanAll(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, rows in
 		for i := range os {
 			os[i].scratch = make([]int64, len(ones[i].scratch))
 		}
-		extra[s], extraOnes[s] = ps, os
+		kps := append([]kPlan(nil), ks...)
+		for i := range kps {
+			kps[i].scratch = make([]int64, len(ks[i].scratch))
+		}
+		extra[s], extraOnes[s], extraKs[s] = ps, os, kps
 	}
 	var wg sync.WaitGroup
 	per := (rows + shards - 1) / shards
@@ -281,15 +390,15 @@ func scanAll(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, rows in
 		if hi > rows {
 			hi = rows
 		}
-		ps, os := pairs, ones
+		ps, os, kps := pairs, ones, ks
 		if s > 0 {
-			ps, os = extra[s-1], extraOnes[s-1]
+			ps, os, kps = extra[s-1], extraOnes[s-1], extraKs[s-1]
 		}
 		wg.Add(1)
-		go func(ps []pairPlan, os []onePlan, lo, hi int) {
+		go func(ps []pairPlan, os []onePlan, kps []kPlan, lo, hi int) {
 			defer wg.Done()
-			scanRange(classCol, nc, ps, os, lo, hi)
-		}(ps, os, lo, hi)
+			scanRange(classCol, nc, ps, os, kps, lo, hi)
+		}(ps, os, kps, lo, hi)
 	}
 	wg.Wait()
 	for s := range extra {
@@ -298,6 +407,9 @@ func scanAll(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, rows in
 		}
 		for i := range ones {
 			AddCounts(ones[i].scratch, extraOnes[s][i].scratch)
+		}
+		for i := range ks {
+			AddCounts(ks[i].scratch, extraKs[s][i].scratch)
 		}
 	}
 }
@@ -317,7 +429,7 @@ const scanBlockRows = 2048
 // loop and the block's columns are revisited while still in cache —
 // the row-outer form re-derefs every plan per row and thrashes between
 // all the plans' columns.
-func scanRange(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, lo, hi int) {
+func scanRange(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, ks []kPlan, lo, hi int) {
 	for blo := lo; blo < hi; blo += scanBlockRows {
 		bhi := blo + scanBlockRows
 		if bhi > hi {
@@ -343,6 +455,24 @@ func scanRange(classCol []int32, nc int, pairs []pairPlan, ones []onePlan, lo, h
 					continue
 				}
 				scratch[(int(col[r])+1)*nc+int(cl)]++
+			}
+		}
+		for i := range ks {
+			kp := &ks[i]
+			scratch, strides := kp.scratch, kp.strides
+			cols := make([][]int32, len(kp.cols))
+			for d := range kp.cols {
+				cols[d] = kp.cols[d][blo:bhi]
+			}
+			for r, cl := range cls {
+				if cl < 0 {
+					continue
+				}
+				idx := int(cl)
+				for d, col := range cols {
+					idx += (int(col[r]) + 1) * strides[d]
+				}
+				scratch[idx]++
 			}
 		}
 	}
@@ -388,6 +518,43 @@ func extractPair(ds *dataset.Dataset, nc int, p *pairPlan) *Cube {
 func extractOne(ds *dataset.Dataset, nc int, o *onePlan) *Cube {
 	c := newCubeHeader(ds, []int{o.a}, nc)
 	copy(c.counts, o.scratch[nc:(o.dim+1)*nc])
+	for _, n := range c.counts {
+		c.total += n
+	}
+	return c
+}
+
+// extractK copies the present-value block of a k-D plan's scratch into
+// an exact cube: slot 0 of every condition dimension (rows where that
+// value was missing) is dropped, matching Build's skip of such rows.
+// The innermost dimension's present block is contiguous in both
+// layouts, so the copy walks an odometer over the outer dimensions and
+// moves dims[k-1]×nc cells at a time.
+func extractK(ds *dataset.Dataset, nc int, p *kPlan) *Cube {
+	c := newCubeHeader(ds, p.attrs, nc)
+	k := len(p.dims)
+	blk := p.dims[k-1] * nc
+	idx := make([]int, k-1)
+	dst := 0
+	for {
+		src := p.strides[k-1] // skip slot 0 of the innermost dimension
+		for i := 0; i < k-1; i++ {
+			src += (idx[i] + 1) * p.strides[i]
+		}
+		copy(c.counts[dst:dst+blk], p.scratch[src:src+blk])
+		dst += blk
+		i := k - 2
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < p.dims[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
 	for _, n := range c.counts {
 		c.total += n
 	}

@@ -11,6 +11,7 @@ package rulecube
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -416,33 +417,67 @@ func (c *Cube) ScaleFactors() []float64 {
 }
 
 // RuleCount returns the number of rules the cube represents: the number
-// of cells (Fig. 1 represents 3×4×2 = 24 rules).
-func (c *Cube) RuleCount() int {
-	n := c.numClasses
+// of cells (Fig. 1 represents 3×4×2 = 24 rules). The product saturates
+// at math.MaxInt64 — a cube whose declared dims multiply past the
+// int64 range reports the ceiling rather than a wrapped negative, so
+// cache byte accounting built on it can never go negative.
+func (c *Cube) RuleCount() int64 {
+	n := int64(c.numClasses)
+	if n <= 0 {
+		n = 1
+	}
 	for _, d := range c.dims {
-		n *= d
+		card := int64(d)
+		if card <= 0 {
+			card = 1
+		}
+		if n > math.MaxInt64/card {
+			return math.MaxInt64
+		}
+		n *= card
 	}
 	return n
 }
 
 // Rules materializes every cell as a car.Rule, in cell order. Intended
-// for small cubes (display, tests); large cubes should use ForEach.
-func (c *Cube) Rules() []car.Rule {
-	out := make([]car.Rule, 0, c.RuleCount())
+// for small cubes (display, tests); large cubes should use ForEach. A
+// cell that cannot be materialized surfaces as the first error instead
+// of being silently dropped from the slice.
+func (c *Cube) Rules() ([]car.Rule, error) {
+	n := c.RuleCount()
+	if n > int64(len(c.counts)) {
+		n = int64(len(c.counts))
+	}
+	out := make([]car.Rule, 0, n)
+	var firstErr error
 	c.forEach(func(values []int32, class int32, _ int64) {
 		r, err := c.Rule(values, class)
-		if err == nil {
-			out = append(out, r)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
 		}
+		out = append(out, r)
 	})
-	return out
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // SizeBytes approximates the memory held by the cube's count array
 // (8 bytes per cell). Dictionaries and headers are shared with the
 // dataset and not charged here; this is the figure cache budgets and
-// StoreStats account in.
-func (c *Cube) SizeBytes() int64 { return int64(c.RuleCount()) * 8 }
+// StoreStats account in. Like RuleCount it saturates at math.MaxInt64
+// instead of wrapping negative.
+func (c *Cube) SizeBytes() int64 {
+	n := c.RuleCount()
+	if n > math.MaxInt64/8 {
+		return math.MaxInt64
+	}
+	return n * 8
+}
 
 // EstimateCubeBytes predicts SizeBytes for a cube over attrs without
 // building it, saturating at math.MaxInt64 for absurd cardinality
@@ -803,21 +838,31 @@ type StoreStats struct {
 	Cubes      int
 	// Cells is the total cell count across all cubes = the number of
 	// rules the store represents.
-	Cells int
+	Cells int64
 	// Bytes approximates count-array memory (8 bytes per cell).
 	Bytes int64
 	// MaxCubeCells is the largest single cube.
-	MaxCubeCells int
+	MaxCubeCells int64
 }
 
-// Stats computes the store's size summary.
+// Stats computes the store's size summary. Sums saturate at
+// math.MaxInt64 like the per-cube figures they aggregate.
 func (s *Store) Stats() StoreStats {
 	st := StoreStats{Attributes: len(s.attrs)}
 	s.forEachCube(func(c *Cube) {
 		st.Cubes++
 		n := c.RuleCount()
-		st.Cells += n
-		st.Bytes += c.SizeBytes()
+		if st.Cells > math.MaxInt64-n {
+			st.Cells = math.MaxInt64
+		} else {
+			st.Cells += n
+		}
+		b := c.SizeBytes()
+		if st.Bytes > math.MaxInt64-b {
+			st.Bytes = math.MaxInt64
+		} else {
+			st.Bytes += b
+		}
 		if n > st.MaxCubeCells {
 			st.MaxCubeCells = n
 		}

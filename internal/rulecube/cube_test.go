@@ -300,7 +300,10 @@ func TestCubeRuleMaterialization(t *testing.T) {
 	if r.SupCount != 100 || r.CondCount != 150 || r.Total != 1158 {
 		t.Errorf("rule = %+v", r)
 	}
-	rules := cube.Rules()
+	rules, err := cube.Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rules) != 24 {
 		t.Errorf("materialized %d rules, want 24", len(rules))
 	}
@@ -460,5 +463,28 @@ func TestStoreStats(t *testing.T) {
 	}
 	if st.MaxCubeCells != 24 {
 		t.Errorf("max cube = %d, want 24 (Fig. 1's cube)", st.MaxCubeCells)
+	}
+}
+
+func TestRuleCountSaturates(t *testing.T) {
+	// A cube whose declared dims multiply past the int64 range must
+	// report the MaxInt64 ceiling, never a wrapped-negative byte budget
+	// (the engine LRU accounts cache size in SizeBytes).
+	c := &Cube{dims: []int{1 << 31, 1 << 31, 1 << 31}, numClasses: 4}
+	if got := c.RuleCount(); got != math.MaxInt64 {
+		t.Fatalf("RuleCount = %d, want MaxInt64", got)
+	}
+	if got := c.SizeBytes(); got != math.MaxInt64 {
+		t.Fatalf("SizeBytes = %d, want MaxInt64", got)
+	}
+	// Near the boundary: 2^31 × 2^30 × 2 = 2^62 cells fits an int64,
+	// but the 8-bytes-per-cell step would overflow — SizeBytes must
+	// still saturate while RuleCount stays exact and positive.
+	near := &Cube{dims: []int{1 << 31, 1 << 30}, numClasses: 2}
+	if got := near.RuleCount(); got != 1<<62 {
+		t.Fatalf("RuleCount = %d, want 2^62", got)
+	}
+	if got := near.SizeBytes(); got != math.MaxInt64 {
+		t.Fatalf("SizeBytes = %d, want MaxInt64 (8× cell count overflows)", got)
 	}
 }

@@ -226,12 +226,9 @@ func (s *Server) handleCompare(r *http.Request) (any, error) {
 	}
 	var opts opmap.CompareOptions
 	if raw := q.Get("attrs"); raw != "" {
-		for _, name := range strings.Split(raw, ",") {
-			name = strings.TrimSpace(name)
-			if name == "" {
-				return nil, badRequest("query parameter attrs=%q contains an empty attribute name", raw)
-			}
-			opts.Attrs = append(opts.Attrs, name)
+		opts.Attrs, err = attrList(strings.Split(raw, ","))
+		if err != nil {
+			return nil, err
 		}
 	}
 	var cmp *opmap.Comparison
@@ -466,6 +463,178 @@ func (s *Server) handleIngest(r *http.Request) (any, error) {
 	}
 	s.metrics.Counter(metricIngestRows).Add(int64(len(req.Rows)))
 	return &ingestResponse{Dataset: name, Accepted: len(req.Rows), Seq: seq}, nil
+}
+
+// attrList validates a client-supplied ranked-attribute restriction
+// list: entries are trimmed, an empty name is rejected, and a
+// duplicate fails the request naming the offender. Duplicates used to
+// pass through verbatim, and the compare layer ranks an explicit list
+// as given — so attrs=A,A scored A twice and listed it twice in the
+// response. The restriction is a set; rejecting duplicates here keeps
+// a client bug visible instead of silently double-counting. Shared by
+// the compare and drilldown endpoints so both enforce the same rule.
+func attrList(names []string) ([]string, error) {
+	seen := make(map[string]struct{}, len(names))
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, badRequest("attrs list contains an empty attribute name")
+		}
+		if _, dup := seen[name]; dup {
+			return nil, badRequest("attrs list names %q twice", name)
+		}
+		seen[name] = struct{}{}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// maxDrilldownBody bounds a drill-down request body. The request is a
+// small JSON object of names and knobs; 1 MiB is far beyond any
+// legitimate attrs list.
+const maxDrilldownBody = 1 << 20
+
+// drilldownRequest is the POST /api/drilldown body. Zero-valued knobs
+// take the library defaults (depth 2, beam 8, 256 nodes, support 8,
+// the paper measure).
+type drilldownRequest struct {
+	Attr       string   `json:"attr"`
+	V1         string   `json:"v1"`
+	V2         string   `json:"v2"`
+	Class      string   `json:"class"`
+	MaxDepth   int      `json:"max_depth"`
+	Beam       int      `json:"beam"`
+	MaxNodes   int      `json:"max_nodes"`
+	MinSupport int64    `json:"min_support"`
+	Measure    string   `json:"measure"`
+	Attrs      []string `json:"attrs"`
+	Top        int      `json:"top"`
+}
+
+type drillCondEntry struct {
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
+}
+
+type drillFindingEntry struct {
+	Conds []drillCondEntry `json:"conds"`
+	Depth int              `json:"depth"`
+	Score float64          `json:"score"`
+	Raw   float64          `json:"raw"`
+	N1    int64            `json:"n1"`
+	C1    int64            `json:"c1"`
+	N2    int64            `json:"n2"`
+	C2    int64            `json:"c2"`
+	Cf1   float64          `json:"cf1"`
+	Cf2   float64          `json:"cf2"`
+}
+
+type drilldownResponse struct {
+	Attr       string              `json:"attr"`
+	Label1     string              `json:"label1"`
+	Label2     string              `json:"label2"`
+	Class      string              `json:"class"`
+	Cf1        float64             `json:"cf1"`
+	Cf2        float64             `json:"cf2"`
+	Ratio      float64             `json:"ratio"`
+	Measure    string              `json:"measure"`
+	Expanded   int                 `json:"expanded"`
+	Partial    bool                `json:"partial"`
+	Unexplored []itemError         `json:"unexplored,omitempty"`
+	Findings   []drillFindingEntry `json:"findings"`
+}
+
+func (d *drilldownResponse) partialResult() bool { return d.Partial }
+
+// handleDrilldown runs a multi-condition drill-down: the attr=v1 vs
+// attr=v2 comparison followed by a beam search over condition
+// conjunctions inside the refined sub-populations. POST with a JSON
+// body because the parameter set (search knobs plus an attribute
+// list) outgrows a query string. The search degrades on deadline
+// expiry like the other long-running endpoints: findings collected so
+// far come back with partial=true and the unexplored frontier
+// annotated.
+func (s *Server) handleDrilldown(r *http.Request) (any, error) {
+	if r.Method != http.MethodPost {
+		return nil, &httpError{status: http.StatusMethodNotAllowed, msg: "drilldown requires POST"}
+	}
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
+	var req drilldownRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxDrilldownBody))
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("drilldown body: %v", err)
+	}
+	if req.Attr == "" || req.V1 == "" || req.V2 == "" || req.Class == "" {
+		return nil, badRequest("drilldown requires attr, v1, v2 and class")
+	}
+	for _, knob := range []struct {
+		name string
+		v    int64
+	}{
+		{"max_depth", int64(req.MaxDepth)},
+		{"beam", int64(req.Beam)},
+		{"max_nodes", int64(req.MaxNodes)},
+		{"min_support", req.MinSupport},
+		{"top", int64(req.Top)},
+	} {
+		if knob.v < 0 {
+			return nil, badRequest("drilldown %s=%d must be non-negative", knob.name, knob.v)
+		}
+	}
+	var attrs []string
+	if len(req.Attrs) > 0 {
+		attrs, err = attrList(req.Attrs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := sess.DrillDownContext(r.Context(), req.Attr, req.V1, req.V2, req.Class, opmap.DrillOptions{
+		Compare:           opmap.CompareOptions{Attrs: attrs},
+		MaxDepth:          req.MaxDepth,
+		Beam:              req.Beam,
+		MaxNodes:          req.MaxNodes,
+		MinSupport:        req.MinSupport,
+		Measure:           req.Measure,
+		PartialOnDeadline: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	top := req.Top
+	if top == 0 {
+		top = 10
+	}
+	resp := &drilldownResponse{
+		Attr:       res.Attr,
+		Label1:     res.Label1,
+		Label2:     res.Label2,
+		Class:      res.Class,
+		Cf1:        res.Cf1,
+		Cf2:        res.Cf2,
+		Ratio:      res.Ratio,
+		Measure:    res.Measure,
+		Expanded:   res.Expanded,
+		Partial:    res.Partial,
+		Unexplored: toItemErrors(res.Unexplored),
+	}
+	for _, f := range res.Top(top) {
+		entry := drillFindingEntry{
+			Depth: f.Depth,
+			Score: f.Score,
+			Raw:   f.Raw,
+			N1:    f.N1, C1: f.C1, N2: f.N2, C2: f.C2,
+			Cf1: f.Cf1, Cf2: f.Cf2,
+		}
+		for _, c := range f.Conds {
+			entry.Conds = append(entry.Conds, drillCondEntry{Attr: c.Attr, Value: c.Value})
+		}
+		resp.Findings = append(resp.Findings, entry)
+	}
+	return resp, nil
 }
 
 // intParam parses a non-negative integer query parameter, falling back

@@ -1,6 +1,6 @@
 // Package server implements the opmapd HTTP daemon: JSON endpoints for
-// overview, attribute detail, pairwise comparison and sweeps over one
-// or more preloaded Sessions. The serving layer is hardened the way
+// overview, attribute detail, pairwise comparison, multi-condition
+// drill-down and sweeps over one or more preloaded Sessions. The serving layer is hardened the way
 // the paper's deployed system had to be (analysts querying
 // pre-materialized cubes online, Section V.C): every request runs
 // under a timeout, panics are converted to 500s without taking the
@@ -181,12 +181,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	for path, h := range map[string]handlerFunc{
-		"/api/overview": s.handleOverview,
-		"/api/detail":   s.handleDetail,
-		"/api/compare":  s.handleCompare,
-		"/api/sweep":    s.handleSweep,
-		"/api/datasets": s.handleDatasets,
-		"/api/ingest":   s.handleIngest,
+		"/api/overview":  s.handleOverview,
+		"/api/detail":    s.handleDetail,
+		"/api/compare":   s.handleCompare,
+		"/api/drilldown": s.handleDrilldown,
+		"/api/sweep":     s.handleSweep,
+		"/api/datasets":  s.handleDatasets,
+		"/api/ingest":    s.handleIngest,
 	} {
 		s.mux.Handle(path, s.wrap(path, h))
 		// Pre-register every status series wrap can emit so a scrape

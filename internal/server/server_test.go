@@ -720,3 +720,150 @@ func TestCompareAttrsParam(t *testing.T) {
 		t.Errorf("all_values=ture = %d, want 400", code)
 	}
 }
+
+// drilldownBody builds a minimal valid drill-down request body for the
+// demo session's planted pair.
+func drilldownBody(gt opmap.CallLogTruth) string {
+	b, _ := json.Marshal(map[string]any{
+		"attr":  gt.PhoneAttr,
+		"v1":    gt.GoodPhone,
+		"v2":    gt.BadPhone,
+		"class": gt.DropClass,
+	})
+	return string(b)
+}
+
+// TestDrilldownEndpoint drives POST /api/drilldown: a valid request
+// answers 200 with oriented labels and scored findings, and the
+// repeated identical request is served from the session result cache.
+func TestDrilldownEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sess, gt := demoSession(t)
+
+	hits0 := sess.EngineStats().ResultCacheHits
+	resp := postJSON(t, ts.URL, "/api/drilldown", drilldownBody(gt))
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/drilldown = %d: %s", resp.StatusCode, body)
+	}
+	var dd struct {
+		Attr     string `json:"attr"`
+		Label1   string `json:"label1"`
+		Label2   string `json:"label2"`
+		Class    string `json:"class"`
+		Measure  string `json:"measure"`
+		Expanded int    `json:"expanded"`
+		Partial  bool   `json:"partial"`
+		Findings []struct {
+			Conds []struct {
+				Attr  string `json:"attr"`
+				Value string `json:"value"`
+			} `json:"conds"`
+			Depth int     `json:"depth"`
+			Score float64 `json:"score"`
+			N2    int64   `json:"n2"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(body, &dd); err != nil {
+		t.Fatalf("drilldown response is not JSON: %v", err)
+	}
+	if dd.Attr != gt.PhoneAttr || dd.Class != gt.DropClass {
+		t.Errorf("response identifies %s/%s, want %s/%s", dd.Attr, dd.Class, gt.PhoneAttr, gt.DropClass)
+	}
+	if dd.Label1 != gt.GoodPhone || dd.Label2 != gt.BadPhone {
+		t.Errorf("orientation %q vs %q, want %q vs %q", dd.Label1, dd.Label2, gt.GoodPhone, gt.BadPhone)
+	}
+	if dd.Measure != "paper" {
+		t.Errorf("default measure = %q, want paper", dd.Measure)
+	}
+	if dd.Partial {
+		t.Error("drill-down over the demo session came back partial")
+	}
+	if len(dd.Findings) == 0 {
+		t.Fatal("no findings")
+	}
+	for i, f := range dd.Findings {
+		if len(f.Conds) != f.Depth {
+			t.Errorf("finding %d: %d conds at depth %d", i, len(f.Conds), f.Depth)
+		}
+		if i > 0 && f.Score > dd.Findings[i-1].Score {
+			t.Errorf("findings not sorted by score at %d", i)
+		}
+	}
+
+	// The identical request again must be a result-cache hit.
+	resp = postJSON(t, ts.URL, "/api/drilldown", drilldownBody(gt))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat /api/drilldown = %d", resp.StatusCode)
+	}
+	if hits := sess.EngineStats().ResultCacheHits; hits <= hits0 {
+		t.Errorf("repeat drilldown did not hit the result cache (hits %d -> %d)", hits0, hits)
+	}
+}
+
+// TestDrilldownValidation is the endpoint's table test: method and
+// body mistakes answer 405/400 with messages naming the offender.
+func TestDrilldownValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sess, gt := demoSession(t)
+
+	if code, body := get(t, ts.URL, "/api/drilldown"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/drilldown = %d: %s, want 405", code, body)
+	}
+
+	mutate := func(set map[string]any) string {
+		m := map[string]any{
+			"attr": gt.PhoneAttr, "v1": gt.GoodPhone, "v2": gt.BadPhone, "class": gt.DropClass,
+		}
+		for k, v := range set {
+			m[k] = v
+		}
+		b, _ := json.Marshal(m)
+		return string(b)
+	}
+	for _, tc := range []struct {
+		name, body, wantMsg string
+	}{
+		{"malformed JSON", "{", "drilldown body"},
+		{"missing class", mutate(map[string]any{"class": ""}), "requires attr, v1, v2 and class"},
+		{"unknown attribute", mutate(map[string]any{"attr": "No-Such-Attr"}), "No-Such-Attr"},
+		{"identical values", mutate(map[string]any{"v2": gt.GoodPhone}), ""},
+		{"negative knob", mutate(map[string]any{"beam": -1}), "beam=-1"},
+		{"unknown measure", mutate(map[string]any{"measure": "entropy"}), "entropy"},
+		{"self-ranking attrs", mutate(map[string]any{"attrs": []string{gt.PhoneAttr}}), "comparison attribute itself"},
+		{"class in attrs", mutate(map[string]any{"attrs": []string{sess.ClassAttribute()}}), "class attribute cannot be ranked"},
+		{"empty attrs entry", mutate(map[string]any{"attrs": []string{gt.DistinguishingAttr, " "}}), "empty attribute name"},
+		{"duplicate attrs entry", mutate(map[string]any{"attrs": []string{gt.DistinguishingAttr, gt.DistinguishingAttr}}), "twice"},
+	} {
+		resp := postJSON(t, ts.URL, "/api/drilldown", tc.body)
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s = %d: %s, want 400", tc.name, resp.StatusCode, body)
+			continue
+		}
+		if tc.wantMsg != "" && !strings.Contains(string(body), tc.wantMsg) {
+			t.Errorf("%s error %q does not mention %q", tc.name, body, tc.wantMsg)
+		}
+	}
+}
+
+// TestCompareAttrsDuplicate pins the duplicate-attrs fix on the
+// compare endpoint: attrs=A,A used to rank A twice; it now answers
+// 400 naming the duplicate.
+func TestCompareAttrsDuplicate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, gt := demoSession(t)
+
+	v := url.Values{}
+	v.Set("attr", gt.PhoneAttr)
+	v.Set("class", gt.DropClass)
+	v.Set("value", gt.BadPhone)
+	v.Set("attrs", gt.DistinguishingAttr+","+gt.DistinguishingAttr)
+	code, body := get(t, ts.URL, "/api/compare?"+v.Encode())
+	if code != http.StatusBadRequest {
+		t.Fatalf("duplicate attrs = %d: %s, want 400", code, body)
+	}
+	if !strings.Contains(string(body), gt.DistinguishingAttr) || !strings.Contains(string(body), "twice") {
+		t.Errorf("duplicate-attrs error %q does not name the duplicate", body)
+	}
+}

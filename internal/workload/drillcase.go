@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"fmt"
+
+	"math/rand"
+
+	"opmap/internal/dataset"
+	"opmap/internal/stats"
+)
+
+// DrillLogConfig parameterizes the drill-down case workload: a call
+// log whose dominant planted effect needs *two* conditions to express.
+type DrillLogConfig struct {
+	Seed    int64
+	Records int
+
+	// NumPhones is the number of phone models (≥ 2; default 3).
+	// Phone 0 is the good phone, phone 1 the bad phone.
+	NumPhones int
+
+	// GoodDropRate and BadDropRate are the base drop rates of the good
+	// and bad phone (defaults 0.05 and 0.06). The gap between them is
+	// deliberately small: the interesting structure is conditional.
+	GoodDropRate float64
+	BadDropRate  float64
+
+	// SurfaceBoost is added to the bad phone's drop rate in one
+	// Time-of-Call value (default 0.10). This is the decoy: a genuine
+	// one-condition effect that the root comparison surfaces as its
+	// top attribute, so the joint effect cannot be found by reading
+	// the 1-D ranking alone.
+	SurfaceBoost float64
+
+	// JointRate is the bad phone's drop rate inside the single
+	// (Terrain, Signal-Band) cell carrying the planted two-condition
+	// effect (default 0.90). Spread over JointCardinality² cells, its
+	// trace in either attribute's marginal is a fraction of the decoy.
+	JointRate float64
+
+	// JointCardinality is the domain size of Terrain and Signal-Band
+	// (default 12). Larger cardinality dilutes the joint cell's
+	// marginal footprint further.
+	JointCardinality int
+
+	// SetupFailRate is the class-independent setup-failure rate
+	// (default 0.01).
+	SetupFailRate float64
+
+	// NoiseAttrs is the number of class-independent attributes
+	// (default 3); NoiseCardinality their domain size (default 6).
+	NoiseAttrs       int
+	NoiseCardinality int
+}
+
+func (c DrillLogConfig) withDefaults() DrillLogConfig {
+	if c.Records == 0 {
+		c.Records = 60000
+	}
+	if c.NumPhones < 2 {
+		c.NumPhones = 3
+	}
+	if stats.IsZero(c.GoodDropRate) {
+		c.GoodDropRate = 0.05
+	}
+	if stats.IsZero(c.BadDropRate) {
+		c.BadDropRate = 0.06
+	}
+	if stats.IsZero(c.SurfaceBoost) {
+		c.SurfaceBoost = 0.10
+	}
+	if stats.IsZero(c.JointRate) {
+		c.JointRate = 0.90
+	}
+	if c.JointCardinality == 0 {
+		c.JointCardinality = 12
+	}
+	if stats.IsZero(c.SetupFailRate) {
+		c.SetupFailRate = 0.01
+	}
+	if c.NoiseAttrs == 0 {
+		c.NoiseAttrs = 3
+	}
+	if c.NoiseCardinality == 0 {
+		c.NoiseCardinality = 6
+	}
+	return c
+}
+
+// DrillTruth records the planted structure of a drill-down workload.
+type DrillTruth struct {
+	PhoneAttr string
+	GoodPhone string
+	BadPhone  string
+	DropClass string
+
+	// SurfaceAttr/SurfaceValue is the one-condition decoy effect: the
+	// attribute a plain comparison ranks first.
+	SurfaceAttr  string
+	SurfaceValue string
+
+	// JointAttrA=JointValueA ∧ JointAttrB=JointValueB is the planted
+	// two-condition effect. Neither attribute alone outranks the decoy
+	// in the 1-D ranking; the conjunction should rank first in a
+	// drill-down.
+	JointAttrA  string
+	JointValueA string
+	JointAttrB  string
+	JointValueB string
+
+	NoiseAttrs []string
+}
+
+// timePeriods is the Time-of-Call domain of the drill workload.
+var timePeriods = []string{"night", "morning", "midday", "afternoon", "evening", "late-night"}
+
+// DrillLog generates a synthetic call log with a planted two-condition
+// effect. Drop-probability model for the bad phone:
+//
+//	p = JointRate                              if Terrain=A ∧ Signal-Band=B
+//	p = BadDropRate + SurfaceBoost·[morning]   otherwise
+//
+// The good phone drops at GoodDropRate everywhere; remaining phones sit
+// between the two. The joint cell covers 1/JointCardinality² of the bad
+// phone's records, so each of its two marginals carries only ~1/12 of
+// the excess — enough to enter a drill-down beam, not enough to outrank
+// the morning decoy in the one-condition comparison.
+func DrillLog(cfg DrillLogConfig) (*dataset.Dataset, DrillTruth, error) {
+	cfg = cfg.withDefaults()
+	if cfg.GoodDropRate <= 0 || cfg.BadDropRate < cfg.GoodDropRate {
+		return nil, DrillTruth{}, fmt.Errorf("workload: need 0 < GoodDropRate ≤ BadDropRate, got %v and %v", cfg.GoodDropRate, cfg.BadDropRate)
+	}
+	if cfg.JointRate <= cfg.BadDropRate || cfg.JointRate > 1 {
+		return nil, DrillTruth{}, fmt.Errorf("workload: JointRate %v must be in (BadDropRate, 1]", cfg.JointRate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	phoneDict := dataset.NewDictionary()
+	for i := 0; i < cfg.NumPhones; i++ {
+		phoneDict.Code(fmt.Sprintf("ph%d", i+1))
+	}
+	timeDict := dataset.DictionaryOf(timePeriods...)
+	terrainDict := dataset.NewDictionary()
+	bandDict := dataset.NewDictionary()
+	for i := 0; i < cfg.JointCardinality; i++ {
+		terrainDict.Code(fmt.Sprintf("terrain-%02d", i+1))
+		bandDict.Code(fmt.Sprintf("band-%02d", i+1))
+	}
+	classDict := dataset.DictionaryOf(ClassOK, ClassDropped, ClassSetupFailed)
+
+	// Planted coordinates, away from the dictionaries' first codes so
+	// position bugs cannot masquerade as recovery.
+	const (
+		morningIdx = 1 // "morning"
+		terrainIdx = 6 // "terrain-07"
+		bandIdx    = 3 // "band-04"
+	)
+
+	attrs := []dataset.Attribute{
+		{Name: "Phone-Model", Kind: dataset.Categorical},
+		{Name: "Time-of-Call", Kind: dataset.Categorical},
+		{Name: "Terrain", Kind: dataset.Categorical},
+		{Name: "Signal-Band", Kind: dataset.Categorical},
+	}
+	gt := DrillTruth{
+		PhoneAttr:    "Phone-Model",
+		GoodPhone:    "ph1",
+		BadPhone:     "ph2",
+		DropClass:    ClassDropped,
+		SurfaceAttr:  "Time-of-Call",
+		SurfaceValue: timePeriods[morningIdx],
+		JointAttrA:   "Terrain",
+		JointValueA:  fmt.Sprintf("terrain-%02d", terrainIdx+1),
+		JointAttrB:   "Signal-Band",
+		JointValueB:  fmt.Sprintf("band-%02d", bandIdx+1),
+	}
+	for i := 0; i < cfg.NoiseAttrs; i++ {
+		name := fmt.Sprintf("Param-%02d", i+1)
+		attrs = append(attrs, dataset.Attribute{Name: name, Kind: dataset.Categorical})
+		gt.NoiseAttrs = append(gt.NoiseAttrs, name)
+	}
+	attrs = append(attrs, dataset.Attribute{Name: "Disposition", Kind: dataset.Categorical})
+	classIdx := len(attrs) - 1
+
+	b, err := dataset.NewBuilder(dataset.Schema{Attrs: attrs, ClassIndex: classIdx})
+	if err != nil {
+		return nil, DrillTruth{}, err
+	}
+	b.WithDict(0, phoneDict)
+	b.WithDict(1, timeDict)
+	b.WithDict(2, terrainDict)
+	b.WithDict(3, bandDict)
+	for i := 0; i < cfg.NoiseAttrs; i++ {
+		d := dataset.NewDictionary()
+		for v := 0; v < cfg.NoiseCardinality; v++ {
+			d.Code(fmt.Sprintf("v%d", v+1))
+		}
+		b.WithDict(4+i, d)
+	}
+	b.WithDict(classIdx, classDict)
+
+	midRate := (cfg.GoodDropRate + cfg.BadDropRate) / 2
+	codes := make([]int32, len(attrs))
+	for r := 0; r < cfg.Records; r++ {
+		phone := rng.Intn(cfg.NumPhones)
+		timeVal := rng.Intn(len(timePeriods))
+		terrain := rng.Intn(cfg.JointCardinality)
+		band := rng.Intn(cfg.JointCardinality)
+
+		var p float64
+		switch {
+		case phone == 0:
+			p = cfg.GoodDropRate
+		case phone == 1 && terrain == terrainIdx && band == bandIdx:
+			p = cfg.JointRate
+		case phone == 1:
+			p = cfg.BadDropRate
+			if timeVal == morningIdx {
+				p += cfg.SurfaceBoost
+			}
+		default:
+			p = midRate
+		}
+		if p > 0.95 {
+			p = 0.95
+		}
+
+		var class int32
+		u := rng.Float64()
+		switch {
+		case u < p:
+			class = 1 // dropped
+		case u < p+cfg.SetupFailRate:
+			class = 2 // setup failed
+		default:
+			class = 0 // ok
+		}
+
+		codes[0] = int32(phone)
+		codes[1] = int32(timeVal)
+		codes[2] = int32(terrain)
+		codes[3] = int32(band)
+		for i := 0; i < cfg.NoiseAttrs; i++ {
+			codes[4+i] = int32(rng.Intn(cfg.NoiseCardinality))
+		}
+		codes[classIdx] = class
+		if err := b.AddCodedRow(codes, nil); err != nil {
+			return nil, DrillTruth{}, err
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, DrillTruth{}, err
+	}
+	return ds, gt, nil
+}

@@ -206,6 +206,52 @@ func CaseStudy(seed int64, records int) (*Session, CallLogTruth, error) {
 	return GenerateCallLog(CallLogConfig{Seed: seed, Records: records, NumPhones: 8, NoiseAttrs: 35})
 }
 
+// DrillCaseTruth describes the planted structure of a drill-down case
+// workload: a decoy one-condition effect the plain comparison
+// surfaces, and a two-condition effect only a drill-down ranks first.
+type DrillCaseTruth struct {
+	PhoneAttr string
+	GoodPhone string
+	BadPhone  string
+	DropClass string
+
+	// SurfaceAttr=SurfaceValue is the decoy: the attribute the
+	// one-condition ranking puts on top.
+	SurfaceAttr  string
+	SurfaceValue string
+
+	// JointAttrA=JointValueA & JointAttrB=JointValueB is the planted
+	// conjunction; DrillDown should rank it first.
+	JointAttrA  string
+	JointValueA string
+	JointAttrB  string
+	JointValueB string
+}
+
+// GenerateDrillCase builds a session over a synthetic call log whose
+// dominant planted effect needs two conditions to express (the
+// drill-down demonstration workload). Zero records means the workload
+// default (60000).
+func GenerateDrillCase(seed int64, records int) (*Session, DrillCaseTruth, error) {
+	ds, gt, err := workload.DrillLog(workload.DrillLogConfig{Seed: seed, Records: records})
+	if err != nil {
+		return nil, DrillCaseTruth{}, err
+	}
+	truth := DrillCaseTruth{
+		PhoneAttr:    gt.PhoneAttr,
+		GoodPhone:    gt.GoodPhone,
+		BadPhone:     gt.BadPhone,
+		DropClass:    gt.DropClass,
+		SurfaceAttr:  gt.SurfaceAttr,
+		SurfaceValue: gt.SurfaceValue,
+		JointAttrA:   gt.JointAttrA,
+		JointValueA:  gt.JointValueA,
+		JointAttrB:   gt.JointAttrB,
+		JointValueB:  gt.JointValueB,
+	}
+	return newSession(ds), truth, nil
+}
+
 // ManufacturingTruth describes the planted structure of the synthetic
 // production log.
 type ManufacturingTruth struct {
